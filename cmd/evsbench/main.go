@@ -1,0 +1,138 @@
+// Command evsbench regenerates every figure of the paper and the protocol
+// characterisation series as a text report. Each section names the
+// experiment from DESIGN.md; EXPERIMENTS.md records the expected shapes.
+//
+// Usage:
+//
+//	evsbench [-seed N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	evs "repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	flag.Parse()
+	if err := run(*seed, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, quick bool) error {
+	fmt.Println("extended virtual synchrony — experiment report")
+	fmt.Println("================================================")
+	fmt.Println()
+
+	// F1-F5: specification conformance.
+	fmt.Println("F1-F5  specifications 1-7 (figures 1-5): checker conformance")
+	fmt.Println("-------------------------------------------------------------")
+	rows := experiments.Figures1to5(seed)
+	fmt.Print(experiments.FormatCheckerRows(rows))
+	failed := 0
+	for _, r := range rows {
+		if !r.Pass() {
+			failed++
+		}
+	}
+	fmt.Printf("=> %d/%d rows pass\n\n", len(rows)-failed, len(rows))
+
+	// F6: the worked example.
+	fmt.Println("F6     figure 6: partition and merge of {p,q,r} with {s,t}")
+	fmt.Println("-------------------------------------------------------------")
+	f6 := experiments.Figure6(seed)
+	for _, id := range []evs.ProcessID{"p", "q", "r", "s", "t"} {
+		fmt.Printf("  %s: ", id)
+		for i, c := range f6.ConfigSeqs[id] {
+			if i > 0 {
+				fmt.Print(" -> ")
+			}
+			fmt.Print(c)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("=> q,r deliver transitional {q,r} then regular {q,r,s,t}: %v\n", f6.QRTransitional)
+	fmt.Printf("=> p isolated via singleton transitional configuration:   %v\n", f6.PIsolated)
+	fmt.Printf("=> specification violations: %d\n\n", len(f6.Violations))
+
+	// F7: virtual synchrony over EVS.
+	fmt.Println("F7     figure 7: virtual synchrony filtered from EVS")
+	fmt.Println("-------------------------------------------------------------")
+	f7 := experiments.Figure7(seed)
+	fmt.Printf("  EVS deliveries in minority component: %d (continued operation)\n", f7.EVSDeliveriesMinority)
+	fmt.Printf("  VS  deliveries in minority component: %d (blocked by the filter)\n", f7.VSDeliveriesMinority)
+	fmt.Printf("=> virtual synchrony violations (C1-C3, L1-L5): %d\n", len(f7.VSViolations))
+	fmt.Printf("=> EVS specification violations:                %d\n\n", len(f7.EVSViolations))
+
+	// T1: ordering throughput.
+	fmt.Println("T1     ordering throughput vs group size (safe service)")
+	fmt.Println("-------------------------------------------------------------")
+	sizes := []int{2, 3, 5, 8, 12, 16}
+	window := time.Second
+	if quick {
+		sizes = []int{2, 3, 5}
+		window = 300 * time.Millisecond
+	}
+	fmt.Printf("%8s %12s %14s %12s\n", "procs", "msgs/s", "rotations", "broadcasts")
+	for _, n := range sizes {
+		r := experiments.Throughput(n, seed, window)
+		fmt.Printf("%8d %12.0f %14d %12d\n", r.GroupSize, r.MsgsPerSec, r.TokenRotations, r.Broadcasts)
+	}
+	fmt.Println()
+
+	// T1b: latency.
+	fmt.Println("T1b    safe vs agreed delivery latency (unloaded)")
+	fmt.Println("-------------------------------------------------------------")
+	fmt.Printf("%8s %12s %12s %14s\n", "procs", "agreed ms", "safe ms", "safe/agreed")
+	for _, n := range sizes {
+		r := experiments.Latency(n, seed, 20)
+		fmt.Printf("%8d %12.3f %12.3f %14.2f\n", r.GroupSize, r.AgreedMs, r.SafeMs, r.SafeOverAgreed)
+	}
+	fmt.Println()
+
+	// T2: recovery cost.
+	fmt.Println("T2     recovery latency vs outstanding backlog")
+	fmt.Println("-------------------------------------------------------------")
+	backlogs := []int{0, 50, 200, 500, 1000}
+	if quick {
+		backlogs = []int{0, 50, 200}
+	}
+	fmt.Printf("%8s %14s %14s\n", "backlog", "recovery ms", "rebroadcasts")
+	for _, b := range backlogs {
+		r := experiments.RecoveryMedian(b, 5)
+		fmt.Printf("%8d %14.2f %14d\n", r.Backlog, r.RecoveryMs, r.Rebroadcasts)
+	}
+	fmt.Println()
+
+	// T3: availability.
+	fmt.Println("T3     availability during partition: EVS vs VS (5 processes)")
+	fmt.Println("-------------------------------------------------------------")
+	fmt.Printf("%12s %12s %12s\n", "split", "EVS active", "VS active")
+	for _, s := range []int{4, 3, 2} {
+		r := experiments.Availability(s, seed)
+		fmt.Printf("%7d|%1d   %11.0f%% %11.0f%%\n", r.Split, 5-r.Split, 100*r.EVSActive, 100*r.VSActive)
+	}
+	fmt.Println()
+
+	// P1: primary history.
+	fmt.Println("P1     primary component history under churn")
+	fmt.Println("-------------------------------------------------------------")
+	fmt.Printf("%8s %12s %12s %12s\n", "seed", "reconfigs", "primaries", "violations")
+	seeds := []int64{seed, seed + 1, seed + 2, seed + 3}
+	if quick {
+		seeds = seeds[:2]
+	}
+	for _, s := range seeds {
+		r := experiments.PrimaryHistory(s)
+		fmt.Printf("%8d %12d %12d %12d\n", r.Seed, r.Reconfigs, r.Primaries, r.Violations)
+	}
+	return nil
+}

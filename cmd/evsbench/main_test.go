@@ -1,0 +1,13 @@
+package main
+
+import "testing"
+
+// The quick report must complete without error.
+func TestQuickReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report generation")
+	}
+	if err := run(1, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// Every scenario must run to completion with a clean specification check.
+func TestScenarios(t *testing.T) {
+	for _, sc := range []string{"figure6", "partition", "crash", "churn"} {
+		sc := sc
+		t.Run(sc, func(t *testing.T) {
+			if err := run(sc, 1, false); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	if err := run("nope", 1, false); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}

@@ -1,0 +1,119 @@
+// Package evs is a Go reproduction of "Extended Virtual Synchrony" (Moser,
+// Amir, Melliar-Smith, Agarwal; ICDCS 1994): a group communication
+// transport for multicast and broadcast communication that keeps the
+// delivery of messages and the delivery of configuration changes in a
+// consistent relationship across ALL processes of a distributed system —
+// including processes in non-primary components of a partitioned network
+// and processes that fail and recover with stable storage intact.
+//
+// The package exposes three layers:
+//
+//   - The extended virtual synchrony service itself: totally ordered
+//     (agreed) and all-stable (safe) delivery within regular and
+//     transitional configurations, over a Totem-style token ring,
+//     membership consensus and the EVS recovery algorithm.
+//   - The primary component algorithm of Section 5: each regular
+//     configuration is asynchronously announced primary or non-primary,
+//     with the Section 2.2 Uniqueness and Continuity guarantees.
+//   - The virtual synchrony filter of Section 5 (Rules 1-4): a process
+//     group abstraction in Birman's model, in which only the primary
+//     component makes progress.
+//
+// A Group runs a complete cluster on a deterministic discrete-event
+// simulation of a broadcast LAN: partitions, merges, crashes and
+// recoveries are scheduled at virtual times and every execution replays
+// exactly from its seed. The specification checker (Check, CheckVS)
+// verifies executions against the paper's formal model.
+package evs
+
+import (
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/vsfilter"
+)
+
+// Re-exported vocabulary. These aliases make the public API self-contained
+// while the internal packages share the same types.
+type (
+	// ProcessID identifies a process; recovered processes keep theirs.
+	ProcessID = model.ProcessID
+	// MessageID identifies a message system-wide.
+	MessageID = model.MessageID
+	// Service is the delivery service level.
+	Service = model.Service
+	// ConfigID identifies a regular or transitional configuration.
+	ConfigID = model.ConfigID
+	// Configuration is a configuration with its membership.
+	Configuration = model.Configuration
+	// ProcessSet is a sorted set of process identifiers.
+	ProcessSet = model.ProcessSet
+	// Event is a formal-model trace event.
+	Event = model.Event
+	// Violation is a specification breach found by the checker.
+	Violation = spec.Violation
+	// View is a virtual synchrony view (VS layer).
+	View = vsfilter.View
+	// ViewID identifies a virtual synchrony view.
+	ViewID = vsfilter.ViewID
+	// VSViolation is a virtual synchrony model breach.
+	VSViolation = vsfilter.Violation
+)
+
+// Service levels.
+const (
+	// Agreed requests totally ordered delivery within each component.
+	Agreed = model.Agreed
+	// Safe requests all-stable totally ordered delivery: if any process
+	// in a component delivers the message, every process in that
+	// component has received it and will deliver it unless it fails.
+	Safe = model.Safe
+)
+
+// NewProcessSet builds a process set.
+func NewProcessSet(ids ...ProcessID) ProcessSet { return model.NewProcessSet(ids...) }
+
+// Delivery is a message delivered to the application by the EVS layer.
+type Delivery struct {
+	// Msg identifies the message; Msg.Sender is the originator.
+	Msg MessageID
+	// Payload is the application payload.
+	Payload []byte
+	// Service is the service level the sender requested.
+	Service Service
+	// Config is the configuration — regular or transitional — in which
+	// the message was delivered, with its membership.
+	Config Configuration
+	// Time is the virtual time of the delivery.
+	Time time.Duration
+}
+
+// ConfigEvent is a configuration change delivered to the application.
+type ConfigEvent struct {
+	// Config is the configuration being initiated.
+	Config Configuration
+	// Time is the virtual time of the installation.
+	Time time.Duration
+}
+
+// PrimaryEvent reports the primary component algorithm's verdict for a
+// regular configuration.
+type PrimaryEvent struct {
+	Config  Configuration
+	Primary bool
+	// Prev is the previous primary component the verdict was computed
+	// against (zero for the first).
+	Prev Configuration
+	Time time.Duration
+}
+
+// VSEvent is an output of the virtual synchrony filter at one process:
+// either a view change or a delivery within a view.
+type VSEvent struct {
+	// ViewChange is set for view events.
+	ViewChange *View
+	// Deliver is set for deliveries.
+	Deliver *vsfilter.Deliver
+	Time    time.Duration
+}

@@ -1,0 +1,404 @@
+package evs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/primary"
+	"repro/internal/spec"
+	"repro/internal/stable"
+	"repro/internal/vsfilter"
+	"repro/internal/wire"
+)
+
+// Envelope tags multiplex the EVS payload between the application and the
+// primary-component layer.
+const (
+	tagApp     byte = 0
+	tagPrimary byte = 1
+)
+
+// Options configure a Group.
+type Options struct {
+	// Processes lists the process identifiers. If empty, NumProcesses
+	// processes named p01..pNN are created.
+	Processes []ProcessID
+	// NumProcesses is used when Processes is empty (default 3).
+	NumProcesses int
+	// Seed drives the deterministic simulation.
+	Seed int64
+	// DropRate and DupRate configure network loss and duplication.
+	DropRate, DupRate float64
+	// MinDelay and MaxDelay bound packet latency; zero values select a
+	// LAN-like default profile.
+	MinDelay, MaxDelay time.Duration
+	// EnablePrimary runs the primary component algorithm on every
+	// process (required for the virtual synchrony layer).
+	EnablePrimary bool
+	// EnableVS runs the virtual synchrony filter on every process
+	// (implies EnablePrimary).
+	EnableVS bool
+	// Node overrides protocol timing.
+	Node *node.Config
+}
+
+// Group is a deterministic in-memory EVS cluster with optional primary
+// component and virtual synchrony layers.
+type Group struct {
+	cluster *harness.Cluster
+	ids     []ProcessID
+	opts    Options
+
+	prim    map[ProcessID]*primary.Protocol
+	filters map[ProcessID]*vsfilter.Filter
+
+	deliveries map[ProcessID][]Delivery
+	confs      map[ProcessID][]ConfigEvent
+	primaryEvs map[ProcessID][]PrimaryEvent
+	vsEvents   map[ProcessID][]VSEvent
+	vsTrace    []vsfilter.TraceEvent
+	crashed    map[ProcessID]bool
+
+	// OnDelivery and OnConfigChange, when set, observe application-level
+	// events as they happen (used by layers built on the public API,
+	// e.g. Topics).
+	OnDelivery     func(id ProcessID, d Delivery)
+	OnConfigChange func(id ProcessID, c ConfigEvent)
+}
+
+// NewGroup creates a group; processes boot at virtual time zero.
+func NewGroup(opts Options) *Group {
+	if opts.EnableVS {
+		opts.EnablePrimary = true
+	}
+	ids := opts.Processes
+	if len(ids) == 0 {
+		n := opts.NumProcesses
+		if n <= 0 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			ids = append(ids, ProcessID(fmt.Sprintf("p%02d", i+1)))
+		}
+	}
+	netCfg := netsim.Default(opts.Seed)
+	if opts.MinDelay > 0 || opts.MaxDelay > 0 {
+		netCfg.MinDelay, netCfg.MaxDelay = opts.MinDelay, opts.MaxDelay
+	}
+	netCfg.DropRate, netCfg.DupRate = opts.DropRate, opts.DupRate
+
+	g := &Group{
+		ids:        ids,
+		opts:       opts,
+		prim:       make(map[ProcessID]*primary.Protocol),
+		filters:    make(map[ProcessID]*vsfilter.Filter),
+		deliveries: make(map[ProcessID][]Delivery),
+		confs:      make(map[ProcessID][]ConfigEvent),
+		primaryEvs: make(map[ProcessID][]PrimaryEvent),
+		vsEvents:   make(map[ProcessID][]VSEvent),
+		crashed:    make(map[ProcessID]bool),
+	}
+	g.cluster = harness.New(harness.Options{
+		IDs:  ids,
+		Seed: opts.Seed,
+		Net:  &netCfg,
+		Node: opts.Node,
+	})
+	universe := model.NewProcessSet(ids...)
+	for _, id := range ids {
+		if opts.EnablePrimary {
+			g.prim[id] = primary.New(id, universe, model.Configuration{}, model.Configuration{})
+		}
+		if opts.EnableVS {
+			g.filters[id] = vsfilter.New(id)
+		}
+	}
+	g.cluster.OnDeliver = g.onDeliver
+	g.cluster.OnConfig = g.onConfig
+	return g
+}
+
+// OnWire registers an observer of every transmitted protocol message (for
+// traffic accounting in the benchmark harness).
+func (g *Group) OnWire(fn func(from ProcessID, kind string)) {
+	g.cluster.OnWire = func(from model.ProcessID, msg wire.Message) {
+		fn(from, msg.Kind())
+	}
+}
+
+// IDs returns the process identifiers.
+func (g *Group) IDs() []ProcessID {
+	out := make([]ProcessID, len(g.ids))
+	copy(out, g.ids)
+	return out
+}
+
+// Now returns the current virtual time.
+func (g *Group) Now() time.Duration { return g.cluster.Sched.Now() }
+
+// Run advances the simulation to the given absolute virtual time.
+func (g *Group) Run(until time.Duration) { g.cluster.Run(until) }
+
+// At schedules fn at an absolute virtual time.
+func (g *Group) At(t time.Duration, fn func()) { g.cluster.At(t, fn) }
+
+// Send schedules a message submission at process id at virtual time t.
+func (g *Group) Send(t time.Duration, id ProcessID, payload []byte, svc Service) {
+	g.At(t, func() { g.submit(id, payload, svc) })
+}
+
+// submit wraps the payload in the application envelope and submits it.
+func (g *Group) submit(id ProcessID, payload []byte, svc Service) {
+	if g.crashed[id] {
+		return
+	}
+	wrapped := append([]byte{tagApp}, payload...)
+	if err := g.cluster.Node(id).Submit(wrapped, svc); err != nil {
+		return
+	}
+	if f := g.filters[id]; f != nil && !f.Blocked() {
+		// The VS layer observes the send for the model checker. The
+		// message identifier is the one just assigned.
+		rec := g.cluster.Store(id).Load()
+		g.vsTrace = append(g.vsTrace, vsfilter.TraceEvent{
+			Type: vsfilter.EventSend,
+			Proc: id,
+			Msg:  MessageID{Sender: id, SenderSeq: rec.SenderSeq},
+		})
+	}
+}
+
+// Partition schedules a network partition at virtual time t; processes not
+// listed in any group are isolated.
+func (g *Group) Partition(t time.Duration, groups ...[]ProcessID) {
+	g.cluster.Partition(t, groups...)
+}
+
+// Merge schedules a full network merge at virtual time t.
+func (g *Group) Merge(t time.Duration) { g.cluster.Merge(t) }
+
+// Crash schedules a process failure at virtual time t; volatile state is
+// lost, stable storage survives.
+func (g *Group) Crash(t time.Duration, id ProcessID) {
+	g.At(t, func() {
+		if g.crashed[id] {
+			return
+		}
+		g.crashed[id] = true
+		g.cluster.Node(id).Crash()
+		g.cluster.Net.SetDown(id, true)
+		if g.opts.EnableVS {
+			g.vsTrace = append(g.vsTrace, vsfilter.TraceEvent{
+				Type: vsfilter.EventStop, Proc: id,
+			})
+		}
+	})
+}
+
+// Recover schedules a process recovery at virtual time t: the process
+// restarts with its stable storage intact and the same identifier.
+func (g *Group) Recover(t time.Duration, id ProcessID) {
+	g.At(t, func() {
+		if !g.crashed[id] {
+			return
+		}
+		g.crashed[id] = false
+		g.cluster.Net.SetDown(id, false)
+		// The primary layer reloads its persisted knowledge; the VS
+		// filter restarts blocked (a recovered process rejoins the
+		// primary component through Rule 4).
+		rec := g.cluster.Store(id).Load()
+		if g.opts.EnablePrimary {
+			g.prim[id] = primary.New(id, model.NewProcessSet(g.ids...), rec.LastPrimary, rec.PrimaryAttempt)
+		}
+		if g.opts.EnableVS {
+			g.filters[id] = vsfilter.New(id)
+		}
+		g.cluster.Node(id).Recover()
+	})
+}
+
+// onConfig feeds configuration changes to the upper layers.
+func (g *Group) onConfig(id model.ProcessID, cc node.ConfigChange) {
+	ce := ConfigEvent{Config: cc.Config, Time: g.Now()}
+	g.confs[id] = append(g.confs[id], ce)
+	if g.OnConfigChange != nil {
+		g.OnConfigChange(id, ce)
+	}
+	if p := g.prim[id]; p != nil {
+		g.applyPrimaryActions(id, p.OnConfig(cc.Config))
+	}
+	if f := g.filters[id]; f != nil {
+		g.applyVSOutputs(id, f.OnConfig(cc.Config))
+	}
+}
+
+// onDeliver demultiplexes EVS deliveries between the application and the
+// primary layer, feeding the application stream to the VS filter.
+func (g *Group) onDeliver(id model.ProcessID, d node.Delivery) {
+	if len(d.Payload) == 0 {
+		return
+	}
+	tag, body := d.Payload[0], d.Payload[1:]
+	switch tag {
+	case tagPrimary:
+		p := g.prim[id]
+		if p == nil {
+			return
+		}
+		m, err := primary.Decode(body)
+		if err != nil {
+			return
+		}
+		g.applyPrimaryActions(id, p.OnMessage(m))
+	case tagApp:
+		del := Delivery{
+			Msg:     d.Msg,
+			Payload: body,
+			Service: d.Service,
+			Config:  d.Config,
+			Time:    g.Now(),
+		}
+		g.deliveries[id] = append(g.deliveries[id], del)
+		if g.OnDelivery != nil {
+			g.OnDelivery(id, del)
+		}
+		if f := g.filters[id]; f != nil {
+			g.applyVSOutputs(id, f.OnDeliver(d.Msg, body, d.Service))
+		}
+	}
+}
+
+// applyPrimaryActions executes the primary protocol's requested actions.
+func (g *Group) applyPrimaryActions(id model.ProcessID, acts []primary.Action) {
+	for _, a := range acts {
+		switch act := a.(type) {
+		case primary.Broadcast:
+			wrapped := append([]byte{tagPrimary}, act.Payload...)
+			// Primary-layer messages ride the safe service.
+			_ = g.cluster.Node(id).Submit(wrapped, model.Safe)
+		case primary.PersistAttempt:
+			rec := g.cluster.Store(id).Load()
+			rec.PrimaryAttempt = act.Cfg
+			g.cluster.Store(id).Save(rec)
+		case primary.PersistPrimary:
+			rec := g.cluster.Store(id).Load()
+			rec.LastPrimary = act.Cfg
+			rec.PrimaryAttempt = model.Configuration{}
+			g.cluster.Store(id).Save(rec)
+		case primary.Decided:
+			g.primaryEvs[id] = append(g.primaryEvs[id], PrimaryEvent{
+				Config:  act.Cfg,
+				Primary: act.Primary,
+				Prev:    act.Prev,
+				Time:    g.Now(),
+			})
+			g.markPrimaryTrace(id, act)
+			if f := g.filters[id]; f != nil {
+				inView := !f.CurrentView().ID.IsZero()
+				g.applyVSOutputs(id, f.OnPrimaryDecision(act.Cfg, act.Primary, act.Prev))
+				if !act.Primary && inView {
+					// Leaving the primary component is failure in
+					// Birman's primary-partition model: record the
+					// stop so the completeness conditions treat the
+					// process's missing deliveries as extendable.
+					g.vsTrace = append(g.vsTrace, vsfilter.TraceEvent{
+						Type: vsfilter.EventStop, Proc: id,
+					})
+				}
+			}
+		}
+	}
+}
+
+// markPrimaryTrace annotates the process's deliver_conf trace event for the
+// decided configuration with the primary verdict, so the specification
+// checker can verify Section 2.2.
+func (g *Group) markPrimaryTrace(id model.ProcessID, act primary.Decided) {
+	if !act.Primary {
+		return
+	}
+	events := g.cluster.History.Events()
+	for i := len(events) - 1; i >= 0; i-- {
+		e := events[i]
+		if e.Type == model.EventDeliverConf && e.Proc == id && e.Config == act.Cfg.ID {
+			events[i].Primary = true
+			return
+		}
+	}
+}
+
+// applyVSOutputs records the VS filter's outputs.
+func (g *Group) applyVSOutputs(id model.ProcessID, outs []vsfilter.Output) {
+	for _, o := range outs {
+		switch out := o.(type) {
+		case vsfilter.ViewChange:
+			v := out.View
+			g.vsEvents[id] = append(g.vsEvents[id], VSEvent{ViewChange: &v, Time: g.Now()})
+			g.vsTrace = append(g.vsTrace, vsfilter.TraceEvent{
+				Type: vsfilter.EventView, Proc: id, View: v.ID, Members: v.Members,
+			})
+		case vsfilter.Deliver:
+			d := out
+			g.vsEvents[id] = append(g.vsEvents[id], VSEvent{Deliver: &d, Time: g.Now()})
+			g.vsTrace = append(g.vsTrace, vsfilter.TraceEvent{
+				Type: vsfilter.EventDeliver, Proc: id, View: d.View, Msg: d.Msg,
+			})
+		}
+	}
+}
+
+// Deliveries returns the EVS-layer deliveries at a process.
+func (g *Group) Deliveries(id ProcessID) []Delivery { return g.deliveries[id] }
+
+// ConfigEvents returns the configuration changes delivered at a process.
+func (g *Group) ConfigEvents(id ProcessID) []ConfigEvent { return g.confs[id] }
+
+// PrimaryEvents returns the primary verdicts observed at a process.
+func (g *Group) PrimaryEvents(id ProcessID) []PrimaryEvent { return g.primaryEvs[id] }
+
+// VSEvents returns the virtual synchrony events at a process.
+func (g *Group) VSEvents(id ProcessID) []VSEvent { return g.vsEvents[id] }
+
+// History returns the formal-model trace of the whole execution.
+func (g *Group) History() []Event { return g.cluster.History.Events() }
+
+// Check verifies the execution against the EVS specifications (1-7) and,
+// when the primary layer is enabled, the primary component properties.
+func (g *Group) Check(settled bool) []Violation {
+	checker := spec.NewChecker(g.cluster.History.Events(), spec.Options{Settled: settled})
+	out := checker.CheckAll()
+	if g.opts.EnablePrimary {
+		out = append(out, checker.CheckPrimary()...)
+	}
+	return out
+}
+
+// CheckVS verifies the filtered execution against the virtual synchrony
+// model (completeness C1-C3, legality L1-L5).
+func (g *Group) CheckVS(settled bool) []VSViolation {
+	return vsfilter.Check(g.vsTrace, settled)
+}
+
+// Operational returns the regular configurations currently installed by
+// live, operational processes.
+func (g *Group) Operational() map[ConfigID]ProcessSet {
+	return g.cluster.OperationalConfigIDs()
+}
+
+// Mode returns the protocol mode of a process ("operational",
+// "gathering", "recovering", "down").
+func (g *Group) Mode(id ProcessID) string { return g.cluster.Node(id).Mode().String() }
+
+// StableRecord returns a copy of a process's stable storage (for
+// diagnostics and tests).
+func (g *Group) StableRecord(id ProcessID) stable.Record {
+	return g.cluster.Store(id).Load()
+}
+
+// NetStats returns network activity counters.
+func (g *Group) NetStats() netsim.Stats { return g.cluster.Net.Stats() }

@@ -1,0 +1,276 @@
+// Package airline implements the paper's first motivating application
+// (Section 1): an airline reservation system that continues to sell
+// tickets while the network is partitioned.
+//
+// Every replica holds a seat ledger replicated as safe messages over
+// extended virtual synchrony. Sales are recorded per selling replica
+// (a grow-only counter vector), so that when components remerge the
+// ledgers reconcile by pointwise maximum: each component's sales were
+// totally ordered within it and counters are monotone, so every replica of
+// the merged component converges to the true totals. Reconciliation rides
+// the same transport: on every regular configuration change each replica
+// broadcasts its counter vector.
+//
+// While partitioned, a component decides sales under a selectable policy,
+// mirroring the paper's remark that "airlines have devised heuristics for
+// use in non-primary components, based only on local data, that aim to
+// maximize the number of tickets that can be sold while minimizing the
+// risk of overbooking":
+//
+//   - PolicyAllocation freezes, at partition time, a disjoint share of the
+//     remaining seats proportional to the component's size; components can
+//     never jointly overbook.
+//   - PolicyOptimistic keeps selling while the locally known total is
+//     below capacity; concurrent components may overbook, which the
+//     benchmarks quantify.
+package airline
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Policy selects the partition-mode sales heuristic.
+type Policy int
+
+const (
+	// PolicyAllocation sells against a frozen proportional seat budget.
+	PolicyAllocation Policy = iota + 1
+	// PolicyOptimistic sells against local knowledge only.
+	PolicyOptimistic
+)
+
+// MsgKind distinguishes replicated payloads.
+type MsgKind string
+
+const (
+	// KindSell requests one seat.
+	KindSell MsgKind = "sell"
+	// KindState carries a counter-vector reconciliation.
+	KindState MsgKind = "state"
+)
+
+// Msg is a replicated airline message.
+type Msg struct {
+	Kind   MsgKind `json:"kind"`
+	Flight string  `json:"flight,omitempty"`
+	// SoldBy is the sender's counter vector (KindState).
+	SoldBy map[string]map[model.ProcessID]int `json:"soldBy,omitempty"`
+}
+
+// Encode serialises a message for broadcast.
+func Encode(m Msg) []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// Msg has only marshalable fields.
+		panic(fmt.Sprintf("airline: marshal: %v", err))
+	}
+	return b
+}
+
+// Decode parses a message.
+func Decode(b []byte) (Msg, error) {
+	var m Msg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Msg{}, fmt.Errorf("airline: unmarshal: %w", err)
+	}
+	return m, nil
+}
+
+// Result is the outcome of a sale as decided by a replica.
+type Result struct {
+	Flight string
+	Seller model.ProcessID
+	// Confirmed reports whether the seat was granted.
+	Confirmed bool
+	// Partitioned reports whether the decision used a partition
+	// heuristic.
+	Partitioned bool
+}
+
+// flight is the per-flight ledger.
+type flight struct {
+	capacity int
+	// soldBy counts confirmed sales per selling replica.
+	soldBy map[model.ProcessID]int
+	// allocation is the component's remaining budget while partitioned
+	// under PolicyAllocation (-1 = unlimited).
+	allocation int
+}
+
+func (f *flight) sold() int {
+	n := 0
+	for _, c := range f.soldBy {
+		n += c
+	}
+	return n
+}
+
+// Replica is one airline replica: a deterministic state machine over the
+// EVS delivery stream.
+type Replica struct {
+	self    model.ProcessID
+	full    model.ProcessSet
+	policy  Policy
+	flights map[string]*flight
+
+	partitioned bool
+	results     []Result
+}
+
+// New creates a replica for the given flight capacities.
+func New(self model.ProcessID, full model.ProcessSet, policy Policy, capacities map[string]int) *Replica {
+	r := &Replica{
+		self:    self,
+		full:    full,
+		policy:  policy,
+		flights: make(map[string]*flight, len(capacities)),
+	}
+	for name, cap := range capacities {
+		r.flights[name] = &flight{
+			capacity:   cap,
+			soldBy:     make(map[model.ProcessID]int),
+			allocation: -1,
+		}
+	}
+	return r
+}
+
+// OnConfig ingests a configuration change. It returns a reconciliation
+// state message to broadcast in the new configuration (nil for transitional
+// configurations).
+func (r *Replica) OnConfig(cfg model.Configuration) []byte {
+	if cfg.ID.IsTransitional() {
+		return nil
+	}
+	wasPartitioned := r.partitioned
+	r.partitioned = !r.full.IsSubsetOf(cfg.Members)
+	if r.policy == PolicyAllocation {
+		switch {
+		case r.partitioned && !wasPartitioned:
+			for _, f := range r.flights {
+				remaining := f.capacity - f.sold()
+				if remaining < 0 {
+					remaining = 0
+				}
+				f.allocation = remaining * cfg.Members.Size() / r.full.Size()
+			}
+		case r.partitioned && wasPartitioned:
+			// Cascaded partition: shrink the remaining budget
+			// proportionally, never grow it.
+			for _, f := range r.flights {
+				if f.allocation > 0 {
+					f.allocation = f.allocation * cfg.Members.Size() / r.full.Size()
+				}
+			}
+		default:
+			for _, f := range r.flights {
+				f.allocation = -1
+			}
+		}
+	}
+	return Encode(Msg{Kind: KindState, SoldBy: r.export()})
+}
+
+// export snapshots the counter vectors.
+func (r *Replica) export() map[string]map[model.ProcessID]int {
+	out := make(map[string]map[model.ProcessID]int, len(r.flights))
+	for name, f := range r.flights {
+		m := make(map[model.ProcessID]int, len(f.soldBy))
+		for p, c := range f.soldBy {
+			m[p] = c
+		}
+		out[name] = m
+	}
+	return out
+}
+
+// OnDeliver applies a replicated message in delivery order. The seller is
+// the message's originating process.
+func (r *Replica) OnDeliver(seller model.ProcessID, payload []byte) {
+	m, err := Decode(payload)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case KindSell:
+		r.applySell(seller, m.Flight)
+	case KindState:
+		for name, vec := range m.SoldBy {
+			f, ok := r.flights[name]
+			if !ok {
+				continue
+			}
+			for p, c := range vec {
+				if c > f.soldBy[p] {
+					f.soldBy[p] = c
+				}
+			}
+		}
+	}
+}
+
+// applySell decides one sale deterministically.
+func (r *Replica) applySell(seller model.ProcessID, name string) {
+	f, ok := r.flights[name]
+	if !ok {
+		r.results = append(r.results, Result{Flight: name, Seller: seller, Partitioned: r.partitioned})
+		return
+	}
+	confirmed := false
+	switch {
+	case !r.partitioned || r.policy == PolicyOptimistic:
+		confirmed = f.sold() < f.capacity
+	default: // partitioned under PolicyAllocation
+		confirmed = f.allocation != 0 && f.sold() < f.capacity
+		if confirmed && f.allocation > 0 {
+			f.allocation--
+		}
+	}
+	if confirmed {
+		f.soldBy[seller]++
+	}
+	r.results = append(r.results, Result{
+		Flight:      name,
+		Seller:      seller,
+		Confirmed:   confirmed,
+		Partitioned: r.partitioned,
+	})
+}
+
+// Sold returns the replica's known sold count for a flight.
+func (r *Replica) Sold(name string) int {
+	if f, ok := r.flights[name]; ok {
+		return f.sold()
+	}
+	return 0
+}
+
+// Overbooked returns how many seats beyond capacity this replica knows to
+// have been sold for a flight.
+func (r *Replica) Overbooked(name string) int {
+	f, ok := r.flights[name]
+	if !ok {
+		return 0
+	}
+	if over := f.sold() - f.capacity; over > 0 {
+		return over
+	}
+	return 0
+}
+
+// Results returns the sale outcomes decided at this replica, in order.
+func (r *Replica) Results() []Result { return r.results }
+
+// Confirmed counts confirmed sales observed at this replica.
+func (r *Replica) Confirmed() int {
+	n := 0
+	for _, res := range r.results {
+		if res.Confirmed {
+			n++
+		}
+	}
+	return n
+}

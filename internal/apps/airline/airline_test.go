@@ -1,0 +1,201 @@
+package airline
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+var full = model.NewProcessSet("a", "b", "c", "d")
+
+func regCfg(members ...model.ProcessID) model.Configuration {
+	return model.Configuration{ID: model.RegularID(1, members[0]), Members: model.NewProcessSet(members...)}
+}
+
+func sell(r *Replica, seller model.ProcessID, flight string) {
+	r.OnDeliver(seller, Encode(Msg{Kind: KindSell, Flight: flight}))
+}
+
+func TestSellWithinCapacity(t *testing.T) {
+	r := New("a", full, PolicyAllocation, map[string]int{"F1": 3})
+	for i := 0; i < 5; i++ {
+		sell(r, "a", "F1")
+	}
+	if r.Sold("F1") != 3 {
+		t.Fatalf("sold %d, want capacity 3", r.Sold("F1"))
+	}
+	res := r.Results()
+	if len(res) != 5 || !res[0].Confirmed || res[3].Confirmed || res[4].Confirmed {
+		t.Fatalf("results %+v", res)
+	}
+	if r.Confirmed() != 3 {
+		t.Fatalf("confirmed %d, want 3", r.Confirmed())
+	}
+}
+
+func TestAllocationPolicyLimitsPartitionSales(t *testing.T) {
+	// 8 remaining seats, component of 2 out of 4: allocation 4.
+	r := New("a", full, PolicyAllocation, map[string]int{"F1": 8})
+	r.OnConfig(regCfg("a", "b"))
+	for i := 0; i < 8; i++ {
+		sell(r, "a", "F1")
+	}
+	if r.Sold("F1") != 4 {
+		t.Fatalf("partitioned sold %d, want allocation of 4", r.Sold("F1"))
+	}
+}
+
+func TestAllocationDisjointAcrossComponents(t *testing.T) {
+	// Two components of 2 from a universe of 4: each gets half of the
+	// remaining seats, so combined sales never exceed capacity.
+	left := New("a", full, PolicyAllocation, map[string]int{"F1": 9})
+	right := New("c", full, PolicyAllocation, map[string]int{"F1": 9})
+	left.OnConfig(regCfg("a", "b"))
+	right.OnConfig(regCfg("c", "d"))
+	for i := 0; i < 9; i++ {
+		sell(left, "a", "F1")
+		sell(right, "c", "F1")
+	}
+	total := left.Sold("F1") + right.Sold("F1")
+	if total > 9 {
+		t.Fatalf("allocation policy overbooked: %d sold of 9", total)
+	}
+	if left.Sold("F1") != 4 || right.Sold("F1") != 4 {
+		t.Fatalf("allocations %d/%d, want 4/4 (floor of 9*2/4)", left.Sold("F1"), right.Sold("F1"))
+	}
+}
+
+func TestOptimisticPolicyOverbooks(t *testing.T) {
+	left := New("a", full, PolicyOptimistic, map[string]int{"F1": 5})
+	right := New("c", full, PolicyOptimistic, map[string]int{"F1": 5})
+	left.OnConfig(regCfg("a", "b"))
+	right.OnConfig(regCfg("c", "d"))
+	for i := 0; i < 5; i++ {
+		sell(left, "a", "F1")
+		sell(right, "c", "F1")
+	}
+	// Each side sold 5 against its local view: 10 total for 5 seats.
+	if left.Sold("F1")+right.Sold("F1") != 10 {
+		t.Fatalf("optimistic sales %d+%d", left.Sold("F1"), right.Sold("F1"))
+	}
+}
+
+func TestReconciliationByStateExchange(t *testing.T) {
+	left := New("a", full, PolicyAllocation, map[string]int{"F1": 8})
+	right := New("c", full, PolicyAllocation, map[string]int{"F1": 8})
+	left.OnConfig(regCfg("a", "b"))
+	right.OnConfig(regCfg("c", "d"))
+	sell(left, "a", "F1")
+	sell(left, "b", "F1")
+	sell(right, "c", "F1")
+
+	// Merge: both install the full configuration and exchange state.
+	stateL := left.OnConfig(regCfg("a", "b", "c", "d"))
+	stateR := right.OnConfig(regCfg("a", "b", "c", "d"))
+	left.OnDeliver("c", stateR)
+	left.OnDeliver("a", stateL)
+	right.OnDeliver("a", stateL)
+	right.OnDeliver("c", stateR)
+
+	if left.Sold("F1") != 3 || right.Sold("F1") != 3 {
+		t.Fatalf("reconciled totals %d/%d, want 3/3", left.Sold("F1"), right.Sold("F1"))
+	}
+	if left.Overbooked("F1") != 0 {
+		t.Fatalf("overbooked %d, want 0", left.Overbooked("F1"))
+	}
+}
+
+func TestOverbookedDetectedAfterOptimisticMerge(t *testing.T) {
+	left := New("a", full, PolicyOptimistic, map[string]int{"F1": 4})
+	right := New("c", full, PolicyOptimistic, map[string]int{"F1": 4})
+	left.OnConfig(regCfg("a", "b"))
+	right.OnConfig(regCfg("c", "d"))
+	for i := 0; i < 4; i++ {
+		sell(left, "a", "F1")
+		sell(right, "c", "F1")
+	}
+	stateL := left.OnConfig(regCfg("a", "b", "c", "d"))
+	stateR := right.OnConfig(regCfg("a", "b", "c", "d"))
+	left.OnDeliver("c", stateR)
+	right.OnDeliver("a", stateL)
+	if left.Overbooked("F1") != 4 || right.Overbooked("F1") != 4 {
+		t.Fatalf("overbooked %d/%d, want 4/4", left.Overbooked("F1"), right.Overbooked("F1"))
+	}
+}
+
+func TestStateExchangeIdempotent(t *testing.T) {
+	r := New("a", full, PolicyAllocation, map[string]int{"F1": 5})
+	sell(r, "a", "F1")
+	state := r.OnConfig(regCfg("a", "b", "c", "d"))
+	for i := 0; i < 3; i++ {
+		r.OnDeliver("a", state)
+	}
+	if r.Sold("F1") != 1 {
+		t.Fatalf("sold %d after redundant state messages, want 1", r.Sold("F1"))
+	}
+}
+
+func TestTransitionalConfigIgnored(t *testing.T) {
+	r := New("a", full, PolicyAllocation, map[string]int{"F1": 5})
+	tr := model.Configuration{
+		ID:      model.TransitionalID(model.RegularID(2, "a"), model.RegularID(1, "a")),
+		Members: model.NewProcessSet("a"),
+	}
+	if out := r.OnConfig(tr); out != nil {
+		t.Fatal("transitional configuration should produce no state message")
+	}
+	if r.partitioned {
+		t.Fatal("transitional configuration should not change partition state")
+	}
+}
+
+func TestUnknownFlightDeclined(t *testing.T) {
+	r := New("a", full, PolicyAllocation, map[string]int{"F1": 5})
+	sell(r, "a", "F9")
+	res := r.Results()
+	if len(res) != 1 || res[0].Confirmed {
+		t.Fatalf("unknown flight results %+v", res)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+	r := New("a", full, PolicyAllocation, map[string]int{"F1": 1})
+	r.OnDeliver("a", []byte("{bad"))
+	if len(r.Results()) != 0 {
+		t.Fatal("garbage delivery should be ignored")
+	}
+}
+
+func TestDeterministicAcrossReplicas(t *testing.T) {
+	// Two replicas of the same component fed the same delivery stream
+	// must agree exactly.
+	a := New("a", full, PolicyAllocation, map[string]int{"F1": 6, "F2": 2})
+	b := New("b", full, PolicyAllocation, map[string]int{"F1": 6, "F2": 2})
+	cfg := regCfg("a", "b")
+	a.OnConfig(cfg)
+	b.OnConfig(cfg)
+	stream := []struct {
+		seller model.ProcessID
+		flight string
+	}{
+		{"a", "F1"}, {"b", "F2"}, {"a", "F2"}, {"b", "F1"}, {"a", "F2"},
+	}
+	for _, s := range stream {
+		sell(a, s.seller, s.flight)
+		sell(b, s.seller, s.flight)
+	}
+	for _, fl := range []string{"F1", "F2"} {
+		if a.Sold(fl) != b.Sold(fl) {
+			t.Fatalf("replicas diverged on %s: %d vs %d", fl, a.Sold(fl), b.Sold(fl))
+		}
+	}
+	ra, rb := a.Results(), b.Results()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("result %d diverged: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}

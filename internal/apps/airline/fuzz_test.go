@@ -1,0 +1,23 @@
+package airline
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzReplica feeds arbitrary payloads into a replica: no panic, and state
+// stays internally consistent (sold never exceeds what results record).
+func FuzzReplica(f *testing.F) {
+	f.Add([]byte(`{"kind":"sell","flight":"F1"}`))
+	f.Add([]byte(`{"kind":"state","soldBy":{"F1":{"a":2}}}`))
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := New("a", model.NewProcessSet("a", "b"), PolicyAllocation, map[string]int{"F1": 3})
+		r.OnDeliver("b", data)
+		r.OnDeliver("a", data)
+		if r.Confirmed() > len(r.Results()) {
+			t.Fatal("confirmed exceeds decisions")
+		}
+	})
+}

@@ -1,0 +1,230 @@
+// Package atm implements the paper's second motivating application
+// (Section 1): an ATM network that authorises withdrawals while the system
+// is partitioned.
+//
+// Fully connected, an ATM records each transaction in the replicated
+// database, checking that cumulative withdrawals do not exceed the account
+// balance. While operating in a non-primary (or any shrunken) component,
+// it instead consults a small local policy — a per-account offline limit —
+// to authorise withdrawals without checking for cumulative withdrawals at
+// other locations, and delays posting the transactions until the system
+// reconnects. On remerge, the pending transactions are reposted into the
+// replicated database, where overdrafts caused by concurrent offline
+// authorisations become visible.
+//
+// The replica is a deterministic state machine over the EVS delivery
+// stream.
+package atm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// MsgKind distinguishes replicated payloads.
+type MsgKind string
+
+const (
+	// KindWithdraw requests a withdrawal (online authorisation).
+	KindWithdraw MsgKind = "withdraw"
+	// KindPost posts a batch of offline-authorised withdrawals.
+	KindPost MsgKind = "post"
+)
+
+// Tx is one withdrawal.
+type Tx struct {
+	Account string `json:"account"`
+	Amount  int    `json:"amount"`
+	// ATM is the authorising replica (for offline posting).
+	ATM model.ProcessID `json:"atm"`
+}
+
+// Msg is a replicated ATM message.
+type Msg struct {
+	Kind MsgKind `json:"kind"`
+	Tx   Tx      `json:"tx,omitempty"`
+	// Batch carries offline transactions being posted (KindPost).
+	Batch []Tx `json:"batch,omitempty"`
+}
+
+// Encode serialises a message for broadcast.
+func Encode(m Msg) []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(fmt.Sprintf("atm: marshal: %v", err))
+	}
+	return b
+}
+
+// Decode parses a message.
+func Decode(b []byte) (Msg, error) {
+	var m Msg
+	if err := json.Unmarshal(b, &m); err != nil {
+		return Msg{}, fmt.Errorf("atm: unmarshal: %w", err)
+	}
+	return m, nil
+}
+
+// Decision is the outcome of a withdrawal authorisation.
+type Decision struct {
+	Tx Tx
+	// Approved reports whether cash was dispensed.
+	Approved bool
+	// Offline reports whether the decision used the offline policy.
+	Offline bool
+}
+
+// account holds replicated and local account state.
+type account struct {
+	balance      int // replicated balance
+	offlineLimit int // per-partition offline allowance
+	offlineUsed  int // consumed offline allowance (local)
+}
+
+// Replica is one ATM replica.
+type Replica struct {
+	self model.ProcessID
+	full model.ProcessSet
+
+	accounts map[string]*account
+
+	partitioned bool
+	// pending are offline-approved transactions awaiting posting.
+	pending []Tx
+	// decisions made at this replica, in order.
+	decisions []Decision
+	// overdrafts counts posted transactions that drove an account
+	// negative.
+	overdrafts int
+}
+
+// New creates a replica with the given opening balances and a uniform
+// offline limit per account per partition episode.
+func New(self model.ProcessID, full model.ProcessSet, balances map[string]int, offlineLimit int) *Replica {
+	r := &Replica{
+		self:     self,
+		full:     full,
+		accounts: make(map[string]*account, len(balances)),
+	}
+	for acct, bal := range balances {
+		r.accounts[acct] = &account{balance: bal, offlineLimit: offlineLimit}
+	}
+	return r
+}
+
+// OnConfig ingests a configuration change. On reconnection to the full
+// membership it returns the posting batch to broadcast (nil otherwise).
+func (r *Replica) OnConfig(cfg model.Configuration) []byte {
+	if cfg.ID.IsTransitional() {
+		return nil
+	}
+	was := r.partitioned
+	r.partitioned = !r.full.IsSubsetOf(cfg.Members)
+	if r.partitioned && !was {
+		// New partition episode: refresh the offline allowance.
+		for _, a := range r.accounts {
+			a.offlineUsed = 0
+		}
+	}
+	if !r.partitioned && len(r.pending) > 0 {
+		batch := r.pending
+		r.pending = nil
+		return Encode(Msg{Kind: KindPost, Batch: batch})
+	}
+	return nil
+}
+
+// Withdraw is called at the authorising ATM when a customer requests cash.
+// Online (fully connected), it returns a message to broadcast and defers
+// the decision to delivery order. Offline, it decides immediately against
+// the local policy, queues an approved transaction for posting, and
+// returns nil.
+func (r *Replica) Withdraw(acct string, amount int) ([]byte, *Decision) {
+	tx := Tx{Account: acct, Amount: amount, ATM: r.self}
+	if !r.partitioned {
+		return Encode(Msg{Kind: KindWithdraw, Tx: tx}), nil
+	}
+	a, ok := r.accounts[acct]
+	d := Decision{Tx: tx, Offline: true}
+	if ok && amount > 0 && a.offlineUsed+amount <= a.offlineLimit {
+		a.offlineUsed += amount
+		d.Approved = true
+		r.pending = append(r.pending, tx)
+	}
+	r.decisions = append(r.decisions, d)
+	return nil, &d
+}
+
+// OnDeliver applies a replicated message in delivery order.
+func (r *Replica) OnDeliver(payload []byte) {
+	m, err := Decode(payload)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case KindWithdraw:
+		r.applyOnline(m.Tx)
+	case KindPost:
+		for _, tx := range m.Batch {
+			r.post(tx)
+		}
+	}
+}
+
+// applyOnline decides an online withdrawal deterministically at every
+// replica: approved iff the balance covers it.
+func (r *Replica) applyOnline(tx Tx) {
+	a, ok := r.accounts[tx.Account]
+	approved := ok && tx.Amount > 0 && a.balance >= tx.Amount
+	if approved {
+		a.balance -= tx.Amount
+	}
+	if tx.ATM == r.self {
+		r.decisions = append(r.decisions, Decision{Tx: tx, Approved: approved})
+	}
+}
+
+// post applies an offline-approved transaction unconditionally (the cash
+// is already dispensed), recording an overdraft if the balance goes
+// negative.
+func (r *Replica) post(tx Tx) {
+	a, ok := r.accounts[tx.Account]
+	if !ok {
+		return
+	}
+	a.balance -= tx.Amount
+	if a.balance < 0 {
+		r.overdrafts++
+	}
+}
+
+// Balance returns the replicated balance of an account.
+func (r *Replica) Balance(acct string) int {
+	if a, ok := r.accounts[acct]; ok {
+		return a.balance
+	}
+	return 0
+}
+
+// PendingCount returns the number of offline transactions awaiting posting.
+func (r *Replica) PendingCount() int { return len(r.pending) }
+
+// Decisions returns the authorisation outcomes decided at this replica.
+func (r *Replica) Decisions() []Decision { return r.decisions }
+
+// Overdrafts returns the number of posted transactions that drove an
+// account negative at this replica's view of the database.
+func (r *Replica) Overdrafts() int { return r.overdrafts }
+
+// Approved counts approved decisions at this replica.
+func (r *Replica) Approved() int {
+	n := 0
+	for _, d := range r.decisions {
+		if d.Approved {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package atm
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+var full = model.NewProcessSet("a", "b", "c")
+
+func regCfg(members ...model.ProcessID) model.Configuration {
+	return model.Configuration{ID: model.RegularID(1, members[0]), Members: model.NewProcessSet(members...)}
+}
+
+func TestOnlineWithdrawalAppliesAtAllReplicas(t *testing.T) {
+	a := New("a", full, map[string]int{"acct": 100}, 40)
+	b := New("b", full, map[string]int{"acct": 100}, 40)
+	msg, d := a.Withdraw("acct", 30)
+	if d != nil {
+		t.Fatal("online withdrawal must defer to delivery order")
+	}
+	a.OnDeliver(msg)
+	b.OnDeliver(msg)
+	if a.Balance("acct") != 70 || b.Balance("acct") != 70 {
+		t.Fatalf("balances %d/%d, want 70/70", a.Balance("acct"), b.Balance("acct"))
+	}
+	if a.Approved() != 1 {
+		t.Fatalf("authorising ATM approved %d, want 1", a.Approved())
+	}
+	if b.Approved() != 0 {
+		t.Fatal("non-authorising replica should not record a decision")
+	}
+}
+
+func TestOnlineDeclinesInsufficientFunds(t *testing.T) {
+	a := New("a", full, map[string]int{"acct": 20}, 40)
+	msg, _ := a.Withdraw("acct", 30)
+	a.OnDeliver(msg)
+	if a.Balance("acct") != 20 {
+		t.Fatalf("balance %d, want unchanged 20", a.Balance("acct"))
+	}
+	ds := a.Decisions()
+	if len(ds) != 1 || ds[0].Approved {
+		t.Fatalf("decisions %+v", ds)
+	}
+}
+
+func TestOfflineAuthorisationWithinLimit(t *testing.T) {
+	a := New("a", full, map[string]int{"acct": 100}, 40)
+	a.OnConfig(regCfg("a"))
+	msg, d := a.Withdraw("acct", 30)
+	if msg != nil {
+		t.Fatal("offline withdrawal must not broadcast")
+	}
+	if d == nil || !d.Approved || !d.Offline {
+		t.Fatalf("offline decision %+v", d)
+	}
+	// Second withdrawal exceeds the remaining offline allowance.
+	_, d2 := a.Withdraw("acct", 20)
+	if d2.Approved {
+		t.Fatal("offline limit must cap cumulative offline withdrawals")
+	}
+	if a.PendingCount() != 1 {
+		t.Fatalf("pending %d, want 1", a.PendingCount())
+	}
+	// The replicated balance is untouched until posting.
+	if a.Balance("acct") != 100 {
+		t.Fatalf("balance %d, want 100 until posting", a.Balance("acct"))
+	}
+}
+
+func TestPostingOnReconnection(t *testing.T) {
+	a := New("a", full, map[string]int{"acct": 100}, 40)
+	b := New("b", full, map[string]int{"acct": 100}, 40)
+	a.OnConfig(regCfg("a"))
+	a.Withdraw("acct", 30)
+	batch := a.OnConfig(regCfg("a", "b", "c"))
+	if batch == nil {
+		t.Fatal("reconnection must produce a posting batch")
+	}
+	a.OnDeliver(batch)
+	b.OnDeliver(batch)
+	if a.Balance("acct") != 70 || b.Balance("acct") != 70 {
+		t.Fatalf("post-merge balances %d/%d, want 70/70", a.Balance("acct"), b.Balance("acct"))
+	}
+	if a.PendingCount() != 0 {
+		t.Fatal("pending should be cleared after posting")
+	}
+	if a.Overdrafts() != 0 {
+		t.Fatalf("overdrafts %d, want 0", a.Overdrafts())
+	}
+}
+
+func TestConcurrentOfflineWithdrawalsOverdraft(t *testing.T) {
+	// Balance 50, offline limit 40 per ATM: two partitioned ATMs can
+	// jointly dispense 80 — the overdraft becomes visible at posting.
+	a := New("a", full, map[string]int{"acct": 50}, 40)
+	b := New("b", full, map[string]int{"acct": 50}, 40)
+	a.OnConfig(regCfg("a"))
+	b.OnConfig(regCfg("b", "c"))
+	a.Withdraw("acct", 40)
+	b.Withdraw("acct", 40)
+	batchA := a.OnConfig(regCfg("a", "b", "c"))
+	batchB := b.OnConfig(regCfg("a", "b", "c"))
+	for _, r := range []*Replica{a, b} {
+		r.OnDeliver(batchA)
+		r.OnDeliver(batchB)
+	}
+	if a.Balance("acct") != -30 || b.Balance("acct") != -30 {
+		t.Fatalf("balances %d/%d, want -30/-30", a.Balance("acct"), b.Balance("acct"))
+	}
+	if a.Overdrafts() != 1 {
+		t.Fatalf("overdrafts %d, want 1 (the second posting)", a.Overdrafts())
+	}
+}
+
+func TestOfflineAllowanceResetsPerEpisode(t *testing.T) {
+	a := New("a", full, map[string]int{"acct": 1000}, 40)
+	a.OnConfig(regCfg("a"))
+	a.Withdraw("acct", 40)
+	a.OnConfig(regCfg("a", "b", "c")) // merge
+	a.OnConfig(regCfg("a"))           // partition again
+	_, d := a.Withdraw("acct", 40)
+	if !d.Approved {
+		t.Fatal("fresh partition episode should refresh the offline allowance")
+	}
+}
+
+func TestTransitionalIgnored(t *testing.T) {
+	a := New("a", full, map[string]int{"acct": 100}, 40)
+	tr := model.Configuration{
+		ID:      model.TransitionalID(model.RegularID(2, "a"), model.RegularID(1, "a")),
+		Members: model.NewProcessSet("a"),
+	}
+	if out := a.OnConfig(tr); out != nil {
+		t.Fatal("transitional configuration should not trigger posting")
+	}
+	if a.partitioned {
+		t.Fatal("transitional configuration must not change partition state")
+	}
+}
+
+func TestUnknownAccountAndGarbage(t *testing.T) {
+	a := New("a", full, map[string]int{"acct": 100}, 40)
+	msg, _ := a.Withdraw("nope", 30)
+	a.OnDeliver(msg)
+	if len(a.Decisions()) != 1 || a.Decisions()[0].Approved {
+		t.Fatalf("unknown account decisions %+v", a.Decisions())
+	}
+	a.OnDeliver([]byte("{bad"))
+	if a.Balance("acct") != 100 {
+		t.Fatal("garbage must not change state")
+	}
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}
+
+func TestNegativeAmountRejectedOffline(t *testing.T) {
+	a := New("a", full, map[string]int{"acct": 100}, 40)
+	a.OnConfig(regCfg("a"))
+	_, d := a.Withdraw("acct", -5)
+	if d.Approved {
+		t.Fatal("negative withdrawal must be declined")
+	}
+}

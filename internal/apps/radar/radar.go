@@ -1,0 +1,164 @@
+// Package radar implements the paper's third motivating application
+// (Section 1): a radar system combining a number of sensors and displays
+// in different locations. The most accurate available information —
+// obtained from the sensor with the best view — should be shown to the
+// operator; when the network partitions, it is better to display lower
+// quality information from the connected sensors than to display nothing.
+//
+// Sensors broadcast readings (track position estimates with a quality
+// figure) as agreed messages; displays fuse the readings delivered within
+// their component and show, per track, the highest quality reading among
+// the sensors currently in their configuration. A reading from a sensor
+// that has left the component goes stale and is discarded, so a display in
+// a minority component degrades to its best connected sensor instead of
+// freezing or blanking — exactly the behaviour the paper motivates.
+package radar
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Reading is one sensor observation of one track.
+type Reading struct {
+	Sensor  model.ProcessID `json:"sensor"`
+	Track   string          `json:"track"`
+	X       float64         `json:"x"`
+	Y       float64         `json:"y"`
+	Quality float64         `json:"quality"` // higher is better
+	Seq     uint64          `json:"seq"`     // sensor-local freshness
+}
+
+// Encode serialises a reading for broadcast.
+func Encode(r Reading) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("radar: marshal: %v", err))
+	}
+	return b
+}
+
+// Decode parses a reading.
+func Decode(b []byte) (Reading, error) {
+	var r Reading
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Reading{}, fmt.Errorf("radar: unmarshal: %w", err)
+	}
+	return r, nil
+}
+
+// Display fuses delivered readings into a per-track picture.
+type Display struct {
+	self model.ProcessID
+	// component is the sensor set currently reachable.
+	component model.ProcessSet
+	// latest holds the freshest reading per (track, sensor).
+	latest map[string]map[model.ProcessID]Reading
+	// blanks counts picture requests that found no usable reading.
+	blanks int
+}
+
+// NewDisplay creates a display; initially every sensor is considered
+// reachable.
+func NewDisplay(self model.ProcessID, sensors model.ProcessSet) *Display {
+	return &Display{
+		self:      self,
+		component: sensors,
+		latest:    make(map[string]map[model.ProcessID]Reading),
+	}
+}
+
+// OnConfig ingests a configuration change: the display's usable sensors
+// are those in its component.
+func (d *Display) OnConfig(cfg model.Configuration) {
+	if cfg.ID.IsTransitional() {
+		return
+	}
+	d.component = cfg.Members
+}
+
+// OnDeliver ingests a delivered sensor reading.
+func (d *Display) OnDeliver(payload []byte) {
+	r, err := Decode(payload)
+	if err != nil {
+		return
+	}
+	per := d.latest[r.Track]
+	if per == nil {
+		per = make(map[model.ProcessID]Reading)
+		d.latest[r.Track] = per
+	}
+	if prev, ok := per[r.Sensor]; !ok || r.Seq > prev.Seq {
+		per[r.Sensor] = r
+	}
+}
+
+// Best returns the highest quality reading for a track among sensors in
+// the current component, and whether one exists. When no connected sensor
+// has reported the track, ok is false (counted as a blank).
+func (d *Display) Best(track string) (Reading, bool) {
+	per := d.latest[track]
+	var best Reading
+	found := false
+	// Deterministic iteration for tie-breaking by sensor ID.
+	sensors := make([]model.ProcessID, 0, len(per))
+	for s := range per {
+		sensors = append(sensors, s)
+	}
+	sort.Slice(sensors, func(i, j int) bool { return sensors[i] < sensors[j] })
+	for _, s := range sensors {
+		r := per[s]
+		if !d.component.Contains(s) {
+			continue
+		}
+		if !found || r.Quality > best.Quality {
+			best = r
+			found = true
+		}
+	}
+	if !found {
+		d.blanks++
+	}
+	return best, found
+}
+
+// Blanks returns how many Best calls found no usable reading.
+func (d *Display) Blanks() int { return d.blanks }
+
+// Tracks returns the known track names, sorted.
+func (d *Display) Tracks() []string {
+	out := make([]string, 0, len(d.latest))
+	for t := range d.latest {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sensor produces readings with a fixed quality figure (its "view").
+type Sensor struct {
+	self    model.ProcessID
+	quality float64
+	seq     uint64
+}
+
+// NewSensor creates a sensor with the given view quality.
+func NewSensor(self model.ProcessID, quality float64) *Sensor {
+	return &Sensor{self: self, quality: quality}
+}
+
+// Observe produces the next reading of a track at the given position.
+func (s *Sensor) Observe(track string, x, y float64) Reading {
+	s.seq++
+	return Reading{
+		Sensor:  s.self,
+		Track:   track,
+		X:       x,
+		Y:       y,
+		Quality: s.quality,
+		Seq:     s.seq,
+	}
+}

@@ -1,0 +1,114 @@
+package radar
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+var sensors = model.NewProcessSet("s1", "s2", "s3")
+
+func regCfg(members ...model.ProcessID) model.Configuration {
+	return model.Configuration{ID: model.RegularID(1, members[0]), Members: model.NewProcessSet(members...)}
+}
+
+func TestBestPicksHighestQualityConnectedSensor(t *testing.T) {
+	d := NewDisplay("d1", sensors)
+	s1 := NewSensor("s1", 0.9)
+	s2 := NewSensor("s2", 0.5)
+	d.OnDeliver(Encode(s1.Observe("T1", 1, 2)))
+	d.OnDeliver(Encode(s2.Observe("T1", 1.1, 2.1)))
+	best, ok := d.Best("T1")
+	if !ok || best.Sensor != "s1" {
+		t.Fatalf("best %+v ok=%v, want s1's high quality reading", best, ok)
+	}
+}
+
+func TestPartitionDegradesToConnectedSensor(t *testing.T) {
+	d := NewDisplay("d1", sensors)
+	s1 := NewSensor("s1", 0.9)
+	s2 := NewSensor("s2", 0.5)
+	d.OnDeliver(Encode(s1.Observe("T1", 1, 2)))
+	d.OnDeliver(Encode(s2.Observe("T1", 1.1, 2.1)))
+	// The display lands in a component without the best sensor s1.
+	d.OnConfig(regCfg("d1", "s2"))
+	best, ok := d.Best("T1")
+	if !ok || best.Sensor != "s2" {
+		t.Fatalf("partitioned best %+v ok=%v, want degraded s2", best, ok)
+	}
+	// Remerge restores the best sensor.
+	d.OnConfig(regCfg("d1", "s1", "s2", "s3"))
+	best, _ = d.Best("T1")
+	if best.Sensor != "s1" {
+		t.Fatalf("post-merge best from %s, want s1", best.Sensor)
+	}
+}
+
+func TestBlankWhenNoConnectedSensorHasTrack(t *testing.T) {
+	d := NewDisplay("d1", sensors)
+	s1 := NewSensor("s1", 0.9)
+	d.OnDeliver(Encode(s1.Observe("T1", 1, 2)))
+	d.OnConfig(regCfg("d1")) // alone
+	if _, ok := d.Best("T1"); ok {
+		t.Fatal("no connected sensor: picture should blank")
+	}
+	if d.Blanks() != 1 {
+		t.Fatalf("blanks %d, want 1", d.Blanks())
+	}
+}
+
+func TestFreshnessBySensorSeq(t *testing.T) {
+	d := NewDisplay("d1", sensors)
+	s1 := NewSensor("s1", 0.9)
+	first := s1.Observe("T1", 1, 1)
+	second := s1.Observe("T1", 5, 5)
+	// Deliver out of order: the stale reading must not overwrite.
+	d.OnDeliver(Encode(second))
+	d.OnDeliver(Encode(first))
+	best, _ := d.Best("T1")
+	if best.X != 5 {
+		t.Fatalf("best position %v, want the fresher reading", best.X)
+	}
+}
+
+func TestQualityTieBreaksDeterministically(t *testing.T) {
+	d := NewDisplay("d1", sensors)
+	a := NewSensor("s1", 0.7)
+	b := NewSensor("s2", 0.7)
+	d.OnDeliver(Encode(b.Observe("T1", 2, 2)))
+	d.OnDeliver(Encode(a.Observe("T1", 1, 1)))
+	best, _ := d.Best("T1")
+	if best.Sensor != "s1" {
+		t.Fatalf("tie broke to %s, want lexicographically first s1", best.Sensor)
+	}
+}
+
+func TestTracksSorted(t *testing.T) {
+	d := NewDisplay("d1", sensors)
+	s := NewSensor("s1", 0.9)
+	d.OnDeliver(Encode(s.Observe("B", 0, 0)))
+	d.OnDeliver(Encode(s.Observe("A", 0, 0)))
+	got := d.Tracks()
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("tracks %v", got)
+	}
+}
+
+func TestTransitionalIgnoredAndGarbage(t *testing.T) {
+	d := NewDisplay("d1", sensors)
+	tr := model.Configuration{
+		ID:      model.TransitionalID(model.RegularID(2, "d1"), model.RegularID(1, "d1")),
+		Members: model.NewProcessSet("d1"),
+	}
+	d.OnConfig(tr)
+	if !d.component.Equal(sensors) {
+		t.Fatal("transitional configuration must not change the component")
+	}
+	d.OnDeliver([]byte("{bad"))
+	if len(d.Tracks()) != 0 {
+		t.Fatal("garbage must not create tracks")
+	}
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}

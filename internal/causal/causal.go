@@ -1,0 +1,129 @@
+// Package causal implements the paper's partial-order alternative: "As an
+// alternative to the total ordering algorithm, we can consider an ordering
+// algorithm that only imposes a partial order on messages" (Section 2).
+//
+// The Buffer delivers messages in causal order (cbcast in Isis terms): a
+// message is delivered once every message that causally precedes it — per
+// its attached vector clock — has been delivered. Messages that are
+// causally concurrent deliver in receipt order, which may differ between
+// processes; that is exactly the freedom the partial order grants, and
+// Specification 5 is the only ordering constraint that still applies.
+//
+// Causality is local to a single configuration (the paper's Section 2
+// treatment): the buffer is created per configuration and discarded at a
+// configuration change, mirroring how the EVS recovery algorithm
+// terminates causality at membership changes.
+package causal
+
+import (
+	"repro/internal/model"
+	"repro/internal/vclock"
+)
+
+// Message is a causally-timestamped message.
+type Message struct {
+	ID      model.MessageID
+	Payload []byte
+	// VC is the sender's vector clock at the send: VC[sender] is the
+	// send's own tick, and every other component counts the sends this
+	// message causally depends on.
+	VC vclock.VC
+}
+
+// Buffer reorders received messages into causal order for one
+// configuration. The zero value is not usable; use New.
+type Buffer struct {
+	self model.ProcessID
+	// delivered[p] counts delivered messages originated by p.
+	delivered vclock.VC
+	// pending holds messages whose causal predecessors are missing.
+	pending []Message
+	// out accumulates messages in delivery order.
+	out []Message
+}
+
+// New creates a buffer for one configuration.
+func New(self model.ProcessID) *Buffer {
+	return &Buffer{self: self, delivered: vclock.New()}
+}
+
+// Send stamps an outgoing message: it ticks the local component on top of
+// everything delivered so far and returns the clock to attach. The local
+// send also counts as delivered (a process has seen its own message).
+func (b *Buffer) Send(id model.MessageID) vclock.VC {
+	b.delivered.Tick(b.self)
+	return b.delivered.Clone()
+}
+
+// deliverable reports whether m's causal predecessors have been delivered:
+// every foreign component of m's clock is covered, and m is the next
+// message from its sender.
+func (b *Buffer) deliverable(m Message) bool {
+	for p, t := range m.VC {
+		switch p {
+		case m.ID.Sender:
+			if b.delivered.Get(p)+1 != t {
+				return false
+			}
+		default:
+			if b.delivered.Get(p) < t {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Receive ingests a received message and returns the messages that become
+// deliverable, in causal order. Duplicates (messages already covered by
+// the delivered clock) are dropped. The sender's own messages must not be
+// passed back in (Send already accounted for them).
+func (b *Buffer) Receive(m Message) []Message {
+	if m.VC.Get(m.ID.Sender) <= b.delivered.Get(m.ID.Sender) {
+		return nil
+	}
+	for _, p := range b.pending {
+		if p.ID == m.ID {
+			return nil
+		}
+	}
+	b.pending = append(b.pending, m)
+	var out []Message
+	progress := true
+	for progress {
+		progress = false
+		for i := 0; i < len(b.pending); i++ {
+			p := b.pending[i]
+			if !b.deliverable(p) {
+				continue
+			}
+			b.delivered.Merge(p.VC)
+			out = append(out, p)
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			i--
+			progress = true
+		}
+	}
+	b.out = append(b.out, out...)
+	return out
+}
+
+// Pending returns the number of messages blocked on missing predecessors.
+func (b *Buffer) Pending() int { return len(b.pending) }
+
+// Delivered returns the messages delivered so far, in delivery order.
+func (b *Buffer) Delivered() []Message { return b.out }
+
+// CheckCausal verifies that a delivery sequence respects causal order: no
+// message appears before one of its causal predecessors. It returns the
+// indices of the first offending pair, or (-1, -1).
+func CheckCausal(seq []Message) (int, int) {
+	for i := range seq {
+		for j := i + 1; j < len(seq); j++ {
+			if seq[j].VC.HappenedBefore(seq[i].VC) {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}

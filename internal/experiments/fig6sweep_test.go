@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	evs "repro"
+)
+
+// TestFig6Sweep runs the Figure 6 scenario across many seeds. Every run
+// must be specification-clean and end in the paper's final configuration;
+// the exact single-step merge shape (transitional {q,r} directly into
+// {q,r,s,t}) reproduces in the vast majority of runs, but a membership
+// race can legally split the merge into several rounds (e.g. q meets s and
+// t before r), which is churn, not a violation.
+func TestFig6Sweep(t *testing.T) {
+	exact := 0
+	const seeds = 28
+	for seed := int64(1); seed <= seeds; seed++ {
+		res := Figure6(seed)
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d: violations %v", seed, res.Violations)
+		}
+		if !res.PIsolated {
+			t.Fatalf("seed %d: p not isolated via singleton transitional: %v", seed, res.ConfigSeqs["p"])
+		}
+		// Every run must converge on the merged configuration.
+		for _, id := range []evs.ProcessID{"q", "r", "s", "t"} {
+			seq := res.ConfigSeqs[id]
+			if len(seq) == 0 {
+				t.Fatalf("seed %d: %s installed nothing", seed, id)
+			}
+			if last := seq[len(seq)-1]; !strings.HasSuffix(last, "{q,r,s,t}") {
+				t.Fatalf("seed %d: %s final configuration %s", seed, id, last)
+			}
+		}
+		if res.QRTransitional {
+			exact++
+		}
+	}
+	if exact*10 < seeds*9 {
+		t.Fatalf("exact single-step merges %d/%d, want >= 90%%", exact, seeds)
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSmokeAll(t *testing.T) {
+	rows := Figures1to5(1)
+	for _, r := range rows {
+		if !r.Pass() {
+			t.Errorf("checker row failed: %+v", r)
+		}
+	}
+	f6 := Figure6(6)
+	if !f6.QRTransitional || !f6.PIsolated || len(f6.Violations) != 0 {
+		t.Errorf("figure 6: %+v", f6)
+	}
+	f7 := Figure7(7)
+	if f7.EVSDeliveriesMinority == 0 || f7.VSDeliveriesMinority != 0 ||
+		len(f7.VSViolations) != 0 || len(f7.EVSViolations) != 0 {
+		t.Errorf("figure 7: %+v", f7)
+	}
+	tr := Throughput(3, 1, 500*time.Millisecond)
+	if tr.Delivered == 0 {
+		t.Errorf("throughput: %+v", tr)
+	}
+	lat := Latency(3, 1, 5)
+	if lat.AgreedMs <= 0 || lat.SafeMs <= lat.AgreedMs {
+		t.Errorf("latency: %+v", lat)
+	}
+	rec := Recovery(50, 1)
+	if rec.RecoveryMs <= 0 {
+		t.Errorf("recovery: %+v", rec)
+	}
+	av := Availability(3, 1)
+	if av.EVSActive != 1.0 || av.VSActive >= av.EVSActive {
+		t.Errorf("availability: %+v", av)
+	}
+	pr := PrimaryHistory(1)
+	if pr.Violations != 0 || pr.Primaries == 0 {
+		t.Errorf("primary history: %+v", pr)
+	}
+}

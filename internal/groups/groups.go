@@ -1,0 +1,248 @@
+// Package groups multiplexes named process groups over one extended
+// virtual synchrony transport — the "process group paradigm" the paper's
+// introduction names as the natural addressing mechanism for multicast
+// communication, and the way deployed EVS systems (Spread's lightweight
+// groups) expose the service.
+//
+// A process joins and leaves named groups; data messages are addressed to
+// a group and delivered only to its members. Group membership views are
+// derived deterministically from the totally ordered stream: subscription
+// changes ride safe messages, so every member of a configuration applies
+// them in the same order and derives identical views; at a configuration
+// change, each process re-announces its own subscriptions in the new
+// configuration, which rebuilds the table consistently after partitions
+// and merges (a component only ever sees announcements from processes it
+// can reach — group views shrink and grow with the configuration, exactly
+// like the transport's own membership).
+package groups
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Kind tags group-layer payloads.
+type Kind string
+
+const (
+	// KindJoin subscribes the sender to a group.
+	KindJoin Kind = "join"
+	// KindLeave unsubscribes the sender.
+	KindLeave Kind = "leave"
+	// KindAnnounce re-declares the sender's full subscription set (sent
+	// on configuration changes).
+	KindAnnounce Kind = "announce"
+	// KindData is an application message addressed to a group.
+	KindData Kind = "data"
+)
+
+// Envelope is the group-layer wire format, carried as an EVS payload.
+type Envelope struct {
+	Kind   Kind     `json:"kind"`
+	Group  string   `json:"group,omitempty"`
+	Groups []string `json:"groups,omitempty"` // KindAnnounce
+	Data   []byte   `json:"data,omitempty"`   // KindData
+}
+
+// Encode serialises an envelope.
+func Encode(e Envelope) []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		panic(fmt.Sprintf("groups: marshal: %v", err))
+	}
+	return b
+}
+
+// Decode parses an envelope.
+func Decode(b []byte) (Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(b, &e); err != nil {
+		return Envelope{}, fmt.Errorf("groups: unmarshal: %w", err)
+	}
+	return e, nil
+}
+
+// Event is the sealed union of group-layer outputs.
+type Event interface{ isEvent() }
+
+// ViewChange reports a group's new membership view. Views are delivered
+// in the same order at every process of the configuration (they derive
+// from the safe total order).
+type ViewChange struct {
+	Group string
+	// Members are the subscribed processes reachable in the current
+	// configuration.
+	Members model.ProcessSet
+	// Config is the transport configuration the view derives from.
+	Config model.ConfigID
+}
+
+func (ViewChange) isEvent() {}
+
+// Deliver is a group-addressed message delivery (only at members).
+type Deliver struct {
+	Group   string
+	Sender  model.ProcessID
+	Payload []byte
+}
+
+func (Deliver) isEvent() {}
+
+// Mux is the per-process group multiplexer: a deterministic state machine
+// over the process's EVS delivery stream.
+type Mux struct {
+	self model.ProcessID
+	// mine is this process's own subscription set (survives
+	// configuration changes; the application's intent).
+	mine map[string]bool
+	// subs is the replicated subscription table for the current
+	// configuration: group -> subscribers heard from.
+	subs map[string]map[model.ProcessID]bool
+	// cfg is the current regular configuration.
+	cfg model.Configuration
+}
+
+// New creates a multiplexer.
+func New(self model.ProcessID) *Mux {
+	return &Mux{
+		self: self,
+		mine: make(map[string]bool),
+		subs: make(map[string]map[model.ProcessID]bool),
+	}
+}
+
+// Join returns the payload to broadcast (safe) to subscribe this process
+// to a group. Idempotent at the table level.
+func (m *Mux) Join(group string) []byte {
+	m.mine[group] = true
+	return Encode(Envelope{Kind: KindJoin, Group: group})
+}
+
+// Leave returns the payload to broadcast (safe) to unsubscribe.
+func (m *Mux) Leave(group string) []byte {
+	delete(m.mine, group)
+	return Encode(Envelope{Kind: KindLeave, Group: group})
+}
+
+// Send returns the payload to broadcast carrying data to a group.
+func (m *Mux) Send(group string, data []byte) []byte {
+	return Encode(Envelope{Kind: KindData, Group: group, Data: data})
+}
+
+// Member reports whether this process currently belongs to the group.
+func (m *Mux) Member(group string) bool { return m.mine[group] }
+
+// Groups returns this process's subscriptions, sorted.
+func (m *Mux) Groups() []string {
+	out := make([]string, 0, len(m.mine))
+	for g := range m.mine {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// View returns the current view of a group.
+func (m *Mux) View(group string) ViewChange {
+	return m.view(group)
+}
+
+func (m *Mux) view(group string) ViewChange {
+	var ids []model.ProcessID
+	for p := range m.subs[group] {
+		if m.cfg.Members.Contains(p) {
+			ids = append(ids, p)
+		}
+	}
+	return ViewChange{
+		Group:   group,
+		Members: model.NewProcessSet(ids...),
+		Config:  m.cfg.ID,
+	}
+}
+
+// OnConfig ingests a transport configuration change. For a regular
+// configuration it resets the table and returns the announcement payload
+// to broadcast (safe) plus view changes for this process's groups
+// (shrunken to what the table knows so far — the announcements that follow
+// will grow them back deterministically).
+func (m *Mux) OnConfig(cfg model.Configuration) ([]byte, []Event) {
+	if cfg.ID.IsTransitional() {
+		return nil, nil
+	}
+	m.cfg = cfg
+	m.subs = make(map[string]map[model.ProcessID]bool)
+	var announce []byte
+	if len(m.mine) > 0 {
+		announce = Encode(Envelope{Kind: KindAnnounce, Groups: m.Groups()})
+	}
+	return announce, nil
+}
+
+// OnDeliver ingests a group-layer payload delivered by the transport (in
+// total order) and returns the resulting events at this process.
+func (m *Mux) OnDeliver(sender model.ProcessID, payload []byte) []Event {
+	env, err := Decode(payload)
+	if err != nil {
+		return nil
+	}
+	switch env.Kind {
+	case KindJoin:
+		return m.subscribe(sender, env.Group)
+	case KindLeave:
+		return m.unsubscribe(sender, env.Group)
+	case KindAnnounce:
+		var out []Event
+		for _, g := range env.Groups {
+			out = append(out, m.subscribe(sender, g)...)
+		}
+		return out
+	case KindData:
+		if !m.mine[env.Group] {
+			return nil
+		}
+		return []Event{Deliver{Group: env.Group, Sender: sender, Payload: env.Data}}
+	default:
+		return nil
+	}
+}
+
+// subscribe records a subscription and emits a view change if the visible
+// membership changed and this process cares about the group.
+func (m *Mux) subscribe(p model.ProcessID, group string) []Event {
+	if m.subs[group] == nil {
+		m.subs[group] = make(map[model.ProcessID]bool)
+	}
+	if m.subs[group][p] {
+		return nil
+	}
+	m.subs[group][p] = true
+	if !m.mine[group] && p != m.self {
+		return nil
+	}
+	if !m.cfg.Members.Contains(p) {
+		return nil
+	}
+	return []Event{m.view(group)}
+}
+
+// unsubscribe removes a subscription, emitting a view change likewise.
+func (m *Mux) unsubscribe(p model.ProcessID, group string) []Event {
+	if m.subs[group] == nil || !m.subs[group][p] {
+		return nil
+	}
+	delete(m.subs[group], p)
+	if p == m.self {
+		delete(m.mine, group)
+	}
+	if !m.mine[group] && p != m.self {
+		return nil
+	}
+	if !m.cfg.Members.Contains(p) {
+		return nil
+	}
+	return []Event{m.view(group)}
+}

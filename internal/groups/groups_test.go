@@ -1,0 +1,237 @@
+package groups
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func regCfg(seq uint64, members ...model.ProcessID) model.Configuration {
+	return model.Configuration{ID: model.RegularID(seq, members[0]), Members: model.NewProcessSet(members...)}
+}
+
+// bus replays a payload to every mux in total order.
+type bus struct {
+	muxes  map[model.ProcessID]*Mux
+	events map[model.ProcessID][]Event
+}
+
+func newBus(ids ...model.ProcessID) *bus {
+	b := &bus{
+		muxes:  make(map[model.ProcessID]*Mux),
+		events: make(map[model.ProcessID][]Event),
+	}
+	for _, id := range ids {
+		b.muxes[id] = New(id)
+	}
+	return b
+}
+
+func (b *bus) broadcast(sender model.ProcessID, payload []byte) {
+	if payload == nil {
+		return
+	}
+	for id, m := range b.muxes {
+		b.events[id] = append(b.events[id], m.OnDeliver(sender, payload)...)
+	}
+}
+
+func (b *bus) config(cfg model.Configuration) {
+	type ann struct {
+		id      model.ProcessID
+		payload []byte
+	}
+	var anns []ann
+	for id, m := range b.muxes {
+		a, _ := m.OnConfig(cfg)
+		anns = append(anns, ann{id, a})
+	}
+	for _, a := range anns {
+		b.broadcast(a.id, a.payload)
+	}
+}
+
+func deliveries(evs []Event) []Deliver {
+	var out []Deliver
+	for _, e := range evs {
+		if d, ok := e.(Deliver); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func lastView(evs []Event, group string) *ViewChange {
+	var out *ViewChange
+	for _, e := range evs {
+		if v, ok := e.(ViewChange); ok && v.Group == group {
+			v := v
+			out = &v
+		}
+	}
+	return out
+}
+
+func TestJoinCreatesConsistentViews(t *testing.T) {
+	b := newBus("a", "b", "c")
+	b.config(regCfg(1, "a", "b", "c"))
+	b.broadcast("a", b.muxes["a"].Join("chat"))
+	b.broadcast("b", b.muxes["b"].Join("chat"))
+
+	for _, id := range []model.ProcessID{"a", "b"} {
+		v := lastView(b.events[id], "chat")
+		if v == nil || !v.Members.Equal(model.NewProcessSet("a", "b")) {
+			t.Fatalf("%s view %+v, want {a,b}", id, v)
+		}
+	}
+	// c never joined: it sees no view events for chat.
+	if v := lastView(b.events["c"], "chat"); v != nil {
+		t.Fatalf("non-member c saw view %+v", v)
+	}
+}
+
+func TestDataOnlyToMembers(t *testing.T) {
+	b := newBus("a", "b", "c")
+	b.config(regCfg(1, "a", "b", "c"))
+	b.broadcast("a", b.muxes["a"].Join("chat"))
+	b.broadcast("b", b.muxes["b"].Join("chat"))
+	b.broadcast("a", b.muxes["a"].Send("chat", []byte("hi")))
+
+	for _, id := range []model.ProcessID{"a", "b"} {
+		ds := deliveries(b.events[id])
+		if len(ds) != 1 || string(ds[0].Payload) != "hi" || ds[0].Group != "chat" {
+			t.Fatalf("%s deliveries %+v", id, ds)
+		}
+	}
+	if ds := deliveries(b.events["c"]); len(ds) != 0 {
+		t.Fatalf("non-member c received %+v", ds)
+	}
+}
+
+func TestLeaveShrinksView(t *testing.T) {
+	b := newBus("a", "b")
+	b.config(regCfg(1, "a", "b"))
+	b.broadcast("a", b.muxes["a"].Join("g"))
+	b.broadcast("b", b.muxes["b"].Join("g"))
+	b.broadcast("b", b.muxes["b"].Leave("g"))
+
+	v := lastView(b.events["a"], "g")
+	if v == nil || !v.Members.Equal(model.NewProcessSet("a")) {
+		t.Fatalf("view after leave %+v, want {a}", v)
+	}
+	if b.muxes["b"].Member("g") {
+		t.Fatal("b should no longer be a member")
+	}
+	// Data no longer reaches b.
+	b.broadcast("a", b.muxes["a"].Send("g", []byte("x")))
+	if ds := deliveries(b.events["b"]); len(ds) != 0 {
+		t.Fatalf("left member received %+v", ds)
+	}
+}
+
+func TestConfigChangeReannounces(t *testing.T) {
+	b := newBus("a", "b")
+	b.config(regCfg(1, "a", "b"))
+	b.broadcast("a", b.muxes["a"].Join("g"))
+	b.broadcast("b", b.muxes["b"].Join("g"))
+
+	// New configuration: table resets, announcements rebuild it.
+	b.config(regCfg(2, "a", "b"))
+	for _, id := range []model.ProcessID{"a", "b"} {
+		v := lastView(b.events[id], "g")
+		if v == nil || !v.Members.Equal(model.NewProcessSet("a", "b")) {
+			t.Fatalf("%s post-reconfig view %+v, want {a,b}", id, v)
+		}
+		if v.Config != model.RegularID(2, "a") {
+			t.Fatalf("%s view config %v, want new configuration", id, v.Config)
+		}
+	}
+}
+
+func TestPartitionShrinksGroupViews(t *testing.T) {
+	b := newBus("a", "b", "c")
+	b.config(regCfg(1, "a", "b", "c"))
+	for _, id := range []model.ProcessID{"a", "b", "c"} {
+		b.broadcast(id, b.muxes[id].Join("g"))
+	}
+	// a partitions away: the {b,c} side installs a new configuration;
+	// only b and c announce there.
+	bc := newBusFrom(b, "b", "c")
+	bc.config(regCfg(2, "b", "c"))
+	v := lastView(bc.events["b"], "g")
+	if v == nil || !v.Members.Equal(model.NewProcessSet("b", "c")) {
+		t.Fatalf("partitioned view %+v, want {b,c}", v)
+	}
+}
+
+// newBusFrom carves a sub-bus reusing a subset of muxes (simulating the
+// component that retains b and c).
+func newBusFrom(old *bus, ids ...model.ProcessID) *bus {
+	b := &bus{
+		muxes:  make(map[model.ProcessID]*Mux),
+		events: make(map[model.ProcessID][]Event),
+	}
+	for _, id := range ids {
+		b.muxes[id] = old.muxes[id]
+	}
+	return b
+}
+
+func TestViewsIdenticalAcrossMembers(t *testing.T) {
+	b := newBus("a", "b", "c", "d")
+	b.config(regCfg(1, "a", "b", "c", "d"))
+	joins := []model.ProcessID{"a", "c", "d"}
+	for _, id := range joins {
+		b.broadcast(id, b.muxes[id].Join("g"))
+	}
+	b.broadcast("c", b.muxes["c"].Leave("g"))
+	want := model.NewProcessSet("a", "d")
+	for _, id := range []model.ProcessID{"a", "d"} {
+		v := lastView(b.events[id], "g")
+		if v == nil || !v.Members.Equal(want) {
+			t.Fatalf("%s view %+v, want %v", id, v, want)
+		}
+	}
+}
+
+func TestGarbageAndUnknownKind(t *testing.T) {
+	m := New("a")
+	m.OnConfig(regCfg(1, "a"))
+	if evs := m.OnDeliver("a", []byte("{bad")); evs != nil {
+		t.Fatalf("garbage produced %v", evs)
+	}
+	if evs := m.OnDeliver("a", Encode(Envelope{Kind: "bogus"})); evs != nil {
+		t.Fatalf("unknown kind produced %v", evs)
+	}
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}
+
+func TestGroupsSorted(t *testing.T) {
+	m := New("a")
+	m.Join("zebra")
+	m.Join("alpha")
+	got := m.Groups()
+	if fmt.Sprint(got) != "[alpha zebra]" {
+		t.Fatalf("Groups() = %v", got)
+	}
+}
+
+func TestAnnounceOnlyWhenSubscribed(t *testing.T) {
+	m := New("a")
+	ann, _ := m.OnConfig(regCfg(1, "a"))
+	if ann != nil {
+		t.Fatal("no subscriptions: no announcement")
+	}
+	m.Join("g")
+	ann, _ = m.OnConfig(regCfg(2, "a"))
+	if ann == nil {
+		t.Fatal("subscribed process must announce on reconfiguration")
+	}
+	env, err := Decode(ann)
+	if err != nil || env.Kind != KindAnnounce || len(env.Groups) != 1 {
+		t.Fatalf("announcement %+v (%v)", env, err)
+	}
+}

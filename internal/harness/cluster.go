@@ -1,0 +1,247 @@
+// Package harness runs complete EVS clusters deterministically: it wires
+// nodes to the simulated broadcast medium and the discrete-event scheduler,
+// applies scenario actions (partitions, merges, crashes, recoveries, client
+// traffic) at virtual times, and captures the global event history for the
+// specification checker.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/stable"
+	"repro/internal/wire"
+)
+
+// Options configure a cluster.
+type Options struct {
+	// IDs are the process identifiers; defaults to p1..pN via Procs.
+	IDs []model.ProcessID
+	// Procs is the process count used when IDs is empty.
+	Procs int
+	// Seed drives the simulated network.
+	Seed int64
+	// Net overrides the network profile (defaults to netsim.Default).
+	Net *netsim.Config
+	// Node overrides protocol timing (defaults to node.DefaultConfig).
+	Node *node.Config
+}
+
+// Cluster is a deterministic in-memory EVS deployment.
+type Cluster struct {
+	Sched   *sim.Scheduler
+	Net     *netsim.Network
+	History *spec.History
+
+	ids     []model.ProcessID
+	nodes   map[model.ProcessID]*node.Node
+	stores  map[model.ProcessID]*stable.Store
+	envs    map[model.ProcessID]*env
+	deliver map[model.ProcessID][]node.Delivery
+	configs map[model.ProcessID][]model.Configuration
+	// OnDeliver and OnConfig, when set, observe every application-level
+	// event (used by the primary-component and VS layers).
+	OnDeliver func(p model.ProcessID, d node.Delivery)
+	OnConfig  func(p model.ProcessID, c node.ConfigChange)
+	// OnWire, when set, observes every transmitted message (used for
+	// traffic accounting and debugging).
+	OnWire func(from model.ProcessID, msg wire.Message)
+}
+
+// env adapts the harness to node.Env for one process.
+type env struct {
+	c      *Cluster
+	id     model.ProcessID
+	timers map[node.TimerKind]*sim.Entry
+}
+
+var _ node.Env = (*env)(nil)
+
+func (e *env) Broadcast(msg wire.Message) {
+	if e.c.OnWire != nil {
+		e.c.OnWire(e.id, msg)
+	}
+	e.c.Net.Broadcast(e.id, msg)
+}
+
+func (e *env) SetTimer(kind node.TimerKind, d time.Duration) {
+	if t, ok := e.timers[kind]; ok {
+		t.Cancel()
+	}
+	e.timers[kind] = e.c.Sched.After(d, func(time.Duration) {
+		e.c.nodes[e.id].OnTimer(kind)
+	})
+}
+
+func (e *env) CancelTimer(kind node.TimerKind) {
+	if t, ok := e.timers[kind]; ok {
+		t.Cancel()
+		delete(e.timers, kind)
+	}
+}
+
+func (e *env) Deliver(d node.Delivery) {
+	e.c.deliver[e.id] = append(e.c.deliver[e.id], d)
+	if e.c.OnDeliver != nil {
+		e.c.OnDeliver(e.id, d)
+	}
+}
+
+func (e *env) DeliverConfig(cc node.ConfigChange) {
+	e.c.configs[e.id] = append(e.c.configs[e.id], cc.Config)
+	if e.c.OnConfig != nil {
+		e.c.OnConfig(e.id, cc)
+	}
+}
+
+func (e *env) Trace(ev model.Event) {
+	e.c.History.Append(ev)
+}
+
+// New builds a cluster; processes boot at time zero.
+func New(opts Options) *Cluster {
+	ids := opts.IDs
+	if len(ids) == 0 {
+		n := opts.Procs
+		if n <= 0 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			ids = append(ids, model.ProcessID(fmt.Sprintf("p%02d", i+1)))
+		}
+	}
+	netCfg := netsim.Default(opts.Seed)
+	if opts.Net != nil {
+		netCfg = *opts.Net
+		netCfg.Seed = opts.Seed
+	}
+	nodeCfg := node.DefaultConfig()
+	if opts.Node != nil {
+		nodeCfg = *opts.Node
+	}
+
+	c := &Cluster{
+		Sched:   &sim.Scheduler{},
+		History: &spec.History{},
+		ids:     ids,
+		nodes:   make(map[model.ProcessID]*node.Node, len(ids)),
+		stores:  make(map[model.ProcessID]*stable.Store, len(ids)),
+		envs:    make(map[model.ProcessID]*env, len(ids)),
+		deliver: make(map[model.ProcessID][]node.Delivery, len(ids)),
+		configs: make(map[model.ProcessID][]model.Configuration, len(ids)),
+	}
+	c.Net = netsim.New(c.Sched, netCfg)
+	for _, id := range ids {
+		id := id
+		e := &env{c: c, id: id, timers: make(map[node.TimerKind]*sim.Entry)}
+		c.envs[id] = e
+		c.stores[id] = &stable.Store{}
+		c.nodes[id] = node.New(id, nodeCfg, e, c.stores[id])
+		c.Net.Register(id, func(from model.ProcessID, payload any, _ time.Duration) {
+			msg, ok := payload.(wire.Message)
+			if !ok {
+				return
+			}
+			c.nodes[id].OnMessage(from, msg)
+		})
+	}
+	// Boot all processes at time zero.
+	for _, id := range ids {
+		id := id
+		c.Sched.At(0, func(time.Duration) { c.nodes[id].Start() })
+	}
+	return c
+}
+
+// IDs returns the process identifiers.
+func (c *Cluster) IDs() []model.ProcessID {
+	out := make([]model.ProcessID, len(c.ids))
+	copy(out, c.ids)
+	return out
+}
+
+// Node returns the node for a process.
+func (c *Cluster) Node(id model.ProcessID) *node.Node { return c.nodes[id] }
+
+// Store returns a process's stable storage.
+func (c *Cluster) Store(id model.ProcessID) *stable.Store { return c.stores[id] }
+
+// Deliveries returns the messages delivered to a process's application, in
+// order.
+func (c *Cluster) Deliveries(id model.ProcessID) []node.Delivery {
+	return c.deliver[id]
+}
+
+// Configs returns the configuration changes delivered to a process's
+// application, in order.
+func (c *Cluster) Configs(id model.ProcessID) []model.Configuration {
+	return c.configs[id]
+}
+
+// At schedules an action at an absolute virtual time.
+func (c *Cluster) At(t time.Duration, fn func()) {
+	c.Sched.At(t, func(time.Duration) { fn() })
+}
+
+// Send schedules a client submission at time t.
+func (c *Cluster) Send(t time.Duration, id model.ProcessID, payload string, svc model.Service) {
+	c.At(t, func() {
+		// Submission errors (process down) are scenario-expected.
+		_ = c.nodes[id].Submit([]byte(payload), svc)
+	})
+}
+
+// Partition schedules a network partition at time t.
+func (c *Cluster) Partition(t time.Duration, groups ...[]model.ProcessID) {
+	c.At(t, func() { c.Net.Partition(groups...) })
+}
+
+// Merge schedules a full network merge at time t.
+func (c *Cluster) Merge(t time.Duration) {
+	c.At(t, func() { c.Net.Merge() })
+}
+
+// Crash schedules a process failure at time t.
+func (c *Cluster) Crash(t time.Duration, id model.ProcessID) {
+	c.At(t, func() {
+		c.nodes[id].Crash()
+		c.Net.SetDown(id, true)
+	})
+}
+
+// Recover schedules a process recovery (stable storage intact) at time t.
+func (c *Cluster) Recover(t time.Duration, id model.ProcessID) {
+	c.At(t, func() {
+		c.Net.SetDown(id, false)
+		c.nodes[id].Recover()
+	})
+}
+
+// Run advances the simulation to the given absolute time.
+func (c *Cluster) Run(until time.Duration) {
+	c.Sched.RunUntil(until)
+}
+
+// Check runs the specification checker over the captured history.
+func (c *Cluster) Check(opts spec.Options) []spec.Violation {
+	return spec.NewChecker(c.History.Events(), opts).CheckAll()
+}
+
+// OperationalConfigIDs returns the distinct regular configurations
+// currently installed across live processes.
+func (c *Cluster) OperationalConfigIDs() map[model.ConfigID]model.ProcessSet {
+	out := make(map[model.ConfigID]model.ProcessSet)
+	for _, id := range c.ids {
+		n := c.nodes[id]
+		if n.Mode() == node.Operational {
+			cfg := n.CurrentConfig()
+			out[cfg.ID] = out[cfg.ID].Add(id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSoakAdversarial is the long-running conformance soak: many seeds,
+// more processes, longer horizons, heavier churn. Skipped with -short.
+func TestSoakAdversarial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for seed := int64(100); seed < 120; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runAdversarial(t, seed, 6, 3*time.Second)
+		})
+	}
+}
+
+// TestSoakLossyAdversarial layers packet loss and duplication on top of the
+// adversarial schedule. Skipped with -short.
+func TestSoakLossyAdversarial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	for seed := int64(200); seed < 208; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runAdversarialLossy(t, seed, 4, 1500*time.Millisecond, 0.03, 0.01)
+		})
+	}
+}

@@ -1,0 +1,395 @@
+package membership
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// net is a tiny synchronous test network: it pumps every Send action to all
+// protocols (including the sender's loopback) until no new actions appear,
+// collecting Form actions per process.
+type net struct {
+	t      *testing.T
+	procs  map[model.ProcessID]*Protocol
+	formed map[model.ProcessID][]model.Configuration
+	// cut(from, to) drops a message.
+	cut func(from, to model.ProcessID) bool
+}
+
+func newNet(t *testing.T, ids ...model.ProcessID) *net {
+	n := &net{
+		t:      t,
+		procs:  make(map[model.ProcessID]*Protocol),
+		formed: make(map[model.ProcessID][]model.Configuration),
+	}
+	for _, id := range ids {
+		n.procs[id] = New(id, 0, 0)
+	}
+	return n
+}
+
+func (n *net) ids() []model.ProcessID {
+	s := model.NewProcessSet()
+	for id := range n.procs {
+		s = s.Add(id)
+	}
+	return s.Members()
+}
+
+// dispatch routes one message to one protocol and returns follow-up actions.
+func (n *net) dispatch(to model.ProcessID, from model.ProcessID, msg wire.Message) []Action {
+	p := n.procs[to]
+	switch m := msg.(type) {
+	case wire.Join:
+		if p.Stale(m) {
+			return nil
+		}
+		return p.OnJoin(m)
+	case wire.Commit:
+		return p.OnCommit(m)
+	case wire.CommitAck:
+		return p.OnCommitAck(m)
+	case wire.Install:
+		return p.OnInstall(m)
+	default:
+		n.t.Fatalf("unexpected message %T", msg)
+		return nil
+	}
+}
+
+// pump runs actions from each process to quiescence.
+func (n *net) pump(pending map[model.ProcessID][]Action) {
+	type env struct {
+		from model.ProcessID
+		msg  wire.Message
+	}
+	var queue []env
+	drain := func(from model.ProcessID, acts []Action) {
+		for _, a := range acts {
+			switch act := a.(type) {
+			case Send:
+				queue = append(queue, env{from: from, msg: act.Msg})
+			case Form:
+				n.formed[from] = append(n.formed[from], act.Ring)
+			}
+		}
+	}
+	for id, acts := range pending {
+		drain(id, acts)
+	}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		for _, to := range n.ids() {
+			if n.cut != nil && n.cut(e.from, to) {
+				continue
+			}
+			drain(to, n.dispatch(to, e.from, e.msg))
+		}
+	}
+}
+
+func (n *net) gatherAll() {
+	pending := make(map[model.ProcessID][]Action)
+	for id, p := range n.procs {
+		pending[id] = p.StartGather()
+	}
+	n.pump(pending)
+	// Fire join timeouts for any process still gathering (e.g. alone in
+	// its component), as the node's timer would.
+	pending = make(map[model.ProcessID][]Action)
+	for id, p := range n.procs {
+		if p.Phase() == Gather {
+			pending[id] = p.OnJoinTimeout()
+		}
+	}
+	n.pump(pending)
+}
+
+func TestAllProcessesFormSameRing(t *testing.T) {
+	n := newNet(t, "p", "q", "r")
+	n.gatherAll()
+	var ring model.Configuration
+	for _, id := range n.ids() {
+		fs := n.formed[id]
+		if len(fs) != 1 {
+			t.Fatalf("%s formed %d rings, want 1", id, len(fs))
+		}
+		if ring.ID.IsZero() {
+			ring = fs[0]
+		} else if fs[0].ID != ring.ID || !fs[0].Members.Equal(ring.Members) {
+			t.Fatalf("%s formed %v, others formed %v", id, fs[0], ring)
+		}
+	}
+	if !ring.Members.Equal(model.NewProcessSet("p", "q", "r")) {
+		t.Fatalf("ring members %v", ring.Members)
+	}
+	if ring.ID.Rep != "p" {
+		t.Fatalf("representative %s, want p (lowest)", ring.ID.Rep)
+	}
+}
+
+func TestSingletonForms(t *testing.T) {
+	n := newNet(t, "p")
+	n.gatherAll()
+	if len(n.formed["p"]) != 1 {
+		t.Fatalf("singleton formed %v", n.formed["p"])
+	}
+	if !n.formed["p"][0].Members.Equal(model.NewProcessSet("p")) {
+		t.Fatalf("singleton ring %v", n.formed["p"][0])
+	}
+}
+
+func TestPartitionedComponentsFormSeparateRings(t *testing.T) {
+	n := newNet(t, "p", "q", "r", "s")
+	left := model.NewProcessSet("p", "q")
+	n.cut = func(from, to model.ProcessID) bool {
+		return left.Contains(from) != left.Contains(to)
+	}
+	n.gatherAll()
+	if !n.formed["p"][0].Members.Equal(left) {
+		t.Fatalf("p's ring %v, want {p,q}", n.formed["p"][0])
+	}
+	if !n.formed["r"][0].Members.Equal(model.NewProcessSet("r", "s")) {
+		t.Fatalf("r's ring %v, want {r,s}", n.formed["r"][0])
+	}
+	if n.formed["p"][0].ID == n.formed["r"][0].ID {
+		t.Fatal("two components must form rings with distinct identifiers")
+	}
+}
+
+func TestRingSeqAdvancesAcrossGathers(t *testing.T) {
+	n := newNet(t, "p", "q")
+	n.gatherAll()
+	first := n.formed["p"][0]
+	for _, p := range n.procs {
+		p.SetCurrent(first)
+	}
+	n.formed = make(map[model.ProcessID][]model.Configuration)
+	n.gatherAll()
+	second := n.formed["p"][0]
+	if second.ID.Seq <= first.ID.Seq {
+		t.Fatalf("second ring seq %d not above first %d", second.ID.Seq, first.ID.Seq)
+	}
+}
+
+func TestJoinTimeoutExcludesSilentProcess(t *testing.T) {
+	n := newNet(t, "p", "q")
+	p := n.procs["p"]
+	p.StartGather()
+	p.OnJoin(wire.Join{Sender: "q", Alive: []model.ProcessID{"p", "q"}, Attempt: 1})
+	// Now q goes silent: never acks, never re-joins. Timeout should
+	// drop q... q *did* join. Drop scenario: r appears in q's Alive but
+	// never joins.
+	p.OnJoin(wire.Join{Sender: "q", Alive: []model.ProcessID{"p", "q", "r"}, Attempt: 2})
+	acts := p.OnJoinTimeout()
+	// r is expected but silent: p must declare r failed and rebroadcast.
+	foundJoin := false
+	for _, a := range acts {
+		if s, ok := a.(Send); ok {
+			if j, ok := s.Msg.(wire.Join); ok {
+				foundJoin = true
+				if !model.NewProcessSet(j.Failed...).Contains("r") {
+					t.Fatalf("timeout join %v should fail r", j)
+				}
+			}
+		}
+	}
+	if !foundJoin {
+		t.Fatal("timeout should rebroadcast join")
+	}
+}
+
+func TestStaleJoinSuppressed(t *testing.T) {
+	p := New("p", 0, 0)
+	ring := model.Configuration{ID: model.RegularID(5, "p"), Members: model.NewProcessSet("p", "q")}
+	p.SetCurrent(ring)
+	stale := wire.Join{Sender: "q", MaxRingSeq: 3, Attempt: 9}
+	if !p.Stale(stale) {
+		t.Fatal("join from member with old ring seq should be stale")
+	}
+	fresh := wire.Join{Sender: "q", MaxRingSeq: 5, Attempt: 9}
+	if p.Stale(fresh) {
+		t.Fatal("join with current ring seq is not stale")
+	}
+	foreign := wire.Join{Sender: "z", MaxRingSeq: 0, Attempt: 1}
+	if p.Stale(foreign) {
+		t.Fatal("join from non-member is never stale")
+	}
+}
+
+func TestDuplicateJoinIgnored(t *testing.T) {
+	p := New("p", 0, 0)
+	p.StartGather()
+	j := wire.Join{Sender: "q", Alive: []model.ProcessID{"p", "q"}, Attempt: 3}
+	first := p.OnJoin(j)
+	if len(first) == 0 {
+		t.Fatal("first join should produce actions")
+	}
+	if again := p.OnJoin(j); again != nil {
+		t.Fatalf("duplicate join produced %v", again)
+	}
+}
+
+func TestCommitTimeoutRestartsGather(t *testing.T) {
+	n := newNet(t, "p", "q")
+	p := n.procs["p"]
+	p.StartGather()
+	p.OnJoin(wire.Join{Sender: "q", Alive: []model.ProcessID{"p", "q"}, Attempt: 1})
+	if p.Phase() != Commit {
+		t.Fatalf("phase %v, want commit after consensus", p.Phase())
+	}
+	acts := p.OnCommitTimeout()
+	if p.Phase() != Gather {
+		t.Fatalf("phase %v after commit timeout, want gather", p.Phase())
+	}
+	if len(acts) == 0 {
+		t.Fatal("commit timeout should rebroadcast join")
+	}
+}
+
+func TestHearsayCannotFailSelf(t *testing.T) {
+	p := New("p", 0, 0)
+	p.StartGather()
+	p.OnJoin(wire.Join{Sender: "q", Alive: []model.ProcessID{"q"}, Failed: []model.ProcessID{"p"}, Attempt: 1})
+	// p must still propose itself.
+	found := false
+	for _, a := range p.broadcastJoin() {
+		if s, ok := a.(Send); ok {
+			if j, ok := s.Msg.(wire.Join); ok {
+				if model.NewProcessSet(j.Alive...).Contains("p") {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("process removed itself on hearsay")
+	}
+}
+
+func TestOwnInstallLoopbackIgnored(t *testing.T) {
+	n := newNet(t, "p")
+	n.gatherAll()
+	p := n.procs["p"]
+	ring := n.formed["p"][0]
+	// A duplicated Install for the formed ring must not restart gather.
+	acts := p.OnInstall(wire.Install{NewRing: ring.ID, Members: ring.Members.Members()})
+	if len(acts) != 0 {
+		t.Fatalf("duplicate install produced %v", acts)
+	}
+	if p.Phase() != Idle {
+		t.Fatalf("phase %v, want idle", p.Phase())
+	}
+}
+
+func TestDistinctRepsProposeDistinctRingIDs(t *testing.T) {
+	// Same seq from different representatives must still differ.
+	a := model.RegularID(6, "a")
+	b := model.RegularID(6, "s")
+	if a == b {
+		t.Fatal("ring IDs must incorporate the representative")
+	}
+}
+
+func TestConsensusRequiresExactSetMatch(t *testing.T) {
+	p := New("p", 0, 0)
+	p.StartGather()
+	// q proposes {p,q,r}; p has only heard q. No consensus yet.
+	p.OnJoin(wire.Join{Sender: "q", Alive: []model.ProcessID{"p", "q", "r"}, Attempt: 1})
+	if p.Phase() != Gather {
+		t.Fatalf("phase %v, want still gather", p.Phase())
+	}
+	// r joins with the matching view; q re-joins with matching view.
+	p.OnJoin(wire.Join{Sender: "r", Alive: []model.ProcessID{"p", "q", "r"}, Attempt: 1})
+	p.OnJoin(wire.Join{Sender: "q", Alive: []model.ProcessID{"p", "q", "r"}, Attempt: 2})
+	if p.Phase() != Commit {
+		t.Fatalf("phase %v, want commit", p.Phase())
+	}
+	if p.Proposed().ID.Rep != "p" {
+		t.Fatalf("proposed rep %v, want p", p.Proposed().ID)
+	}
+}
+
+func TestMergeAfterInstallTriggersNewGather(t *testing.T) {
+	n := newNet(t, "p", "q")
+	n.cut = func(from, to model.ProcessID) bool { return from != to }
+	n.gatherAll() // each forms singleton
+	for id, p := range n.procs {
+		p.SetCurrent(n.formed[id][0])
+	}
+	n.formed = make(map[model.ProcessID][]model.Configuration)
+	n.cut = nil
+	// q's join reaches p: p should gather and both should form {p,q}.
+	n.pump(map[model.ProcessID][]Action{"q": n.procs["q"].StartGather()})
+	if len(n.formed["p"]) != 1 || len(n.formed["q"]) != 1 {
+		t.Fatalf("merge formed p=%v q=%v", n.formed["p"], n.formed["q"])
+	}
+	if !n.formed["p"][0].Members.Equal(model.NewProcessSet("p", "q")) {
+		t.Fatalf("merged ring %v", n.formed["p"][0])
+	}
+}
+
+func TestStaleJoinerExcludedAfterStrikes(t *testing.T) {
+	// q joins once with a view that can never reach consensus (it names
+	// r, which does not exist) and then falls silent — e.g. it crashed
+	// right after its join. After staleStrikes silent timeouts, p must
+	// declare q failed and move on.
+	p := New("p", 0, 0)
+	p.StartGather()
+	p.OnJoin(wire.Join{Sender: "q", Alive: []model.ProcessID{"p", "q", "r"}, Attempt: 1})
+	var excluded bool
+	for i := 0; i < staleStrikes+1 && !excluded; i++ {
+		for _, a := range p.OnJoinTimeout() {
+			if s, ok := a.(Send); ok {
+				if j, ok := s.Msg.(wire.Join); ok {
+					if model.NewProcessSet(j.Failed...).Contains("q") {
+						excluded = true
+					}
+				}
+			}
+		}
+	}
+	if !excluded {
+		t.Fatal("silent disagreeing joiner was never excluded")
+	}
+}
+
+func TestLiveTrafficPreventsStaleExclusion(t *testing.T) {
+	p := New("p", 0, 0)
+	p.StartGather()
+	p.OnJoin(wire.Join{Sender: "q", Alive: []model.ProcessID{"p", "q", "r"}, Attempt: 1})
+	for i := 0; i < staleStrikes*2; i++ {
+		p.NoteTraffic("q") // q is alive: its acks/tokens keep flowing
+		for _, a := range p.OnJoinTimeout() {
+			if s, ok := a.(Send); ok {
+				if j, ok := s.Msg.(wire.Join); ok {
+					if model.NewProcessSet(j.Failed...).Contains("q") {
+						t.Fatal("live process excluded despite traffic")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAgreeingQuietJoinerNotExcluded(t *testing.T) {
+	// q's view matches the candidate: even if silent, it does not block
+	// consensus and must not be excluded.
+	p := New("p", 0, 0)
+	p.StartGather()
+	p.OnJoin(wire.Join{Sender: "q", Alive: []model.ProcessID{"p", "q"}, Attempt: 1})
+	for i := 0; i < staleStrikes*2; i++ {
+		for _, a := range p.OnJoinTimeout() {
+			if s, ok := a.(Send); ok {
+				if j, ok := s.Msg.(wire.Join); ok {
+					if model.NewProcessSet(j.Failed...).Contains("q") {
+						t.Fatal("agreeing quiet joiner excluded")
+					}
+				}
+			}
+		}
+	}
+}

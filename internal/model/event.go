@@ -1,0 +1,81 @@
+package model
+
+import "fmt"
+
+// EventType enumerates the four event types over which extended virtual
+// synchrony is specified (Section 2 of the paper).
+type EventType int
+
+const (
+	// EventSend is send_p(m,c): process p sends (originates) message m
+	// while a member of configuration c.
+	EventSend EventType = iota + 1
+	// EventDeliver is deliver_p(m,c): process p delivers message m while
+	// a member of configuration c.
+	EventDeliver
+	// EventDeliverConf is deliver_conf_p(c): process p delivers a
+	// configuration change message initiating configuration c.
+	EventDeliverConf
+	// EventFail is fail_p(c): the actual failure of process p while a
+	// member of configuration c (distinct from another process's
+	// delivery of a configuration change removing p).
+	EventFail
+)
+
+// String names the event type in the paper's notation.
+func (t EventType) String() string {
+	switch t {
+	case EventSend:
+		return "send"
+	case EventDeliver:
+		return "deliver"
+	case EventDeliverConf:
+		return "deliver_conf"
+	case EventFail:
+		return "fail"
+	default:
+		return fmt.Sprintf("event(%d)", int(t))
+	}
+}
+
+// Event is one event of a system history. The specification checker
+// consumes sequences of Events; the protocol harnesses produce them.
+type Event struct {
+	Type EventType
+	// Proc is the process at which the event occurs.
+	Proc ProcessID
+	// Config is the configuration of the event: for Send/Deliver/Fail
+	// the configuration the process is a member of when the event
+	// occurs; for DeliverConf the configuration being initiated.
+	Config ConfigID
+	// Members is the membership of Config; recorded on every event so
+	// the checker can resolve membership without global knowledge.
+	Members ProcessSet
+	// Msg identifies the message for Send and Deliver events.
+	Msg MessageID
+	// Service is the requested delivery service for Send and Deliver.
+	Service Service
+	// Primary records, on DeliverConf events for regular
+	// configurations, whether the primary-component algorithm
+	// determined this configuration to be the primary component.
+	Primary bool
+}
+
+// String renders the event in the paper's notation, e.g.
+// "deliver_q(p:3, reg(7@a))".
+func (e Event) String() string {
+	switch e.Type {
+	case EventSend, EventDeliver:
+		return fmt.Sprintf("%s_%s(%s, %s)", e.Type, e.Proc, e.Msg, e.Config)
+	case EventDeliverConf:
+		p := ""
+		if e.Primary {
+			p = " primary"
+		}
+		return fmt.Sprintf("deliver_conf_%s(%s%s%s)", e.Proc, e.Config, e.Members, p)
+	case EventFail:
+		return fmt.Sprintf("fail_%s(%s)", e.Proc, e.Config)
+	default:
+		return fmt.Sprintf("event?_%s", e.Proc)
+	}
+}

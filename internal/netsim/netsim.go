@@ -1,0 +1,241 @@
+// Package netsim simulates the broadcast medium beneath the protocol stack.
+//
+// The EVS model assumes only that processes within a network component can
+// receive each other's broadcasts and that processes in different components
+// cannot communicate (Section 2 of the paper). This simulator implements
+// exactly that: a component assignment that Partition/Merge rearrange at
+// runtime, per-packet loss, duplication and bounded random delay, all driven
+// from a deterministic seeded RNG over the discrete-event scheduler. It is
+// the substitute for the physical LAN broadcast hardware the Totem and
+// Transis implementations ran on; the substitution is faithful because the
+// protocol's correctness argument uses no property of the medium beyond
+// component-scoped, unreliable, unordered packet receipt.
+package netsim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Handler receives a packet at a registered process.
+type Handler func(from model.ProcessID, payload any, now time.Duration)
+
+// Config controls link behaviour. The zero value is a perfect network with
+// zero delay; Default returns a more realistic profile.
+type Config struct {
+	// MinDelay and MaxDelay bound the uniformly distributed per-packet
+	// latency.
+	MinDelay time.Duration
+	MaxDelay time.Duration
+	// DropRate is the independent probability that a given receiver
+	// loses a given packet. Self-delivery of broadcasts is never
+	// dropped (local loopback).
+	DropRate float64
+	// DupRate is the probability a packet is delivered twice.
+	DupRate float64
+	// Seed drives the deterministic RNG.
+	Seed int64
+}
+
+// Default returns a LAN-like configuration: sub-millisecond delays, no loss.
+func Default(seed int64) Config {
+	return Config{
+		MinDelay: 50 * time.Microsecond,
+		MaxDelay: 300 * time.Microsecond,
+		Seed:     seed,
+	}
+}
+
+// Stats counts network activity for the benchmark harness.
+type Stats struct {
+	Broadcasts uint64
+	Unicasts   uint64
+	Delivered  uint64
+	Dropped    uint64 // lost to DropRate
+	Cut        uint64 // lost to partition or down receiver
+	Duplicated uint64
+}
+
+// Network is the simulated medium. It is not safe for concurrent use; the
+// discrete-event harness is single-threaded by design.
+type Network struct {
+	sched *sim.Scheduler
+	rng   *rand.Rand
+	cfg   Config
+
+	handlers  map[model.ProcessID]Handler
+	order     []model.ProcessID // registration order of handler keys, sorted
+	component map[model.ProcessID]int
+	down      map[model.ProcessID]bool
+	nextComp  int
+	stats     Stats
+}
+
+// New creates a network over the given scheduler. All processes start in a
+// single component.
+func New(sched *sim.Scheduler, cfg Config) *Network {
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	return &Network{
+		sched:     sched,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		cfg:       cfg,
+		handlers:  make(map[model.ProcessID]Handler),
+		component: make(map[model.ProcessID]int),
+		down:      make(map[model.ProcessID]bool),
+		nextComp:  1,
+	}
+}
+
+// Register attaches a process to the medium. Re-registering replaces the
+// handler (used when a process recovers with a fresh protocol instance).
+func (n *Network) Register(id model.ProcessID, h Handler) {
+	if _, ok := n.handlers[id]; !ok {
+		n.order = append(n.order, id)
+		sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+	}
+	n.handlers[id] = h
+	if _, ok := n.component[id]; !ok {
+		n.component[id] = 0
+	}
+}
+
+// SetDown marks a process as crashed (true) or up (false). A down process
+// receives nothing; its outbound calls are ignored.
+func (n *Network) SetDown(id model.ProcessID, down bool) {
+	n.down[id] = down
+}
+
+// Partition splits the network into the given components. Registered
+// processes not mentioned in any group are each isolated into a singleton
+// component. Packets in flight are lost if the sender and receiver are in
+// different components at delivery time.
+func (n *Network) Partition(groups ...[]model.ProcessID) {
+	assigned := make(map[model.ProcessID]bool, len(n.component))
+	for _, g := range groups {
+		comp := n.nextComp
+		n.nextComp++
+		for _, id := range g {
+			n.component[id] = comp
+			assigned[id] = true
+		}
+	}
+	for id := range n.component {
+		if !assigned[id] {
+			n.component[id] = n.nextComp
+			n.nextComp++
+		}
+	}
+}
+
+// Merge reunites all processes into a single component.
+func (n *Network) Merge() {
+	comp := n.nextComp
+	n.nextComp++
+	for id := range n.component {
+		n.component[id] = comp
+	}
+}
+
+// Connected reports whether p and q are currently in the same component and
+// both up.
+func (n *Network) Connected(p, q model.ProcessID) bool {
+	return !n.down[p] && !n.down[q] && n.component[p] == n.component[q]
+}
+
+// ComponentOf returns the identifiers currently sharing a component with p
+// (including p itself), in sorted order.
+func (n *Network) ComponentOf(p model.ProcessID) model.ProcessSet {
+	ids := make([]model.ProcessID, 0, len(n.component))
+	comp := n.component[p]
+	for id, c := range n.component {
+		if c == comp {
+			ids = append(ids, id)
+		}
+	}
+	return model.NewProcessSet(ids...)
+}
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Broadcast sends payload from the given process to every process in its
+// component, including itself. Self-delivery is reliable (loopback); other
+// receivers are subject to loss, duplication and delay.
+func (n *Network) Broadcast(from model.ProcessID, payload any) {
+	if n.down[from] {
+		return
+	}
+	n.stats.Broadcasts++
+	for _, id := range n.order {
+		n.transmit(from, id, payload, id == from)
+	}
+}
+
+// Unicast sends payload from one process to another. Delivery requires the
+// two processes to share a component at delivery time.
+func (n *Network) Unicast(from, to model.ProcessID, payload any) {
+	if n.down[from] {
+		return
+	}
+	n.stats.Unicasts++
+	n.transmit(from, to, payload, from == to)
+}
+
+// transmit schedules the delivery of one packet copy (possibly two, on
+// duplication) to one receiver.
+func (n *Network) transmit(from, to model.ProcessID, payload any, loopback bool) {
+	if !loopback {
+		// Drop decision is made at send time from the deterministic
+		// stream; partition checks happen again at delivery time.
+		if n.component[from] != n.component[to] || n.down[to] {
+			n.stats.Cut++
+			return
+		}
+		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+			n.stats.Dropped++
+			return
+		}
+	}
+	copies := 1
+	if !loopback && n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
+		copies = 2
+		n.stats.Duplicated++
+	}
+	for i := 0; i < copies; i++ {
+		n.sched.After(n.delay(), func(now time.Duration) {
+			n.deliver(from, to, payload, now)
+		})
+	}
+}
+
+// deliver hands a packet to the receiver if connectivity still holds.
+func (n *Network) deliver(from, to model.ProcessID, payload any, now time.Duration) {
+	if from != to && (n.component[from] != n.component[to] || n.down[from]) {
+		n.stats.Cut++
+		return
+	}
+	if n.down[to] {
+		n.stats.Cut++
+		return
+	}
+	h, ok := n.handlers[to]
+	if !ok {
+		return
+	}
+	n.stats.Delivered++
+	h(from, payload, now)
+}
+
+// delay draws a packet latency from the configured range.
+func (n *Network) delay() time.Duration {
+	if n.cfg.MaxDelay == n.cfg.MinDelay {
+		return n.cfg.MinDelay
+	}
+	return n.cfg.MinDelay + time.Duration(n.rng.Int63n(int64(n.cfg.MaxDelay-n.cfg.MinDelay)))
+}

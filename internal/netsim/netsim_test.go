@@ -1,0 +1,208 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+type recorder struct {
+	got []string
+}
+
+func (r *recorder) handler(id model.ProcessID) Handler {
+	return func(from model.ProcessID, payload any, _ time.Duration) {
+		s, _ := payload.(string)
+		r.got = append(r.got, string(id)+"<-"+string(from)+":"+s)
+	}
+}
+
+func setup(cfg Config, ids ...model.ProcessID) (*sim.Scheduler, *Network, *recorder) {
+	sched := &sim.Scheduler{}
+	net := New(sched, cfg)
+	rec := &recorder{}
+	for _, id := range ids {
+		net.Register(id, rec.handler(id))
+	}
+	return sched, net, rec
+}
+
+func TestBroadcastReachesComponentIncludingSelf(t *testing.T) {
+	sched, net, rec := setup(Config{Seed: 1}, "p", "q", "r")
+	net.Broadcast("p", "hello")
+	sched.RunUntilIdle(time.Second)
+	want := map[string]bool{"p<-p:hello": true, "q<-p:hello": true, "r<-p:hello": true}
+	if len(rec.got) != 3 {
+		t.Fatalf("delivered %v, want 3 deliveries", rec.got)
+	}
+	for _, g := range rec.got {
+		if !want[g] {
+			t.Fatalf("unexpected delivery %q", g)
+		}
+	}
+}
+
+func TestPartitionBlocksCrossComponentTraffic(t *testing.T) {
+	sched, net, rec := setup(Config{Seed: 1}, "p", "q", "r", "s")
+	net.Partition([]model.ProcessID{"p", "q"}, []model.ProcessID{"r", "s"})
+	net.Broadcast("p", "x")
+	sched.RunUntilIdle(time.Second)
+	if len(rec.got) != 2 {
+		t.Fatalf("delivered %v, want only p and q", rec.got)
+	}
+	for _, g := range rec.got {
+		if g != "p<-p:x" && g != "q<-p:x" {
+			t.Fatalf("leaked across partition: %q", g)
+		}
+	}
+	if net.Stats().Cut != 2 {
+		t.Fatalf("Cut = %d, want 2", net.Stats().Cut)
+	}
+}
+
+func TestPartitionIsolatesUnmentionedProcesses(t *testing.T) {
+	_, net, _ := setup(Config{Seed: 1}, "p", "q", "r")
+	net.Partition([]model.ProcessID{"p", "q"})
+	if net.Connected("p", "r") || net.Connected("q", "r") {
+		t.Fatal("unmentioned process should be isolated")
+	}
+	if !net.Connected("p", "q") {
+		t.Fatal("grouped processes should stay connected")
+	}
+	if !net.Connected("r", "r") {
+		t.Fatal("a process is always connected to itself")
+	}
+}
+
+func TestMergeRestoresConnectivity(t *testing.T) {
+	sched, net, rec := setup(Config{Seed: 1}, "p", "q")
+	net.Partition([]model.ProcessID{"p"}, []model.ProcessID{"q"})
+	net.Merge()
+	net.Broadcast("p", "x")
+	sched.RunUntilIdle(time.Second)
+	if len(rec.got) != 2 {
+		t.Fatalf("after merge delivered %v, want both", rec.got)
+	}
+}
+
+func TestInFlightPacketsCutByPartition(t *testing.T) {
+	sched := &sim.Scheduler{}
+	net := New(sched, Config{MinDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: 1})
+	rec := &recorder{}
+	net.Register("p", rec.handler("p"))
+	net.Register("q", rec.handler("q"))
+	net.Broadcast("p", "x")
+	// Partition before the 10ms delivery fires.
+	sched.RunUntil(time.Millisecond)
+	net.Partition([]model.ProcessID{"p"}, []model.ProcessID{"q"})
+	sched.RunUntilIdle(time.Second)
+	for _, g := range rec.got {
+		if g == "q<-p:x" {
+			t.Fatal("in-flight packet crossed a partition")
+		}
+	}
+}
+
+func TestDownProcessSendsAndReceivesNothing(t *testing.T) {
+	sched, net, rec := setup(Config{Seed: 1}, "p", "q")
+	net.SetDown("q", true)
+	net.Broadcast("p", "x")
+	net.Broadcast("q", "y")
+	sched.RunUntilIdle(time.Second)
+	if len(rec.got) != 1 || rec.got[0] != "p<-p:x" {
+		t.Fatalf("deliveries %v, want only p's loopback", rec.got)
+	}
+	net.SetDown("q", false)
+	net.Broadcast("p", "z")
+	sched.RunUntilIdle(time.Second)
+	found := false
+	for _, g := range rec.got {
+		if g == "q<-p:z" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recovered process should receive again")
+	}
+}
+
+func TestUnicast(t *testing.T) {
+	sched, net, rec := setup(Config{Seed: 1}, "p", "q", "r")
+	net.Unicast("p", "q", "tok")
+	sched.RunUntilIdle(time.Second)
+	if len(rec.got) != 1 || rec.got[0] != "q<-p:tok" {
+		t.Fatalf("unicast deliveries %v", rec.got)
+	}
+}
+
+func TestDropRateLosesPackets(t *testing.T) {
+	sched, net, _ := setup(Config{DropRate: 1.0, Seed: 1}, "p", "q")
+	net.Broadcast("p", "x")
+	sched.RunUntilIdle(time.Second)
+	st := net.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1 (q's copy)", st.Dropped)
+	}
+	if st.Delivered != 1 {
+		t.Fatalf("Delivered = %d, want 1 (loopback is reliable)", st.Delivered)
+	}
+}
+
+func TestDupRateDuplicates(t *testing.T) {
+	sched, net, rec := setup(Config{DupRate: 1.0, Seed: 1}, "p", "q")
+	net.Unicast("p", "q", "x")
+	sched.RunUntilIdle(time.Second)
+	if len(rec.got) != 2 {
+		t.Fatalf("deliveries %v, want duplicate pair", rec.got)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []string {
+		sched, net, rec := setup(Config{
+			MinDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+			DropRate: 0.3, DupRate: 0.1, Seed: 99,
+		}, "p", "q", "r")
+		for i := 0; i < 50; i++ {
+			net.Broadcast("p", "m")
+			net.Broadcast("q", "n")
+		}
+		sched.RunUntilIdle(time.Second)
+		return rec.got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestComponentOf(t *testing.T) {
+	_, net, _ := setup(Config{Seed: 1}, "p", "q", "r")
+	net.Partition([]model.ProcessID{"p", "q"})
+	if got := net.ComponentOf("p"); !got.Equal(model.NewProcessSet("p", "q")) {
+		t.Fatalf("ComponentOf(p) = %v", got)
+	}
+	if got := net.ComponentOf("r"); !got.Equal(model.NewProcessSet("r")) {
+		t.Fatalf("ComponentOf(r) = %v", got)
+	}
+}
+
+func TestMaxDelayClampedToMin(t *testing.T) {
+	sched := &sim.Scheduler{}
+	net := New(sched, Config{MinDelay: 5 * time.Millisecond, MaxDelay: time.Millisecond, Seed: 1})
+	rec := &recorder{}
+	net.Register("p", rec.handler("p"))
+	net.Register("q", rec.handler("q"))
+	net.Broadcast("p", "x")
+	sched.RunUntilIdle(time.Second)
+	if sched.Now() != 5*time.Millisecond {
+		t.Fatalf("delivery at %v, want clamped 5ms", sched.Now())
+	}
+}

@@ -1,0 +1,507 @@
+package node
+
+import (
+	"repro/internal/evs"
+	"repro/internal/membership"
+	"repro/internal/model"
+	"repro/internal/totem"
+	"repro/internal/wire"
+)
+
+// OnMessage routes a received wire message through the protocol stack.
+func (n *Node) OnMessage(from model.ProcessID, msg wire.Message) {
+	if n.mode == Down {
+		return
+	}
+	if n.mem != nil && from != n.id {
+		n.mem.NoteTraffic(from)
+	}
+	switch m := msg.(type) {
+	case wire.Data:
+		n.onData(from, m)
+	case wire.Token:
+		n.onToken(from, m)
+	case wire.Join:
+		n.onJoin(m)
+	case wire.Commit:
+		n.maybeForeign(from, m.NewRing)
+		n.applyMemActions(n.mem.OnCommit(m))
+		n.reconcileMemTimers()
+	case wire.CommitAck:
+		n.applyMemActions(n.mem.OnCommitAck(m))
+		n.reconcileMemTimers()
+	case wire.Install:
+		n.maybeForeign(from, m.NewRing)
+		n.applyMemActions(n.mem.OnInstall(m))
+		n.reconcileMemTimers()
+	case wire.Exchange:
+		if n.mode == Recovering && m.Ring == n.newRing.ID {
+			n.applyRecActions(n.rec.OnExchange(m))
+			return
+		}
+		if n.preBufferable(m.Ring) {
+			n.preBuffer = append(n.preBuffer, bufferedMsg{from: from, msg: m})
+			return
+		}
+		n.maybeForeign(from, m.Ring)
+	case wire.RecoveryDone:
+		if n.mode == Recovering && m.Ring == n.newRing.ID {
+			n.applyRecActions(n.rec.OnDone(m))
+			return
+		}
+		if n.preBufferable(m.Ring) {
+			n.preBuffer = append(n.preBuffer, bufferedMsg{from: from, msg: m})
+			return
+		}
+		n.maybeForeign(from, m.Ring)
+	}
+}
+
+// preBufferable reports whether a message belongs to the ring this node has
+// committed to but not yet been told to install: the representative's
+// recovery traffic can overtake its Install on the medium, and dropping it
+// would stall the recovery until a timeout.
+func (n *Node) preBufferable(ring model.ConfigID) bool {
+	return n.mode == Gathering &&
+		n.mem != nil &&
+		n.mem.Phase() == membership.Commit &&
+		ring == n.mem.Proposed().ID
+}
+
+// maybeForeign starts a reconfiguration when traffic for an unknown ring
+// arrives from a process outside the current (or proposed) configuration:
+// evidence that components have merged.
+func (n *Node) maybeForeign(from model.ProcessID, ring model.ConfigID) {
+	switch n.mode {
+	case Operational:
+		if ring != n.ringCfg.ID && !n.ringCfg.Members.Contains(from) {
+			n.enterGather()
+			n.applyMemActions(n.mem.StartGather())
+			n.reconcileMemTimers()
+		}
+	case Recovering:
+		if ring != n.newRing.ID && ring != n.ringCfg.ID &&
+			!n.newRing.Members.Contains(from) {
+			n.abortRecovery()
+			n.enterGather()
+			n.applyMemActions(n.mem.StartGather())
+			n.reconcileMemTimers()
+		}
+	}
+}
+
+// onData routes a data message by ring.
+func (n *Node) onData(from model.ProcessID, d wire.Data) {
+	switch {
+	case n.mode == Operational && n.ring != nil && d.Ring == n.ringCfg.ID:
+		before := len(n.ring.Messages())
+		deliveries := n.ring.OnData(d)
+		if len(n.ring.Messages()) > before {
+			n.persistLog(d)
+		}
+		n.deliverAll(deliveries, n.ringCfg)
+		n.persist()
+	case n.mode == Recovering && d.Ring == n.newRing.ID:
+		// Step 2: buffer messages for the proposed configuration.
+		n.buffered = append(n.buffered, bufferedMsg{from: from, msg: d})
+	case n.preBufferable(d.Ring):
+		n.preBuffer = append(n.preBuffer, bufferedMsg{from: from, msg: d})
+	case n.mode == Recovering && d.Ring == n.ringCfg.ID:
+		// Rebroadcast (or straggler) of the old configuration.
+		before := len(n.rec.Log())
+		acts := n.rec.OnData(d)
+		if n.rec != nil && len(n.rec.Log()) > before {
+			n.persistLog(d)
+		}
+		n.applyRecActions(acts)
+		if n.mode == Recovering {
+			n.persist()
+		}
+	case n.mode == Gathering && d.Ring == n.ringCfg.ID:
+		// Straggler while reconfiguring: merge into the carried log
+		// (deliveries resume via the recovery algorithm).
+		if _, ok := n.oldLog[d.Seq]; !ok && d.Seq > 0 {
+			d.Retrans = false
+			n.oldLog[d.Seq] = d
+			if d.Seq > n.oldState.HighestSeen {
+				n.oldState.HighestSeen = d.Seq
+			}
+			n.persistLog(d)
+			n.persist()
+		}
+	default:
+		n.maybeForeign(from, d.Ring)
+	}
+}
+
+// onToken routes a token. Tokens travel on the broadcast medium; the
+// successor of the sender processes it, everyone else observes it only for
+// foreign-traffic detection.
+func (n *Node) onToken(from model.ProcessID, t wire.Token) {
+	switch {
+	case n.mode == Operational && n.ring != nil && t.Ring == n.ringCfg.ID:
+		// The token is broadcast on the medium; only the sender's ring
+		// successor processes it.
+		if n.successorOf(from, n.ringCfg.Members) == n.id {
+			n.processToken(t)
+		}
+	case n.mode == Recovering && t.Ring == n.newRing.ID:
+		if n.successorOf(from, n.newRing.Members) == n.id {
+			n.buffered = append(n.buffered, bufferedMsg{from: from, msg: t})
+		}
+	case n.preBufferable(t.Ring):
+		n.preBuffer = append(n.preBuffer, bufferedMsg{from: from, msg: t})
+	default:
+		n.maybeForeign(from, t.Ring)
+	}
+}
+
+// successorOf returns the ring successor of p within members.
+func (n *Node) successorOf(p model.ProcessID, members model.ProcessSet) model.ProcessID {
+	m := members.Members()
+	for i, id := range m {
+		if id == p {
+			return m[(i+1)%len(m)]
+		}
+	}
+	return ""
+}
+
+// processToken runs a token visit through the ordering protocol.
+func (n *Node) processToken(t wire.Token) {
+	res := n.ring.OnToken(t)
+	if !res.Accepted {
+		return
+	}
+	// Trace sends before their broadcast so history order respects the
+	// formal model (send precedes every receipt).
+	for _, d := range res.Sent {
+		n.env.Trace(model.Event{
+			Type:    model.EventSend,
+			Proc:    n.id,
+			Config:  n.ringCfg.ID,
+			Members: n.ringCfg.Members,
+			Msg:     d.ID,
+			Service: d.Service,
+		})
+	}
+	for _, d := range res.Sent {
+		n.persistLog(d)
+	}
+	for _, d := range res.Broadcasts {
+		n.env.Broadcast(d)
+	}
+	n.deliverAll(res.Deliveries, n.ringCfg)
+	fwd := res.Forward
+	n.env.Broadcast(fwd)
+	n.lastToken = &fwd
+	n.retransLeft = n.cfg.TokenRetransMax
+	n.env.SetTimer(TimerTokenRetrans, n.cfg.TokenRetrans)
+	n.env.SetTimer(TimerTokenLoss, n.cfg.TokenLoss)
+	n.persist()
+}
+
+// deliverAll delivers ordered messages to the application and the trace.
+func (n *Node) deliverAll(ds []wire.Data, cfg model.Configuration) {
+	for _, d := range ds {
+		n.env.Trace(model.Event{
+			Type:    model.EventDeliver,
+			Proc:    n.id,
+			Config:  cfg.ID,
+			Members: cfg.Members,
+			Msg:     d.ID,
+			Service: d.Service,
+		})
+		n.env.Deliver(Delivery{
+			Msg:     d.ID,
+			Payload: d.Payload,
+			Service: d.Service,
+			Config:  cfg,
+		})
+	}
+}
+
+// onJoin routes a membership join, filtering stale echoes.
+func (n *Node) onJoin(j wire.Join) {
+	if n.mem.Stale(j) {
+		return
+	}
+	if n.mode == Recovering {
+		// Echo of the gather that formed the configuration being
+		// recovered: ignore rather than aborting the recovery.
+		if n.newRing.Members.Contains(j.Sender) && j.MaxRingSeq < n.newRing.ID.Seq {
+			return
+		}
+		n.abortRecovery()
+		n.enterGather()
+	} else if n.mode == Operational {
+		n.enterGather()
+	}
+	n.applyMemActions(n.mem.OnJoin(j))
+	n.reconcileMemTimers()
+}
+
+// OnTimer handles a timer expiry.
+func (n *Node) OnTimer(kind TimerKind) {
+	if n.mode == Down {
+		return
+	}
+	switch kind {
+	case TimerTokenLoss:
+		if n.mode == Operational {
+			n.enterGather()
+			n.applyMemActions(n.mem.StartGather())
+			n.reconcileMemTimers()
+		}
+	case TimerTokenRetrans:
+		if n.mode == Operational && n.lastToken != nil && n.retransLeft > 0 {
+			n.retransLeft--
+			n.env.Broadcast(*n.lastToken)
+			n.env.SetTimer(TimerTokenRetrans, n.cfg.TokenRetrans)
+		}
+	case TimerJoin:
+		if n.mode != Recovering && n.mem.Phase() == membership.Gather {
+			n.applyMemActions(n.mem.OnJoinTimeout())
+			n.reconcileMemTimers()
+		}
+	case TimerCommit:
+		if n.mode != Recovering && n.mem.Phase() == membership.Commit {
+			n.applyMemActions(n.mem.OnCommitTimeout())
+			n.reconcileMemTimers()
+		}
+	case TimerRecoveryRetry:
+		if n.mode == Recovering {
+			n.applyRecActions(n.rec.OnRetry())
+			if n.mode == Recovering {
+				n.env.SetTimer(TimerRecoveryRetry, n.cfg.RecoveryRetry)
+			}
+		}
+	case TimerRecoveryTimeout:
+		if n.mode == Recovering {
+			n.abortRecovery()
+			n.enterGather()
+			n.applyMemActions(n.mem.StartGather())
+			n.reconcileMemTimers()
+		}
+	}
+}
+
+// enterGather leaves operational mode, carrying the ring's receipt state
+// into the reconfiguration (the ring itself stops: no deliveries occur
+// until the recovery algorithm's Step 6).
+func (n *Node) enterGather() {
+	if n.mode == Operational && n.ring != nil {
+		n.oldState = n.ring.Snapshot()
+		n.oldLog = n.ring.Messages()
+		n.pending = append(n.ring.TakePending(), n.pending...)
+		n.ring = nil
+	}
+	n.mode = Gathering
+	n.lastToken = nil
+	n.preBuffer = nil
+	n.env.CancelTimer(TimerTokenLoss)
+	n.env.CancelTimer(TimerTokenRetrans)
+	n.env.CancelTimer(TimerRecoveryRetry)
+	n.env.CancelTimer(TimerRecoveryTimeout)
+}
+
+// abortRecovery discards the current recovery attempt, keeping the merged
+// log, receipt state and obligation set (Step 5.c obligations survive; the
+// algorithm restarts at Step 2).
+func (n *Node) abortRecovery() {
+	if n.rec == nil {
+		return
+	}
+	n.oldState = n.rec.State()
+	n.oldLog = n.rec.Log()
+	n.obligations = n.rec.Obligations()
+	n.rec = nil
+	n.newRing = model.Configuration{}
+	n.buffered = nil
+	n.mode = Gathering
+	n.persist()
+}
+
+// applyMemActions transmits membership messages and reacts to ring
+// formation.
+func (n *Node) applyMemActions(acts []membership.Action) {
+	for _, a := range acts {
+		switch act := a.(type) {
+		case membership.Send:
+			n.env.Broadcast(act.Msg)
+		case membership.Form:
+			n.startRecovery(act.Ring)
+		}
+	}
+	n.persist()
+}
+
+// reconcileMemTimers aligns the join/commit timers with the membership
+// phase.
+func (n *Node) reconcileMemTimers() {
+	if n.mode == Recovering || n.mode == Down || n.mem == nil {
+		n.env.CancelTimer(TimerJoin)
+		n.env.CancelTimer(TimerCommit)
+		return
+	}
+	switch n.mem.Phase() {
+	case membership.Gather:
+		n.env.SetTimer(TimerJoin, n.cfg.JoinRetry)
+		n.env.CancelTimer(TimerCommit)
+	case membership.Commit:
+		n.env.SetTimer(TimerCommit, n.cfg.CommitTimeout)
+		n.env.CancelTimer(TimerJoin)
+	default:
+		n.env.CancelTimer(TimerJoin)
+		n.env.CancelTimer(TimerCommit)
+	}
+}
+
+// startRecovery begins the EVS recovery algorithm (Step 2) for the agreed
+// new ring.
+func (n *Node) startRecovery(ring model.Configuration) {
+	n.mode = Recovering
+	n.newRing = ring
+	n.buffered = nil
+	n.env.CancelTimer(TimerJoin)
+	n.env.CancelTimer(TimerCommit)
+	n.rec = evs.New(n.id, ring, n.ringCfg, n.recoveryState(), n.oldLog, n.obligations)
+	n.applyRecActions(n.rec.Start())
+	if n.mode == Recovering {
+		n.env.SetTimer(TimerRecoveryRetry, n.cfg.RecoveryRetry)
+		n.env.SetTimer(TimerRecoveryTimeout, n.cfg.RecoveryTimeout)
+	}
+	// Replay recovery traffic that overtook the Install.
+	pre := n.preBuffer
+	n.preBuffer = nil
+	for _, b := range pre {
+		if n.mode != Recovering {
+			break
+		}
+		n.OnMessage(b.from, b.msg)
+	}
+}
+
+// recoveryState derives the exchange state from the carried log and
+// watermarks.
+func (n *Node) recoveryState() totem.State {
+	st := n.oldState
+	// Recompute receipt watermarks from the merged log.
+	derived := totem.State{}
+	for seq := range n.oldLog {
+		if seq > derived.HighestSeen {
+			derived.HighestSeen = seq
+		}
+	}
+	st.MyAru = 0
+	for {
+		if _, ok := n.oldLog[st.MyAru+1]; !ok {
+			break
+		}
+		st.MyAru++
+	}
+	st.Have = nil
+	for seq := range n.oldLog {
+		if seq > st.MyAru {
+			st.Have = append(st.Have, seq)
+		}
+	}
+	if derived.HighestSeen > st.HighestSeen {
+		st.HighestSeen = derived.HighestSeen
+	}
+	return st
+}
+
+// applyRecActions transmits recovery messages and applies the final result.
+func (n *Node) applyRecActions(acts []evs.Action) {
+	for _, a := range acts {
+		switch act := a.(type) {
+		case evs.Send:
+			n.env.Broadcast(act.Msg)
+		case evs.Finished:
+			n.finishRecovery(act.Result)
+		}
+	}
+	if n.mode == Recovering {
+		n.persist()
+	}
+}
+
+// finishRecovery applies Step 6 atomically: old-configuration deliveries,
+// the transitional configuration change and its deliveries, then the
+// installation of the new regular configuration (Step 6.e), after which
+// pending application messages are sequenced on the new ring and buffered
+// messages for it are processed.
+func (n *Node) finishRecovery(res evs.Result) {
+	old := n.ringCfg
+
+	// 6.b: remaining old-configuration messages, delivered in the old
+	// regular configuration.
+	n.deliverAll(res.OldRegular, old)
+
+	// 6.c: the configuration change initiating the transitional
+	// configuration.
+	if !res.Transitional.ID.IsZero() {
+		n.traceConf(res.Transitional, false)
+		n.env.DeliverConfig(ConfigChange{Config: res.Transitional})
+		// 6.d: transitional deliveries.
+		n.deliverAll(res.Trans, res.Transitional)
+	}
+
+	// 6.e: install the new regular configuration; obligations are
+	// discharged (Step 1: no obligations in a regular configuration).
+	newCfg := n.newRing
+	n.ringCfg = newCfg
+	n.obligations = model.NewProcessSet()
+	n.oldLog = make(map[uint64]wire.Data)
+	n.oldState = totem.State{}
+	n.rec = nil
+	n.newRing = model.Configuration{}
+	n.mode = Operational
+	n.everInstalld = true
+	n.mem.SetCurrent(newCfg)
+	n.env.CancelTimer(TimerRecoveryRetry)
+	n.env.CancelTimer(TimerRecoveryTimeout)
+
+	n.traceConf(newCfg, false)
+	n.env.DeliverConfig(ConfigChange{Config: newCfg})
+
+	n.ring = totem.New(n.id, newCfg, n.cfg.Totem)
+	for _, p := range n.pending {
+		n.ring.Submit(p)
+	}
+	n.pending = nil
+	n.persistSnapshot(nil)
+
+	// The representative originates the first token, with
+	// retransmission: losing the only copy would leave the ring dead
+	// until the token-loss timeout forces another reconfiguration.
+	if n.ring.IsRepresentative() {
+		tok := n.ring.InitialToken()
+		n.env.Broadcast(tok)
+		n.lastToken = &tok
+		n.retransLeft = n.cfg.TokenRetransMax
+		n.env.SetTimer(TimerTokenRetrans, n.cfg.TokenRetrans)
+	}
+	// Allow extra slack before declaring token loss: peers may still be
+	// finishing their recovery.
+	n.env.SetTimer(TimerTokenLoss, 2*n.cfg.TokenLoss)
+
+	// Process messages buffered for the new configuration (Step 2).
+	buffered := n.buffered
+	n.buffered = nil
+	for _, b := range buffered {
+		n.OnMessage(b.from, b.msg)
+	}
+}
+
+// traceConf records a configuration change event.
+func (n *Node) traceConf(cfg model.Configuration, primary bool) {
+	n.env.Trace(model.Event{
+		Type:    model.EventDeliverConf,
+		Proc:    n.id,
+		Config:  cfg.ID,
+		Members: cfg.Members,
+		Primary: primary,
+	})
+}

@@ -1,0 +1,343 @@
+// Package node composes the protocol stack into a complete EVS process:
+// the Totem-style total ordering ring (internal/totem), the membership
+// algorithm (internal/membership), the EVS recovery algorithm
+// (internal/evs) and stable storage (internal/stable).
+//
+// A Node is a single-threaded state machine driven by its environment: the
+// harness (deterministic simulation or live transport) calls OnMessage,
+// OnTimer, Submit, Crash and Recover, and the node calls back through Env
+// to transmit messages, manage timers, deliver to the application and
+// record trace events for the specification checker.
+package node
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/evs"
+	"repro/internal/membership"
+	"repro/internal/model"
+	"repro/internal/stable"
+	"repro/internal/totem"
+	"repro/internal/wire"
+)
+
+// Mode is the node's protocol mode.
+type Mode int
+
+const (
+	// Operational: a regular configuration is installed and the token
+	// circulates (Step 1 of the EVS algorithm).
+	Operational Mode = iota + 1
+	// Gathering: the membership algorithm is reconfiguring.
+	Gathering
+	// Recovering: the EVS recovery algorithm (Steps 2-6) is running for
+	// a proposed new configuration.
+	Recovering
+	// Down: the process has failed.
+	Down
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Operational:
+		return "operational"
+	case Gathering:
+		return "gathering"
+	case Recovering:
+		return "recovering"
+	case Down:
+		return "down"
+	default:
+		return "mode(?)"
+	}
+}
+
+// TimerKind identifies the node's timers.
+type TimerKind int
+
+const (
+	// TimerTokenLoss fires when the token has not arrived in time:
+	// evidence of failure or partition.
+	TimerTokenLoss TimerKind = iota + 1
+	// TimerTokenRetrans re-sends the last forwarded token.
+	TimerTokenRetrans
+	// TimerJoin retries the membership join and eventually declares
+	// silent processes failed.
+	TimerJoin
+	// TimerCommit bounds the membership commit phase.
+	TimerCommit
+	// TimerRecoveryRetry re-sends recovery state to mask message loss.
+	TimerRecoveryRetry
+	// TimerRecoveryTimeout bounds a recovery attempt; on expiry the
+	// membership algorithm restarts with a reduced view.
+	TimerRecoveryTimeout
+)
+
+// Delivery is an application-facing message delivery.
+type Delivery struct {
+	Msg     model.MessageID
+	Payload []byte
+	Service model.Service
+	Config  model.Configuration // configuration in which delivered
+}
+
+// ConfigChange is an application-facing configuration change delivery.
+type ConfigChange struct {
+	Config model.Configuration
+}
+
+// Env is the node's environment, implemented by the harness.
+type Env interface {
+	// Broadcast transmits a message on the medium (received by every
+	// process in the sender's component, including the sender).
+	Broadcast(msg wire.Message)
+	// SetTimer (re)arms a timer; CancelTimer disarms it.
+	SetTimer(kind TimerKind, d time.Duration)
+	CancelTimer(kind TimerKind)
+	// Deliver hands a message to the application.
+	Deliver(d Delivery)
+	// DeliverConfig hands a configuration change to the application.
+	DeliverConfig(c ConfigChange)
+	// Trace records a formal-model event for the specification checker.
+	Trace(e model.Event)
+}
+
+// Config tunes the node's protocol timing.
+type Config struct {
+	TokenLoss       time.Duration
+	TokenRetrans    time.Duration
+	TokenRetransMax int
+	JoinRetry       time.Duration
+	CommitTimeout   time.Duration
+	RecoveryRetry   time.Duration
+	RecoveryTimeout time.Duration
+	Totem           totem.Options
+}
+
+// DefaultConfig returns timing suited to the simulated network's
+// sub-millisecond delays.
+func DefaultConfig() Config {
+	return Config{
+		TokenLoss:       40 * time.Millisecond,
+		TokenRetrans:    6 * time.Millisecond,
+		TokenRetransMax: 4,
+		JoinRetry:       10 * time.Millisecond,
+		CommitTimeout:   25 * time.Millisecond,
+		RecoveryRetry:   8 * time.Millisecond,
+		RecoveryTimeout: 120 * time.Millisecond,
+		Totem:           totem.DefaultOptions(),
+	}
+}
+
+// bufferedMsg is a message for the proposed new configuration received
+// during recovery (Step 2 buffering).
+type bufferedMsg struct {
+	from model.ProcessID
+	msg  wire.Message
+}
+
+// Node is one EVS process.
+type Node struct {
+	id    model.ProcessID
+	cfg   Config
+	env   Env
+	store *stable.Store
+
+	mode    Mode
+	mem     *membership.Protocol
+	ring    *totem.Ring
+	ringCfg model.Configuration // current (last installed) regular configuration
+	rec     *evs.Recovery
+	newRing model.Configuration
+
+	// Old-configuration state carried between operational mode and
+	// recovery attempts.
+	oldLog       map[uint64]wire.Data
+	oldState     totem.State
+	obligations  model.ProcessSet
+	pending      []totem.Pending
+	senderSeq    uint64
+	buffered     []bufferedMsg
+	preBuffer    []bufferedMsg // proposed-ring messages received before Install
+	lastToken    *wire.Token
+	retransLeft  int
+	everInstalld bool
+}
+
+// ErrDown is returned by Submit when the process has failed.
+var ErrDown = errors.New("process is down")
+
+// New creates a node. The store may contain a prior incarnation's state
+// (recovery with stable storage intact); Start consults it.
+func New(id model.ProcessID, cfg Config, env Env, store *stable.Store) *Node {
+	return &Node{
+		id:    id,
+		cfg:   cfg,
+		env:   env,
+		store: store,
+	}
+}
+
+// ID returns the process identifier.
+func (n *Node) ID() model.ProcessID { return n.id }
+
+// Mode returns the current protocol mode.
+func (n *Node) Mode() Mode { return n.mode }
+
+// CurrentConfig returns the last installed regular configuration (zero
+// before the first installation).
+func (n *Node) CurrentConfig() model.Configuration { return n.ringCfg }
+
+// Start boots the process: it loads stable storage (a recovering process
+// resumes its identity and obligations) and begins gathering a membership.
+func (n *Node) Start() {
+	rec := n.store.Load()
+	n.senderSeq = rec.SenderSeq
+	n.ringCfg = rec.LastRegular
+	n.oldLog = rec.Log
+	if n.oldLog == nil {
+		n.oldLog = make(map[uint64]wire.Data)
+	}
+	n.oldState = totem.State{
+		DeliveredUpTo: rec.DeliveredUpTo,
+		SafeBound:     rec.SafeBound,
+		HighestSeen:   rec.HighestSeen,
+	}
+	n.obligations = rec.Obligations
+	n.mem = membership.New(n.id, rec.JoinAttempt, rec.MaxRingSeq)
+	if !n.ringCfg.ID.IsZero() {
+		// Resume knowledge of the prior configuration for staleness
+		// checks, without resetting gather state.
+		n.mem.SetCurrent(n.ringCfg)
+	}
+	n.mode = Gathering
+	n.applyMemActions(n.mem.StartGather())
+	n.reconcileMemTimers()
+}
+
+// Submit queues an application message for sending with the given service.
+// Messages submitted while no regular configuration is installed are
+// buffered and sent — in the formal model's sense — once one is.
+func (n *Node) Submit(payload []byte, svc model.Service) error {
+	if n.mode == Down {
+		return ErrDown
+	}
+	n.senderSeq++
+	p := totem.Pending{
+		ID:      model.MessageID{Sender: n.id, SenderSeq: n.senderSeq},
+		Service: svc,
+		Payload: payload,
+	}
+	if n.mode == Operational && n.ring != nil {
+		n.ring.Submit(p)
+	} else {
+		n.pending = append(n.pending, p)
+	}
+	n.persist()
+	return nil
+}
+
+// Crash fails the process: volatile state is lost, stable storage remains.
+func (n *Node) Crash() {
+	if n.mode == Down {
+		return
+	}
+	n.env.Trace(model.Event{
+		Type:    model.EventFail,
+		Proc:    n.id,
+		Config:  n.ringCfg.ID,
+		Members: n.ringCfg.Members,
+	})
+	n.mode = Down
+	n.ring = nil
+	n.rec = nil
+	n.mem = nil
+	n.oldLog = nil
+	n.pending = nil
+	n.buffered = nil
+	n.lastToken = nil
+	n.cancelAllTimers()
+}
+
+// Recover restarts a failed process with its stable storage intact and the
+// same identifier.
+func (n *Node) Recover() {
+	if n.mode != Down {
+		return
+	}
+	n.mode = Gathering
+	n.Start()
+}
+
+// cancelAllTimers disarms every timer.
+func (n *Node) cancelAllTimers() {
+	for _, k := range []TimerKind{
+		TimerTokenLoss, TimerTokenRetrans, TimerJoin,
+		TimerCommit, TimerRecoveryRetry, TimerRecoveryTimeout,
+	} {
+		n.env.CancelTimer(k)
+	}
+}
+
+// persist saves the hot-path protocol scalars: watermarks, counters and
+// the obligation set. Message-log persistence is incremental (persistLog)
+// and full snapshots happen only at configuration boundaries
+// (persistSnapshot), so the per-event cost is independent of log size.
+func (n *Node) persist() {
+	var st totem.State
+	switch {
+	case n.mode == Operational && n.ring != nil:
+		st = n.ring.Watermarks()
+	case n.rec != nil:
+		st = n.rec.Watermarks()
+	default:
+		st = n.oldState
+	}
+	obligations := n.obligations
+	if n.rec != nil {
+		obligations = n.rec.Obligations()
+	}
+	n.store.SetScalars(stable.Record{
+		SenderSeq:     n.senderSeq,
+		JoinAttempt:   n.memAttempt(),
+		MaxRingSeq:    n.memMaxRingSeq(),
+		LastRegular:   n.ringCfg,
+		DeliveredUpTo: st.DeliveredUpTo,
+		SafeBound:     st.SafeBound,
+		HighestSeen:   st.HighestSeen,
+		Obligations:   obligations,
+	})
+}
+
+// persistLog persists one received message before it is acknowledged, so a
+// recovered process can still rebroadcast and deliver what it acknowledged.
+func (n *Node) persistLog(d wire.Data) {
+	n.store.PutLog(d)
+}
+
+// persistSnapshot rewrites the whole log (configuration boundaries).
+func (n *Node) persistSnapshot(log map[uint64]wire.Data) {
+	n.store.ClearLog()
+	for _, d := range log {
+		n.store.PutLog(d)
+	}
+	n.persist()
+}
+
+// memMaxRingSeq returns the membership protocol's ring-sequence watermark.
+func (n *Node) memMaxRingSeq() uint64 {
+	if n.mem == nil {
+		return 0
+	}
+	return n.mem.MaxRingSeq()
+}
+
+// memAttempt returns the membership protocol's join counter.
+func (n *Node) memAttempt() uint64 {
+	if n.mem == nil {
+		return n.store.Load().JoinAttempt
+	}
+	return n.mem.Attempt()
+}

@@ -1,0 +1,283 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stable"
+)
+
+// pairWorld connects two (or more) nodes through synchronous loopback
+// broadcast, exercising the full lifecycle — gather, commit, install,
+// recovery, operational — without the simulation harness, so this package
+// covers its own composition logic.
+type pairWorld struct {
+	t     *testing.T
+	ids   []model.ProcessID
+	nodes map[model.ProcessID]*Node
+	envs  map[model.ProcessID]*mockEnv
+	// cut(from,to) drops the message when true.
+	cut func(from, to model.ProcessID) bool
+}
+
+func newPairWorld(t *testing.T, ids ...model.ProcessID) *pairWorld {
+	w := &pairWorld{
+		t:     t,
+		ids:   ids,
+		nodes: make(map[model.ProcessID]*Node),
+		envs:  make(map[model.ProcessID]*mockEnv),
+	}
+	for _, id := range ids {
+		env := newMockEnv()
+		w.envs[id] = env
+		w.nodes[id] = New(id, DefaultConfig(), env, &stable.Store{})
+	}
+	return w
+}
+
+// pump delivers queued broadcasts for a bounded number of rounds. It
+// cannot wait for quiescence: once a ring is operational the token
+// circulates forever by design.
+func (w *pairWorld) pump() {
+	for round := 0; round < 50; round++ {
+		moved := false
+		for _, from := range w.ids {
+			for _, msg := range w.envs[from].take() {
+				moved = true
+				for _, to := range w.ids {
+					if w.cut != nil && w.cut(from, to) {
+						continue
+					}
+					w.nodes[to].OnMessage(from, msg)
+				}
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// fireJoinTimeouts triggers gather timeouts where armed.
+func (w *pairWorld) fireJoinTimeouts() {
+	for _, id := range w.ids {
+		if _, ok := w.envs[id].timers[TimerJoin]; ok {
+			w.nodes[id].OnTimer(TimerJoin)
+		}
+	}
+	w.pump()
+}
+
+// rotateTokens processes pending token traffic a few rounds (tokens are in
+// the broadcast stream already; this just pumps).
+func (w *pairWorld) spin(n int) {
+	for i := 0; i < n; i++ {
+		w.pump()
+	}
+}
+
+func (w *pairWorld) startAll() {
+	for _, id := range w.ids {
+		w.nodes[id].Start()
+	}
+	w.pump()
+	w.fireJoinTimeouts()
+	w.spin(4)
+}
+
+func TestPairFormsSharedRing(t *testing.T) {
+	w := newPairWorld(t, "a", "b")
+	w.startAll()
+	for _, id := range w.ids {
+		n := w.nodes[id]
+		if n.Mode() != Operational {
+			t.Fatalf("%s mode %v, want operational", id, n.Mode())
+		}
+		if !n.CurrentConfig().Members.Equal(model.NewProcessSet("a", "b")) {
+			t.Fatalf("%s config %v", id, n.CurrentConfig())
+		}
+	}
+	if w.nodes["a"].CurrentConfig().ID != w.nodes["b"].CurrentConfig().ID {
+		t.Fatal("nodes installed different rings")
+	}
+}
+
+func TestPairSafeDeliveryBothSides(t *testing.T) {
+	w := newPairWorld(t, "a", "b")
+	w.startAll()
+	if err := w.nodes["a"].Submit([]byte("x"), model.Safe); err != nil {
+		t.Fatal(err)
+	}
+	w.spin(8)
+	for _, id := range w.ids {
+		ds := w.envs[id].deliver
+		if len(ds) != 1 || string(ds[0].Payload) != "x" {
+			t.Fatalf("%s deliveries %v", id, ds)
+		}
+	}
+}
+
+func TestPairRecoveryDeliversTransitionalConfigs(t *testing.T) {
+	w := newPairWorld(t, "a", "b")
+	w.startAll()
+	// Partition: all cross traffic cut; both should reform singletons
+	// after token loss and join timeout.
+	w.cut = func(from, to model.ProcessID) bool { return from != to }
+	w.nodes["a"].OnTimer(TimerTokenLoss)
+	w.nodes["b"].OnTimer(TimerTokenLoss)
+	w.pump()
+	for i := 0; i < 4; i++ {
+		w.fireJoinTimeouts()
+		w.spin(2)
+	}
+	for _, id := range w.ids {
+		n := w.nodes[id]
+		if n.Mode() != Operational {
+			t.Fatalf("%s mode %v after partition, want operational singleton", id, n.Mode())
+		}
+		if !n.CurrentConfig().Members.Equal(model.NewProcessSet(id)) {
+			t.Fatalf("%s config %v, want singleton", id, n.CurrentConfig())
+		}
+	}
+	// The configuration stream at a must contain a transitional config
+	// whose membership is {a} bridging the pair ring to the singleton.
+	foundTrans := false
+	for _, cc := range w.envs["a"].confs {
+		if cc.Config.ID.IsTransitional() && cc.Config.Members.Equal(model.NewProcessSet("a")) {
+			foundTrans = true
+		}
+	}
+	if !foundTrans {
+		t.Fatalf("no singleton transitional configuration at a: %v", w.envs["a"].confs)
+	}
+
+	// Heal: foreign traffic triggers remerge into a shared ring.
+	w.cut = nil
+	// b's next token broadcast will reach a as foreign traffic; force
+	// some activity.
+	_ = w.nodes["b"].Submit([]byte("wake"), model.Agreed)
+	for i := 0; i < 6; i++ {
+		w.fireJoinTimeouts()
+		w.spin(3)
+	}
+	if w.nodes["a"].CurrentConfig().ID != w.nodes["b"].CurrentConfig().ID {
+		t.Fatalf("remerge failed: %v vs %v",
+			w.nodes["a"].CurrentConfig(), w.nodes["b"].CurrentConfig())
+	}
+	if !w.nodes["a"].CurrentConfig().Members.Equal(model.NewProcessSet("a", "b")) {
+		t.Fatalf("merged config %v", w.nodes["a"].CurrentConfig())
+	}
+}
+
+func TestPairPendingMessagesCarriedAcrossReconfiguration(t *testing.T) {
+	w := newPairWorld(t, "a", "b")
+	w.startAll()
+	// Submit while operational but suppress token processing by cutting
+	// everything, then reconfigure: the message must be re-sequenced in
+	// the next configuration and delivered (self-delivery).
+	w.cut = func(from, to model.ProcessID) bool { return true }
+	if err := w.nodes["a"].Submit([]byte("carried"), model.Safe); err != nil {
+		t.Fatal(err)
+	}
+	w.envs["a"].take() // drop whatever was broadcast
+	w.nodes["a"].OnTimer(TimerTokenLoss)
+	w.cut = func(from, to model.ProcessID) bool { return from != to }
+	for i := 0; i < 4; i++ {
+		w.fireJoinTimeouts()
+		w.spin(2)
+	}
+	found := false
+	for _, d := range w.envs["a"].deliver {
+		if string(d.Payload) == "carried" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pending message lost across reconfiguration: %v", w.envs["a"].deliver)
+	}
+}
+
+func TestPairCrashRecoverRejoins(t *testing.T) {
+	w := newPairWorld(t, "a", "b")
+	w.startAll()
+	_ = w.nodes["a"].Submit([]byte("pre"), model.Safe)
+	w.spin(8)
+	w.nodes["b"].Crash()
+	w.envs["b"].take()
+	// b recovers; joins flow; they reform a shared ring.
+	w.nodes["b"].Recover()
+	for i := 0; i < 6; i++ {
+		w.fireJoinTimeouts()
+		w.spin(3)
+	}
+	if w.nodes["a"].CurrentConfig().ID != w.nodes["b"].CurrentConfig().ID {
+		t.Fatalf("rejoin failed: %v vs %v",
+			w.nodes["a"].CurrentConfig(), w.nodes["b"].CurrentConfig())
+	}
+	// b must not re-deliver "pre" after recovery (watermark persisted).
+	count := 0
+	for _, d := range w.envs["b"].deliver {
+		if string(d.Payload) == "pre" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("b delivered 'pre' %d times, want once", count)
+	}
+}
+
+func TestPairStateMachineTraceConforms(t *testing.T) {
+	w := newPairWorld(t, "a", "b")
+	w.startAll()
+	_ = w.nodes["a"].Submit([]byte("m1"), model.Safe)
+	_ = w.nodes["b"].Submit([]byte("m2"), model.Agreed)
+	w.spin(8)
+	var events []model.Event
+	// Interleave the two traces by replaying env traces in rough
+	// causal order: alternate small batches. The checker's generating
+	// edges only need per-process order and send-before-deliver, which
+	// loopback pumping preserved in each env's slice; merge by simple
+	// round-robin while keeping per-process order (take from the env
+	// whose next event is a send/conf first).
+	a, b := w.envs["a"].trace, w.envs["b"].trace
+	// Conservative merge: all of a's events before b's would break
+	// send/deliver ordering, so interleave by type priority per step.
+	ai, bi := 0, 0
+	for ai < len(a) || bi < len(b) {
+		takeA := ai < len(a)
+		if takeA && bi < len(b) {
+			// Prefer the event that is a send or conf, they come
+			// earliest in protocol order; otherwise alternate.
+			if b[bi].Type == model.EventSend && a[ai].Type == model.EventDeliver {
+				takeA = false
+			}
+		}
+		if takeA {
+			events = append(events, a[ai])
+			ai++
+		} else {
+			events = append(events, b[bi])
+			bi++
+		}
+	}
+	_ = events
+	// The merged trace ordering above is heuristic; assert only
+	// per-process invariants via the per-env traces instead.
+	for _, id := range w.ids {
+		var sends, delivers int
+		for _, e := range w.envs[id].trace {
+			switch e.Type {
+			case model.EventSend:
+				sends++
+			case model.EventDeliver:
+				delivers++
+			}
+		}
+		if sends != 1 {
+			t.Fatalf("%s traced %d sends, want 1", id, sends)
+		}
+		if delivers != 2 {
+			t.Fatalf("%s traced %d deliveries, want 2", id, delivers)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package primary
+
+import "testing"
+
+// FuzzDecode ensures arbitrary bytes never panic the decoder and that
+// encode/decode round-trips are stable.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(Encode(Message{Kind: KindProposal, Sender: "p", BestSeq: 3}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode identically.
+		again, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Kind != m.Kind || again.Sender != m.Sender || again.Config != m.Config {
+			t.Fatalf("round trip mismatch: %+v vs %+v", m, again)
+		}
+	})
+}

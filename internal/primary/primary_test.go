@@ -1,0 +1,230 @@
+package primary
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+var universe = model.NewProcessSet("p", "q", "r", "s", "t")
+
+func cfg(seq uint64, rep model.ProcessID, members ...model.ProcessID) model.Configuration {
+	return model.Configuration{ID: model.RegularID(seq, rep), Members: model.NewProcessSet(members...)}
+}
+
+// drive runs one configuration round across a set of protocols connected by
+// a synchronous safe-order bus, returning each process's Decided outcome.
+func drive(t *testing.T, procs map[model.ProcessID]*Protocol, c model.Configuration) map[model.ProcessID]*Decided {
+	t.Helper()
+	decided := make(map[model.ProcessID]*Decided)
+	var bus [][]byte
+	collect := func(id model.ProcessID, acts []Action) {
+		for _, a := range acts {
+			switch act := a.(type) {
+			case Broadcast:
+				bus = append(bus, act.Payload)
+			case Decided:
+				d := act
+				decided[id] = &d
+			}
+		}
+	}
+	for _, id := range c.Members.Members() {
+		collect(id, procs[id].OnConfig(c))
+	}
+	// Safe total order: every process sees the same payload sequence.
+	for i := 0; i < len(bus); i++ {
+		m, err := Decode(bus[i])
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		for _, id := range c.Members.Members() {
+			collect(id, procs[id].OnMessage(m))
+		}
+	}
+	return decided
+}
+
+func newProcs(ids ...model.ProcessID) map[model.ProcessID]*Protocol {
+	procs := make(map[model.ProcessID]*Protocol)
+	for _, id := range ids {
+		procs[id] = New(id, universe, model.Configuration{}, model.Configuration{})
+	}
+	return procs
+}
+
+func TestBootstrapMajorityOfUniverse(t *testing.T) {
+	procs := newProcs("p", "q", "r", "s", "t")
+	c := cfg(1, "p", "p", "q", "r")
+	decided := drive(t, procs, c)
+	for id, d := range decided {
+		if d == nil || !d.Primary {
+			t.Fatalf("%s: 3 of 5 universe members should form the first primary, got %+v", id, d)
+		}
+	}
+	if len(decided) != 3 {
+		t.Fatalf("decided count %d, want 3", len(decided))
+	}
+}
+
+func TestBootstrapMinorityIsNotPrimary(t *testing.T) {
+	procs := newProcs("p", "q", "r", "s", "t")
+	c := cfg(1, "p", "p", "q")
+	decided := drive(t, procs, c)
+	for id, d := range decided {
+		if d == nil || d.Primary {
+			t.Fatalf("%s: 2 of 5 must not be primary, got %+v", id, d)
+		}
+	}
+}
+
+func TestMajorityOfPreviousPrimary(t *testing.T) {
+	procs := newProcs("p", "q", "r", "s", "t")
+	first := cfg(1, "p", "p", "q", "r")
+	drive(t, procs, first)
+	// {q,r} is a majority of the previous primary {p,q,r} even though it
+	// is a minority of the universe.
+	second := cfg(2, "q", "q", "r")
+	decided := drive(t, procs, second)
+	for id, d := range decided {
+		if d == nil || !d.Primary {
+			t.Fatalf("%s: majority of previous primary should win, got %+v", id, d)
+		}
+	}
+}
+
+func TestMinorityOfPreviousPrimaryBlocked(t *testing.T) {
+	procs := newProcs("p", "q", "r", "s", "t")
+	drive(t, procs, cfg(1, "p", "p", "q", "r"))
+	// {r,s,t} contains only one member of the previous primary {p,q,r}:
+	// not a majority of it, despite being a majority of the universe.
+	decided := drive(t, procs, cfg(2, "r", "r", "s", "t"))
+	for id, d := range decided {
+		if d == nil || d.Primary {
+			t.Fatalf("%s: minority of previous primary must not be primary, got %+v", id, d)
+		}
+	}
+}
+
+func TestAttemptKnowledgePropagates(t *testing.T) {
+	// p attempted primary {p,q} (seq 5) but the installation was
+	// interrupted. A later configuration containing p must treat the
+	// attempt as the newest primary knowledge.
+	attempted := cfg(5, "p", "p", "q")
+	procs := map[model.ProcessID]*Protocol{
+		"p": New("p", universe, cfg(1, "p", "p", "q", "r"), attempted),
+		"r": New("r", universe, cfg(1, "p", "p", "q", "r"), model.Configuration{}),
+		"s": New("s", universe, model.Configuration{}, model.Configuration{}),
+	}
+	c := cfg(6, "p", "p", "r", "s")
+	decided := drive(t, procs, c)
+	// Baseline is the attempted {p,q}: {p,r,s} ∩ {p,q} = {p}, not a
+	// majority of 2 — blocked.
+	for id, d := range decided {
+		if d == nil || d.Primary {
+			t.Fatalf("%s: attempt knowledge must block, got %+v", id, d)
+		}
+	}
+}
+
+func TestUniquenessUnderDisjointRounds(t *testing.T) {
+	// After primary {p,q,r}, the partition {p,q} | {r,s,t} runs both
+	// sides: {p,q} has a 2/3 majority of the previous primary; {r,s,t}
+	// has 1/3. Exactly one side may be primary.
+	procs := newProcs("p", "q", "r", "s", "t")
+	drive(t, procs, cfg(1, "p", "p", "q", "r"))
+	left := drive(t, procs, cfg(2, "p", "p", "q"))
+	right := drive(t, procs, cfg(2, "r", "r", "s", "t"))
+	leftPrimary := left["p"] != nil && left["p"].Primary
+	rightPrimary := right["r"] != nil && right["r"].Primary
+	if leftPrimary == rightPrimary {
+		t.Fatalf("exactly one side must be primary: left=%v right=%v", leftPrimary, rightPrimary)
+	}
+	if !leftPrimary {
+		t.Fatal("the side with the majority of the previous primary should win")
+	}
+}
+
+func TestTransitionalConfigAbandonsRound(t *testing.T) {
+	p := New("p", universe, model.Configuration{}, model.Configuration{})
+	c := cfg(1, "p", "p", "q", "r")
+	acts := p.OnConfig(c)
+	if len(acts) != 1 {
+		t.Fatalf("expected proposal broadcast, got %v", acts)
+	}
+	tr := model.Configuration{
+		ID:      model.TransitionalID(model.RegularID(2, "p"), c.ID),
+		Members: model.NewProcessSet("p"),
+	}
+	if acts := p.OnConfig(tr); len(acts) != 0 {
+		t.Fatalf("transitional configuration should produce no actions, got %v", acts)
+	}
+	// Messages for the abandoned round are ignored.
+	m := Message{Kind: KindProposal, Sender: "q", Config: c.ID}
+	if acts := p.OnMessage(m); len(acts) != 0 {
+		t.Fatalf("stale round message should be ignored, got %v", acts)
+	}
+}
+
+func TestPersistActionsEmitted(t *testing.T) {
+	procs := newProcs("p", "q", "r")
+	universeSmall := model.NewProcessSet("p", "q", "r")
+	for id := range procs {
+		procs[id] = New(id, universeSmall, model.Configuration{}, model.Configuration{})
+	}
+	c := cfg(1, "p", "p", "q")
+	var attempts, primaries int
+	var bus [][]byte
+	collect := func(acts []Action) {
+		for _, a := range acts {
+			switch act := a.(type) {
+			case Broadcast:
+				bus = append(bus, act.Payload)
+			case PersistAttempt:
+				attempts++
+				if act.Cfg.ID != c.ID {
+					t.Fatalf("attempt for %v, want %v", act.Cfg.ID, c.ID)
+				}
+			case PersistPrimary:
+				primaries++
+			}
+		}
+	}
+	for _, id := range c.Members.Members() {
+		collect(procs[id].OnConfig(c))
+	}
+	for i := 0; i < len(bus); i++ {
+		m, _ := Decode(bus[i])
+		for _, id := range c.Members.Members() {
+			collect(procs[id].OnMessage(m))
+		}
+	}
+	if attempts != 2 || primaries != 2 {
+		t.Fatalf("attempts=%d primaries=%d, want 2 each", attempts, primaries)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := Message{
+		Kind:        KindCommit,
+		Sender:      "p",
+		Config:      model.RegularID(7, "q"),
+		BestSeq:     3,
+		BestRep:     "r",
+		BestMembers: []model.ProcessID{"r", "s"},
+	}
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != m.Kind || got.Sender != m.Sender || got.Config != m.Config ||
+		got.BestSeq != 3 || len(got.BestMembers) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}

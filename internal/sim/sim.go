@@ -1,0 +1,173 @@
+// Package sim provides a deterministic discrete-event scheduler.
+//
+// All protocol logic in this repository is written as event-driven state
+// machines with no direct use of wall-clock time; the scheduler advances a
+// virtual clock and fires callbacks in a deterministic order (time, then
+// insertion order), so that every execution — including adversarial
+// partition/crash schedules — replays exactly from a seed.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Callback is invoked when a scheduled event fires; now is the virtual time
+// at which it fires.
+type Callback func(now time.Duration)
+
+// Entry is a handle to a scheduled event that can be cancelled.
+type Entry struct {
+	at       time.Duration
+	seq      uint64
+	fn       Callback
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled entry is a no-op.
+func (e *Entry) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Scheduler is a virtual-time event queue. The zero value is ready to use
+// with the clock at zero.
+type Scheduler struct {
+	now  time.Duration
+	h    entryHeap
+	seq  uint64
+	ran  uint64
+	size int
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Fired returns the number of events fired so far (cancelled entries do not
+// count).
+func (s *Scheduler) Fired() uint64 { return s.ran }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (s *Scheduler) Pending() int { return s.size }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// runs at the current time (never rewinds the clock).
+func (s *Scheduler) At(t time.Duration, fn Callback) *Entry {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Entry{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	s.size++
+	heap.Push(&s.h, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn Callback) *Entry {
+	return s.At(s.now+d, fn)
+}
+
+// Step fires the next event, advancing the clock to its time. It returns
+// false when no events remain.
+func (s *Scheduler) Step() bool {
+	for len(s.h) > 0 {
+		e, ok := heap.Pop(&s.h).(*Entry)
+		if !ok {
+			return false
+		}
+		if e.canceled {
+			continue
+		}
+		s.size--
+		s.now = e.at
+		s.ran++
+		e.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in order until the virtual clock would pass t, then
+// sets the clock to t. Events scheduled exactly at t do fire.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for {
+		e := s.peek()
+		if e == nil || e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// RunUntilIdle fires events until none remain or the clock passes horizon,
+// whichever comes first. It returns true if the queue drained (the system
+// quiesced) and false if the horizon cut the run short.
+func (s *Scheduler) RunUntilIdle(horizon time.Duration) bool {
+	for {
+		e := s.peek()
+		if e == nil {
+			return true
+		}
+		if e.at > horizon {
+			s.now = horizon
+			return false
+		}
+		s.Step()
+	}
+}
+
+// peek returns the next uncancelled entry without firing it.
+func (s *Scheduler) peek() *Entry {
+	for len(s.h) > 0 {
+		if e := s.h[0]; e.canceled {
+			heap.Pop(&s.h)
+			continue
+		}
+		return s.h[0]
+	}
+	return nil
+}
+
+// entryHeap orders entries by (time, insertion sequence).
+type entryHeap []*Entry
+
+func (h entryHeap) Len() int { return len(h) }
+
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *entryHeap) Push(x any) {
+	e, ok := x.(*Entry)
+	if !ok {
+		return
+	}
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

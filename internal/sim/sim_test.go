@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	var s Scheduler
+	var got []int
+	s.At(30*time.Millisecond, func(time.Duration) { got = append(got, 3) })
+	s.At(10*time.Millisecond, func(time.Duration) { got = append(got, 1) })
+	s.At(20*time.Millisecond, func(time.Duration) { got = append(got, 2) })
+	for s.Step() {
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fired order %v, want [1 2 3]", got)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestFIFOWithinSameInstant(t *testing.T) {
+	var s Scheduler
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(time.Millisecond, func(time.Duration) { got = append(got, i) })
+	}
+	for s.Step() {
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	var s Scheduler
+	var firedAt time.Duration
+	s.At(5*time.Millisecond, func(now time.Duration) {
+		s.After(10*time.Millisecond, func(now time.Duration) { firedAt = now })
+	})
+	for s.Step() {
+	}
+	if firedAt != 15*time.Millisecond {
+		t.Fatalf("nested After fired at %v, want 15ms", firedAt)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Scheduler
+	fired := false
+	e := s.At(time.Millisecond, func(time.Duration) { fired = true })
+	e.Cancel()
+	for s.Step() {
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", s.Fired())
+	}
+	// Cancelling again (and cancelling nil) must be safe.
+	e.Cancel()
+	var nilEntry *Entry
+	nilEntry.Cancel()
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	var s Scheduler
+	s.At(10*time.Millisecond, func(time.Duration) {})
+	s.Step()
+	var at time.Duration
+	s.At(time.Millisecond, func(now time.Duration) { at = now })
+	s.Step()
+	if at != 10*time.Millisecond {
+		t.Fatalf("past event fired at %v, want clamped to 10ms", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Scheduler
+	var got []int
+	s.At(10*time.Millisecond, func(time.Duration) { got = append(got, 1) })
+	s.At(20*time.Millisecond, func(time.Duration) { got = append(got, 2) })
+	s.At(30*time.Millisecond, func(time.Duration) { got = append(got, 3) })
+	s.RunUntil(20 * time.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("RunUntil fired %v, want first two (inclusive boundary)", got)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("clock = %v, want 20ms", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	var s Scheduler
+	n := 0
+	s.At(time.Millisecond, func(time.Duration) {
+		n++
+		if n < 5 {
+			s.After(time.Millisecond, func(time.Duration) { n++ })
+		}
+	})
+	quiesced := s.RunUntilIdle(time.Second)
+	if !quiesced {
+		t.Fatal("should quiesce before horizon")
+	}
+	if n != 2 {
+		// First callback increments and schedules one more chain link;
+		// the chain self-limits.
+		t.Fatalf("n = %d, want 2", n)
+	}
+
+	var s2 Scheduler
+	var reschedule func(time.Duration)
+	reschedule = func(time.Duration) { s2.After(time.Millisecond, reschedule) }
+	s2.After(time.Millisecond, reschedule)
+	if s2.RunUntilIdle(50 * time.Millisecond) {
+		t.Fatal("perpetual chain should hit the horizon")
+	}
+	if s2.Now() != 50*time.Millisecond {
+		t.Fatalf("clock = %v, want horizon", s2.Now())
+	}
+}
+
+func TestDeterministicUnderRandomLoad(t *testing.T) {
+	run := func(seed int64) []int {
+		r := rand.New(rand.NewSource(seed))
+		var s Scheduler
+		var got []int
+		for i := 0; i < 200; i++ {
+			i := i
+			s.At(time.Duration(r.Intn(50))*time.Millisecond, func(time.Duration) {
+				got = append(got, i)
+			})
+		}
+		for s.Step() {
+		}
+		return got
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("runs differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s Scheduler
+		ok := true
+		last := time.Duration(-1)
+		for i := 0; i < 50; i++ {
+			s.At(time.Duration(r.Intn(20))*time.Millisecond, func(now time.Duration) {
+				if now < last {
+					ok = false
+				}
+				last = now
+				if r.Intn(3) == 0 {
+					s.After(time.Duration(r.Intn(5))*time.Millisecond, func(time.Duration) {})
+				}
+			})
+		}
+		for s.Step() {
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

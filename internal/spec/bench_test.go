@@ -1,0 +1,77 @@
+package spec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// syntheticHistory builds a conforming single-configuration history with
+// msgs messages delivered by procs processes.
+func syntheticHistory(procs, msgs int) []model.Event {
+	ids := make([]model.ProcessID, procs)
+	for i := range ids {
+		ids[i] = model.ProcessID(fmt.Sprintf("p%02d", i))
+	}
+	members := model.NewProcessSet(ids...)
+	cfg := model.RegularID(1, ids[0])
+	var events []model.Event
+	for _, id := range ids {
+		events = append(events, model.Event{
+			Type: model.EventDeliverConf, Proc: id, Config: cfg, Members: members,
+		})
+	}
+	for m := 0; m < msgs; m++ {
+		sender := ids[m%procs]
+		msg := model.MessageID{Sender: sender, SenderSeq: uint64(m/procs + 1)}
+		events = append(events, model.Event{
+			Type: model.EventSend, Proc: sender, Config: cfg, Members: members,
+			Msg: msg, Service: model.Safe,
+		})
+		for _, id := range ids {
+			events = append(events, model.Event{
+				Type: model.EventDeliver, Proc: id, Config: cfg, Members: members,
+				Msg: msg, Service: model.Safe,
+			})
+		}
+	}
+	return events
+}
+
+// BenchmarkCheckAll measures full-model checking cost versus history size.
+func BenchmarkCheckAll(b *testing.B) {
+	for _, msgs := range []int{50, 200, 800} {
+		msgs := msgs
+		b.Run(fmt.Sprintf("msgs=%d", msgs), func(b *testing.B) {
+			events := syntheticHistory(4, msgs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := NewChecker(events, Options{Settled: true})
+				if vs := c.CheckAll(); len(vs) != 0 {
+					b.Fatalf("synthetic history flagged: %v", vs)
+				}
+			}
+			b.ReportMetric(float64(len(events)), "events")
+		})
+	}
+}
+
+// BenchmarkBuildOrd isolates the condensation/topological-sort cost.
+func BenchmarkBuildOrd(b *testing.B) {
+	events := syntheticHistory(4, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewChecker(events, Options{})
+		if _, cyclic := c.BuildOrd(); cyclic {
+			b.Fatal("unexpected cycle")
+		}
+	}
+}
+
+func TestSyntheticHistoryConforms(t *testing.T) {
+	events := syntheticHistory(3, 30)
+	if vs := NewChecker(events, Options{Settled: true}).CheckAll(); len(vs) != 0 {
+		t.Fatalf("synthetic history flagged: %v", vs)
+	}
+}

@@ -1,0 +1,497 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Checker validates a history against the extended virtual synchrony
+// specifications.
+type Checker struct {
+	ix   *index
+	opts Options
+}
+
+// NewChecker builds a checker over the given events.
+func NewChecker(events []model.Event, opts Options) *Checker {
+	return &Checker{ix: buildIndex(events), opts: opts}
+}
+
+// CheckAll runs every specification check and returns all violations.
+func (c *Checker) CheckAll() []Violation {
+	var out []Violation
+	out = append(out, c.CheckBasicDelivery()...)
+	out = append(out, c.CheckConfigChanges()...)
+	out = append(out, c.CheckSelfDelivery()...)
+	out = append(out, c.CheckFailureAtomicity()...)
+	out = append(out, c.CheckCausalDelivery()...)
+	out = append(out, c.CheckTotalOrder()...)
+	out = append(out, c.CheckSafeDelivery()...)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Specification 1: basic delivery.
+
+// CheckBasicDelivery verifies Specifications 1.3 and 1.4 (1.1 and 1.2 are
+// structural: the generating edges are acyclic by construction and each
+// process's events are totally ordered by their position in the history).
+func (c *Checker) CheckBasicDelivery() []Violation {
+	var out []Violation
+	ix := c.ix
+
+	// 1.4: a message is sent exactly once, in a regular configuration,
+	// and no process delivers it twice.
+	for m, sIdxs := range ix.sends {
+		if len(sIdxs) > 1 {
+			out = append(out, Violation{
+				Spec:   "1.4",
+				Msg:    fmt.Sprintf("message %s sent %d times", m, len(sIdxs)),
+				Events: sIdxs,
+			})
+		}
+		for _, s := range sIdxs {
+			if !ix.events[s].Config.IsRegular() {
+				out = append(out, Violation{
+					Spec:   "1.4",
+					Msg:    fmt.Sprintf("message %s sent in non-regular configuration %s", m, ix.events[s].Config),
+					Events: []int{s},
+				})
+			}
+		}
+	}
+	perProcDeliver := make(map[model.ProcessID]map[model.MessageID]int)
+	for m, dIdxs := range ix.delivers {
+		for _, d := range dIdxs {
+			p := ix.events[d].Proc
+			if perProcDeliver[p] == nil {
+				perProcDeliver[p] = make(map[model.MessageID]int)
+			}
+			if prev, dup := perProcDeliver[p][m]; dup {
+				out = append(out, Violation{
+					Spec:   "1.4",
+					Msg:    fmt.Sprintf("process %s delivered message %s twice", p, m),
+					Events: []int{prev, d},
+				})
+			}
+			perProcDeliver[p][m] = d
+		}
+	}
+
+	// 1.3: every delivery has a preceding send in the regular
+	// configuration underlying the delivery configuration.
+	for m, dIdxs := range ix.delivers {
+		sIdxs := ix.sends[m]
+		for _, d := range dIdxs {
+			de := ix.events[d]
+			if len(sIdxs) == 0 {
+				out = append(out, Violation{
+					Spec:   "1.3",
+					Msg:    fmt.Sprintf("message %s delivered by %s but never sent", m, de.Proc),
+					Events: []int{d},
+				})
+				continue
+			}
+			s := sIdxs[0]
+			se := ix.events[s]
+			if se.Config != de.Config.Prev() {
+				out = append(out, Violation{
+					Spec: "1.3",
+					Msg: fmt.Sprintf("message %s sent in %s but delivered by %s in %s",
+						m, se.Config, de.Proc, de.Config),
+					Events: []int{s, d},
+				})
+			}
+			if !ix.precedes(s, d) {
+				out = append(out, Violation{
+					Spec:   "1.3",
+					Msg:    fmt.Sprintf("delivery of %s by %s does not follow its send", m, de.Proc),
+					Events: []int{s, d},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Specification 2: delivery of configuration changes.
+
+// CheckConfigChanges verifies Specifications 2.1 (on settled histories) and
+// 2.2; 2.3 and 2.4 are verified jointly with 6.1/6.2 by CheckTotalOrder via
+// the condensation argument (see the package comment).
+func (c *Checker) CheckConfigChanges() []Violation {
+	var out []Violation
+	ix := c.ix
+
+	// A configuration must be delivered at most once per process, with
+	// consistent membership, and the process must be a member.
+	for cfg, idxs := range ix.confs {
+		seen := make(map[model.ProcessID]int)
+		for _, i := range idxs {
+			e := ix.events[i]
+			if prev, dup := seen[e.Proc]; dup {
+				out = append(out, Violation{
+					Spec:   "2.1",
+					Msg:    fmt.Sprintf("process %s delivered configuration %s twice", e.Proc, cfg),
+					Events: []int{prev, i},
+				})
+			}
+			seen[e.Proc] = i
+			if !e.Members.Equal(ix.members[cfg]) {
+				out = append(out, Violation{
+					Spec:   "2.1",
+					Msg:    fmt.Sprintf("configuration %s has inconsistent membership: %s vs %s", cfg, e.Members, ix.members[cfg]),
+					Events: []int{i},
+				})
+			}
+			if !e.Members.Contains(e.Proc) {
+				out = append(out, Violation{
+					Spec:   "2.2",
+					Msg:    fmt.Sprintf("process %s installed configuration %s it is not a member of", e.Proc, cfg),
+					Events: []int{i},
+				})
+			}
+		}
+	}
+
+	// 2.2: every send/deliver/fail occurs in the configuration initiated
+	// by the most recent configuration change of that process, with no
+	// intervening failure.
+	for p, idxs := range ix.byProc {
+		var current model.ConfigID
+		failed := false
+		for _, i := range idxs {
+			e := ix.events[i]
+			switch e.Type {
+			case model.EventDeliverConf:
+				current = e.Config
+				failed = false
+			case model.EventFail:
+				if e.Config != current {
+					out = append(out, Violation{
+						Spec:   "2.2",
+						Msg:    fmt.Sprintf("process %s failed in %s while its configuration is %s", p, e.Config, current),
+						Events: []int{i},
+					})
+				}
+				failed = true
+			case model.EventSend, model.EventDeliver:
+				if failed {
+					out = append(out, Violation{
+						Spec:   "2.2",
+						Msg:    fmt.Sprintf("process %s has %s after failing without recovering", p, e.Type),
+						Events: []int{i},
+					})
+				}
+				if e.Config != current {
+					out = append(out, Violation{
+						Spec: "2.2",
+						Msg: fmt.Sprintf("process %s has %s event in %s while its configuration is %s",
+							p, e.Type, e.Config, current),
+						Events: []int{i},
+					})
+				}
+			}
+		}
+	}
+
+	// 2.1 on settled histories: if p's final configuration is c and p
+	// did not fail, every member of c finishes in c without failing.
+	if c.opts.Settled {
+		out = append(out, c.checkFinalAgreement()...)
+	}
+	return out
+}
+
+// checkFinalAgreement enforces the settled-history reading of 2.1.
+func (c *Checker) checkFinalAgreement() []Violation {
+	var out []Violation
+	ix := c.ix
+	finals := make(map[model.ProcessID]model.ConfigID)
+	failedIn := make(map[model.ProcessID]bool)
+	for p, idxs := range ix.byProc {
+		for _, i := range idxs {
+			e := ix.events[i]
+			switch e.Type {
+			case model.EventDeliverConf:
+				finals[p] = e.Config
+				failedIn[p] = false
+			case model.EventFail:
+				failedIn[p] = true
+			}
+		}
+	}
+	for p, cfg := range finals {
+		if failedIn[p] {
+			continue
+		}
+		for _, q := range ix.members[cfg].Members() {
+			if failedIn[q] {
+				continue
+			}
+			if finals[q] != cfg {
+				out = append(out, Violation{
+					Spec: "2.1",
+					Msg: fmt.Sprintf("process %s finished in %s but member %s finished in %s",
+						p, cfg, q, finals[q]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Specification 3: self-delivery.
+
+// CheckSelfDelivery verifies that each process delivers its own messages
+// unless it fails in the sending configuration or its transitional
+// successor. Sends in a process's final configuration are checked only on
+// settled histories.
+func (c *Checker) CheckSelfDelivery() []Violation {
+	var out []Violation
+	ix := c.ix
+	for m, sIdxs := range ix.sends {
+		for _, s := range sIdxs {
+			se := ix.events[s]
+			p := se.Proc
+			zone := c.comZone(p, se.Config)
+			if c.failedIn(p, zone) {
+				continue
+			}
+			movedOn := c.leftZone(p, s, zone)
+			if !movedOn && !c.opts.Settled {
+				continue
+			}
+			if !c.deliveredIn(p, m, zone) {
+				out = append(out, Violation{
+					Spec:   "3",
+					Msg:    fmt.Sprintf("process %s never delivered its own message %s sent in %s", p, m, se.Config),
+					Events: []int{s},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// comZone returns the configurations forming com_p(c): the regular
+// configuration c plus p's transitional configuration following c, if any.
+func (c *Checker) comZone(p model.ProcessID, cfg model.ConfigID) []model.ConfigID {
+	zone := []model.ConfigID{cfg}
+	if cfg.IsTransitional() {
+		return zone
+	}
+	for _, i := range c.ix.confSeq(p) {
+		e := c.ix.events[i]
+		if e.Config.IsTransitional() && e.Config.Prev() == cfg {
+			zone = append(zone, e.Config)
+		}
+	}
+	return zone
+}
+
+// failedIn reports whether p has a fail event in any of the zone's
+// configurations.
+func (c *Checker) failedIn(p model.ProcessID, zone []model.ConfigID) bool {
+	for _, i := range c.ix.byProc[p] {
+		e := c.ix.events[i]
+		if e.Type == model.EventFail {
+			for _, z := range zone {
+				if e.Config == z {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// leftZone reports whether p delivered a configuration change outside the
+// zone after event idx.
+func (c *Checker) leftZone(p model.ProcessID, idx int, zone []model.ConfigID) bool {
+	for _, i := range c.ix.byProc[p] {
+		if i <= idx {
+			continue
+		}
+		e := c.ix.events[i]
+		if e.Type != model.EventDeliverConf {
+			continue
+		}
+		inZone := false
+		for _, z := range zone {
+			if e.Config == z {
+				inZone = true
+			}
+		}
+		if !inZone {
+			return true
+		}
+	}
+	return false
+}
+
+// deliveredIn reports whether p delivered m in one of the zone's
+// configurations.
+func (c *Checker) deliveredIn(p model.ProcessID, m model.MessageID, zone []model.ConfigID) bool {
+	for _, d := range c.ix.delivers[m] {
+		e := c.ix.events[d]
+		if e.Proc != p {
+			continue
+		}
+		for _, z := range zone {
+			if e.Config == z {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Specification 4: failure atomicity.
+
+// CheckFailureAtomicity verifies that two processes proceeding together
+// from configuration c to the same next configuration delivered the same
+// set of messages in c.
+func (c *Checker) CheckFailureAtomicity() []Violation {
+	var out []Violation
+	ix := c.ix
+
+	type procConf struct {
+		p   model.ProcessID
+		cfg model.ConfigID
+	}
+	next := make(map[procConf]model.ConfigID)
+	for p := range ix.byProc {
+		seq := ix.confSeq(p)
+		for k := 0; k+1 < len(seq); k++ {
+			cur := ix.events[seq[k]].Config
+			nxt := ix.events[seq[k+1]].Config
+			next[procConf{p, cur}] = nxt
+		}
+	}
+	delivered := make(map[procConf]map[model.MessageID]bool)
+	for m, dIdxs := range ix.delivers {
+		for _, d := range dIdxs {
+			e := ix.events[d]
+			k := procConf{e.Proc, e.Config}
+			if delivered[k] == nil {
+				delivered[k] = make(map[model.MessageID]bool)
+			}
+			delivered[k][m] = true
+		}
+	}
+
+	for cfg, idxs := range ix.confs {
+		for a := 0; a < len(idxs); a++ {
+			for b := a + 1; b < len(idxs); b++ {
+				p := ix.events[idxs[a]].Proc
+				q := ix.events[idxs[b]].Proc
+				np, okp := next[procConf{p, cfg}]
+				nq, okq := next[procConf{q, cfg}]
+				if !okp || !okq || np != nq {
+					continue
+				}
+				dp := delivered[procConf{p, cfg}]
+				dq := delivered[procConf{q, cfg}]
+				if diff := setDiff(dp, dq); diff != "" {
+					out = append(out, Violation{
+						Spec: "4",
+						Msg: fmt.Sprintf("processes %s and %s proceeded from %s to %s but delivered different sets: %s",
+							p, q, cfg, np, diff),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// setDiff describes the symmetric difference of two message sets ("" when
+// equal).
+func setDiff(a, b map[model.MessageID]bool) string {
+	var onlyA, onlyB []string
+	for m := range a {
+		if !b[m] {
+			onlyA = append(onlyA, m.String())
+		}
+	}
+	for m := range b {
+		if !a[m] {
+			onlyB = append(onlyB, m.String())
+		}
+	}
+	if len(onlyA) == 0 && len(onlyB) == 0 {
+		return ""
+	}
+	sort.Strings(onlyA)
+	sort.Strings(onlyB)
+	return fmt.Sprintf("first-only=%v second-only=%v", onlyA, onlyB)
+}
+
+// ---------------------------------------------------------------------------
+// Specification 5: causal delivery.
+
+// CheckCausalDelivery verifies that when send(m) precedes send(m') within a
+// configuration, any process delivering m' (in the configuration or its
+// transitional successor) also delivered m, earlier.
+func (c *Checker) CheckCausalDelivery() []Violation {
+	var out []Violation
+	ix := c.ix
+
+	// Group send events by regular configuration.
+	sendsByCfg := make(map[model.ConfigID][]int)
+	for _, sIdxs := range ix.sends {
+		for _, s := range sIdxs {
+			sendsByCfg[ix.events[s].Config] = append(sendsByCfg[ix.events[s].Config], s)
+		}
+	}
+	for _, sends := range sendsByCfg {
+		sort.Ints(sends)
+		for a := 0; a < len(sends); a++ {
+			for b := 0; b < len(sends); b++ {
+				if a == b || !ix.precedes(sends[a], sends[b]) {
+					continue
+				}
+				m := ix.events[sends[a]].Msg
+				m2 := ix.events[sends[b]].Msg
+				for _, d2 := range ix.delivers[m2] {
+					r := ix.events[d2].Proc
+					d1 := c.deliveryIndex(r, m)
+					if d1 < 0 {
+						out = append(out, Violation{
+							Spec: "5",
+							Msg: fmt.Sprintf("%s delivered %s but not its causal predecessor %s",
+								r, m2, m),
+							Events: []int{sends[a], sends[b], d2},
+						})
+						continue
+					}
+					if d1 > d2 {
+						out = append(out, Violation{
+							Spec: "5",
+							Msg: fmt.Sprintf("%s delivered %s before its causal predecessor %s",
+								r, m2, m),
+							Events: []int{d1, d2},
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// deliveryIndex returns the index of p's delivery of m, or -1.
+func (c *Checker) deliveryIndex(p model.ProcessID, m model.MessageID) int {
+	for _, d := range c.ix.delivers[m] {
+		if c.ix.events[d].Proc == p {
+			return d
+		}
+	}
+	return -1
+}

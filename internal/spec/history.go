@@ -1,0 +1,205 @@
+// Package spec makes the formal model of extended virtual synchrony
+// executable: it consumes event histories — send_p(m,c), deliver_p(m,c),
+// deliver_conf_p(c), fail_p(c) — produced by the protocol harness (or
+// constructed by hand) and checks them against Specifications 1-7 of the
+// paper, the primary-component properties of Section 2.2, and the virtual
+// synchrony legality conditions of Section 4.
+//
+// # The precedes relation and the ord function
+//
+// The paper axiomatizes a global partial order, the precedes relation "→",
+// and a logical total order function ord. A trace only exhibits the
+// generating edges of "→": the single-thread order of each process
+// (Specification 1.2) and the send-before-deliver edges (Specification
+// 1.3). Specifications 2.3, 2.4, 6.1 and 6.2 then constrain how "→" and
+// ord may be extended: deliveries of the same message occur at the same
+// logical time everywhere, as do configuration change deliveries of the
+// same configuration. The executable content of that constraint set is a
+// graph condensation: merge all deliver events of one message into one
+// node and all deliver_conf events of one configuration into one node,
+// lift the generating edges, and demand that the result is acyclic. If it
+// is, a topological numbering of the condensation is a witness for ord
+// (and for the barrier behaviour 2.3/2.4 require); if it is cyclic, no
+// legal ord exists and the specifications are violated.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// History is an append-only event trace. Events must be appended in an
+// order consistent with real time at a hypothetical global observer; the
+// deterministic simulation harness guarantees this. The zero value is an
+// empty history.
+type History struct {
+	events []model.Event
+}
+
+// Append records one event.
+func (h *History) Append(e model.Event) {
+	h.events = append(h.events, e)
+}
+
+// Events returns the underlying event slice (not a copy; callers must not
+// mutate).
+func (h *History) Events() []model.Event { return h.events }
+
+// Len returns the number of recorded events.
+func (h *History) Len() int { return len(h.events) }
+
+// Violation is one specification breach found in a history.
+type Violation struct {
+	// Spec identifies the clause, e.g. "1.3", "6.2", "primary-unique",
+	// "vs-L4".
+	Spec string
+	// Msg is a human-readable description.
+	Msg string
+	// Events are indices into the history of the offending events,
+	// where identifiable.
+	Events []int
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("[spec %s] %s (events %v)", v.Spec, v.Msg, v.Events)
+}
+
+// Options tune which checks run.
+type Options struct {
+	// Settled declares that the history ends in a quiet period: client
+	// traffic stopped and the protocol was given ample time to finish
+	// delivering. Liveness-flavoured clauses (self-delivery in the
+	// final configuration, safe-delivery completeness in the final
+	// configuration, final-configuration agreement 2.1) are enforced
+	// only on settled histories.
+	Settled bool
+}
+
+// index holds the derived structures every check shares.
+type index struct {
+	events []model.Event
+	// byProc lists event indices per process in history order, which is
+	// per-process order (Specification 1.2).
+	byProc map[model.ProcessID][]int
+	// sends maps message ID to the indices of its send events
+	// (Specification 1.4 demands exactly one).
+	sends map[model.MessageID][]int
+	// delivers maps message ID to indices of its deliver events.
+	delivers map[model.MessageID][]int
+	// confs maps configuration ID to indices of its deliver_conf
+	// events.
+	confs map[model.ConfigID][]int
+	// members caches the membership recorded for each configuration.
+	members map[model.ConfigID]model.ProcessSet
+	// reach is the transitive closure over the generating edges:
+	// reach[i] bit j set means event i precedes event j (i < j always,
+	// since generating edges respect history order).
+	reach []bitset
+}
+
+func buildIndex(events []model.Event) *index {
+	ix := &index{
+		events:   events,
+		byProc:   make(map[model.ProcessID][]int),
+		sends:    make(map[model.MessageID][]int),
+		delivers: make(map[model.MessageID][]int),
+		confs:    make(map[model.ConfigID][]int),
+		members:  make(map[model.ConfigID]model.ProcessSet),
+	}
+	for i, e := range events {
+		ix.byProc[e.Proc] = append(ix.byProc[e.Proc], i)
+		switch e.Type {
+		case model.EventSend:
+			ix.sends[e.Msg] = append(ix.sends[e.Msg], i)
+		case model.EventDeliver:
+			ix.delivers[e.Msg] = append(ix.delivers[e.Msg], i)
+		case model.EventDeliverConf:
+			ix.confs[e.Config] = append(ix.confs[e.Config], i)
+			if _, ok := ix.members[e.Config]; !ok {
+				ix.members[e.Config] = e.Members
+			}
+		}
+	}
+	ix.buildReach()
+	return ix
+}
+
+// buildReach computes the transitive closure of the generating edges. All
+// generating edges point forward in history order, so a single backward
+// sweep suffices. Events whose generating edges would point backward
+// (deliver before send) simply lack the edge; Check 1.3 reports them.
+func (ix *index) buildReach() {
+	n := len(ix.events)
+	ix.reach = make([]bitset, n)
+	words := (n + 63) / 64
+	// successors in the generating relation.
+	succ := make([][]int32, n)
+	for _, idxs := range ix.byProc {
+		for k := 0; k+1 < len(idxs); k++ {
+			succ[idxs[k]] = append(succ[idxs[k]], int32(idxs[k+1]))
+		}
+	}
+	for m, sIdxs := range ix.sends {
+		if len(sIdxs) == 0 {
+			continue
+		}
+		s := sIdxs[0]
+		for _, d := range ix.delivers[m] {
+			if s < d {
+				succ[s] = append(succ[s], int32(d))
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		b := newBitset(words)
+		for _, j := range succ[i] {
+			b.set(int(j))
+			b.orInto(ix.reach[j])
+		}
+		ix.reach[i] = b
+	}
+}
+
+// precedes reports whether event i precedes event j in the closure of the
+// generating edges (irreflexive: precedes(i,i) is false).
+func (ix *index) precedes(i, j int) bool {
+	if i == j {
+		return false
+	}
+	return ix.reach[i].get(j)
+}
+
+// confSeq returns, for process p, the indices of its deliver_conf events in
+// order: p's configuration sequence.
+func (ix *index) confSeq(p model.ProcessID) []int {
+	var out []int
+	for _, i := range ix.byProc[p] {
+		if ix.events[i].Type == model.EventDeliverConf {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// bitset is a fixed-size bit vector.
+type bitset []uint64
+
+func newBitset(words int) bitset { return make(bitset, words) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+func (b bitset) get(i int) bool {
+	w := i / 64
+	if w >= len(b) {
+		return false
+	}
+	return b[w]&(1<<(uint(i)%64)) != 0
+}
+
+func (b bitset) orInto(o bitset) {
+	for w := range o {
+		b[w] |= o[w]
+	}
+}

@@ -1,0 +1,354 @@
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// CheckTotalOrder verifies Specifications 6.1-6.3 together with the barrier
+// requirements 2.3/2.4, via the condensation argument described in the
+// package comment: a legal ord function exists exactly when the condensed
+// event graph — deliveries of one message merged, configuration change
+// deliveries of one configuration merged — is acyclic.
+func (c *Checker) CheckTotalOrder() []Violation {
+	var out []Violation
+	if _, cyclic := c.BuildOrd(); cyclic {
+		out = append(out, Violation{
+			Spec: "6.1/6.2",
+			Msg:  "no legal ord exists: the condensed event graph is cyclic",
+		})
+	}
+	out = append(out, c.checkDeliveryPrefix()...)
+	return out
+}
+
+// BuildOrd constructs a witness ord assignment: a map from event index to
+// logical time such that ord respects the generating edges (6.1), gives
+// deliveries of one message — and configuration changes of one
+// configuration — the same time (6.2), and gives distinct times otherwise.
+// The second result reports whether the condensation is cyclic, in which
+// case the assignment is nil.
+func (c *Checker) BuildOrd() (map[int]uint64, bool) {
+	ix := c.ix
+	n := len(ix.events)
+
+	// Assign each event to a supernode.
+	super := make([]int, n)
+	for i := range super {
+		super[i] = -1
+	}
+	nextSuper := 0
+	alloc := func(idxs []int) {
+		s := nextSuper
+		nextSuper++
+		for _, i := range idxs {
+			super[i] = s
+		}
+	}
+	for _, dIdxs := range ix.delivers {
+		alloc(dIdxs)
+	}
+	for _, cIdxs := range ix.confs {
+		alloc(cIdxs)
+	}
+	for i := range super {
+		if super[i] == -1 {
+			alloc([]int{i})
+		}
+	}
+
+	// Lift generating edges to supernodes.
+	adj := make(map[int]map[int]bool, nextSuper)
+	addEdge := func(a, b int) {
+		sa, sb := super[a], super[b]
+		if sa == sb {
+			return
+		}
+		if adj[sa] == nil {
+			adj[sa] = make(map[int]bool)
+		}
+		adj[sa][sb] = true
+	}
+	for _, idxs := range ix.byProc {
+		for k := 0; k+1 < len(idxs); k++ {
+			addEdge(idxs[k], idxs[k+1])
+		}
+	}
+	for m, sIdxs := range ix.sends {
+		if len(sIdxs) == 0 {
+			continue
+		}
+		for _, d := range ix.delivers[m] {
+			addEdge(sIdxs[0], d)
+		}
+	}
+
+	// Topologically sort the supernode graph (Kahn).
+	indeg := make([]int, nextSuper)
+	for _, ss := range adj {
+		for b := range ss {
+			indeg[b]++
+		}
+	}
+	var queue []int
+	for s := 0; s < nextSuper; s++ {
+		if indeg[s] == 0 {
+			queue = append(queue, s)
+		}
+	}
+	rank := make([]uint64, nextSuper)
+	var done int
+	var t uint64
+	for len(queue) > 0 {
+		// Deterministic: pick the smallest ready supernode.
+		min := 0
+		for k := 1; k < len(queue); k++ {
+			if queue[k] < queue[min] {
+				min = k
+			}
+		}
+		s := queue[min]
+		queue = append(queue[:min], queue[min+1:]...)
+		t++
+		rank[s] = t
+		done++
+		for b := range adj[s] {
+			indeg[b]--
+			if indeg[b] == 0 {
+				queue = append(queue, b)
+			}
+		}
+	}
+	if done != nextSuper {
+		return nil, true
+	}
+	ord := make(map[int]uint64, n)
+	for i := 0; i < n; i++ {
+		ord[i] = rank[super[i]]
+	}
+	return ord, false
+}
+
+// checkDeliveryPrefix verifies Specification 6.3: if p delivered m before
+// m' within com_p(c), and q delivered m' in configuration c' whose
+// membership includes m's sender, then q delivered m within com_q(c').
+func (c *Checker) checkDeliveryPrefix() []Violation {
+	var out []Violation
+	ix := c.ix
+
+	// Per-process delivery order per regular family (regular
+	// configuration and its transitional successors share a family
+	// keyed by the regular configuration's ID).
+	type famKey struct {
+		p   model.ProcessID
+		reg model.ConfigID
+	}
+	famDeliveries := make(map[famKey][]int)
+	for p, idxs := range ix.byProc {
+		for _, i := range idxs {
+			e := ix.events[i]
+			if e.Type != model.EventDeliver {
+				continue
+			}
+			k := famKey{p, e.Config.Prev()}
+			famDeliveries[k] = append(famDeliveries[k], i)
+		}
+	}
+
+	for key, dels := range famDeliveries {
+		for a := 0; a < len(dels); a++ {
+			for b := a + 1; b < len(dels); b++ {
+				m := ix.events[dels[a]].Msg  // delivered first
+				m2 := ix.events[dels[b]].Msg // delivered later
+				sender := m.Sender           // = r in the spec
+				for _, d2 := range ix.delivers[m2] {
+					q := ix.events[d2].Proc
+					if q == key.p {
+						continue
+					}
+					cPrime := ix.events[d2].Config
+					if !ix.events[d2].Members.Contains(sender) {
+						continue
+					}
+					if !c.deliveredIn(q, m, c.comZoneOf(q, cPrime)) {
+						out = append(out, Violation{
+							Spec: "6.3",
+							Msg: fmt.Sprintf("%s delivered %s (after %s at %s) in %s whose membership includes %s, but never delivered %s",
+								q, m2, m, key.p, cPrime, sender, m),
+							Events: []int{dels[a], dels[b], d2},
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// comZoneOf returns com_q(c') as a zone: for a regular configuration, the
+// configuration plus q's transitional successor; for a transitional
+// configuration, the underlying regular configuration plus itself.
+func (c *Checker) comZoneOf(q model.ProcessID, cfg model.ConfigID) []model.ConfigID {
+	if cfg.IsTransitional() {
+		return []model.ConfigID{cfg.Prev(), cfg}
+	}
+	return c.comZone(q, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Specification 7: safe delivery.
+
+// CheckSafeDelivery verifies Specifications 7.1 and 7.2 for messages sent
+// with the safe service. Deliveries within a process's final configuration
+// zone are enforced only on settled histories.
+func (c *Checker) CheckSafeDelivery() []Violation {
+	var out []Violation
+	ix := c.ix
+
+	for m, dIdxs := range ix.delivers {
+		for _, d := range dIdxs {
+			e := ix.events[d]
+			if e.Service != model.Safe {
+				continue
+			}
+			members := e.Members
+
+			// 7.2: a safe delivery in a regular configuration
+			// requires every member to have installed it.
+			if e.Config.IsRegular() {
+				for _, q := range members.Members() {
+					if !c.installed(q, e.Config) {
+						out = append(out, Violation{
+							Spec: "7.2",
+							Msg: fmt.Sprintf("%s delivered safe message %s in %s but member %s never installed it",
+								e.Proc, m, e.Config, q),
+							Events: []int{d},
+						})
+					}
+				}
+			}
+
+			// 7.1: every member delivers m in its own com zone or
+			// fails there.
+			for _, q := range members.Members() {
+				if q == e.Proc {
+					continue
+				}
+				zone := c.comZoneOf(q, e.Config)
+				if c.deliveredIn(q, m, zone) || c.failedIn(q, zone) {
+					continue
+				}
+				if !c.opts.Settled && c.inFinalZone(q, zone) {
+					continue
+				}
+				out = append(out, Violation{
+					Spec: "7.1",
+					Msg: fmt.Sprintf("%s delivered safe message %s in %s but member %s neither delivered nor failed",
+						e.Proc, m, e.Config, q),
+					Events: []int{d},
+				})
+			}
+		}
+	}
+	return out
+}
+
+// installed reports whether q delivered a configuration change for cfg.
+func (c *Checker) installed(q model.ProcessID, cfg model.ConfigID) bool {
+	for _, i := range c.ix.confs[cfg] {
+		if c.ix.events[i].Proc == q {
+			return true
+		}
+	}
+	return false
+}
+
+// inFinalZone reports whether q's last configuration belongs to the zone.
+func (c *Checker) inFinalZone(q model.ProcessID, zone []model.ConfigID) bool {
+	seq := c.ix.confSeq(q)
+	if len(seq) == 0 {
+		// q never installed anything; its whole (empty) history is
+		// final.
+		return true
+	}
+	last := c.ix.events[seq[len(seq)-1]].Config
+	for _, z := range zone {
+		if last == z {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Section 2.2: the primary component model.
+
+// CheckPrimary verifies Uniqueness — the primary components are totally
+// ordered by the precedes relation — and Continuity — consecutive primary
+// components share at least one member.
+func (c *Checker) CheckPrimary() []Violation {
+	var out []Violation
+	ix := c.ix
+
+	// Collect primary configurations with their deliver_conf indices.
+	prim := make(map[model.ConfigID][]int)
+	for cfg, idxs := range ix.confs {
+		for _, i := range idxs {
+			if ix.events[i].Primary {
+				prim[cfg] = append(prim[cfg], i)
+			}
+		}
+	}
+	ids := make([]model.ConfigID, 0, len(prim))
+	for cfg := range prim {
+		ids = append(ids, cfg)
+	}
+	// Order primaries: C before C' when some deliver_conf of C precedes
+	// some deliver_conf of C' in the closure (continuity's shared
+	// member supplies the path in conforming histories).
+	before := func(a, b model.ConfigID) bool {
+		for _, i := range prim[a] {
+			for _, j := range prim[b] {
+				if ix.precedes(i, j) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Uniqueness: every pair must be ordered one way, not both.
+	for a := 0; a < len(ids); a++ {
+		for b := a + 1; b < len(ids); b++ {
+			ab, ba := before(ids[a], ids[b]), before(ids[b], ids[a])
+			if ab == ba {
+				out = append(out, Violation{
+					Spec: "primary-unique",
+					Msg: fmt.Sprintf("primary components %s and %s are not totally ordered (both=%v)",
+						ids[a], ids[b], ab),
+				})
+			}
+		}
+	}
+	// Continuity: sort by the order and require adjacent intersection.
+	ordered := make([]model.ConfigID, len(ids))
+	copy(ordered, ids)
+	for i := 0; i < len(ordered); i++ {
+		for j := i + 1; j < len(ordered); j++ {
+			if before(ordered[j], ordered[i]) {
+				ordered[i], ordered[j] = ordered[j], ordered[i]
+			}
+		}
+	}
+	for k := 0; k+1 < len(ordered); k++ {
+		a, b := ordered[k], ordered[k+1]
+		if !ix.members[a].Intersects(ix.members[b]) {
+			out = append(out, Violation{
+				Spec: "primary-continuity",
+				Msg: fmt.Sprintf("consecutive primary components %s%s and %s%s share no member",
+					a, ix.members[a], b, ix.members[b]),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+// Package stable simulates per-process stable storage.
+//
+// The EVS model's failure model lets a process fail and later recover "with
+// its stable storage intact" and with the same identifier (Section 2). The
+// Store holds exactly the protocol state that must survive such a failure:
+// the sender sequence counter (so message identifiers are never reused), the
+// last regular configuration and the receipt/delivery state for it (so a
+// recovered process can rejoin consistently and honour its obligations), the
+// obligation set itself, and the primary-component history used by the
+// primary component algorithm.
+//
+// Reads and writes deep-copy the record, simulating the disk boundary: no
+// aliasing between volatile protocol state and persisted state is possible.
+package stable
+
+import (
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// Record is the persistent state of one process.
+type Record struct {
+	// SenderSeq is the last per-sender sequence number used for an
+	// originated message; never reused across recoveries
+	// (Specification 1.4).
+	SenderSeq uint64
+	// JoinAttempt is the membership join counter; persisting it keeps a
+	// recovered process's joins fresh so peers do not discard them as
+	// duplicates of its previous incarnation.
+	JoinAttempt uint64
+	// MaxRingSeq is the highest ring sequence number this process has
+	// ever observed, keeping configuration identifiers fresh across
+	// recoveries.
+	MaxRingSeq uint64
+	// LastRegular is the last regular configuration this process
+	// installed (delivered a configuration change for).
+	LastRegular model.Configuration
+	// DeliveredUpTo is the delivery watermark within LastRegular's
+	// total order.
+	DeliveredUpTo uint64
+	// SafeBound is the highest sequence number known received by every
+	// member of LastRegular.
+	SafeBound uint64
+	// HighestSeen is the highest sequence number known assigned in
+	// LastRegular.
+	HighestSeen uint64
+	// Log holds received messages of LastRegular by sequence number,
+	// persisted before acknowledging receipt so that a recovered
+	// process can still rebroadcast and deliver what it acknowledged.
+	Log map[uint64]wire.Data
+	// Obligations is the obligation set (Section 3, Steps 1 and 5.c).
+	Obligations model.ProcessSet
+	// LastPrimary is the most recent primary component this process
+	// installed or learned of, with its sequence for recency.
+	LastPrimary model.Configuration
+	// PrimaryAttempt marks a primary installation this process agreed
+	// to attempt but has not confirmed completed; used by the primary
+	// component algorithm to preserve uniqueness across interrupted
+	// installations.
+	PrimaryAttempt model.Configuration
+}
+
+// clone deep-copies a record.
+func (r Record) clone() Record {
+	out := r
+	if r.Log != nil {
+		out.Log = make(map[uint64]wire.Data, len(r.Log))
+		for k, v := range r.Log {
+			c := v
+			if v.Payload != nil {
+				c.Payload = append([]byte(nil), v.Payload...)
+			}
+			if v.VC != nil {
+				c.VC = v.VC.Clone()
+			}
+			out.Log[k] = c
+		}
+	}
+	// model.ProcessSet and model.Configuration are immutable by
+	// convention; sharing is safe.
+	return out
+}
+
+// Store is the stable storage device of one process. The zero value is an
+// empty store ready for use.
+type Store struct {
+	rec    Record
+	writes uint64
+}
+
+// Load returns a deep copy of the persisted record.
+func (s *Store) Load() Record { return s.rec.clone() }
+
+// Save persists a deep copy of the record, replacing the previous contents
+// atomically (simulating an atomic disk commit).
+func (s *Store) Save(r Record) {
+	s.rec = r.clone()
+	s.writes++
+}
+
+// Writes returns the number of persistence operations, a proxy for
+// stable-storage I/O cost in the benchmark harness.
+func (s *Store) Writes() uint64 { return s.writes }
+
+// SetScalars persists every field of r except the message log and the
+// primary-component records (Log, LastPrimary, PrimaryAttempt are left as
+// stored). It is the hot-path persistence operation: cost independent of
+// the log size.
+func (s *Store) SetScalars(r Record) {
+	log := s.rec.Log
+	lp := s.rec.LastPrimary
+	pa := s.rec.PrimaryAttempt
+	s.rec = r
+	s.rec.Log = log
+	s.rec.LastPrimary = lp
+	s.rec.PrimaryAttempt = pa
+	s.writes++
+}
+
+// PutLog persists one received message (deep-copied once).
+func (s *Store) PutLog(d wire.Data) {
+	if s.rec.Log == nil {
+		s.rec.Log = make(map[uint64]wire.Data)
+	}
+	c := d
+	if d.Payload != nil {
+		c.Payload = append([]byte(nil), d.Payload...)
+	}
+	if d.VC != nil {
+		c.VC = d.VC.Clone()
+	}
+	s.rec.Log[d.Seq] = c
+	s.writes++
+}
+
+// ClearLog drops the persisted message log (a new configuration starts an
+// empty log).
+func (s *Store) ClearLog() {
+	s.rec.Log = nil
+	s.writes++
+}

@@ -1,0 +1,166 @@
+package stable
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+func TestZeroStoreLoadsEmptyRecord(t *testing.T) {
+	var s Store
+	r := s.Load()
+	if r.SenderSeq != 0 || r.Log != nil || !r.LastRegular.ID.IsZero() {
+		t.Fatalf("zero store should load zero record, got %+v", r)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	var s Store
+	rec := Record{
+		SenderSeq:     5,
+		MaxRingSeq:    3,
+		LastRegular:   model.Configuration{ID: model.RegularID(3, "p"), Members: model.NewProcessSet("p", "q")},
+		DeliveredUpTo: 9,
+		SafeBound:     7,
+		HighestSeen:   12,
+		Log: map[uint64]wire.Data{
+			10: {ID: model.MessageID{Sender: "q", SenderSeq: 2}, Seq: 10, Payload: []byte("x"), VC: vclock.VC{"q": 2}},
+		},
+		Obligations: model.NewProcessSet("q"),
+	}
+	s.Save(rec)
+	got := s.Load()
+	if got.SenderSeq != 5 || got.DeliveredUpTo != 9 || got.SafeBound != 7 || got.HighestSeen != 12 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if !got.Obligations.Contains("q") {
+		t.Fatal("obligations lost")
+	}
+	if got.Log[10].ID.SenderSeq != 2 || string(got.Log[10].Payload) != "x" {
+		t.Fatalf("log lost: %+v", got.Log)
+	}
+}
+
+func TestSaveIsDeepCopyIn(t *testing.T) {
+	var s Store
+	log := map[uint64]wire.Data{1: {Seq: 1, Payload: []byte("a")}}
+	s.Save(Record{Log: log})
+	// Mutate the caller's map and payload after Save.
+	log[2] = wire.Data{Seq: 2}
+	log1 := log[1]
+	log1.Payload[0] = 'z'
+	got := s.Load()
+	if len(got.Log) != 1 {
+		t.Fatal("Save must deep-copy the log map")
+	}
+	if string(got.Log[1].Payload) != "a" {
+		t.Fatal("Save must deep-copy payloads")
+	}
+}
+
+func TestLoadIsDeepCopyOut(t *testing.T) {
+	var s Store
+	s.Save(Record{Log: map[uint64]wire.Data{1: {Seq: 1, Payload: []byte("a"), VC: vclock.VC{"p": 1}}}})
+	got := s.Load()
+	got.Log[2] = wire.Data{Seq: 2}
+	g1 := got.Log[1]
+	g1.Payload[0] = 'z'
+	g1.VC.Tick("p")
+	again := s.Load()
+	if len(again.Log) != 1 || string(again.Log[1].Payload) != "a" || again.Log[1].VC["p"] != 1 {
+		t.Fatal("Load must deep-copy so callers cannot mutate the store")
+	}
+}
+
+func TestWritesCounter(t *testing.T) {
+	var s Store
+	if s.Writes() != 0 {
+		t.Fatal("fresh store should report zero writes")
+	}
+	s.Save(Record{})
+	s.Save(Record{})
+	if s.Writes() != 2 {
+		t.Fatalf("Writes() = %d, want 2", s.Writes())
+	}
+}
+
+func TestSaveReplacesWholeRecord(t *testing.T) {
+	var s Store
+	s.Save(Record{SenderSeq: 5, Obligations: model.NewProcessSet("q")})
+	s.Save(Record{SenderSeq: 6})
+	got := s.Load()
+	if got.SenderSeq != 6 || !got.Obligations.IsEmpty() {
+		t.Fatalf("Save should replace, got %+v", got)
+	}
+}
+
+func TestSetScalarsPreservesLogAndPrimary(t *testing.T) {
+	var s Store
+	s.Save(Record{
+		Log:            map[uint64]wire.Data{1: {Seq: 1, Payload: []byte("x")}},
+		LastPrimary:    model.Configuration{ID: model.RegularID(2, "p"), Members: model.NewProcessSet("p")},
+		PrimaryAttempt: model.Configuration{ID: model.RegularID(3, "p"), Members: model.NewProcessSet("p")},
+	})
+	s.SetScalars(Record{
+		SenderSeq:     7,
+		JoinAttempt:   9,
+		MaxRingSeq:    4,
+		DeliveredUpTo: 1,
+		SafeBound:     1,
+		HighestSeen:   2,
+		Obligations:   model.NewProcessSet("q"),
+		// These must be ignored by SetScalars:
+		Log:         map[uint64]wire.Data{99: {Seq: 99}},
+		LastPrimary: model.Configuration{ID: model.RegularID(9, "z")},
+	})
+	got := s.Load()
+	if got.SenderSeq != 7 || got.JoinAttempt != 9 || got.MaxRingSeq != 4 {
+		t.Fatalf("scalars not persisted: %+v", got)
+	}
+	if len(got.Log) != 1 || got.Log[1].Seq != 1 {
+		t.Fatalf("SetScalars must not touch the log: %v", got.Log)
+	}
+	if got.LastPrimary.ID != model.RegularID(2, "p") || got.PrimaryAttempt.ID != model.RegularID(3, "p") {
+		t.Fatalf("SetScalars must not touch primary records: %+v", got)
+	}
+	if !got.Obligations.Contains("q") {
+		t.Fatal("obligations lost")
+	}
+}
+
+func TestPutLogDeepCopiesAndAccumulates(t *testing.T) {
+	var s Store
+	payload := []byte("abc")
+	s.PutLog(wire.Data{Seq: 5, Payload: payload, VC: vclock.VC{"p": 1}})
+	payload[0] = 'z'
+	s.PutLog(wire.Data{Seq: 6})
+	got := s.Load()
+	if len(got.Log) != 2 {
+		t.Fatalf("log size %d, want 2", len(got.Log))
+	}
+	if string(got.Log[5].Payload) != "abc" {
+		t.Fatal("PutLog must deep-copy the payload")
+	}
+	if got.Log[5].VC["p"] != 1 {
+		t.Fatal("PutLog must keep the vector clock")
+	}
+}
+
+func TestClearLog(t *testing.T) {
+	var s Store
+	s.PutLog(wire.Data{Seq: 1})
+	s.SetScalars(Record{SenderSeq: 3})
+	s.ClearLog()
+	got := s.Load()
+	if got.Log != nil {
+		t.Fatalf("log not cleared: %v", got.Log)
+	}
+	if got.SenderSeq != 3 {
+		t.Fatal("ClearLog must not touch scalars")
+	}
+	if s.Writes() != 3 {
+		t.Fatalf("Writes() = %d, want 3", s.Writes())
+	}
+}

@@ -1,0 +1,98 @@
+package totem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// benchRing drives a ring of n members synchronously (no network) with
+// saturated senders and returns messages delivered per token rotation —
+// the flow-control ablation DESIGN.md calls out: delivery rate is bounded
+// by MaxPerToken × members per rotation, and the window caps outstanding
+// unacknowledged messages.
+func benchRing(b *testing.B, n int, opts Options) {
+	ids := make([]model.ProcessID, n)
+	for i := range ids {
+		ids[i] = model.ProcessID(fmt.Sprintf("p%02d", i))
+	}
+	cfg := model.Configuration{ID: model.RegularID(1, ids[0]), Members: model.NewProcessSet(ids...)}
+	rings := make([]*Ring, n)
+	for i, id := range ids {
+		rings[i] = New(id, cfg, opts)
+	}
+	tok := rings[0].InitialToken()
+	seq := uint64(0)
+	delivered := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rings[i%n]
+		// Keep the queue saturated.
+		for r.PendingCount() < opts.MaxPerToken {
+			seq++
+			r.Submit(Pending{ID: model.MessageID{Sender: r.self, SenderSeq: seq}, Service: model.Safe})
+		}
+		res := r.OnToken(tok)
+		if !res.Accepted {
+			b.Fatal("token rejected")
+		}
+		for _, d := range res.Broadcasts {
+			for j, other := range rings {
+				if j != i%n {
+					other.OnData(d)
+				}
+			}
+		}
+		delivered += len(res.Deliveries)
+		tok = res.Forward
+	}
+	b.StopTimer()
+	if b.N > n {
+		b.ReportMetric(float64(delivered)/(float64(b.N)/float64(n)), "msgs/rotation")
+	}
+}
+
+func BenchmarkRingSaturated(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			benchRing(b, n, DefaultOptions())
+		})
+	}
+}
+
+// BenchmarkRingAblationMaxPerToken shows the batching knob: msgs/rotation
+// scales with MaxPerToken until the window binds.
+func BenchmarkRingAblationMaxPerToken(b *testing.B) {
+	for _, mpt := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("maxPerToken=%d", mpt), func(b *testing.B) {
+			benchRing(b, 4, Options{MaxPerToken: mpt, Window: 1024})
+		})
+	}
+}
+
+// BenchmarkRingAblationWindow shows the flow-control window: a small
+// window throttles sequencing regardless of batching.
+func BenchmarkRingAblationWindow(b *testing.B) {
+	for _, w := range []uint64{8, 64, 512} {
+		b.Run(fmt.Sprintf("window=%d", w), func(b *testing.B) {
+			benchRing(b, 4, Options{MaxPerToken: 64, Window: w})
+		})
+	}
+}
+
+// BenchmarkOnData measures the per-message ingest cost.
+func BenchmarkOnData(b *testing.B) {
+	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p", "q")}
+	r := New("p", cfg, DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.OnData(wire.Data{
+			ID:      model.MessageID{Sender: "q", SenderSeq: uint64(i + 1)},
+			Ring:    cfg.ID,
+			Seq:     uint64(i + 1),
+			Service: model.Agreed,
+		})
+	}
+}

@@ -1,0 +1,372 @@
+// Package totem implements the operational half of the Totem single-ring
+// protocol: token-passing total ordering of broadcast messages within one
+// regular configuration, with retransmission, flow control, and the
+// aru-based acknowledgment mechanism from which both agreed and safe
+// delivery are derived.
+//
+// A message is delivered in agreed order as soon as every message with a
+// smaller sequence number has been delivered. A message is delivered in
+// safe order once the process has observed the token's aru ("all received
+// up to") at or above the message's sequence number on two successive token
+// visits: between those visits the token made a full rotation, and because
+// a process only ever forwards the token with an aru no greater than its
+// own contiguous-receipt watermark, every ring member must have received
+// the message. This is the acknowledgment described in Step 1 of the EVS
+// algorithm (Section 3 of the paper).
+//
+// The Ring type is a pure state machine: it consumes received wire messages
+// and emits messages to transmit and messages to deliver. Timers, the
+// network, stable storage and the recovery algorithm live in other
+// packages.
+package totem
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// Options tune the ordering protocol.
+type Options struct {
+	// MaxPerToken bounds the number of new messages sequenced per token
+	// visit.
+	MaxPerToken int
+	// Window bounds token.Seq - token.Aru: no new messages are
+	// sequenced while more than Window messages are unacknowledged.
+	Window uint64
+}
+
+// DefaultOptions returns the tuning used by the test and benchmark
+// harnesses.
+func DefaultOptions() Options {
+	return Options{MaxPerToken: 16, Window: 256}
+}
+
+// Pending is an application message awaiting sequencing.
+type Pending struct {
+	ID      model.MessageID
+	Service model.Service
+	Payload []byte
+}
+
+// TokenResult is everything a token visit produces.
+type TokenResult struct {
+	// Accepted is false when the token was stale or for another ring;
+	// nothing else is set in that case.
+	Accepted bool
+	// Broadcasts are data messages to broadcast: retransmissions
+	// requested via the token followed by newly sequenced messages.
+	Broadcasts []wire.Data
+	// Sent are the newly sequenced messages (a subset of Broadcasts);
+	// each is a send event of the formal model.
+	Sent []wire.Data
+	// Forward is the updated token to unicast to the ring successor.
+	Forward wire.Token
+	// Deliveries are messages that became deliverable, in total order.
+	Deliveries []wire.Data
+}
+
+// Ring is the per-process ordering state for one regular configuration.
+type Ring struct {
+	self model.ProcessID
+	cfg  model.Configuration
+	opts Options
+
+	recv          map[uint64]wire.Data
+	myAru         uint64 // contiguous receipt watermark
+	highestSeen   uint64 // highest sequence number known assigned
+	deliveredUpTo uint64
+	safeBound     uint64 // two-visit safe watermark
+	lastFwdAru    uint64 // aru on the token this process last forwarded
+	everForwarded bool
+	lastTokenID   uint64
+	pending       []Pending
+	vc            vclock.VC
+}
+
+// New creates the ordering state for configuration cfg at process self.
+// Received and delivered state may be seeded (recovered from stable
+// storage) via the returned ring's Restore method.
+func New(self model.ProcessID, cfg model.Configuration, opts Options) *Ring {
+	if opts.MaxPerToken <= 0 {
+		opts.MaxPerToken = DefaultOptions().MaxPerToken
+	}
+	if opts.Window == 0 {
+		opts.Window = DefaultOptions().Window
+	}
+	return &Ring{
+		self: self,
+		cfg:  cfg,
+		opts: opts,
+		recv: make(map[uint64]wire.Data),
+		vc:   vclock.New(),
+	}
+}
+
+// Config returns the ring's configuration.
+func (r *Ring) Config() model.Configuration { return r.cfg }
+
+// Successor returns the next process after self in ring order.
+func (r *Ring) Successor() model.ProcessID {
+	m := r.cfg.Members.Members()
+	for i, id := range m {
+		if id == r.self {
+			return m[(i+1)%len(m)]
+		}
+	}
+	// Self not a member: degenerate, return self.
+	return r.self
+}
+
+// IsRepresentative reports whether self is the lowest-ordered member, the
+// process that originates the first token.
+func (r *Ring) IsRepresentative() bool {
+	min, ok := r.cfg.Members.Min()
+	return ok && min == r.self
+}
+
+// InitialToken returns the first token of the ring, originated by the
+// representative.
+func (r *Ring) InitialToken() wire.Token {
+	return wire.Token{Ring: r.cfg.ID, TokenID: 1}
+}
+
+// Submit queues an application message for sequencing at the next token
+// visit.
+func (r *Ring) Submit(p Pending) {
+	r.pending = append(r.pending, p)
+}
+
+// PendingCount returns the number of queued, not-yet-sequenced messages.
+func (r *Ring) PendingCount() int { return len(r.pending) }
+
+// TakePending removes and returns all queued messages; the EVS recovery
+// algorithm carries them into the next regular configuration, where they
+// are sequenced (and thus, in the formal model's terms, sent).
+func (r *Ring) TakePending() []Pending {
+	p := r.pending
+	r.pending = nil
+	return p
+}
+
+// OnData ingests a received data message for this ring and returns any
+// messages that become deliverable, in total order.
+func (r *Ring) OnData(d wire.Data) []wire.Data {
+	if d.Ring != r.cfg.ID || d.Seq == 0 {
+		return nil
+	}
+	if d.Seq > r.highestSeen {
+		r.highestSeen = d.Seq
+	}
+	if d.Seq <= r.deliveredUpTo {
+		return nil
+	}
+	if _, dup := r.recv[d.Seq]; dup {
+		return nil
+	}
+	r.recv[d.Seq] = d
+	r.advanceAru()
+	return r.collectDeliverable()
+}
+
+// OnToken processes a token visit: it satisfies retransmission requests,
+// sequences pending messages, updates the aru and the safe watermark,
+// collects deliverable messages, and produces the token to forward.
+func (r *Ring) OnToken(t wire.Token) TokenResult {
+	if t.Ring != r.cfg.ID || t.TokenID <= r.lastTokenID {
+		return TokenResult{}
+	}
+	r.lastTokenID = t.TokenID
+	res := TokenResult{Accepted: true}
+
+	if t.Seq > r.highestSeen {
+		r.highestSeen = t.Seq
+	}
+
+	// Retransmit requested messages this process holds.
+	remaining := t.Rtr[:0:0]
+	for _, seq := range t.Rtr {
+		if d, ok := r.recv[seq]; ok {
+			d.Retrans = true
+			res.Broadcasts = append(res.Broadcasts, d)
+		} else if seq > r.deliveredUpTo {
+			remaining = append(remaining, seq)
+		}
+		// Requests at or below our delivery watermark that we no
+		// longer hold are dropped: the requester will re-request and
+		// someone holding the message will answer. (We retain
+		// delivered messages in recv, so this arm is defensive.)
+	}
+	t.Rtr = remaining
+
+	// Sequence new messages within the flow-control window.
+	for len(r.pending) > 0 &&
+		len(res.Sent) < r.opts.MaxPerToken &&
+		t.Seq-t.Aru < r.opts.Window {
+		p := r.pending[0]
+		r.pending = r.pending[1:]
+		t.Seq++
+		r.vc.Tick(r.self)
+		d := wire.Data{
+			ID:      p.ID,
+			Ring:    r.cfg.ID,
+			Seq:     t.Seq,
+			Service: p.Service,
+			Payload: p.Payload,
+			VC:      r.vc.Clone(),
+		}
+		r.recv[d.Seq] = d
+		if d.Seq > r.highestSeen {
+			r.highestSeen = d.Seq
+		}
+		res.Sent = append(res.Sent, d)
+		res.Broadcasts = append(res.Broadcasts, d)
+	}
+	r.advanceAru()
+
+	// Request retransmission of messages this process is missing.
+	have := make(map[uint64]bool, len(t.Rtr))
+	for _, seq := range t.Rtr {
+		have[seq] = true
+	}
+	for seq := r.myAru + 1; seq <= t.Seq; seq++ {
+		if _, ok := r.recv[seq]; !ok && !have[seq] {
+			t.Rtr = append(t.Rtr, seq)
+		}
+	}
+	sort.Slice(t.Rtr, func(i, j int) bool { return t.Rtr[i] < t.Rtr[j] })
+
+	// Two-visit safe watermark: messages acknowledged on both the
+	// previously forwarded token and the incoming token are stable at
+	// every member.
+	if r.everForwarded {
+		bound := t.Aru
+		if r.lastFwdAru < bound {
+			bound = r.lastFwdAru
+		}
+		if bound > r.safeBound {
+			r.safeBound = bound
+		}
+	}
+
+	// Aru update: lower to our watermark if we are missing messages;
+	// raise if we set it previously (or it is unowned and current).
+	switch {
+	case r.myAru < t.Aru:
+		t.Aru = r.myAru
+		t.AruID = r.self
+	case t.AruID == r.self || t.AruID == "":
+		t.Aru = r.myAru
+		t.AruID = ""
+		if r.myAru < t.Seq {
+			t.AruID = r.self
+		}
+	}
+
+	res.Deliveries = r.collectDeliverable()
+
+	t.TokenID++
+	r.lastFwdAru = t.Aru
+	r.everForwarded = true
+	res.Forward = t
+	return res
+}
+
+// advanceAru advances the contiguous receipt watermark.
+func (r *Ring) advanceAru() {
+	for {
+		if _, ok := r.recv[r.myAru+1]; !ok {
+			return
+		}
+		r.myAru++
+	}
+}
+
+// collectDeliverable returns, in order, received messages past the delivery
+// watermark, stopping at a gap or at a safe-service message that is not yet
+// safe. A blocked safe message blocks everything behind it: delivery is in
+// total order.
+func (r *Ring) collectDeliverable() []wire.Data {
+	var out []wire.Data
+	for {
+		d, ok := r.recv[r.deliveredUpTo+1]
+		if !ok {
+			return out
+		}
+		if d.Service == model.Safe && d.Seq > r.safeBound {
+			return out
+		}
+		r.deliveredUpTo++
+		r.vc.Merge(d.VC)
+		out = append(out, d)
+	}
+}
+
+// State is the ring's receipt and delivery state, exchanged during recovery
+// (Step 3) and persisted to stable storage.
+type State struct {
+	MyAru         uint64
+	Have          []uint64 // received sequence numbers above MyAru
+	SafeBound     uint64
+	HighestSeen   uint64
+	DeliveredUpTo uint64
+}
+
+// Snapshot returns the ring's exchange state.
+func (r *Ring) Snapshot() State {
+	var have []uint64
+	for seq := range r.recv {
+		if seq > r.myAru {
+			have = append(have, seq)
+		}
+	}
+	sort.Slice(have, func(i, j int) bool { return have[i] < have[j] })
+	return State{
+		MyAru:         r.myAru,
+		Have:          have,
+		SafeBound:     r.safeBound,
+		HighestSeen:   r.highestSeen,
+		DeliveredUpTo: r.deliveredUpTo,
+	}
+}
+
+// Watermarks returns the receipt and delivery watermarks without scanning
+// the receive buffer (State.Have is left empty).
+func (r *Ring) Watermarks() State {
+	return State{
+		MyAru:         r.myAru,
+		SafeBound:     r.safeBound,
+		HighestSeen:   r.highestSeen,
+		DeliveredUpTo: r.deliveredUpTo,
+	}
+}
+
+// Messages returns the ring's received message log (shared map; callers
+// must not mutate).
+func (r *Ring) Messages() map[uint64]wire.Data { return r.recv }
+
+// DeliveredUpTo returns the delivery watermark.
+func (r *Ring) DeliveredUpTo() uint64 { return r.deliveredUpTo }
+
+// SafeBound returns the current two-visit safe watermark.
+func (r *Ring) SafeBound() uint64 { return r.safeBound }
+
+// VC returns a copy of the ring's vector clock.
+func (r *Ring) VC() vclock.VC { return r.vc.Clone() }
+
+// Restore seeds the ring with state recovered from stable storage: the
+// message log, delivery watermark and safe bound of a configuration this
+// process was a member of before failing.
+func (r *Ring) Restore(log map[uint64]wire.Data, deliveredUpTo, safeBound, highestSeen uint64) {
+	for seq, d := range log {
+		r.recv[seq] = d
+	}
+	r.deliveredUpTo = deliveredUpTo
+	r.safeBound = safeBound
+	if highestSeen > r.highestSeen {
+		r.highestSeen = highestSeen
+	}
+	r.advanceAru()
+}

@@ -1,0 +1,365 @@
+package totem
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// harness drives a set of rings by hand, playing the network: tokens are
+// forwarded to successors and broadcasts fanned out to all members,
+// optionally with loss.
+type harness struct {
+	t     *testing.T
+	rings map[model.ProcessID]*Ring
+	order []model.ProcessID
+	// delivered records payloads per process in delivery order.
+	delivered map[model.ProcessID][]wire.Data
+	// dropData, when set, decides whether a data broadcast copy is lost.
+	dropData func(to model.ProcessID, d wire.Data) bool
+	token    wire.Token
+	holder   int // index into order of the process about to receive token
+}
+
+func newHarness(t *testing.T, ids ...model.ProcessID) *harness {
+	cfg := model.Configuration{ID: model.RegularID(1, ids[0]), Members: model.NewProcessSet(ids...)}
+	h := &harness{
+		t:         t,
+		rings:     make(map[model.ProcessID]*Ring),
+		delivered: make(map[model.ProcessID][]wire.Data),
+	}
+	h.order = cfg.Members.Members()
+	for _, id := range h.order {
+		h.rings[id] = New(id, cfg, DefaultOptions())
+	}
+	h.token = h.rings[h.order[0]].InitialToken()
+	return h
+}
+
+// rotate performs one full token rotation.
+func (h *harness) rotate() {
+	for range h.order {
+		id := h.order[h.holder]
+		r := h.rings[id]
+		res := r.OnToken(h.token)
+		if !res.Accepted {
+			h.t.Fatalf("%s rejected token %v", id, h.token)
+		}
+		h.record(id, res.Deliveries)
+		for _, d := range res.Broadcasts {
+			for _, to := range h.order {
+				if to == id {
+					continue // originator already holds it
+				}
+				if h.dropData != nil && h.dropData(to, d) {
+					continue
+				}
+				h.record(to, h.rings[to].OnData(d))
+			}
+		}
+		h.token = res.Forward
+		h.holder = (h.holder + 1) % len(h.order)
+	}
+}
+
+func (h *harness) record(id model.ProcessID, ds []wire.Data) {
+	h.delivered[id] = append(h.delivered[id], ds...)
+}
+
+func (h *harness) submit(id model.ProcessID, n int, svc model.Service) {
+	r := h.rings[id]
+	for i := 0; i < n; i++ {
+		r.Submit(Pending{
+			ID:      model.MessageID{Sender: id, SenderSeq: uint64(len(h.delivered[id]) + i + 1000)},
+			Service: svc,
+			Payload: []byte(fmt.Sprintf("%s-%d", id, i)),
+		})
+	}
+}
+
+func payloads(ds []wire.Data) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = string(d.Payload)
+	}
+	return out
+}
+
+func TestAgreedDeliveryTotalOrder(t *testing.T) {
+	h := newHarness(t, "p", "q", "r")
+	h.submit("p", 3, model.Agreed)
+	h.submit("q", 2, model.Agreed)
+	for i := 0; i < 4; i++ {
+		h.rotate()
+	}
+	ref := payloads(h.delivered["p"])
+	if len(ref) != 5 {
+		t.Fatalf("p delivered %v, want all 5", ref)
+	}
+	for _, id := range []model.ProcessID{"q", "r"} {
+		got := payloads(h.delivered[id])
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Fatalf("%s delivered %v, p delivered %v: total order violated", id, got, ref)
+		}
+	}
+}
+
+func TestSeqsAreContiguousFromOne(t *testing.T) {
+	h := newHarness(t, "p", "q")
+	h.submit("p", 2, model.Agreed)
+	h.submit("q", 2, model.Agreed)
+	for i := 0; i < 3; i++ {
+		h.rotate()
+	}
+	for i, d := range h.delivered["p"] {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("delivery %d has seq %d", i, d.Seq)
+		}
+	}
+}
+
+func TestSafeDeliveryNeedsTwoVisits(t *testing.T) {
+	h := newHarness(t, "p", "q", "r")
+	h.submit("p", 1, model.Safe)
+	h.rotate()
+	// After one rotation the message is sequenced and received
+	// everywhere but cannot yet be safe anywhere.
+	for id, ds := range h.delivered {
+		if len(ds) != 0 {
+			t.Fatalf("%s delivered %v before message was safe", id, payloads(ds))
+		}
+	}
+	h.rotate()
+	h.rotate()
+	for _, id := range h.order {
+		if len(h.delivered[id]) != 1 {
+			t.Fatalf("%s delivered %v, want the safe message", id, payloads(h.delivered[id]))
+		}
+	}
+}
+
+func TestBlockedSafeMessageBlocksSuccessors(t *testing.T) {
+	h := newHarness(t, "p", "q")
+	h.submit("p", 1, model.Safe)
+	h.submit("q", 1, model.Agreed)
+	h.rotate()
+	// The agreed message is sequenced after the safe one and must not
+	// jump the queue even though it needs no acknowledgment.
+	for id, ds := range h.delivered {
+		for _, d := range ds {
+			if d.Service == model.Agreed {
+				t.Fatalf("%s delivered agreed message before preceding safe message", id)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		h.rotate()
+	}
+	got := payloads(h.delivered["q"])
+	if len(got) != 2 || got[0] != "p-0" {
+		t.Fatalf("q delivered %v, want safe first then agreed", got)
+	}
+}
+
+func TestRetransmissionFillsGaps(t *testing.T) {
+	h := newHarness(t, "p", "q", "r")
+	// r loses every first copy of p's data.
+	lost := map[uint64]bool{}
+	h.dropData = func(to model.ProcessID, d wire.Data) bool {
+		if to == "r" && !d.Retrans && !lost[d.Seq] {
+			lost[d.Seq] = true
+			return true
+		}
+		return false
+	}
+	h.submit("p", 5, model.Agreed)
+	for i := 0; i < 5; i++ {
+		h.rotate()
+	}
+	got := payloads(h.delivered["r"])
+	if len(got) != 5 {
+		t.Fatalf("r delivered %v, want all 5 after retransmission", got)
+	}
+	want := payloads(h.delivered["p"])
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("r delivered %v, p delivered %v", got, want)
+	}
+}
+
+func TestSafeNotDeliveredWhileMemberMissingMessage(t *testing.T) {
+	h := newHarness(t, "p", "q", "r")
+	// r never receives seq 1 (not even retransmissions).
+	h.dropData = func(to model.ProcessID, d wire.Data) bool {
+		return to == "r" && d.Seq == 1
+	}
+	h.submit("p", 1, model.Safe)
+	for i := 0; i < 6; i++ {
+		h.rotate()
+	}
+	for _, id := range h.order {
+		if n := len(h.delivered[id]); n != 0 {
+			t.Fatalf("%s delivered %d messages although r never received seq 1", id, n)
+		}
+	}
+}
+
+func TestStaleTokenRejected(t *testing.T) {
+	h := newHarness(t, "p", "q")
+	h.rotate()
+	stale := wire.Token{Ring: h.rings["p"].Config().ID, TokenID: 1}
+	if res := h.rings["p"].OnToken(stale); res.Accepted {
+		t.Fatal("stale token must be rejected")
+	}
+	wrongRing := wire.Token{Ring: model.RegularID(99, "z"), TokenID: 100}
+	if res := h.rings["p"].OnToken(wrongRing); res.Accepted {
+		t.Fatal("token for another ring must be rejected")
+	}
+}
+
+func TestDuplicateDataIgnored(t *testing.T) {
+	h := newHarness(t, "p", "q")
+	h.submit("p", 1, model.Agreed)
+	h.rotate()
+	d := h.rings["q"].Messages()[1]
+	if got := h.rings["q"].OnData(d); got != nil {
+		t.Fatalf("duplicate data redelivered: %v", got)
+	}
+	if h.rings["q"].Snapshot().MyAru != 1 {
+		t.Fatal("aru should be unaffected by duplicates")
+	}
+}
+
+func TestSingletonRingDeliversOwnSafeMessages(t *testing.T) {
+	h := newHarness(t, "p")
+	h.submit("p", 2, model.Safe)
+	for i := 0; i < 3; i++ {
+		h.rotate()
+	}
+	if got := payloads(h.delivered["p"]); len(got) != 2 {
+		t.Fatalf("singleton delivered %v, want both", got)
+	}
+}
+
+func TestFlowControlWindow(t *testing.T) {
+	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p")}
+	r := New("p", cfg, Options{MaxPerToken: 100, Window: 4})
+	for i := 0; i < 50; i++ {
+		r.Submit(Pending{ID: model.MessageID{Sender: "p", SenderSeq: uint64(i + 1)}, Service: model.Agreed})
+	}
+	res := r.OnToken(r.InitialToken())
+	if len(res.Sent) != 4 {
+		t.Fatalf("sequenced %d, want window of 4", len(res.Sent))
+	}
+	if r.PendingCount() != 46 {
+		t.Fatalf("pending %d, want 46", r.PendingCount())
+	}
+}
+
+func TestMaxPerTokenLimit(t *testing.T) {
+	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p")}
+	r := New("p", cfg, Options{MaxPerToken: 3, Window: 1000})
+	for i := 0; i < 10; i++ {
+		r.Submit(Pending{ID: model.MessageID{Sender: "p", SenderSeq: uint64(i + 1)}, Service: model.Agreed})
+	}
+	res := r.OnToken(r.InitialToken())
+	if len(res.Sent) != 3 {
+		t.Fatalf("sequenced %d, want 3", len(res.Sent))
+	}
+}
+
+func TestSuccessorWrapsAround(t *testing.T) {
+	cfg := model.Configuration{ID: model.RegularID(1, "a"), Members: model.NewProcessSet("a", "b", "c")}
+	if s := New("c", cfg, DefaultOptions()).Successor(); s != "a" {
+		t.Fatalf("successor of c = %s, want a", s)
+	}
+	if s := New("a", cfg, DefaultOptions()).Successor(); s != "b" {
+		t.Fatalf("successor of a = %s, want b", s)
+	}
+}
+
+func TestSnapshotReportsHaveBeyondAru(t *testing.T) {
+	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p", "q")}
+	r := New("p", cfg, DefaultOptions())
+	mk := func(seq uint64) wire.Data {
+		return wire.Data{ID: model.MessageID{Sender: "q", SenderSeq: seq}, Ring: cfg.ID, Seq: seq, Service: model.Agreed}
+	}
+	r.OnData(mk(1))
+	r.OnData(mk(3))
+	r.OnData(mk(5))
+	st := r.Snapshot()
+	if st.MyAru != 1 {
+		t.Fatalf("MyAru = %d, want 1", st.MyAru)
+	}
+	if fmt.Sprint(st.Have) != "[3 5]" {
+		t.Fatalf("Have = %v, want [3 5]", st.Have)
+	}
+	if st.HighestSeen != 5 {
+		t.Fatalf("HighestSeen = %d, want 5", st.HighestSeen)
+	}
+}
+
+func TestRestoreSeedsState(t *testing.T) {
+	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p", "q")}
+	r := New("p", cfg, DefaultOptions())
+	log := map[uint64]wire.Data{
+		1: {ID: model.MessageID{Sender: "q", SenderSeq: 1}, Ring: cfg.ID, Seq: 1, Service: model.Agreed},
+		2: {ID: model.MessageID{Sender: "q", SenderSeq: 2}, Ring: cfg.ID, Seq: 2, Service: model.Agreed},
+	}
+	r.Restore(log, 1, 1, 2)
+	st := r.Snapshot()
+	if st.MyAru != 2 || st.DeliveredUpTo != 1 || st.SafeBound != 1 || st.HighestSeen != 2 {
+		t.Fatalf("restored snapshot %+v", st)
+	}
+}
+
+func TestCausalOrderPreservedByVC(t *testing.T) {
+	// q delivers p's message then sends its own: the VCs must order.
+	h := newHarness(t, "p", "q")
+	h.submit("p", 1, model.Agreed)
+	h.rotate()
+	h.submit("q", 1, model.Agreed)
+	for i := 0; i < 3; i++ {
+		h.rotate()
+	}
+	ds := h.delivered["p"]
+	if len(ds) != 2 {
+		t.Fatalf("p delivered %d, want 2", len(ds))
+	}
+	if !ds[0].VC.HappenedBefore(ds[1].VC) {
+		t.Fatalf("VC %v should precede %v", ds[0].VC, ds[1].VC)
+	}
+}
+
+func TestRandomLossConvergesToSameOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := newHarness(t, "a", "b", "c", "d")
+	h.dropData = func(to model.ProcessID, d wire.Data) bool {
+		return rng.Float64() < 0.2
+	}
+	for round := 0; round < 10; round++ {
+		for _, id := range h.order {
+			h.rings[id].Submit(Pending{
+				ID:      model.MessageID{Sender: id, SenderSeq: uint64(round + 1)},
+				Service: model.Agreed,
+				Payload: []byte(fmt.Sprintf("%s/%d", id, round)),
+			})
+		}
+		h.rotate()
+	}
+	h.dropData = nil
+	for i := 0; i < 10; i++ {
+		h.rotate()
+	}
+	ref := payloads(h.delivered["a"])
+	if len(ref) != 40 {
+		t.Fatalf("a delivered %d, want 40", len(ref))
+	}
+	for _, id := range h.order[1:] {
+		if fmt.Sprint(payloads(h.delivered[id])) != fmt.Sprint(ref) {
+			t.Fatalf("%s order differs from a", id)
+		}
+	}
+}

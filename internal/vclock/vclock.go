@@ -1,0 +1,155 @@
+// Package vclock implements Lamport clocks and vector clocks.
+//
+// The ring total-ordering protocol preserves causality by construction, but
+// the specification checker and the causal-delivery conformance experiments
+// (Specification 5, Figure 5) need an independent witness of the causal
+// precedes relation. Vector clocks provide that witness: a message m
+// causally precedes m' within a configuration exactly when VC(m) < VC(m').
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Lamport is a Lamport logical clock. The zero value is ready to use.
+type Lamport struct {
+	t uint64
+}
+
+// Tick advances the clock for a local event and returns the new time.
+func (l *Lamport) Tick() uint64 {
+	l.t++
+	return l.t
+}
+
+// Observe merges an observed remote timestamp and advances the clock,
+// returning the new time.
+func (l *Lamport) Observe(remote uint64) uint64 {
+	if remote > l.t {
+		l.t = remote
+	}
+	l.t++
+	return l.t
+}
+
+// Now returns the current time without advancing the clock.
+func (l *Lamport) Now() uint64 { return l.t }
+
+// VC is a vector clock: a map from process identifier to event count. A nil
+// VC is the zero clock.
+type VC map[model.ProcessID]uint64
+
+// New returns an empty vector clock.
+func New() VC { return make(VC) }
+
+// Clone returns a deep copy of the clock.
+func (v VC) Clone() VC {
+	out := make(VC, len(v))
+	for k, t := range v {
+		out[k] = t
+	}
+	return out
+}
+
+// Tick increments the component of process p and returns the clock.
+func (v VC) Tick(p model.ProcessID) VC {
+	v[p]++
+	return v
+}
+
+// Get returns the component of process p (zero if absent).
+func (v VC) Get(p model.ProcessID) uint64 { return v[p] }
+
+// Merge sets each component of v to the maximum of v and w.
+func (v VC) Merge(w VC) VC {
+	for k, t := range w {
+		if t > v[k] {
+			v[k] = t
+		}
+	}
+	return v
+}
+
+// Compare classifies the relationship between two vector clocks.
+type Ordering int
+
+const (
+	// Equal means the clocks are identical.
+	Equal Ordering = iota + 1
+	// Before means v happened-before w (v < w).
+	Before
+	// After means w happened-before v (v > w).
+	After
+	// Concurrent means neither happened before the other.
+	Concurrent
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case Equal:
+		return "equal"
+	case Before:
+		return "before"
+	case After:
+		return "after"
+	case Concurrent:
+		return "concurrent"
+	default:
+		return fmt.Sprintf("ordering(%d)", int(o))
+	}
+}
+
+// Compare returns the causal relationship of v to w.
+func (v VC) Compare(w VC) Ordering {
+	vLess, wLess := false, false
+	for k, t := range v {
+		switch wt := w[k]; {
+		case t < wt:
+			vLess = true
+		case t > wt:
+			wLess = true
+		}
+	}
+	for k, wt := range w {
+		if _, ok := v[k]; !ok && wt > 0 {
+			vLess = true
+		}
+	}
+	switch {
+	case vLess && wLess:
+		return Concurrent
+	case vLess:
+		return Before
+	case wLess:
+		return After
+	default:
+		return Equal
+	}
+}
+
+// HappenedBefore reports whether v strictly precedes w causally.
+func (v VC) HappenedBefore(w VC) bool { return v.Compare(w) == Before }
+
+// String renders the clock deterministically, e.g. "[p:1 q:3]".
+func (v VC) String() string {
+	keys := make([]model.ProcessID, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", k, v[k])
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,276 @@
+package vsfilter
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func reg(seq uint64, rep model.ProcessID, members ...model.ProcessID) model.Configuration {
+	return model.Configuration{ID: model.RegularID(seq, rep), Members: model.NewProcessSet(members...)}
+}
+
+func trans(next, prev model.Configuration, members ...model.ProcessID) model.Configuration {
+	return model.Configuration{
+		ID:      model.TransitionalID(next.ID, prev.ID),
+		Members: model.NewProcessSet(members...),
+	}
+}
+
+func msg(p model.ProcessID, n uint64) model.MessageID {
+	return model.MessageID{Sender: p, SenderSeq: n}
+}
+
+func TestFreshProcessStartsBlocked(t *testing.T) {
+	f := New("p")
+	if !f.Blocked() {
+		t.Fatal("fresh process should be blocked until it joins a primary")
+	}
+	if out := f.OnDeliver(msg("q", 1), nil, model.Agreed); out != nil {
+		t.Fatalf("blocked delivery produced %v", out)
+	}
+}
+
+func TestPrimaryInstallEmitsSplitViews(t *testing.T) {
+	// Previous primary {p,q}; new primary {p,q,r,s}: Rule 3 demands the
+	// merge be split one process at a time in lexicographic order.
+	f := New("p")
+	c := reg(5, "p", "p", "q", "r", "s")
+	prev := reg(3, "p", "p", "q")
+	f.OnConfig(c)
+	out := f.OnPrimaryDecision(c, true, prev)
+	var views []View
+	for _, o := range out {
+		if vc, ok := o.(ViewChange); ok {
+			views = append(views, vc.View)
+		}
+	}
+	if len(views) != 3 {
+		t.Fatalf("views %v, want base {p,q} then +r then +s", views)
+	}
+	if !views[0].Members.Equal(model.NewProcessSet("p", "q")) ||
+		!views[1].Members.Equal(model.NewProcessSet("p", "q", "r")) ||
+		!views[2].Members.Equal(model.NewProcessSet("p", "q", "r", "s")) {
+		t.Fatalf("split views %v", views)
+	}
+	for i, v := range views {
+		if v.ID.Cfg != c.ID || v.ID.Step != i {
+			t.Fatalf("view id %v, want (%v,%d)", v.ID, c.ID, i)
+		}
+	}
+	if f.Blocked() {
+		t.Fatal("primary member should be unblocked")
+	}
+}
+
+func TestJoinerEmitsOnlyItsViews(t *testing.T) {
+	// Rule 4: r, returning from a non-primary component, emits only the
+	// views that include it — with the same identifiers as incumbents.
+	fp := New("p")
+	fr := New("r")
+	c := reg(5, "p", "p", "q", "r", "s")
+	prev := reg(3, "p", "p", "q")
+	fp.OnConfig(c)
+	fr.OnConfig(c)
+	outP := fp.OnPrimaryDecision(c, true, prev)
+	outR := fr.OnPrimaryDecision(c, true, prev)
+	countViews := func(out []Output) []View {
+		var vs []View
+		for _, o := range out {
+			if vc, ok := o.(ViewChange); ok {
+				vs = append(vs, vc.View)
+			}
+		}
+		return vs
+	}
+	vp, vr := countViews(outP), countViews(outR)
+	if len(vp) != 3 || len(vr) != 2 {
+		t.Fatalf("p emitted %d views, r emitted %d; want 3 and 2", len(vp), len(vr))
+	}
+	// r's first view must be p's second (same identifier): L3.
+	if vr[0].ID != vp[1].ID {
+		t.Fatalf("r's first view %v != p's second view %v", vr[0].ID, vp[1].ID)
+	}
+}
+
+func TestNonPrimaryBlocksAndDiscards(t *testing.T) {
+	f := New("p")
+	c1 := reg(1, "p", "p", "q", "r")
+	f.OnConfig(c1)
+	f.OnPrimaryDecision(c1, true, model.Configuration{})
+	if f.Blocked() {
+		t.Fatal("should be unblocked in primary")
+	}
+	// Partition: non-primary configuration.
+	c2 := reg(2, "p", "p")
+	f.OnConfig(c2)
+	// A delivery while the decision is pending is buffered...
+	if out := f.OnDeliver(msg("p", 1), []byte("x"), model.Agreed); out != nil {
+		t.Fatalf("pending delivery emitted %v", out)
+	}
+	// ...and discarded when the verdict is non-primary (Rule 2).
+	if out := f.OnPrimaryDecision(c2, false, reg(1, "p", "p", "q", "r")); out != nil {
+		t.Fatalf("non-primary decision emitted %v", out)
+	}
+	if !f.Blocked() {
+		t.Fatal("should be blocked in non-primary component")
+	}
+	if out := f.OnDeliver(msg("p", 2), nil, model.Agreed); out != nil {
+		t.Fatalf("blocked delivery emitted %v", out)
+	}
+}
+
+func TestTransitionalMaskedAndRetagged(t *testing.T) {
+	f := New("p")
+	c1 := reg(1, "p", "p", "q")
+	f.OnConfig(c1)
+	f.OnPrimaryDecision(c1, true, model.Configuration{})
+	view := f.CurrentView()
+
+	// Rule 1: a transitional configuration change is masked...
+	tr := trans(reg(2, "p", "p"), c1, "p")
+	if out := f.OnConfig(tr); out != nil {
+		t.Fatalf("transitional configuration emitted %v", out)
+	}
+	// ...and deliveries within it are re-tagged to the regular view.
+	out := f.OnDeliver(msg("q", 1), []byte("x"), model.Safe)
+	if len(out) != 1 {
+		t.Fatalf("transitional delivery emitted %v", out)
+	}
+	d, ok := out[0].(Deliver)
+	if !ok || d.View != view.ID {
+		t.Fatalf("delivery %v, want tagged with view %v", out[0], view.ID)
+	}
+}
+
+func TestBufferedDeliveriesEmittedIntoNewView(t *testing.T) {
+	f := New("p")
+	c := reg(1, "p", "p", "q")
+	f.OnConfig(c)
+	f.OnDeliver(msg("q", 1), []byte("early"), model.Agreed)
+	out := f.OnPrimaryDecision(c, true, model.Configuration{})
+	var delivered []Deliver
+	for _, o := range out {
+		if d, ok := o.(Deliver); ok {
+			delivered = append(delivered, d)
+		}
+	}
+	if len(delivered) != 1 || string(delivered[0].Payload) != "early" {
+		t.Fatalf("buffered deliveries %v", delivered)
+	}
+	if delivered[0].View != f.CurrentView().ID {
+		t.Fatalf("buffered delivery tagged %v, want %v", delivered[0].View, f.CurrentView().ID)
+	}
+}
+
+func TestCheckCleanHistory(t *testing.T) {
+	v0 := ViewID{Cfg: model.RegularID(1, "p"), Step: 0}
+	members := model.NewProcessSet("p", "q")
+	m := msg("p", 1)
+	events := []TraceEvent{
+		{Type: EventView, Proc: "p", View: v0, Members: members},
+		{Type: EventView, Proc: "q", View: v0, Members: members},
+		{Type: EventSend, Proc: "p", Msg: m},
+		{Type: EventDeliver, Proc: "p", Msg: m, View: v0},
+		{Type: EventDeliver, Proc: "q", Msg: m, View: v0},
+	}
+	if vs := Check(events, true); len(vs) != 0 {
+		t.Fatalf("clean history flagged: %v", vs)
+	}
+}
+
+func TestCheckC2SendWithoutDelivery(t *testing.T) {
+	v0 := ViewID{Cfg: model.RegularID(1, "p"), Step: 0}
+	members := model.NewProcessSet("p")
+	events := []TraceEvent{
+		{Type: EventView, Proc: "p", View: v0, Members: members},
+		{Type: EventSend, Proc: "p", Msg: msg("p", 1)},
+	}
+	wantCond(t, Check(events, true), "C2")
+	// The sender stopped: the extend mechanism imputes the delivery.
+	events = append(events, TraceEvent{Type: EventStop, Proc: "p"})
+	for _, v := range Check(events, true) {
+		if v.Cond == "C2" {
+			t.Fatalf("stopped sender should be excused: %v", v)
+		}
+	}
+}
+
+func TestCheckC3MemberMovedOnWithoutDelivering(t *testing.T) {
+	v0 := ViewID{Cfg: model.RegularID(1, "p"), Step: 0}
+	v1 := ViewID{Cfg: model.RegularID(2, "p"), Step: 0}
+	members := model.NewProcessSet("p", "q")
+	m := msg("p", 1)
+	events := []TraceEvent{
+		{Type: EventView, Proc: "p", View: v0, Members: members},
+		{Type: EventView, Proc: "q", View: v0, Members: members},
+		{Type: EventSend, Proc: "p", Msg: m},
+		{Type: EventDeliver, Proc: "p", Msg: m, View: v0},
+		{Type: EventView, Proc: "q", View: v1, Members: members},
+	}
+	wantCond(t, Check(events, false), "C3")
+}
+
+func TestCheckL4DifferentViews(t *testing.T) {
+	v0 := ViewID{Cfg: model.RegularID(1, "p"), Step: 0}
+	v1 := ViewID{Cfg: model.RegularID(2, "p"), Step: 0}
+	members := model.NewProcessSet("p", "q")
+	m := msg("p", 1)
+	events := []TraceEvent{
+		{Type: EventView, Proc: "p", View: v0, Members: members},
+		{Type: EventView, Proc: "q", View: v0, Members: members},
+		{Type: EventView, Proc: "q", View: v1, Members: members},
+		{Type: EventSend, Proc: "p", Msg: m},
+		{Type: EventDeliver, Proc: "p", Msg: m, View: v0},
+		{Type: EventDeliver, Proc: "q", Msg: m, View: v1},
+	}
+	wantCond(t, Check(events, false), "L4")
+}
+
+func TestCheckL5ConflictingOrdersCycle(t *testing.T) {
+	v0 := ViewID{Cfg: model.RegularID(1, "p"), Step: 0}
+	members := model.NewProcessSet("p", "q")
+	m1, m2 := msg("p", 1), msg("q", 1)
+	events := []TraceEvent{
+		{Type: EventView, Proc: "p", View: v0, Members: members},
+		{Type: EventView, Proc: "q", View: v0, Members: members},
+		{Type: EventSend, Proc: "p", Msg: m1},
+		{Type: EventSend, Proc: "q", Msg: m2},
+		{Type: EventDeliver, Proc: "p", Msg: m1, View: v0},
+		{Type: EventDeliver, Proc: "p", Msg: m2, View: v0},
+		{Type: EventDeliver, Proc: "q", Msg: m2, View: v0},
+		{Type: EventDeliver, Proc: "q", Msg: m1, View: v0},
+	}
+	wantCond(t, Check(events, false), "L1-L5")
+}
+
+func TestCheckL3InconsistentMembership(t *testing.T) {
+	v0 := ViewID{Cfg: model.RegularID(1, "p"), Step: 0}
+	events := []TraceEvent{
+		{Type: EventView, Proc: "p", View: v0, Members: model.NewProcessSet("p", "q")},
+		{Type: EventView, Proc: "q", View: v0, Members: model.NewProcessSet("q")},
+	}
+	wantCond(t, Check(events, false), "L3")
+}
+
+func wantCond(t *testing.T, vs []Violation, cond string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Cond == cond {
+			return
+		}
+	}
+	t.Fatalf("expected %s violation, got %v", cond, vs)
+}
+
+func TestViewStrings(t *testing.T) {
+	v := View{ID: ViewID{Cfg: model.RegularID(1, "p"), Step: 2}, Members: model.NewProcessSet("p")}
+	if got := fmt.Sprint(v); got != "view(reg(1@p)#2){p}" {
+		t.Fatalf("View.String() = %q", got)
+	}
+	var zero ViewID
+	if !zero.IsZero() {
+		t.Fatal("zero ViewID should report IsZero")
+	}
+}

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestKinds(t *testing.T) {
+	msgs := []Message{
+		Data{}, Token{}, Join{}, Commit{}, CommitAck{}, Install{},
+		Exchange{}, RecoveryDone{},
+	}
+	want := []string{
+		"data", "token", "join", "commit", "commit_ack", "install",
+		"exchange", "recovery_done",
+	}
+	for i, m := range msgs {
+		if m.Kind() != want[i] {
+			t.Errorf("Kind() = %q, want %q", m.Kind(), want[i])
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	ring := model.RegularID(3, "p")
+	tests := []struct {
+		msg  Message
+		want string
+	}{
+		{Data{ID: model.MessageID{Sender: "p", SenderSeq: 1}, Ring: ring, Seq: 7, Service: model.Safe}, "data(p:1 seq=7 safe reg(3@p))"},
+		{Data{ID: model.MessageID{Sender: "p", SenderSeq: 1}, Ring: ring, Seq: 7, Service: model.Agreed, Retrans: true}, "retrans"},
+		{Token{Ring: ring, TokenID: 4, Seq: 9, Aru: 8, Rtr: []uint64{5}}, "token(reg(3@p) id=4 seq=9 aru=8 rtr=1)"},
+		{Join{Sender: "p", Attempt: 2}, "att=2"},
+		{Commit{NewRing: ring, Attempt: 1}, "commit("},
+		{CommitAck{Ring: ring, Sender: "q"}, "from q"},
+		{Install{NewRing: ring}, "install("},
+		{Exchange{Ring: ring, Sender: "p", OldRing: model.RegularID(1, "p")}, "old=reg(1@p)"},
+		{RecoveryDone{Ring: ring, Sender: "p", OldRing: model.RegularID(1, "p")}, "recovery_done("},
+	}
+	for _, tt := range tests {
+		s, ok := tt.msg.(interface{ String() string })
+		if !ok {
+			t.Fatalf("%T lacks String()", tt.msg)
+		}
+		if !strings.Contains(s.String(), tt.want) {
+			t.Errorf("%T.String() = %q, missing %q", tt.msg, s.String(), tt.want)
+		}
+	}
+}

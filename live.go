@@ -1,0 +1,397 @@
+package evs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/node"
+	"repro/internal/spec"
+	"repro/internal/stable"
+	"repro/internal/wire"
+)
+
+// LiveGroup runs the same protocol stack as Group, but over real
+// goroutines, channels and wall-clock timers instead of the deterministic
+// simulator: one receiver goroutine per process, an in-process broadcast
+// hub with a mutable partition map, and time.Timer-driven protocol timers.
+//
+// The simulator remains the right tool for reproducible experiments and
+// adversarial schedules; LiveGroup exists to exercise the stack under real
+// concurrency (the race detector runs over it in the tests) and to host
+// interactive examples. Executions still record the formal-model trace and
+// can be verified with Check.
+type LiveGroup struct {
+	mu    sync.Mutex
+	ids   []ProcessID
+	procs map[ProcessID]*liveProc
+	hub   *liveHub
+
+	trace      spec.History
+	deliveries map[ProcessID][]Delivery
+	confs      map[ProcessID][]Configuration
+
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// liveHub is the in-process broadcast medium.
+type liveHub struct {
+	mu        sync.Mutex
+	component map[ProcessID]int
+	down      map[ProcessID]bool
+	inbox     map[ProcessID]chan liveEnvelope
+	nextComp  int
+}
+
+type liveEnvelope struct {
+	from ProcessID
+	msg  wire.Message
+}
+
+// liveProc is one process: the node state machine guarded by a mutex, its
+// timers, and its receiver goroutine.
+type liveProc struct {
+	mu     sync.Mutex
+	node   *node.Node
+	store  *stable.Store
+	timers map[node.TimerKind]*time.Timer
+	g      *LiveGroup
+	id     ProcessID
+	dead   bool // stops timer callbacks racing shutdown
+}
+
+var _ node.Env = (*liveProc)(nil)
+
+// NewLiveGroup starts n processes named p01..pNN. Call Close when done.
+func NewLiveGroup(n int, cfg *node.Config) *LiveGroup {
+	if n <= 0 {
+		n = 3
+	}
+	nodeCfg := node.DefaultConfig()
+	if cfg != nil {
+		nodeCfg = *cfg
+	}
+	g := &LiveGroup{
+		procs:      make(map[ProcessID]*liveProc, n),
+		deliveries: make(map[ProcessID][]Delivery),
+		confs:      make(map[ProcessID][]Configuration),
+		hub: &liveHub{
+			component: make(map[ProcessID]int),
+			down:      make(map[ProcessID]bool),
+			inbox:     make(map[ProcessID]chan liveEnvelope),
+		},
+	}
+	for i := 0; i < n; i++ {
+		id := ProcessID(fmt.Sprintf("p%02d", i+1))
+		g.ids = append(g.ids, id)
+		p := &liveProc{
+			store:  &stable.Store{},
+			timers: make(map[node.TimerKind]*time.Timer),
+			g:      g,
+			id:     id,
+		}
+		p.node = node.New(id, nodeCfg, p, p.store)
+		g.procs[id] = p
+		g.hub.inbox[id] = make(chan liveEnvelope, 4096)
+		g.hub.component[id] = 0
+	}
+	for _, id := range g.ids {
+		p := g.procs[id]
+		g.wg.Add(1)
+		go p.receive(g.hub.inbox[id], &g.wg)
+		p.mu.Lock()
+		p.node.Start()
+		p.mu.Unlock()
+	}
+	return g
+}
+
+// receive drains the process's inbox into the state machine.
+func (p *liveProc) receive(in chan liveEnvelope, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for env := range in {
+		p.mu.Lock()
+		if !p.dead {
+			p.node.OnMessage(env.from, env.msg)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Broadcast implements node.Env over the hub.
+func (p *liveProc) Broadcast(msg wire.Message) {
+	p.g.hub.broadcast(p.id, msg)
+}
+
+// SetTimer implements node.Env with wall-clock timers.
+func (p *liveProc) SetTimer(kind node.TimerKind, d time.Duration) {
+	if t, ok := p.timers[kind]; ok {
+		t.Stop()
+	}
+	p.timers[kind] = time.AfterFunc(d, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if !p.dead {
+			p.node.OnTimer(kind)
+		}
+	})
+}
+
+// CancelTimer implements node.Env.
+func (p *liveProc) CancelTimer(kind node.TimerKind) {
+	if t, ok := p.timers[kind]; ok {
+		t.Stop()
+		delete(p.timers, kind)
+	}
+}
+
+// Deliver implements node.Env.
+func (p *liveProc) Deliver(d node.Delivery) {
+	payload := d.Payload
+	if len(payload) > 0 && payload[0] == tagApp {
+		payload = payload[1:]
+	}
+	p.g.mu.Lock()
+	p.g.deliveries[p.id] = append(p.g.deliveries[p.id], Delivery{
+		Msg:     d.Msg,
+		Payload: payload,
+		Service: d.Service,
+		Config:  d.Config,
+	})
+	p.g.mu.Unlock()
+}
+
+// DeliverConfig implements node.Env.
+func (p *liveProc) DeliverConfig(c node.ConfigChange) {
+	p.g.mu.Lock()
+	p.g.confs[p.id] = append(p.g.confs[p.id], c.Config)
+	p.g.mu.Unlock()
+}
+
+// Trace implements node.Env.
+func (p *liveProc) Trace(e model.Event) {
+	p.g.mu.Lock()
+	p.g.trace.Append(e)
+	p.g.mu.Unlock()
+}
+
+// broadcast fans a message out to the sender's component.
+func (h *liveHub) broadcast(from ProcessID, msg wire.Message) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.down[from] {
+		return
+	}
+	comp := h.component[from]
+	for id, in := range h.inbox {
+		if h.down[id] && id != from {
+			continue
+		}
+		if h.component[id] != comp {
+			continue
+		}
+		select {
+		case in <- liveEnvelope{from: from, msg: msg}:
+		default:
+			// Inbox full: the medium is lossy; the protocol's
+			// retransmission machinery recovers.
+		}
+	}
+}
+
+// IDs returns the process identifiers.
+func (g *LiveGroup) IDs() []ProcessID {
+	out := make([]ProcessID, len(g.ids))
+	copy(out, g.ids)
+	return out
+}
+
+// Send submits an application message at process id.
+func (g *LiveGroup) Send(id ProcessID, payload []byte, svc Service) error {
+	p, ok := g.procs[id]
+	if !ok {
+		return fmt.Errorf("unknown process %s", id)
+	}
+	wrapped := append([]byte{tagApp}, payload...)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.node.Submit(wrapped, svc)
+}
+
+// Partition splits the hub into the given components; unmentioned
+// processes are isolated.
+func (g *LiveGroup) Partition(groups ...[]ProcessID) {
+	h := g.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	assigned := make(map[ProcessID]bool)
+	for _, grp := range groups {
+		h.nextComp++
+		for _, id := range grp {
+			h.component[id] = h.nextComp
+			assigned[id] = true
+		}
+	}
+	for id := range h.component {
+		if !assigned[id] {
+			h.nextComp++
+			h.component[id] = h.nextComp
+		}
+	}
+}
+
+// Merge reunites all processes.
+func (g *LiveGroup) Merge() {
+	h := g.hub
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextComp++
+	for id := range h.component {
+		h.component[id] = h.nextComp
+	}
+}
+
+// Crash fails a process (stable storage survives).
+func (g *LiveGroup) Crash(id ProcessID) {
+	p := g.procs[id]
+	g.hub.mu.Lock()
+	g.hub.down[id] = true
+	g.hub.mu.Unlock()
+	p.mu.Lock()
+	p.node.Crash()
+	p.mu.Unlock()
+}
+
+// Recover restarts a failed process under the same identifier.
+func (g *LiveGroup) Recover(id ProcessID) {
+	p := g.procs[id]
+	g.hub.mu.Lock()
+	g.hub.down[id] = false
+	g.hub.mu.Unlock()
+	p.mu.Lock()
+	p.node.Recover()
+	p.mu.Unlock()
+}
+
+// Deliveries returns a snapshot of the messages delivered at a process.
+func (g *LiveGroup) Deliveries(id ProcessID) []Delivery {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Delivery, len(g.deliveries[id]))
+	copy(out, g.deliveries[id])
+	return out
+}
+
+// Configs returns a snapshot of a process's configuration changes.
+func (g *LiveGroup) Configs(id ProcessID) []Configuration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Configuration, len(g.confs[id]))
+	copy(out, g.confs[id])
+	return out
+}
+
+// Mode returns the protocol mode of a process.
+func (g *LiveGroup) Mode(id ProcessID) string {
+	p := g.procs[id]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.node.Mode().String()
+}
+
+// WaitOperational blocks until every live process is operational in the
+// same configuration, or the timeout elapses. It reports success.
+func (g *LiveGroup) WaitOperational(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if g.operationalTogether() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return g.operationalTogether()
+}
+
+// operationalTogether reports whether all non-crashed processes share one
+// installed regular configuration.
+func (g *LiveGroup) operationalTogether() bool {
+	var cfg ConfigID
+	g.hub.mu.Lock()
+	down := make(map[ProcessID]bool, len(g.hub.down))
+	for id, d := range g.hub.down {
+		down[id] = d
+	}
+	g.hub.mu.Unlock()
+	for _, id := range g.ids {
+		if down[id] {
+			continue
+		}
+		p := g.procs[id]
+		p.mu.Lock()
+		mode := p.node.Mode()
+		c := p.node.CurrentConfig().ID
+		p.mu.Unlock()
+		if mode != node.Operational {
+			return false
+		}
+		if cfg.IsZero() {
+			cfg = c
+		} else if cfg != c {
+			return false
+		}
+	}
+	return !cfg.IsZero()
+}
+
+// WaitDeliveries blocks until process id has delivered at least n
+// application messages or the timeout elapses; it reports success.
+func (g *LiveGroup) WaitDeliveries(id ProcessID, n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(g.Deliveries(id)) >= n {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return len(g.Deliveries(id)) >= n
+}
+
+// Check verifies the recorded execution against the EVS specifications.
+func (g *LiveGroup) Check(settled bool) []Violation {
+	g.mu.Lock()
+	events := make([]Event, len(g.trace.Events()))
+	copy(events, g.trace.Events())
+	g.mu.Unlock()
+	return spec.NewChecker(events, spec.Options{Settled: settled}).CheckAll()
+}
+
+// Close stops every process, timer and goroutine.
+func (g *LiveGroup) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.mu.Unlock()
+
+	for _, id := range g.ids {
+		p := g.procs[id]
+		p.mu.Lock()
+		p.dead = true
+		for k, t := range p.timers {
+			t.Stop()
+			delete(p.timers, k)
+		}
+		p.mu.Unlock()
+	}
+	g.hub.mu.Lock()
+	for id, in := range g.hub.inbox {
+		close(in)
+		delete(g.hub.inbox, id)
+	}
+	g.hub.mu.Unlock()
+	g.wg.Wait()
+}

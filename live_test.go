@@ -1,0 +1,168 @@
+package evs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The live runtime runs the same stack under real concurrency; these tests
+// are timing-dependent by nature, so they use generous timeouts and assert
+// semantic properties (ordering, conformance), not schedules.
+
+func TestLiveGroupFormsAndDelivers(t *testing.T) {
+	g := NewLiveGroup(3, nil)
+	defer g.Close()
+	if !g.WaitOperational(5 * time.Second) {
+		t.Fatal("live group did not become operational")
+	}
+	ids := g.IDs()
+	if err := g.Send(ids[0], []byte("hello"), Safe); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if !g.WaitDeliveries(id, 1, 5*time.Second) {
+			t.Fatalf("%s did not deliver", id)
+		}
+	}
+	for _, id := range ids {
+		ds := g.Deliveries(id)
+		if string(ds[0].Payload) != "hello" || ds[0].Service != Safe {
+			t.Fatalf("%s delivery %+v", id, ds[0])
+		}
+	}
+	if vs := g.Check(false); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestLiveGroupTotalOrderUnderConcurrentSenders(t *testing.T) {
+	g := NewLiveGroup(4, nil)
+	defer g.Close()
+	if !g.WaitOperational(5 * time.Second) {
+		t.Fatal("live group did not become operational")
+	}
+	ids := g.IDs()
+	const perSender = 25
+	done := make(chan error, len(ids))
+	for _, id := range ids {
+		id := id
+		go func() {
+			for i := 0; i < perSender; i++ {
+				if err := g.Send(id, []byte(fmt.Sprintf("%s/%d", id, i)), Agreed); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for range ids {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := perSender * len(ids)
+	for _, id := range ids {
+		if !g.WaitDeliveries(id, total, 10*time.Second) {
+			t.Fatalf("%s delivered %d of %d", id, len(g.Deliveries(id)), total)
+		}
+	}
+	// Identical delivery order everywhere.
+	ref := g.Deliveries(ids[0])
+	for _, id := range ids[1:] {
+		ds := g.Deliveries(id)
+		for i := range ref {
+			if ds[i].Msg != ref[i].Msg {
+				t.Fatalf("%s diverges at %d: %v vs %v", id, i, ds[i].Msg, ref[i].Msg)
+			}
+		}
+	}
+	if vs := g.Check(false); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestLiveGroupPartitionAndMerge(t *testing.T) {
+	g := NewLiveGroup(4, nil)
+	defer g.Close()
+	if !g.WaitOperational(5 * time.Second) {
+		t.Fatal("initial formation failed")
+	}
+	ids := g.IDs()
+	g.Partition(ids[:2], ids[2:])
+	// Both components keep operating: sends succeed and deliver within
+	// each side.
+	deadline := time.Now().Add(5 * time.Second)
+	leftOK, rightOK := false, false
+	for time.Now().Before(deadline) && (!leftOK || !rightOK) {
+		_ = g.Send(ids[0], []byte("L"), Agreed)
+		_ = g.Send(ids[2], []byte("R"), Agreed)
+		time.Sleep(20 * time.Millisecond)
+		leftOK = hasPayload(g.Deliveries(ids[1]), "L")
+		rightOK = hasPayload(g.Deliveries(ids[3]), "R")
+	}
+	if !leftOK || !rightOK {
+		t.Fatalf("partitioned progress: left=%v right=%v", leftOK, rightOK)
+	}
+	// No cross-component leakage.
+	if hasPayload(g.Deliveries(ids[0]), "R") || hasPayload(g.Deliveries(ids[3]), "L") {
+		t.Fatal("messages leaked across the partition")
+	}
+	g.Merge()
+	if !g.WaitOperational(10 * time.Second) {
+		t.Fatal("merge did not converge")
+	}
+	if vs := g.Check(false); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestLiveGroupCrashRecover(t *testing.T) {
+	g := NewLiveGroup(3, nil)
+	defer g.Close()
+	if !g.WaitOperational(5 * time.Second) {
+		t.Fatal("initial formation failed")
+	}
+	ids := g.IDs()
+	g.Crash(ids[2])
+	if err := g.Send(ids[2], nil, Safe); err == nil {
+		t.Fatal("send at crashed process should fail")
+	}
+	// Survivors reconfigure and keep delivering.
+	deadline := time.Now().Add(5 * time.Second)
+	ok := false
+	for time.Now().Before(deadline) && !ok {
+		_ = g.Send(ids[0], []byte("while-down"), Safe)
+		time.Sleep(20 * time.Millisecond)
+		ok = hasPayload(g.Deliveries(ids[1]), "while-down")
+	}
+	if !ok {
+		t.Fatal("survivors made no progress after the crash")
+	}
+	g.Recover(ids[2])
+	if !g.WaitOperational(10 * time.Second) {
+		t.Fatalf("recovered process did not rejoin (mode %s)", g.Mode(ids[2]))
+	}
+	if vs := g.Check(false); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+}
+
+func TestLiveGroupCloseIdempotent(t *testing.T) {
+	g := NewLiveGroup(2, nil)
+	if !g.WaitOperational(5 * time.Second) {
+		t.Fatal("formation failed")
+	}
+	g.Close()
+	g.Close() // must not panic or deadlock
+}
+
+func hasPayload(ds []Delivery, want string) bool {
+	for _, d := range ds {
+		if string(d.Payload) == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package evs
+
+import (
+	"time"
+
+	"repro/internal/groups"
+)
+
+// Re-exported group-layer vocabulary.
+type (
+	// GroupView is a named group's membership view.
+	GroupView = groups.ViewChange
+	// GroupDelivery is a group-addressed message delivery.
+	GroupDelivery = groups.Deliver
+	// GroupEvent is the union of group-layer events.
+	GroupEvent = groups.Event
+)
+
+// Topics multiplexes named process groups over a Group's EVS transport —
+// the process group paradigm of the paper's introduction: processes join
+// and leave named groups, messages are addressed to groups, and every
+// member of a configuration derives identical group membership views from
+// the safe total order.
+//
+// Create it before running the simulation; it installs itself on the
+// Group's delivery hooks.
+type Topics struct {
+	g      *Group
+	mux    map[ProcessID]*groups.Mux
+	events map[ProcessID][]GroupEvent
+}
+
+// NewTopics attaches a group layer to g. It must be called before the
+// simulation runs (it consumes the Group's OnDelivery/OnConfigChange
+// hooks).
+func NewTopics(g *Group) *Topics {
+	t := &Topics{
+		g:      g,
+		mux:    make(map[ProcessID]*groups.Mux, len(g.ids)),
+		events: make(map[ProcessID][]GroupEvent),
+	}
+	for _, id := range g.IDs() {
+		t.mux[id] = groups.New(id)
+	}
+	prevDel := g.OnDelivery
+	g.OnDelivery = func(id ProcessID, d Delivery) {
+		if prevDel != nil {
+			prevDel(id, d)
+		}
+		t.events[id] = append(t.events[id], t.mux[id].OnDeliver(d.Msg.Sender, d.Payload)...)
+	}
+	prevConf := g.OnConfigChange
+	g.OnConfigChange = func(id ProcessID, c ConfigEvent) {
+		if prevConf != nil {
+			prevConf(id, c)
+		}
+		announce, evs := t.mux[id].OnConfig(c.Config)
+		t.events[id] = append(t.events[id], evs...)
+		if announce != nil {
+			t.g.submit(id, announce, Safe)
+		}
+	}
+	return t
+}
+
+// Join schedules a group subscription at virtual time at.
+func (t *Topics) Join(at time.Duration, id ProcessID, group string) {
+	t.g.At(at, func() {
+		t.g.submit(id, t.mux[id].Join(group), Safe)
+	})
+}
+
+// Leave schedules a group unsubscription at virtual time at.
+func (t *Topics) Leave(at time.Duration, id ProcessID, group string) {
+	t.g.At(at, func() {
+		t.g.submit(id, t.mux[id].Leave(group), Safe)
+	})
+}
+
+// Send schedules a group-addressed message at virtual time at.
+func (t *Topics) Send(at time.Duration, id ProcessID, group string, data []byte) {
+	t.g.At(at, func() {
+		t.g.submit(id, t.mux[id].Send(group, data), Safe)
+	})
+}
+
+// Events returns the group-layer events observed at a process, in order.
+func (t *Topics) Events(id ProcessID) []GroupEvent { return t.events[id] }
+
+// Deliveries returns the messages a process received in one group.
+func (t *Topics) Deliveries(id ProcessID, group string) []GroupDelivery {
+	var out []GroupDelivery
+	for _, e := range t.events[id] {
+		if d, ok := e.(GroupDelivery); ok && d.Group == group {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Views returns the membership views a process observed for one group.
+func (t *Topics) Views(id ProcessID, group string) []GroupView {
+	var out []GroupView
+	for _, e := range t.events[id] {
+		if v, ok := e.(GroupView); ok && v.Group == group {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// View returns the current view of a group at a process.
+func (t *Topics) View(id ProcessID, group string) GroupView {
+	return t.mux[id].View(group)
+}

@@ -1,0 +1,118 @@
+package evs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTopicsJoinSendDeliver(t *testing.T) {
+	g := NewGroup(Options{NumProcesses: 4, Seed: 41})
+	top := NewTopics(g)
+	ids := g.IDs()
+
+	top.Join(200*time.Millisecond, ids[0], "chat")
+	top.Join(210*time.Millisecond, ids[1], "chat")
+	top.Join(220*time.Millisecond, ids[2], "news")
+	top.Send(400*time.Millisecond, ids[0], "chat", []byte("hello chat"))
+	top.Send(420*time.Millisecond, ids[2], "news", []byte("hello news"))
+	g.Run(time.Second)
+
+	// chat members see the chat message; the news subscriber does not.
+	for _, id := range ids[:2] {
+		ds := top.Deliveries(id, "chat")
+		if len(ds) != 1 || string(ds[0].Payload) != "hello chat" {
+			t.Fatalf("%s chat deliveries %+v", id, ds)
+		}
+	}
+	if ds := top.Deliveries(ids[2], "chat"); len(ds) != 0 {
+		t.Fatalf("news subscriber received chat traffic: %+v", ds)
+	}
+	if ds := top.Deliveries(ids[3], "chat"); len(ds) != 0 {
+		t.Fatalf("non-subscriber received chat traffic: %+v", ds)
+	}
+	// Views converged identically at chat members.
+	va := top.View(ids[0], "chat")
+	vb := top.View(ids[1], "chat")
+	if !va.Members.Equal(NewProcessSet(ids[0], ids[1])) || !va.Members.Equal(vb.Members) {
+		t.Fatalf("chat views %v / %v", va, vb)
+	}
+	requireCleanGroup(t, g, true)
+}
+
+func TestTopicsPartitionShrinksViews(t *testing.T) {
+	g := NewGroup(Options{NumProcesses: 4, Seed: 42})
+	top := NewTopics(g)
+	ids := g.IDs()
+	for i, id := range ids {
+		top.Join(time.Duration(200+10*i)*time.Millisecond, id, "g")
+	}
+	g.Partition(500*time.Millisecond, ids[:2], ids[2:])
+	g.Run(1200 * time.Millisecond)
+
+	left := top.View(ids[0], "g")
+	right := top.View(ids[2], "g")
+	if !left.Members.Equal(NewProcessSet(ids[0], ids[1])) {
+		t.Fatalf("left view %v, want {p01,p02}", left)
+	}
+	if !right.Members.Equal(NewProcessSet(ids[2], ids[3])) {
+		t.Fatalf("right view %v, want {p03,p04}", right)
+	}
+
+	// Remerge: views grow back to all four.
+	g.Merge(1300 * time.Millisecond)
+	g.Run(2 * time.Second)
+	if v := top.View(ids[0], "g"); !v.Members.Equal(NewProcessSet(ids...)) {
+		t.Fatalf("post-merge view %v, want all four", v)
+	}
+	requireCleanGroup(t, g, true)
+}
+
+func TestTopicsLeave(t *testing.T) {
+	g := NewGroup(Options{NumProcesses: 3, Seed: 43})
+	top := NewTopics(g)
+	ids := g.IDs()
+	top.Join(200*time.Millisecond, ids[0], "g")
+	top.Join(210*time.Millisecond, ids[1], "g")
+	top.Leave(400*time.Millisecond, ids[1], "g")
+	top.Send(600*time.Millisecond, ids[0], "g", []byte("after-leave"))
+	g.Run(1200 * time.Millisecond)
+
+	if ds := top.Deliveries(ids[1], "g"); len(ds) != 0 {
+		t.Fatalf("left member received %+v", ds)
+	}
+	if ds := top.Deliveries(ids[0], "g"); len(ds) != 1 {
+		t.Fatalf("remaining member deliveries %+v", ds)
+	}
+	if v := top.View(ids[0], "g"); !v.Members.Equal(NewProcessSet(ids[0])) {
+		t.Fatalf("view after leave %v, want {p01}", v)
+	}
+	requireCleanGroup(t, g, true)
+}
+
+func TestTopicsViewsOrderedIdentically(t *testing.T) {
+	g := NewGroup(Options{NumProcesses: 3, Seed: 44})
+	top := NewTopics(g)
+	ids := g.IDs()
+	// Everyone joins and leaves in a scramble; views derive from the
+	// safe total order, so each member's view sequence for the group
+	// must be identical (restricted to views both observed).
+	top.Join(200*time.Millisecond, ids[0], "g")
+	top.Join(205*time.Millisecond, ids[1], "g")
+	top.Join(210*time.Millisecond, ids[2], "g")
+	top.Leave(300*time.Millisecond, ids[1], "g")
+	top.Join(350*time.Millisecond, ids[1], "g")
+	g.Run(time.Second)
+
+	a := top.Views(ids[0], "g")
+	c := top.Views(ids[2], "g")
+	// Compare the view membership sequences from the point both were
+	// members (skip leading views before each joined).
+	tailA := a[len(a)-3:]
+	tailC := c[len(c)-3:]
+	for i := range tailA {
+		if !tailA[i].Members.Equal(tailC[i].Members) {
+			t.Fatalf("view sequences diverge at %d: %v vs %v", i, tailA[i], tailC[i])
+		}
+	}
+	requireCleanGroup(t, g, true)
+}
