@@ -52,11 +52,16 @@ func mergedStream(g *Group, id ProcessID) []appEvent {
 // feedAirline replays a process's stream into its airline replica from the
 // given offset, broadcasting the replica's reconciliation state messages.
 // It returns the new offset.
-func feedAirline(g *Group, id ProcessID, r *airline.Replica, from int) int {
+func feedAirline(t *testing.T, g *Group, id ProcessID, r *airline.Replica, from int) int {
+	t.Helper()
 	evts := mergedStream(g, id)
 	for _, e := range evts[from:] {
 		if e.conf != nil {
-			if state := r.OnConfig(*e.conf); state != nil {
+			state, err := r.OnConfig(*e.conf)
+			if err != nil {
+				t.Fatalf("%s: OnConfig: %v", id, err)
+			}
+			if state != nil {
 				g.submit(id, state, Safe)
 			}
 		} else {
@@ -64,6 +69,26 @@ func feedAirline(g *Group, id ProcessID, r *airline.Replica, from int) int {
 		}
 	}
 	return len(evts)
+}
+
+// mustEncodeAirline fails the test on an encoding error.
+func mustEncodeAirline(t *testing.T, m airline.Msg) []byte {
+	t.Helper()
+	b, err := airline.Encode(m)
+	if err != nil {
+		t.Fatalf("airline encode: %v", err)
+	}
+	return b
+}
+
+// mustEncodeRadar fails the test on an encoding error.
+func mustEncodeRadar(t *testing.T, r radar.Reading) []byte {
+	t.Helper()
+	b, err := radar.Encode(r)
+	if err != nil {
+		t.Fatalf("radar encode: %v", err)
+	}
+	return b
 }
 
 func TestAirlineOverEVSAllocationNeverOverbooks(t *testing.T) {
@@ -77,22 +102,22 @@ func TestAirlineOverEVSAllocationNeverOverbooks(t *testing.T) {
 	offsets := make(map[ProcessID]int)
 	feedAll := func() {
 		for _, id := range ids {
-			offsets[id] = feedAirline(g, id, replicas[id], offsets[id])
+			offsets[id] = feedAirline(t, g, id, replicas[id], offsets[id])
 		}
 	}
 
 	// Pre-partition sales.
 	for i := 0; i < 4; i++ {
 		g.Send(time.Duration(150+10*i)*time.Millisecond, ids[i%4],
-			airline.Encode(airline.Msg{Kind: airline.KindSell, Flight: "F1"}), Safe)
+			mustEncodeAirline(t, airline.Msg{Kind: airline.KindSell, Flight: "F1"}), Safe)
 	}
 	g.Partition(300*time.Millisecond, ids[:2], ids[2:])
 	// Heavy selling in both components.
 	for i := 0; i < 10; i++ {
 		g.Send(time.Duration(500+10*i)*time.Millisecond, ids[0],
-			airline.Encode(airline.Msg{Kind: airline.KindSell, Flight: "F1"}), Safe)
+			mustEncodeAirline(t, airline.Msg{Kind: airline.KindSell, Flight: "F1"}), Safe)
 		g.Send(time.Duration(500+10*i)*time.Millisecond, ids[2],
-			airline.Encode(airline.Msg{Kind: airline.KindSell, Flight: "F1"}), Safe)
+			mustEncodeAirline(t, airline.Msg{Kind: airline.KindSell, Flight: "F1"}), Safe)
 	}
 	g.Merge(800 * time.Millisecond)
 	// Drive the replicas mid-run so the post-merge configuration change
@@ -132,7 +157,10 @@ func TestATMOverEVSOfflinePostsOnReconnect(t *testing.T) {
 
 	// Online withdrawal while fully connected.
 	g.At(200*time.Millisecond, func() {
-		msg, _ := replicas[ids[0]].Withdraw("acct", 30)
+		msg, _, err := replicas[ids[0]].Withdraw("acct", 30)
+		if err != nil {
+			t.Errorf("withdraw: %v", err)
+		}
 		if msg != nil {
 			g.submit(ids[0], msg, Safe)
 		}
@@ -143,8 +171,8 @@ func TestATMOverEVSOfflinePostsOnReconnect(t *testing.T) {
 	g.At(600*time.Millisecond, func() {
 		// Feed the replica its view of the world so it knows it is
 		// partitioned, then withdraw offline.
-		fed[ids[0]] = feedATM(g, ids[0], replicas[ids[0]], 0)
-		_, d := replicas[ids[0]].Withdraw("acct", 25)
+		fed[ids[0]] = feedATM(t, g, ids[0], replicas[ids[0]], 0)
+		_, d, _ := replicas[ids[0]].Withdraw("acct", 25)
 		if d == nil || !d.Approved || !d.Offline {
 			t.Errorf("offline withdrawal decision %+v", d)
 		}
@@ -152,12 +180,12 @@ func TestATMOverEVSOfflinePostsOnReconnect(t *testing.T) {
 	g.Merge(800 * time.Millisecond)
 	g.At(1200*time.Millisecond, func() {
 		// On reconnection the replica posts its pending batch.
-		batch := feedATM(g, ids[0], replicas[ids[0]], fed[ids[0]])
+		batch := feedATM(t, g, ids[0], replicas[ids[0]], fed[ids[0]])
 		fed[ids[0]] = batch
 	})
 	g.Run(2 * time.Second)
 	for _, id := range ids {
-		feedATM(g, id, replicas[id], fed[id])
+		feedATM(t, g, id, replicas[id], fed[id])
 	}
 
 	for _, id := range ids {
@@ -171,11 +199,16 @@ func TestATMOverEVSOfflinePostsOnReconnect(t *testing.T) {
 // feedATM replays a process's stream into its ATM replica from the given
 // offset, broadcasting any posting batch the replica produces. It returns
 // the new offset.
-func feedATM(g *Group, id ProcessID, r *atm.Replica, from int) int {
+func feedATM(t *testing.T, g *Group, id ProcessID, r *atm.Replica, from int) int {
+	t.Helper()
 	evts := mergedStream(g, id)
 	for _, e := range evts[from:] {
 		if e.conf != nil {
-			if batch := r.OnConfig(*e.conf); batch != nil {
+			batch, err := r.OnConfig(*e.conf)
+			if err != nil {
+				t.Fatalf("%s: OnConfig: %v", id, err)
+			}
+			if batch != nil {
 				g.submit(id, batch, Safe)
 			}
 		} else {
@@ -193,11 +226,11 @@ func TestRadarOverEVSDegradesUnderPartition(t *testing.T) {
 	good := radar.NewSensor("s1", 0.9)
 	poor := radar.NewSensor("s2", 0.4)
 
-	g.Send(200*time.Millisecond, "s1", radar.Encode(good.Observe("T1", 10, 10)), Agreed)
-	g.Send(210*time.Millisecond, "s2", radar.Encode(poor.Observe("T1", 10.5, 10.5)), Agreed)
+	g.Send(200*time.Millisecond, "s1", mustEncodeRadar(t, good.Observe("T1", 10, 10)), Agreed)
+	g.Send(210*time.Millisecond, "s2", mustEncodeRadar(t, poor.Observe("T1", 10.5, 10.5)), Agreed)
 	// The best sensor partitions away.
 	g.Partition(400*time.Millisecond, []ProcessID{"d1", "s2"}, []ProcessID{"s1"})
-	g.Send(600*time.Millisecond, "s2", radar.Encode(poor.Observe("T1", 11, 11)), Agreed)
+	g.Send(600*time.Millisecond, "s2", mustEncodeRadar(t, poor.Observe("T1", 11, 11)), Agreed)
 	g.Run(time.Second)
 
 	for _, e := range mergedStream(g, "d1") {

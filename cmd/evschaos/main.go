@@ -1,0 +1,161 @@
+// Command evschaos drives the chaos engine: it generates seeded
+// adversarial fault schedules (crash/recover storms, flapping and one-way
+// partitions, targeted message-class loss, latency bursts, stable-storage
+// corruption), executes each against a simulated EVS cluster, and judges
+// the execution with the specification checker. On a violation it
+// delta-debugs the failing schedule down to a small deterministic
+// reproducer and prints it, optionally saving it as JSON for -replay.
+//
+// Usage:
+//
+//	evschaos [-seeds N] [-seed S] [-procs P] [-duration D] [-settle D]
+//	         [-minimize] [-save FILE] [-replay FILE] [-v]
+//
+// Examples:
+//
+//	evschaos -seeds 50                 # seeds 1..50, report violations
+//	evschaos -seed 86 -minimize        # one seed, shrink any failure
+//	evschaos -replay repro.json        # re-execute a saved reproducer
+//
+// The exit status is non-zero if any execution violated the
+// specifications (or a replayed reproducer still does).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 20, "number of seeds to run (1..N); ignored with -seed or -replay")
+		seed     = flag.Int64("seed", 0, "run exactly this seed instead of a range")
+		procs    = flag.Int("procs", 0, "cluster size (0 = seed-dependent default)")
+		duration = flag.Duration("duration", 0, "fault-injection window (0 = default 1s)")
+		settle   = flag.Duration("settle", 0, "post-heal quiet period (0 = default 2.5s)")
+		minimize = flag.Bool("minimize", false, "delta-debug failing schedules to a minimal reproducer")
+		maxRuns  = flag.Int("minimize-budget", 400, "maximum executions the minimizer may spend per failure")
+		save     = flag.String("save", "", "write the (minimized) failing program as JSON to this file")
+		replay   = flag.String("replay", "", "replay a saved program JSON instead of generating")
+		verbose  = flag.Bool("v", false, "print every program before running it")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		seeds: *seeds, seed: *seed, procs: *procs,
+		duration: *duration, settle: *settle,
+		minimize: *minimize, maxRuns: *maxRuns,
+		save: *save, replay: *replay, verbose: *verbose,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	seeds    int
+	seed     int64
+	procs    int
+	duration time.Duration
+	settle   time.Duration
+	minimize bool
+	maxRuns  int
+	save     string
+	replay   string
+	verbose  bool
+}
+
+func run(cfg config) error {
+	if cfg.replay != "" {
+		return replayFile(cfg)
+	}
+
+	first, last := int64(1), int64(cfg.seeds)
+	if cfg.seed != 0 {
+		first, last = cfg.seed, cfg.seed
+	}
+	if last < first {
+		return fmt.Errorf("evschaos: no seeds to run (-seeds %d)", cfg.seeds)
+	}
+
+	gen := chaos.GenConfig{Procs: cfg.procs, Duration: cfg.duration, Settle: cfg.settle}
+	failures := 0
+	start := time.Now()
+	for s := first; s <= last; s++ {
+		p := chaos.Generate(s, gen)
+		if cfg.verbose {
+			fmt.Println(p)
+		}
+		res := chaos.Run(p)
+		if len(res.Violations) == 0 {
+			fmt.Printf("seed %-4d ok    (%d events, %d packets, %d submissions)\n",
+				s, res.Events, res.Net.Delivered, res.Harness.Submitted)
+			continue
+		}
+		failures++
+		fmt.Printf("seed %-4d FAIL  %d specification violation(s)\n", s, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+		report := p
+		if cfg.minimize {
+			report = chaos.Minimize(p, chaos.MinimizeOptions{MaxRuns: cfg.maxRuns})
+			fmt.Printf("minimized to %d events (%d faults):\n",
+				len(report.Events), report.FaultCount())
+		}
+		fmt.Println(report)
+		if cfg.save != "" {
+			if err := saveProgram(report, cfg.save); err != nil {
+				return err
+			}
+			fmt.Printf("saved reproducer to %s\n", cfg.save)
+		}
+	}
+	ran := last - first + 1
+	fmt.Printf("%d seed(s), %d failure(s), %s\n", ran, failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		return fmt.Errorf("evschaos: %d of %d schedules violated the EVS specifications", failures, ran)
+	}
+	return nil
+}
+
+// replayFile re-executes a saved program twice, checking both the
+// specifications and the determinism of the reproducer.
+func replayFile(cfg config) error {
+	b, err := os.ReadFile(cfg.replay)
+	if err != nil {
+		return fmt.Errorf("evschaos: %w", err)
+	}
+	p, err := chaos.DecodeJSON(b)
+	if err != nil {
+		return fmt.Errorf("evschaos: %s: %w", cfg.replay, err)
+	}
+	fmt.Println(p)
+	res, same := chaos.Replay(p)
+	if !same {
+		return fmt.Errorf("evschaos: program is not deterministic across replays")
+	}
+	fmt.Printf("replayed twice, deterministic, %d violation(s)\n", len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Printf("    %s\n", v)
+	}
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("evschaos: replayed program violates the EVS specifications")
+	}
+	return nil
+}
+
+func saveProgram(p chaos.Program, path string) error {
+	b, err := p.EncodeJSON()
+	if err != nil {
+		return fmt.Errorf("evschaos: encode program: %w", err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("evschaos: %w", err)
+	}
+	return nil
+}

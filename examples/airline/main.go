@@ -63,7 +63,12 @@ func (o *office) sync(g *evs.Group) {
 	}
 	for _, e := range evts[o.fed:] {
 		if e.conf != nil {
-			if state := o.replica.OnConfig(*e.conf); state != nil {
+			state, err := o.replica.OnConfig(*e.conf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: reconciliation skipped: %v\n", o.id, err)
+				continue
+			}
+			if state != nil {
 				g.Send(g.Now(), o.id, state, evs.Safe)
 			}
 		} else {
@@ -88,7 +93,12 @@ func sellingSeason(policy airline.Policy, seats int) (sold, over int) {
 	}
 
 	sell := func(at time.Duration, id evs.ProcessID) {
-		g.Send(at, id, airline.Encode(airline.Msg{Kind: airline.KindSell, Flight: "UA100"}), evs.Safe)
+		b, err := airline.Encode(airline.Msg{Kind: airline.KindSell, Flight: "UA100"})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sale dropped: %v\n", err)
+			return
+		}
+		g.Send(at, id, b, evs.Safe)
 	}
 
 	// Connected selling.

@@ -63,7 +63,12 @@ func (b *branch) sync(g *evs.Group) {
 	}
 	for _, e := range evts[b.fed:] {
 		if e.conf != nil {
-			if batch := b.replica.OnConfig(*e.conf); batch != nil {
+			batch, err := b.replica.OnConfig(*e.conf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: posting deferred: %v\n", b.id, err)
+				continue
+			}
+			if batch != nil {
 				g.Send(g.Now(), b.id, batch, evs.Safe)
 			}
 		} else {
@@ -93,7 +98,11 @@ func run() error {
 
 	// Online withdrawal while fully connected.
 	g.At(200*time.Millisecond, func() {
-		msg, _ := branches[ids[0]].replica.Withdraw("alice", 40)
+		msg, _, err := branches[ids[0]].replica.Withdraw("alice", 40)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: withdrawal declined: %v\n", ids[0], err)
+			return
+		}
 		if msg != nil {
 			g.Send(g.Now(), ids[0], msg, evs.Safe)
 		}
@@ -106,7 +115,7 @@ func run() error {
 	// authorise offline; the VS layer is blocked there.
 	g.At(700*time.Millisecond, func() {
 		syncAll()
-		_, d := branches[remote].replica.Withdraw("alice", 30)
+		_, d, _ := branches[remote].replica.Withdraw("alice", 30)
 		fmt.Printf("%8.0fms  %s (partitioned): offline withdrawal of 30 approved=%v\n",
 			float64(g.Now().Microseconds())/1000, remote, d != nil && d.Approved)
 		fmt.Printf("            VS layer at %s blocked (non-primary): %v\n",

@@ -72,6 +72,15 @@ func run() error {
 		fed = len(evts)
 	}
 
+	report := func(sensor evs.ProcessID, r radar.Reading) {
+		b, err := radar.Encode(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: reading dropped: %v\n", sensor, err)
+			return
+		}
+		g.Send(g.Now(), sensor, b, evs.Agreed)
+	}
+
 	show := func(label string) {
 		syncDisplay()
 		best, ok := disp.Best("bogey-1")
@@ -85,22 +94,22 @@ func run() error {
 
 	// Both sensors track bogey-1; the display shows the fine sensor.
 	g.At(200*time.Millisecond, func() {
-		g.Send(g.Now(), "sense-a", radar.Encode(fine.Observe("bogey-1", 10.0, 20.0)), evs.Agreed)
-		g.Send(g.Now(), "sense-b", radar.Encode(coarse.Observe("bogey-1", 10.4, 20.6)), evs.Agreed)
+		report("sense-a", fine.Observe("bogey-1", 10.0, 20.0))
+		report("sense-b", coarse.Observe("bogey-1", 10.4, 20.6))
 	})
 	g.At(400*time.Millisecond, func() { show("connected") })
 
 	// The fine sensor's link fails; the coarse sensor keeps reporting.
 	g.Partition(450*time.Millisecond, []evs.ProcessID{"display", "sense-b"}, []evs.ProcessID{"sense-a"})
 	g.At(700*time.Millisecond, func() {
-		g.Send(g.Now(), "sense-b", radar.Encode(coarse.Observe("bogey-1", 11.1, 21.2)), evs.Agreed)
+		report("sense-b", coarse.Observe("bogey-1", 11.1, 21.2))
 	})
 	g.At(900*time.Millisecond, func() { show("partitioned (degraded)") })
 
 	// Link restored: next readings from the fine sensor win again.
 	g.Merge(1000 * time.Millisecond)
 	g.At(1400*time.Millisecond, func() {
-		g.Send(g.Now(), "sense-a", radar.Encode(fine.Observe("bogey-1", 12.0, 22.0)), evs.Agreed)
+		report("sense-a", fine.Observe("bogey-1", 12.0, 22.0))
 	})
 	g.At(1700*time.Millisecond, func() { show("remerged") })
 	g.Run(2 * time.Second)

@@ -62,6 +62,7 @@ type Group struct {
 	vsEvents   map[ProcessID][]VSEvent
 	vsTrace    []vsfilter.TraceEvent
 	crashed    map[ProcessID]bool
+	stats      GroupStats
 
 	// OnDelivery and OnConfigChange, when set, observe application-level
 	// events as they happen (used by layers built on the public API,
@@ -154,12 +155,15 @@ func (g *Group) Send(t time.Duration, id ProcessID, payload []byte, svc Service)
 // submit wraps the payload in the application envelope and submits it.
 func (g *Group) submit(id ProcessID, payload []byte, svc Service) {
 	if g.crashed[id] {
+		g.stats.Rejected++
 		return
 	}
 	wrapped := append([]byte{tagApp}, payload...)
 	if err := g.cluster.Node(id).Submit(wrapped, svc); err != nil {
+		g.stats.Rejected++
 		return
 	}
+	g.stats.Submitted++
 	if f := g.filters[id]; f != nil && !f.Blocked() {
 		// The VS layer observes the send for the model checker. The
 		// message identifier is the one just assigned.
@@ -278,9 +282,19 @@ func (g *Group) applyPrimaryActions(id model.ProcessID, acts []primary.Action) {
 	for _, a := range acts {
 		switch act := a.(type) {
 		case primary.Broadcast:
-			wrapped := append([]byte{tagPrimary}, act.Payload...)
-			// Primary-layer messages ride the safe service.
-			_ = g.cluster.Node(id).Submit(wrapped, model.Safe)
+			payload, err := primary.Encode(act.Msg)
+			if err != nil {
+				g.stats.PrimaryEncodeErrors++
+				continue
+			}
+			wrapped := append([]byte{tagPrimary}, payload...)
+			// Primary-layer messages ride the safe service. A refusal
+			// (the process is down or mid-recovery) is expected under
+			// faults; it is counted rather than silently dropped so
+			// tests and operators can see lost protocol traffic.
+			if err := g.cluster.Node(id).Submit(wrapped, model.Safe); err != nil {
+				g.stats.PrimaryRejected++
+			}
 		case primary.PersistAttempt:
 			rec := g.cluster.Store(id).Load()
 			rec.PrimaryAttempt = act.Cfg
@@ -402,3 +416,20 @@ func (g *Group) StableRecord(id ProcessID) stable.Record {
 
 // NetStats returns network activity counters.
 func (g *Group) NetStats() netsim.Stats { return g.cluster.Net.Stats() }
+
+// GroupStats counts group-level activity that would otherwise vanish
+// silently: application submissions and primary-layer protocol traffic
+// refused or unencodable at the transport boundary.
+type GroupStats struct {
+	// Submitted and Rejected count application submissions accepted and
+	// refused (process down or reconfiguring).
+	Submitted, Rejected uint64
+	// PrimaryRejected counts primary-layer broadcasts the node refused.
+	PrimaryRejected uint64
+	// PrimaryEncodeErrors counts primary-layer messages that failed to
+	// serialise.
+	PrimaryEncodeErrors uint64
+}
+
+// Stats returns a copy of the group's activity counters.
+func (g *Group) Stats() GroupStats { return g.stats }

@@ -61,13 +61,12 @@ type Msg struct {
 }
 
 // Encode serialises a message for broadcast.
-func Encode(m Msg) []byte {
+func Encode(m Msg) ([]byte, error) {
 	b, err := json.Marshal(m)
 	if err != nil {
-		// Msg has only marshalable fields.
-		panic(fmt.Sprintf("airline: marshal: %v", err))
+		return nil, fmt.Errorf("airline: marshal: %w", err)
 	}
-	return b
+	return b, nil
 }
 
 // Decode parses a message.
@@ -140,10 +139,12 @@ func New(self model.ProcessID, full model.ProcessSet, policy Policy, capacities 
 
 // OnConfig ingests a configuration change. It returns a reconciliation
 // state message to broadcast in the new configuration (nil for transitional
-// configurations).
-func (r *Replica) OnConfig(cfg model.Configuration) []byte {
+// configurations). An encoding error leaves the ledger updated but skips
+// reconciliation for this configuration; the caller decides whether to
+// surface or count it.
+func (r *Replica) OnConfig(cfg model.Configuration) ([]byte, error) {
 	if cfg.ID.IsTransitional() {
-		return nil
+		return nil, nil
 	}
 	wasPartitioned := r.partitioned
 	r.partitioned = !r.full.IsSubsetOf(cfg.Members)

@@ -13,7 +13,21 @@ func regCfg(members ...model.ProcessID) model.Configuration {
 }
 
 func sell(r *Replica, seller model.ProcessID, flight string) {
-	r.OnDeliver(seller, Encode(Msg{Kind: KindSell, Flight: flight}))
+	b, err := Encode(Msg{Kind: KindSell, Flight: flight})
+	if err != nil {
+		panic(err)
+	}
+	r.OnDeliver(seller, b)
+}
+
+// onConfig drives a configuration change, failing the test on error.
+func onConfig(t *testing.T, r *Replica, cfg model.Configuration) []byte {
+	t.Helper()
+	b, err := r.OnConfig(cfg)
+	if err != nil {
+		t.Fatalf("OnConfig: %v", err)
+	}
+	return b
 }
 
 func TestSellWithinCapacity(t *testing.T) {
@@ -36,7 +50,7 @@ func TestSellWithinCapacity(t *testing.T) {
 func TestAllocationPolicyLimitsPartitionSales(t *testing.T) {
 	// 8 remaining seats, component of 2 out of 4: allocation 4.
 	r := New("a", full, PolicyAllocation, map[string]int{"F1": 8})
-	r.OnConfig(regCfg("a", "b"))
+	onConfig(t, r, regCfg("a", "b"))
 	for i := 0; i < 8; i++ {
 		sell(r, "a", "F1")
 	}
@@ -50,8 +64,8 @@ func TestAllocationDisjointAcrossComponents(t *testing.T) {
 	// remaining seats, so combined sales never exceed capacity.
 	left := New("a", full, PolicyAllocation, map[string]int{"F1": 9})
 	right := New("c", full, PolicyAllocation, map[string]int{"F1": 9})
-	left.OnConfig(regCfg("a", "b"))
-	right.OnConfig(regCfg("c", "d"))
+	onConfig(t, left, regCfg("a", "b"))
+	onConfig(t, right, regCfg("c", "d"))
 	for i := 0; i < 9; i++ {
 		sell(left, "a", "F1")
 		sell(right, "c", "F1")
@@ -68,8 +82,8 @@ func TestAllocationDisjointAcrossComponents(t *testing.T) {
 func TestOptimisticPolicyOverbooks(t *testing.T) {
 	left := New("a", full, PolicyOptimistic, map[string]int{"F1": 5})
 	right := New("c", full, PolicyOptimistic, map[string]int{"F1": 5})
-	left.OnConfig(regCfg("a", "b"))
-	right.OnConfig(regCfg("c", "d"))
+	onConfig(t, left, regCfg("a", "b"))
+	onConfig(t, right, regCfg("c", "d"))
 	for i := 0; i < 5; i++ {
 		sell(left, "a", "F1")
 		sell(right, "c", "F1")
@@ -83,15 +97,15 @@ func TestOptimisticPolicyOverbooks(t *testing.T) {
 func TestReconciliationByStateExchange(t *testing.T) {
 	left := New("a", full, PolicyAllocation, map[string]int{"F1": 8})
 	right := New("c", full, PolicyAllocation, map[string]int{"F1": 8})
-	left.OnConfig(regCfg("a", "b"))
-	right.OnConfig(regCfg("c", "d"))
+	onConfig(t, left, regCfg("a", "b"))
+	onConfig(t, right, regCfg("c", "d"))
 	sell(left, "a", "F1")
 	sell(left, "b", "F1")
 	sell(right, "c", "F1")
 
 	// Merge: both install the full configuration and exchange state.
-	stateL := left.OnConfig(regCfg("a", "b", "c", "d"))
-	stateR := right.OnConfig(regCfg("a", "b", "c", "d"))
+	stateL := onConfig(t, left, regCfg("a", "b", "c", "d"))
+	stateR := onConfig(t, right, regCfg("a", "b", "c", "d"))
 	left.OnDeliver("c", stateR)
 	left.OnDeliver("a", stateL)
 	right.OnDeliver("a", stateL)
@@ -108,14 +122,14 @@ func TestReconciliationByStateExchange(t *testing.T) {
 func TestOverbookedDetectedAfterOptimisticMerge(t *testing.T) {
 	left := New("a", full, PolicyOptimistic, map[string]int{"F1": 4})
 	right := New("c", full, PolicyOptimistic, map[string]int{"F1": 4})
-	left.OnConfig(regCfg("a", "b"))
-	right.OnConfig(regCfg("c", "d"))
+	onConfig(t, left, regCfg("a", "b"))
+	onConfig(t, right, regCfg("c", "d"))
 	for i := 0; i < 4; i++ {
 		sell(left, "a", "F1")
 		sell(right, "c", "F1")
 	}
-	stateL := left.OnConfig(regCfg("a", "b", "c", "d"))
-	stateR := right.OnConfig(regCfg("a", "b", "c", "d"))
+	stateL := onConfig(t, left, regCfg("a", "b", "c", "d"))
+	stateR := onConfig(t, right, regCfg("a", "b", "c", "d"))
 	left.OnDeliver("c", stateR)
 	right.OnDeliver("a", stateL)
 	if left.Overbooked("F1") != 4 || right.Overbooked("F1") != 4 {
@@ -126,7 +140,7 @@ func TestOverbookedDetectedAfterOptimisticMerge(t *testing.T) {
 func TestStateExchangeIdempotent(t *testing.T) {
 	r := New("a", full, PolicyAllocation, map[string]int{"F1": 5})
 	sell(r, "a", "F1")
-	state := r.OnConfig(regCfg("a", "b", "c", "d"))
+	state := onConfig(t, r, regCfg("a", "b", "c", "d"))
 	for i := 0; i < 3; i++ {
 		r.OnDeliver("a", state)
 	}
@@ -141,7 +155,7 @@ func TestTransitionalConfigIgnored(t *testing.T) {
 		ID:      model.TransitionalID(model.RegularID(2, "a"), model.RegularID(1, "a")),
 		Members: model.NewProcessSet("a"),
 	}
-	if out := r.OnConfig(tr); out != nil {
+	if out := onConfig(t, r, tr); out != nil {
 		t.Fatal("transitional configuration should produce no state message")
 	}
 	if r.partitioned {
@@ -175,8 +189,8 @@ func TestDeterministicAcrossReplicas(t *testing.T) {
 	a := New("a", full, PolicyAllocation, map[string]int{"F1": 6, "F2": 2})
 	b := New("b", full, PolicyAllocation, map[string]int{"F1": 6, "F2": 2})
 	cfg := regCfg("a", "b")
-	a.OnConfig(cfg)
-	b.OnConfig(cfg)
+	onConfig(t, a, cfg)
+	onConfig(t, b, cfg)
 	stream := []struct {
 		seller model.ProcessID
 		flight string

@@ -50,12 +50,12 @@ type Msg struct {
 }
 
 // Encode serialises a message for broadcast.
-func Encode(m Msg) []byte {
+func Encode(m Msg) ([]byte, error) {
 	b, err := json.Marshal(m)
 	if err != nil {
-		panic(fmt.Sprintf("atm: marshal: %v", err))
+		return nil, fmt.Errorf("atm: marshal: %w", err)
 	}
-	return b
+	return b, nil
 }
 
 // Decode parses a message.
@@ -116,9 +116,11 @@ func New(self model.ProcessID, full model.ProcessSet, balances map[string]int, o
 
 // OnConfig ingests a configuration change. On reconnection to the full
 // membership it returns the posting batch to broadcast (nil otherwise).
-func (r *Replica) OnConfig(cfg model.Configuration) []byte {
+// If the batch cannot be encoded the pending transactions are retained
+// for the next reconnection and the error is returned.
+func (r *Replica) OnConfig(cfg model.Configuration) ([]byte, error) {
 	if cfg.ID.IsTransitional() {
-		return nil
+		return nil, nil
 	}
 	was := r.partitioned
 	r.partitioned = !r.full.IsSubsetOf(cfg.Members)
@@ -129,22 +131,30 @@ func (r *Replica) OnConfig(cfg model.Configuration) []byte {
 		}
 	}
 	if !r.partitioned && len(r.pending) > 0 {
-		batch := r.pending
+		b, err := Encode(Msg{Kind: KindPost, Batch: r.pending})
+		if err != nil {
+			return nil, err
+		}
 		r.pending = nil
-		return Encode(Msg{Kind: KindPost, Batch: batch})
+		return b, nil
 	}
-	return nil
+	return nil, nil
 }
 
 // Withdraw is called at the authorising ATM when a customer requests cash.
 // Online (fully connected), it returns a message to broadcast and defers
 // the decision to delivery order. Offline, it decides immediately against
 // the local policy, queues an approved transaction for posting, and
-// returns nil.
-func (r *Replica) Withdraw(acct string, amount int) ([]byte, *Decision) {
+// returns a nil message. An encoding error declines the request without
+// dispensing cash or mutating any state.
+func (r *Replica) Withdraw(acct string, amount int) ([]byte, *Decision, error) {
 	tx := Tx{Account: acct, Amount: amount, ATM: r.self}
 	if !r.partitioned {
-		return Encode(Msg{Kind: KindWithdraw, Tx: tx}), nil
+		b, err := Encode(Msg{Kind: KindWithdraw, Tx: tx})
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, nil, nil
 	}
 	a, ok := r.accounts[acct]
 	d := Decision{Tx: tx, Offline: true}
@@ -154,7 +164,7 @@ func (r *Replica) Withdraw(acct string, amount int) ([]byte, *Decision) {
 		r.pending = append(r.pending, tx)
 	}
 	r.decisions = append(r.decisions, d)
-	return nil, &d
+	return nil, &d, nil
 }
 
 // OnDeliver applies a replicated message in delivery order.

@@ -12,10 +12,30 @@ func regCfg(members ...model.ProcessID) model.Configuration {
 	return model.Configuration{ID: model.RegularID(1, members[0]), Members: model.NewProcessSet(members...)}
 }
 
+// onConfig fails the test if the replica cannot encode its posting batch.
+func onConfig(t *testing.T, r *Replica, cfg model.Configuration) []byte {
+	t.Helper()
+	b, err := r.OnConfig(cfg)
+	if err != nil {
+		t.Fatalf("OnConfig: %v", err)
+	}
+	return b
+}
+
+// withdraw fails the test if the replica cannot encode the withdrawal.
+func withdraw(t *testing.T, r *Replica, acct string, amount int) ([]byte, *Decision) {
+	t.Helper()
+	msg, d, err := r.Withdraw(acct, amount)
+	if err != nil {
+		t.Fatalf("Withdraw: %v", err)
+	}
+	return msg, d
+}
+
 func TestOnlineWithdrawalAppliesAtAllReplicas(t *testing.T) {
 	a := New("a", full, map[string]int{"acct": 100}, 40)
 	b := New("b", full, map[string]int{"acct": 100}, 40)
-	msg, d := a.Withdraw("acct", 30)
+	msg, d := withdraw(t, a, "acct", 30)
 	if d != nil {
 		t.Fatal("online withdrawal must defer to delivery order")
 	}
@@ -34,7 +54,7 @@ func TestOnlineWithdrawalAppliesAtAllReplicas(t *testing.T) {
 
 func TestOnlineDeclinesInsufficientFunds(t *testing.T) {
 	a := New("a", full, map[string]int{"acct": 20}, 40)
-	msg, _ := a.Withdraw("acct", 30)
+	msg, _ := withdraw(t, a, "acct", 30)
 	a.OnDeliver(msg)
 	if a.Balance("acct") != 20 {
 		t.Fatalf("balance %d, want unchanged 20", a.Balance("acct"))
@@ -48,7 +68,7 @@ func TestOnlineDeclinesInsufficientFunds(t *testing.T) {
 func TestOfflineAuthorisationWithinLimit(t *testing.T) {
 	a := New("a", full, map[string]int{"acct": 100}, 40)
 	a.OnConfig(regCfg("a"))
-	msg, d := a.Withdraw("acct", 30)
+	msg, d := withdraw(t, a, "acct", 30)
 	if msg != nil {
 		t.Fatal("offline withdrawal must not broadcast")
 	}
@@ -56,7 +76,7 @@ func TestOfflineAuthorisationWithinLimit(t *testing.T) {
 		t.Fatalf("offline decision %+v", d)
 	}
 	// Second withdrawal exceeds the remaining offline allowance.
-	_, d2 := a.Withdraw("acct", 20)
+	_, d2 := withdraw(t, a, "acct", 20)
 	if d2.Approved {
 		t.Fatal("offline limit must cap cumulative offline withdrawals")
 	}
@@ -74,7 +94,7 @@ func TestPostingOnReconnection(t *testing.T) {
 	b := New("b", full, map[string]int{"acct": 100}, 40)
 	a.OnConfig(regCfg("a"))
 	a.Withdraw("acct", 30)
-	batch := a.OnConfig(regCfg("a", "b", "c"))
+	batch := onConfig(t, a, regCfg("a", "b", "c"))
 	if batch == nil {
 		t.Fatal("reconnection must produce a posting batch")
 	}
@@ -100,8 +120,8 @@ func TestConcurrentOfflineWithdrawalsOverdraft(t *testing.T) {
 	b.OnConfig(regCfg("b", "c"))
 	a.Withdraw("acct", 40)
 	b.Withdraw("acct", 40)
-	batchA := a.OnConfig(regCfg("a", "b", "c"))
-	batchB := b.OnConfig(regCfg("a", "b", "c"))
+	batchA := onConfig(t, a, regCfg("a", "b", "c"))
+	batchB := onConfig(t, b, regCfg("a", "b", "c"))
 	for _, r := range []*Replica{a, b} {
 		r.OnDeliver(batchA)
 		r.OnDeliver(batchB)
@@ -120,7 +140,7 @@ func TestOfflineAllowanceResetsPerEpisode(t *testing.T) {
 	a.Withdraw("acct", 40)
 	a.OnConfig(regCfg("a", "b", "c")) // merge
 	a.OnConfig(regCfg("a"))           // partition again
-	_, d := a.Withdraw("acct", 40)
+	_, d := withdraw(t, a, "acct", 40)
 	if !d.Approved {
 		t.Fatal("fresh partition episode should refresh the offline allowance")
 	}
@@ -132,7 +152,7 @@ func TestTransitionalIgnored(t *testing.T) {
 		ID:      model.TransitionalID(model.RegularID(2, "a"), model.RegularID(1, "a")),
 		Members: model.NewProcessSet("a"),
 	}
-	if out := a.OnConfig(tr); out != nil {
+	if out := onConfig(t, a, tr); out != nil {
 		t.Fatal("transitional configuration should not trigger posting")
 	}
 	if a.partitioned {
@@ -142,7 +162,7 @@ func TestTransitionalIgnored(t *testing.T) {
 
 func TestUnknownAccountAndGarbage(t *testing.T) {
 	a := New("a", full, map[string]int{"acct": 100}, 40)
-	msg, _ := a.Withdraw("nope", 30)
+	msg, _ := withdraw(t, a, "nope", 30)
 	a.OnDeliver(msg)
 	if len(a.Decisions()) != 1 || a.Decisions()[0].Approved {
 		t.Fatalf("unknown account decisions %+v", a.Decisions())
@@ -159,7 +179,7 @@ func TestUnknownAccountAndGarbage(t *testing.T) {
 func TestNegativeAmountRejectedOffline(t *testing.T) {
 	a := New("a", full, map[string]int{"acct": 100}, 40)
 	a.OnConfig(regCfg("a"))
-	_, d := a.Withdraw("acct", -5)
+	_, d := withdraw(t, a, "acct", -5)
 	if d.Approved {
 		t.Fatal("negative withdrawal must be declined")
 	}

@@ -10,7 +10,9 @@ import (
 // stays total.
 func FuzzDisplay(f *testing.F) {
 	s := NewSensor("s1", 0.5)
-	f.Add(Encode(s.Observe("T", 1, 2)))
+	if b, err := Encode(s.Observe("T", 1, 2)); err == nil {
+		f.Add(b)
+	}
 	f.Add([]byte("junk"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		d := NewDisplay("d", model.NewProcessSet("s1"))

@@ -33,12 +33,12 @@ type Reading struct {
 }
 
 // Encode serialises a reading for broadcast.
-func Encode(r Reading) []byte {
+func Encode(r Reading) ([]byte, error) {
 	b, err := json.Marshal(r)
 	if err != nil {
-		panic(fmt.Sprintf("radar: marshal: %v", err))
+		return nil, fmt.Errorf("radar: marshal: %w", err)
 	}
-	return b
+	return b, nil
 }
 
 // Decode parses a reading.

@@ -12,12 +12,22 @@ func regCfg(members ...model.ProcessID) model.Configuration {
 	return model.Configuration{ID: model.RegularID(1, members[0]), Members: model.NewProcessSet(members...)}
 }
 
+// enc fails the test on an encoding error.
+func enc(t *testing.T, r Reading) []byte {
+	t.Helper()
+	b, err := Encode(r)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return b
+}
+
 func TestBestPicksHighestQualityConnectedSensor(t *testing.T) {
 	d := NewDisplay("d1", sensors)
 	s1 := NewSensor("s1", 0.9)
 	s2 := NewSensor("s2", 0.5)
-	d.OnDeliver(Encode(s1.Observe("T1", 1, 2)))
-	d.OnDeliver(Encode(s2.Observe("T1", 1.1, 2.1)))
+	d.OnDeliver(enc(t, s1.Observe("T1", 1, 2)))
+	d.OnDeliver(enc(t, s2.Observe("T1", 1.1, 2.1)))
 	best, ok := d.Best("T1")
 	if !ok || best.Sensor != "s1" {
 		t.Fatalf("best %+v ok=%v, want s1's high quality reading", best, ok)
@@ -28,8 +38,8 @@ func TestPartitionDegradesToConnectedSensor(t *testing.T) {
 	d := NewDisplay("d1", sensors)
 	s1 := NewSensor("s1", 0.9)
 	s2 := NewSensor("s2", 0.5)
-	d.OnDeliver(Encode(s1.Observe("T1", 1, 2)))
-	d.OnDeliver(Encode(s2.Observe("T1", 1.1, 2.1)))
+	d.OnDeliver(enc(t, s1.Observe("T1", 1, 2)))
+	d.OnDeliver(enc(t, s2.Observe("T1", 1.1, 2.1)))
 	// The display lands in a component without the best sensor s1.
 	d.OnConfig(regCfg("d1", "s2"))
 	best, ok := d.Best("T1")
@@ -47,7 +57,7 @@ func TestPartitionDegradesToConnectedSensor(t *testing.T) {
 func TestBlankWhenNoConnectedSensorHasTrack(t *testing.T) {
 	d := NewDisplay("d1", sensors)
 	s1 := NewSensor("s1", 0.9)
-	d.OnDeliver(Encode(s1.Observe("T1", 1, 2)))
+	d.OnDeliver(enc(t, s1.Observe("T1", 1, 2)))
 	d.OnConfig(regCfg("d1")) // alone
 	if _, ok := d.Best("T1"); ok {
 		t.Fatal("no connected sensor: picture should blank")
@@ -63,8 +73,8 @@ func TestFreshnessBySensorSeq(t *testing.T) {
 	first := s1.Observe("T1", 1, 1)
 	second := s1.Observe("T1", 5, 5)
 	// Deliver out of order: the stale reading must not overwrite.
-	d.OnDeliver(Encode(second))
-	d.OnDeliver(Encode(first))
+	d.OnDeliver(enc(t, second))
+	d.OnDeliver(enc(t, first))
 	best, _ := d.Best("T1")
 	if best.X != 5 {
 		t.Fatalf("best position %v, want the fresher reading", best.X)
@@ -75,8 +85,8 @@ func TestQualityTieBreaksDeterministically(t *testing.T) {
 	d := NewDisplay("d1", sensors)
 	a := NewSensor("s1", 0.7)
 	b := NewSensor("s2", 0.7)
-	d.OnDeliver(Encode(b.Observe("T1", 2, 2)))
-	d.OnDeliver(Encode(a.Observe("T1", 1, 1)))
+	d.OnDeliver(enc(t, b.Observe("T1", 2, 2)))
+	d.OnDeliver(enc(t, a.Observe("T1", 1, 1)))
 	best, _ := d.Best("T1")
 	if best.Sensor != "s1" {
 		t.Fatalf("tie broke to %s, want lexicographically first s1", best.Sensor)
@@ -86,8 +96,8 @@ func TestQualityTieBreaksDeterministically(t *testing.T) {
 func TestTracksSorted(t *testing.T) {
 	d := NewDisplay("d1", sensors)
 	s := NewSensor("s1", 0.9)
-	d.OnDeliver(Encode(s.Observe("B", 0, 0)))
-	d.OnDeliver(Encode(s.Observe("A", 0, 0)))
+	d.OnDeliver(enc(t, s.Observe("B", 0, 0)))
+	d.OnDeliver(enc(t, s.Observe("A", 0, 0)))
 	got := d.Tracks()
 	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
 		t.Fatalf("tracks %v", got)

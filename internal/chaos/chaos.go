@@ -1,0 +1,312 @@
+// Package chaos is a randomized adversarial fault injector for the EVS
+// stack. The paper's correctness claims (Specifications 1-7, the recovery
+// algorithm of Section 3) are quantified over *all* network schedules;
+// hand-scripted scenarios exercise only the gentle ones. This package
+// generates seeded adversarial schedules — crash/recover storms, flapping
+// and asymmetric (one-way) partitions, targeted loss of specific wire
+// message classes, latency/reorder bursts, and stable-storage faults at
+// crash time — executes them against a deterministic harness.Cluster, and
+// judges every execution with the specification checker. When an execution
+// violates the specifications, the failing schedule is minimized by delta
+// debugging (Minimize) into a small deterministic reproducer.
+//
+// A Program is pure data (JSON-serialisable), so any failure found by the
+// generator can be saved, replayed bit-for-bit, shrunk, and committed as a
+// regression scenario.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/spec"
+)
+
+// Op enumerates schedule event operations.
+type Op string
+
+const (
+	// OpSend submits a client message at Proc (Payload, Service).
+	OpSend Op = "send"
+	// OpCrash fails Proc; Mode/N optionally corrupt its stable storage.
+	OpCrash Op = "crash"
+	// OpRecover restarts Proc with its (possibly corrupted) storage.
+	OpRecover Op = "recover"
+	// OpPartition splits the network into Groups (symmetric).
+	OpPartition Op = "partition"
+	// OpMerge reunites all components.
+	OpMerge Op = "merge"
+	// OpOneWay cuts links From → To directionally.
+	OpOneWay Op = "oneway"
+	// OpHealLinks removes every directional link rule.
+	OpHealLinks Op = "heal_links"
+	// OpDropKinds starts dropping wire message classes in Kinds sent by
+	// Proc ("" = every sender).
+	OpDropKinds Op = "drop_kinds"
+	// OpClearDrops removes every message-class loss rule.
+	OpClearDrops Op = "clear_drops"
+	// OpDelaySpike adds Delay fixed latency plus Jitter reorder spread
+	// to every link (heal with OpHealLinks).
+	OpDelaySpike Op = "delay_spike"
+)
+
+// Event is one scheduled fault or traffic action.
+type Event struct {
+	At time.Duration `json:"at"`
+	Op Op            `json:"op"`
+
+	Proc    model.ProcessID     `json:"proc,omitempty"`
+	Groups  [][]model.ProcessID `json:"groups,omitempty"`
+	From    []model.ProcessID   `json:"from,omitempty"`
+	To      []model.ProcessID   `json:"to,omitempty"`
+	Kinds   []string            `json:"kinds,omitempty"`
+	Mode    harness.Corruption  `json:"mode,omitempty"`
+	N       int                 `json:"n,omitempty"`
+	Payload string              `json:"payload,omitempty"`
+	Service model.Service       `json:"service,omitempty"`
+	Delay   time.Duration       `json:"delay,omitempty"`
+	Jitter  time.Duration       `json:"jitter,omitempty"`
+}
+
+// String renders the event as one line of a runnable scenario.
+func (e Event) String() string {
+	at := fmt.Sprintf("%8s", e.At)
+	switch e.Op {
+	case OpSend:
+		return fmt.Sprintf("%s send    %s %q %s", at, e.Proc, e.Payload, e.Service)
+	case OpCrash:
+		if e.Mode != harness.CorruptNone {
+			return fmt.Sprintf("%s crash   %s corrupt=%s n=%d", at, e.Proc, e.Mode, e.N)
+		}
+		return fmt.Sprintf("%s crash   %s", at, e.Proc)
+	case OpRecover:
+		return fmt.Sprintf("%s recover %s", at, e.Proc)
+	case OpPartition:
+		var gs []string
+		for _, g := range e.Groups {
+			gs = append(gs, fmt.Sprintf("%v", g))
+		}
+		return fmt.Sprintf("%s partition %s", at, strings.Join(gs, " | "))
+	case OpMerge:
+		return fmt.Sprintf("%s merge", at)
+	case OpOneWay:
+		return fmt.Sprintf("%s oneway  %v -/-> %v", at, e.From, e.To)
+	case OpHealLinks:
+		return fmt.Sprintf("%s heal_links", at)
+	case OpDropKinds:
+		from := string(e.Proc)
+		if from == "" {
+			from = "*"
+		}
+		return fmt.Sprintf("%s drop    kinds=%v from=%s", at, e.Kinds, from)
+	case OpClearDrops:
+		return fmt.Sprintf("%s clear_drops", at)
+	case OpDelaySpike:
+		return fmt.Sprintf("%s delay_spike +%s jitter=%s", at, e.Delay, e.Jitter)
+	default:
+		return fmt.Sprintf("%s %s?", at, e.Op)
+	}
+}
+
+// Program is a complete deterministic chaos schedule. Executing the same
+// program always produces the same history: the cluster, network and
+// generator all derive their randomness from Seed, and every action fires
+// at a fixed virtual time.
+type Program struct {
+	// Seed drives the simulated network (and names the program).
+	Seed int64 `json:"seed"`
+	// Procs is the cluster size.
+	Procs int `json:"procs"`
+	// Horizon is when fault injection stops: the executor heals every
+	// fault and recovers every process at this time.
+	Horizon time.Duration `json:"horizon"`
+	// Settle is the quiet period after Horizon before the history is
+	// judged with Settled specification checks.
+	Settle time.Duration `json:"settle"`
+	// Events are the scheduled fault and traffic actions.
+	Events []Event `json:"events"`
+}
+
+// FaultCount returns the number of fault events (everything but traffic).
+func (p Program) FaultCount() int {
+	n := 0
+	for _, e := range p.Events {
+		if e.Op != OpSend {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the program as a runnable scenario listing.
+func (p Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# chaos program: seed=%d procs=%d horizon=%s settle=%s\n",
+		p.Seed, p.Procs, p.Horizon, p.Settle)
+	fmt.Fprintf(&b, "# replay: evschaos -replay <this file as JSON>  (or Run in internal/chaos)\n")
+	for _, e := range p.Events {
+		fmt.Fprintf(&b, "%s\n", e)
+	}
+	fmt.Fprintf(&b, "%8s heal_links + clear_drops + merge + recover all (executor tail)\n", p.Horizon)
+	return b.String()
+}
+
+// MarshalJSON/Unmarshal round-trip the program through encoding/json; the
+// default struct codecs are sufficient, these named helpers just keep the
+// CLI honest about the format.
+
+// EncodeJSON serialises the program.
+func (p Program) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// DecodeJSON parses a program.
+func DecodeJSON(b []byte) (Program, error) {
+	var p Program
+	if err := json.Unmarshal(b, &p); err != nil {
+		return Program{}, fmt.Errorf("chaos: decode program: %w", err)
+	}
+	return p, nil
+}
+
+// Result is the outcome of executing one program.
+type Result struct {
+	// Violations are the specification breaches found, empty when the
+	// execution conforms.
+	Violations []spec.Violation
+	// Events is the history length (a cheap execution fingerprint).
+	Events int
+	// Net and Harness are the activity counters of the run.
+	Net     netsim.Stats
+	Harness harness.Stats
+}
+
+// BugHook, when non-nil, is invoked with every newly built cluster before
+// its schedule runs. It exists so tests can plant a deliberate protocol
+// bug and verify that the engine detects and minimizes it; it must never
+// be set outside tests.
+var BugHook func(c *harness.Cluster)
+
+// Run executes the program and judges the resulting history.
+func Run(p Program) Result {
+	c, ids := build(p)
+	apply(c, ids, p)
+	c.Run(p.Horizon + p.Settle)
+	return Result{
+		Violations: c.Check(spec.Options{Settled: true}),
+		Events:     c.History.Len(),
+		Net:        c.Net.Stats(),
+		Harness:    c.Stats(),
+	}
+}
+
+// build constructs the cluster for a program.
+func build(p Program) (*harness.Cluster, []model.ProcessID) {
+	procs := p.Procs
+	if procs <= 0 {
+		procs = 4
+	}
+	c := harness.New(harness.Options{Procs: procs, Seed: p.Seed})
+	if BugHook != nil {
+		BugHook(c)
+	}
+	return c, c.IDs()
+}
+
+// apply schedules every event plus the heal tail. Event times are clamped
+// into [0, Horizon] so a subset produced by the minimizer always settles.
+func apply(c *harness.Cluster, ids []model.ProcessID, p Program) {
+	valid := make(map[model.ProcessID]bool, len(ids))
+	for _, id := range ids {
+		valid[id] = true
+	}
+	for _, e := range p.Events {
+		e := e
+		at := e.At
+		if at < 0 {
+			at = 0
+		}
+		if at > p.Horizon {
+			at = p.Horizon
+		}
+		switch e.Op {
+		case OpSend:
+			if valid[e.Proc] {
+				c.Send(at, e.Proc, e.Payload, e.Service)
+			}
+		case OpCrash:
+			if valid[e.Proc] {
+				c.CrashCorrupt(at, e.Proc, e.Mode, e.N)
+			}
+		case OpRecover:
+			if valid[e.Proc] {
+				c.Recover(at, e.Proc)
+			}
+		case OpPartition:
+			c.Partition(at, e.Groups...)
+		case OpMerge:
+			c.Merge(at)
+		case OpOneWay:
+			c.OneWay(at, e.From, e.To)
+		case OpHealLinks:
+			c.HealLinks(at)
+		case OpDropKinds:
+			c.DropKinds(at, e.Proc, netsim.Wildcard, e.Kinds...)
+		case OpClearDrops:
+			c.ClearKindDrops(at)
+		case OpDelaySpike:
+			c.DelaySpike(at, e.Delay, e.Jitter)
+		}
+	}
+	// Heal tail: whatever subset of events ran, the execution ends with
+	// every fault lifted and every process up, so Settled checks apply.
+	c.HealLinks(p.Horizon)
+	c.ClearKindDrops(p.Horizon)
+	c.Merge(p.Horizon)
+	for _, id := range ids {
+		c.Recover(p.Horizon, id)
+	}
+}
+
+// Replay returns an independent second execution of the program together
+// with whether it matched the first bit-for-bit (violations, history
+// length and network counters), which guards reproducers against hidden
+// nondeterminism.
+func Replay(p Program) (Result, bool) {
+	a := Run(p)
+	b := Run(p)
+	return b, sameResult(a, b)
+}
+
+// sameResult compares two results for deterministic equality.
+func sameResult(a, b Result) bool {
+	if a.Events != b.Events || a.Net != b.Net || a.Harness != b.Harness {
+		return false
+	}
+	if len(a.Violations) != len(b.Violations) {
+		return false
+	}
+	av, bv := renderViolations(a.Violations), renderViolations(b.Violations)
+	for i := range av {
+		if av[i] != bv[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// renderViolations renders and sorts violations for stable comparison.
+func renderViolations(vs []spec.Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	sort.Strings(out)
+	return out
+}

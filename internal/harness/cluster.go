@@ -44,6 +44,10 @@ type Cluster struct {
 	envs    map[model.ProcessID]*env
 	deliver map[model.ProcessID][]node.Delivery
 	configs map[model.ProcessID][]model.Configuration
+	stats   Stats
+	// dropKinds holds the active message-class loss rules, consulted by
+	// the netsim filter installed on first use (see faults.go).
+	dropKinds map[dropKey]map[string]bool
 	// OnDeliver and OnConfig, when set, observe every application-level
 	// event (used by the primary-component and VS layers).
 	OnDeliver func(p model.ProcessID, d node.Delivery)
@@ -188,11 +192,16 @@ func (c *Cluster) At(t time.Duration, fn func()) {
 	c.Sched.At(t, func(time.Duration) { fn() })
 }
 
-// Send schedules a client submission at time t.
+// Send schedules a client submission at time t. Submission errors (process
+// down) are scenario-expected; they are counted in Stats rather than
+// discarded, so scenarios can assert on rejected traffic.
 func (c *Cluster) Send(t time.Duration, id model.ProcessID, payload string, svc model.Service) {
 	c.At(t, func() {
-		// Submission errors (process down) are scenario-expected.
-		_ = c.nodes[id].Submit([]byte(payload), svc)
+		if err := c.nodes[id].Submit([]byte(payload), svc); err != nil {
+			c.stats.Rejected++
+			return
+		}
+		c.stats.Submitted++
 	})
 }
 

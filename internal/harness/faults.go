@@ -1,0 +1,169 @@
+// Fault injection surface of the cluster harness.
+//
+// Scenario scripts and the chaos engine (internal/chaos) drive faults
+// through these helpers instead of poking the network directly, so every
+// fault is scheduled at a virtual time like any other action and the whole
+// execution stays deterministic and replayable from the seed.
+package harness
+
+import (
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Stats counts client-facing harness activity.
+type Stats struct {
+	// Submitted counts client submissions accepted by a node.
+	Submitted uint64
+	// Rejected counts client submissions refused (process down).
+	Rejected uint64
+	// Corruptions counts stable-storage faults injected at crash time.
+	Corruptions uint64
+}
+
+// Stats returns a copy of the activity counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Corruption selects a stable-storage fault injected when a process
+// crashes (see internal/stable for the fault model and its bounds).
+type Corruption int
+
+const (
+	// CorruptNone leaves stable storage intact (the paper's model).
+	CorruptNone Corruption = iota
+	// CorruptTornWrite destroys the log record whose write raced the
+	// crash, if any.
+	CorruptTornWrite
+	// CorruptLostSuffix destroys unflushed tail records above the
+	// known-safe watermark.
+	CorruptLostSuffix
+)
+
+// String names the corruption mode.
+func (m Corruption) String() string {
+	switch m {
+	case CorruptNone:
+		return "none"
+	case CorruptTornWrite:
+		return "torn_write"
+	case CorruptLostSuffix:
+		return "lost_suffix"
+	default:
+		return "corruption(?)"
+	}
+}
+
+// CrashCorrupt schedules a process failure at time t that additionally
+// damages the process's stable storage: mode selects the fault and n
+// bounds how many records a lost suffix may destroy.
+func (c *Cluster) CrashCorrupt(t time.Duration, id model.ProcessID, mode Corruption, n int) {
+	c.At(t, func() {
+		c.nodes[id].Crash()
+		c.Net.SetDown(id, true)
+		switch mode {
+		case CorruptTornWrite:
+			if c.stores[id].TearLastWrite() {
+				c.stats.Corruptions++
+			}
+		case CorruptLostSuffix:
+			if c.stores[id].LoseLogSuffix(n) > 0 {
+				c.stats.Corruptions++
+			}
+		}
+	})
+}
+
+// OneWay schedules an asymmetric cut at time t: packets from any process
+// in from to any process in to are lost, while the reverse direction keeps
+// flowing. Repeated calls accumulate.
+func (c *Cluster) OneWay(t time.Duration, from, to []model.ProcessID) {
+	c.At(t, func() {
+		for _, f := range from {
+			for _, r := range to {
+				if f == r {
+					continue
+				}
+				c.Net.SetLinkRule(f, r, netsim.LinkRule{Block: true})
+			}
+		}
+	})
+}
+
+// DelaySpike schedules a latency burst at time t: every link gains extra
+// fixed delay plus uniformly distributed jitter, which reorders packets
+// aggressively once jitter exceeds the packet spacing.
+func (c *Cluster) DelaySpike(t time.Duration, extra, jitter time.Duration) {
+	c.At(t, func() {
+		c.Net.SetLinkRule(netsim.Wildcard, netsim.Wildcard,
+			netsim.LinkRule{Delay: extra, Jitter: jitter})
+	})
+}
+
+// LinkLoss schedules directional packet loss on every link at time t.
+func (c *Cluster) LinkLoss(t time.Duration, rate float64) {
+	c.At(t, func() {
+		c.Net.SetLinkRule(netsim.Wildcard, netsim.Wildcard,
+			netsim.LinkRule{Drop: rate})
+	})
+}
+
+// HealLinks schedules removal of every directional link rule (one-way
+// cuts, delay spikes, link loss) at time t. Symmetric partitions installed
+// with Partition are unaffected; heal those with Merge.
+func (c *Cluster) HealLinks(t time.Duration) {
+	c.At(t, func() { c.Net.ClearLinkRules() })
+}
+
+// dropKey scopes a message-class loss rule to a directed pair; the zero
+// ProcessID is a wildcard.
+type dropKey struct {
+	from, to model.ProcessID
+}
+
+// DropKinds schedules targeted loss at time t: wire messages whose
+// Kind() is listed stop flowing from from to to (either may be
+// netsim.Wildcard to match every process). Repeated calls accumulate.
+func (c *Cluster) DropKinds(t time.Duration, from, to model.ProcessID, kinds ...string) {
+	c.At(t, func() {
+		if c.dropKinds == nil {
+			c.dropKinds = make(map[dropKey]map[string]bool)
+			c.Net.SetFilter(c.filterKinds)
+		}
+		k := dropKey{from, to}
+		if c.dropKinds[k] == nil {
+			c.dropKinds[k] = make(map[string]bool)
+		}
+		for _, kind := range kinds {
+			c.dropKinds[k][kind] = true
+		}
+	})
+}
+
+// ClearKindDrops schedules removal of every message-class loss rule at
+// time t.
+func (c *Cluster) ClearKindDrops(t time.Duration) {
+	c.At(t, func() {
+		c.dropKinds = nil
+		c.Net.SetFilter(nil)
+	})
+}
+
+// filterKinds is the netsim filter consulting the active drop rules.
+func (c *Cluster) filterKinds(from, to model.ProcessID, payload any) bool {
+	msg, ok := payload.(wire.Message)
+	if !ok {
+		return true
+	}
+	kind := msg.Kind()
+	for _, k := range [4]dropKey{
+		{from, to}, {from, netsim.Wildcard}, {netsim.Wildcard, to}, {netsim.Wildcard, netsim.Wildcard},
+	} {
+		if kinds, ok := c.dropKinds[k]; ok && kinds[kind] {
+			return false
+		}
+	}
+	return true
+}

@@ -248,13 +248,33 @@ func (m *Protocol) OnJoin(j wire.Join) []Action {
 	case Idle:
 		out = append(out, m.StartGather()...)
 	}
+	// A fresh join from a process marked failed is first-hand testimony
+	// that it is alive, and overrides failure hearsay. Without this,
+	// failure rumors self-sustain after partitions heal: every
+	// component's joins carry "the others failed" claims, receivers
+	// adopt the claims and then ignore the allegedly-failed senders, so
+	// no evidence can ever rebut the rumor and the membership churns
+	// through small configurations forever.
 	if m.failed.Contains(j.Sender) {
-		return out
+		m.failed = m.failed.Subtract(model.NewProcessSet(j.Sender))
+		delete(m.strikes, j.Sender)
 	}
 	prev := m.candidate()
 	prevFailed := m.failed
 	m.joins[j.Sender] = j
-	m.failed = m.failed.Union(model.NewProcessSet(j.Failed...))
+	// Failure hearsay is adopted only about processes with no direct
+	// evidence this round: a process that has sent us a join is known
+	// alive first-hand, and first-hand testimony outranks rumor. (It can
+	// still be excluded by our own strikes if it goes silent.) Adopting
+	// hearsay unconditionally lets stale failure rumors re-poison every
+	// fresh gather after a partition heals — faster than installs can
+	// clear them — degenerating the membership into endlessly churning
+	// micro-configurations.
+	hearsay := model.NewProcessSet(j.Failed...)
+	for q := range m.joins {
+		hearsay = hearsay.Subtract(model.NewProcessSet(q))
+	}
+	m.failed = m.failed.Union(hearsay)
 	// Never mark self failed on hearsay.
 	m.failed = m.failed.Subtract(model.NewProcessSet(m.self))
 
@@ -413,20 +433,22 @@ func (m *Protocol) OnJoinTimeout() []Action {
 		}
 	}
 	// A member that has been completely silent across several whole
-	// timeouts, while its join still disagrees with the candidate, is
-	// presumed failed: it spoke once and died (its final join may even
-	// have been lost in flight), and waiting longer cannot reach
-	// consensus.
+	// timeouts is presumed failed: it spoke once and died, and its final
+	// join may even claim a view that agrees with ours — an agreeing
+	// corpse still deadlocks consensus whenever any live member has
+	// excluded it, because the round then needs the corpse to shrink its
+	// view. Any live reachable process generates traffic well within one
+	// strike period (gather rebroadcasts every JoinRetry; the commit
+	// phase falls back to gather within CommitTimeout), so several whole
+	// silent periods are real evidence, not phase misalignment.
 	if m.strikes == nil {
 		m.strikes = make(map[model.ProcessID]int)
 	}
-	cand := m.candidate()
-	for q, j := range m.joins {
+	for q := range m.joins {
 		if q == m.self || m.failed.Contains(q) {
 			continue
 		}
-		theirs := model.NewProcessSet(j.Alive...).Subtract(model.NewProcessSet(j.Failed...))
-		if m.heard[q] || theirs.Equal(cand) {
+		if m.heard[q] {
 			m.strikes[q] = 0
 			continue
 		}

@@ -24,6 +24,43 @@ import (
 // Handler receives a packet at a registered process.
 type Handler func(from model.ProcessID, payload any, now time.Duration)
 
+// Filter inspects a packet about to be transmitted from one process to
+// another and reports whether the medium should carry it. Returning false
+// drops the packet (counted in Stats.Filtered). Loopback (self) deliveries
+// are never filtered. Filters model targeted faults — for example losing
+// every token, or every membership join from one process — that uniform
+// DropRate loss cannot express.
+type Filter func(from, to model.ProcessID, payload any) bool
+
+// LinkRule overrides behaviour of one directed link (from → to). Rules are
+// directional: installing a rule for (p,q) leaves (q,p) untouched, which is
+// what makes asymmetric (one-way) partitions expressible.
+type LinkRule struct {
+	// Block cuts the link entirely (counted in Stats.Blocked).
+	Block bool
+	// Drop is an additional independent loss probability in [0,1],
+	// applied on top of Config.DropRate.
+	Drop float64
+	// Delay is added to the configured per-packet latency.
+	Delay time.Duration
+	// Jitter adds a further uniformly distributed latency in [0,Jitter),
+	// re-drawn per packet; with Jitter larger than the packet spacing,
+	// packets reorder aggressively.
+	Jitter time.Duration
+}
+
+// zero reports whether the rule changes nothing.
+func (r LinkRule) zero() bool {
+	return !r.Block && r.Drop == 0 && r.Delay == 0 && r.Jitter == 0
+}
+
+// link is a directed process pair; the zero ProcessID "" is a wildcard
+// matching any process, so rules can target a whole row or column of the
+// connectivity matrix.
+type link struct {
+	from, to model.ProcessID
+}
+
 // Config controls link behaviour. The zero value is a perfect network with
 // zero delay; Default returns a more realistic profile.
 type Config struct {
@@ -55,9 +92,11 @@ type Stats struct {
 	Broadcasts uint64
 	Unicasts   uint64
 	Delivered  uint64
-	Dropped    uint64 // lost to DropRate
+	Dropped    uint64 // lost to DropRate or a link rule's Drop
 	Cut        uint64 // lost to partition or down receiver
 	Duplicated uint64
+	Filtered   uint64 // lost to the message filter
+	Blocked    uint64 // lost to a blocking link rule
 }
 
 // Network is the simulated medium. It is not safe for concurrent use; the
@@ -73,14 +112,44 @@ type Network struct {
 	down      map[model.ProcessID]bool
 	nextComp  int
 	stats     Stats
+	rules     map[link]LinkRule
+	filter    Filter
 }
 
-// New creates a network over the given scheduler. All processes start in a
-// single component.
-func New(sched *sim.Scheduler, cfg Config) *Network {
+// clampRate forces a probability into [0,1]; NaN becomes 0.
+func clampRate(r float64) float64 {
+	if !(r > 0) { // also catches NaN
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// validate clamps a configuration to sane values instead of letting
+// negative delays or out-of-range probabilities silently misbehave (a
+// negative delay would schedule deliveries "in the past", which the
+// scheduler coerces to now, destroying the configured ordering pressure;
+// a DropRate above 1 would mask DupRate draws from the shared RNG stream).
+func validate(cfg Config) Config {
+	if cfg.MinDelay < 0 {
+		cfg.MinDelay = 0
+	}
 	if cfg.MaxDelay < cfg.MinDelay {
 		cfg.MaxDelay = cfg.MinDelay
 	}
+	cfg.DropRate = clampRate(cfg.DropRate)
+	cfg.DupRate = clampRate(cfg.DupRate)
+	return cfg
+}
+
+// New creates a network over the given scheduler. All processes start in a
+// single component. The configuration is validated: negative delays clamp
+// to zero, MaxDelay below MinDelay clamps to MinDelay, and rates clamp to
+// [0,1].
+func New(sched *sim.Scheduler, cfg Config) *Network {
+	cfg = validate(cfg)
 	return &Network{
 		sched:     sched,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
@@ -89,6 +158,7 @@ func New(sched *sim.Scheduler, cfg Config) *Network {
 		component: make(map[model.ProcessID]int),
 		down:      make(map[model.ProcessID]bool),
 		nextComp:  1,
+		rules:     make(map[link]LinkRule),
 	}
 }
 
@@ -164,6 +234,56 @@ func (n *Network) ComponentOf(p model.ProcessID) model.ProcessSet {
 // Stats returns a copy of the activity counters.
 func (n *Network) Stats() Stats { return n.stats }
 
+// Wildcard, as a LinkRule endpoint, matches every process.
+const Wildcard = model.ProcessID("")
+
+// SetLinkRule installs a directional fault rule on the from → to link,
+// replacing any previous rule for that pair. Either endpoint may be
+// Wildcard. A zero rule removes the entry.
+func (n *Network) SetLinkRule(from, to model.ProcessID, r LinkRule) {
+	k := link{from, to}
+	if r.zero() {
+		delete(n.rules, k)
+		return
+	}
+	n.rules[k] = r
+}
+
+// ClearLinkRules removes every directional fault rule.
+func (n *Network) ClearLinkRules() {
+	n.rules = make(map[link]LinkRule)
+}
+
+// LinkRules returns the number of installed rules (for fault accounting).
+func (n *Network) LinkRules() int { return len(n.rules) }
+
+// SetFilter installs (or with nil removes) the message filter.
+func (n *Network) SetFilter(f Filter) { n.filter = f }
+
+// ruleFor combines every rule matching the directed pair: exact, sender
+// wildcard, receiver wildcard and global. Block is OR-ed, Drop takes the
+// maximum, Delay and Jitter add, so a global delay spike composes with a
+// one-way block instead of being shadowed by it.
+func (n *Network) ruleFor(from, to model.ProcessID) LinkRule {
+	if len(n.rules) == 0 {
+		return LinkRule{}
+	}
+	var out LinkRule
+	for _, k := range [4]link{{from, to}, {from, Wildcard}, {Wildcard, to}, {Wildcard, Wildcard}} {
+		r, ok := n.rules[k]
+		if !ok {
+			continue
+		}
+		out.Block = out.Block || r.Block
+		if r.Drop > out.Drop {
+			out.Drop = r.Drop
+		}
+		out.Delay += r.Delay
+		out.Jitter += r.Jitter
+	}
+	return out
+}
+
 // Broadcast sends payload from the given process to every process in its
 // component, including itself. Self-delivery is reliable (loopback); other
 // receivers are subject to loss, duplication and delay.
@@ -190,6 +310,7 @@ func (n *Network) Unicast(from, to model.ProcessID, payload any) {
 // transmit schedules the delivery of one packet copy (possibly two, on
 // duplication) to one receiver.
 func (n *Network) transmit(from, to model.ProcessID, payload any, loopback bool) {
+	var rule LinkRule
 	if !loopback {
 		// Drop decision is made at send time from the deterministic
 		// stream; partition checks happen again at delivery time.
@@ -197,7 +318,20 @@ func (n *Network) transmit(from, to model.ProcessID, payload any, loopback bool)
 			n.stats.Cut++
 			return
 		}
+		rule = n.ruleFor(from, to)
+		if rule.Block {
+			n.stats.Blocked++
+			return
+		}
+		if n.filter != nil && !n.filter(from, to, payload) {
+			n.stats.Filtered++
+			return
+		}
 		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
+			n.stats.Dropped++
+			return
+		}
+		if rule.Drop > 0 && n.rng.Float64() < rule.Drop {
 			n.stats.Dropped++
 			return
 		}
@@ -208,7 +342,11 @@ func (n *Network) transmit(from, to model.ProcessID, payload any, loopback bool)
 		n.stats.Duplicated++
 	}
 	for i := 0; i < copies; i++ {
-		n.sched.After(n.delay(), func(now time.Duration) {
+		d := n.delay() + rule.Delay
+		if rule.Jitter > 0 {
+			d += time.Duration(n.rng.Int63n(int64(rule.Jitter)))
+		}
+		n.sched.After(d, func(now time.Duration) {
 			n.deliver(from, to, payload, now)
 		})
 	}
@@ -218,6 +356,12 @@ func (n *Network) transmit(from, to model.ProcessID, payload any, loopback bool)
 func (n *Network) deliver(from, to model.ProcessID, payload any, now time.Duration) {
 	if from != to && (n.component[from] != n.component[to] || n.down[from]) {
 		n.stats.Cut++
+		return
+	}
+	if from != to && n.ruleFor(from, to).Block {
+		// A one-way cut installed while the packet was in flight
+		// behaves like a partition: the packet is lost at delivery.
+		n.stats.Blocked++
 		return
 	}
 	if n.down[to] {

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -204,5 +205,256 @@ func TestMaxDelayClampedToMin(t *testing.T) {
 	sched.RunUntilIdle(time.Second)
 	if sched.Now() != 5*time.Millisecond {
 		t.Fatalf("delivery at %v, want clamped 5ms", sched.Now())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases around delivery-time state changes.
+
+func TestDeliveryTimePartitionCountsCut(t *testing.T) {
+	sched := &sim.Scheduler{}
+	net := New(sched, Config{MinDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: 1})
+	rec := &recorder{}
+	net.Register("p", rec.handler("p"))
+	net.Register("q", rec.handler("q"))
+	net.Broadcast("p", "x")
+	sched.RunUntil(time.Millisecond)
+	before := net.Stats().Cut
+	net.Partition([]model.ProcessID{"p"}, []model.ProcessID{"q"})
+	sched.RunUntilIdle(time.Second)
+	if got := net.Stats().Cut - before; got != 1 {
+		t.Fatalf("delivery-time cut counted %d, want 1", got)
+	}
+	if got := net.Stats().Delivered; got != 1 { // p's loopback only
+		t.Fatalf("Delivered = %d, want 1", got)
+	}
+}
+
+func TestDuplicatedPacketsHaveIndependentDelays(t *testing.T) {
+	sched := &sim.Scheduler{}
+	net := New(sched, Config{
+		MinDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond,
+		DupRate: 1, Seed: 7,
+	})
+	var times []time.Duration
+	net.Register("p", func(model.ProcessID, any, time.Duration) {})
+	net.Register("q", func(_ model.ProcessID, _ any, now time.Duration) {
+		times = append(times, now)
+	})
+	net.Broadcast("p", "x")
+	sched.RunUntilIdle(time.Second)
+	if len(times) != 2 {
+		t.Fatalf("q received %d copies, want 2", len(times))
+	}
+	if times[0] == times[1] {
+		t.Fatalf("duplicate copies arrived at the same instant %v; delays should be drawn independently", times[0])
+	}
+	if net.Stats().Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", net.Stats().Duplicated)
+	}
+}
+
+func TestDownSenderDropsInFlightAtDelivery(t *testing.T) {
+	sched := &sim.Scheduler{}
+	net := New(sched, Config{MinDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: 1})
+	rec := &recorder{}
+	net.Register("p", rec.handler("p"))
+	net.Register("q", rec.handler("q"))
+	net.Broadcast("p", "x")
+	// Crash the sender while its packet is in flight: the EVS failure
+	// model says a crashed process's traffic does not outlive it.
+	sched.RunUntil(time.Millisecond)
+	net.SetDown("p", true)
+	before := net.Stats().Cut
+	sched.RunUntilIdle(time.Second)
+	for _, g := range rec.got {
+		if g == "q<-p:x" {
+			t.Fatal("packet from a crashed sender was delivered")
+		}
+	}
+	// Both the copy to q and p's own loopback are cut (p is down too).
+	if got := net.Stats().Cut - before; got != 2 {
+		t.Fatalf("cut %d packets at delivery, want 2", got)
+	}
+}
+
+func TestReRegisterAfterRecoveryReplacesHandler(t *testing.T) {
+	sched := &sim.Scheduler{}
+	net := New(sched, Config{Seed: 1})
+	var old, fresh int
+	net.Register("p", func(model.ProcessID, any, time.Duration) {})
+	net.Register("q", func(model.ProcessID, any, time.Duration) { old++ })
+	net.Broadcast("p", "x")
+	sched.RunUntilIdle(time.Second)
+	if old != 1 {
+		t.Fatalf("old handler saw %d packets, want 1", old)
+	}
+	// Crash, recover with a fresh protocol instance (new handler).
+	net.SetDown("q", true)
+	net.SetDown("q", false)
+	net.Register("q", func(model.ProcessID, any, time.Duration) { fresh++ })
+	net.Broadcast("p", "y")
+	sched.RunUntilIdle(time.Second)
+	if old != 1 || fresh != 1 {
+		t.Fatalf("old=%d fresh=%d after re-register, want 1 and 1", old, fresh)
+	}
+	// Registration order must not duplicate q: exactly one copy arrives.
+	if net.Stats().Delivered != 4 { // 2 broadcasts × (p loopback + q)
+		t.Fatalf("Delivered = %d, want 4", net.Stats().Delivered)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Config validation.
+
+func TestConfigClamping(t *testing.T) {
+	sched := &sim.Scheduler{}
+	net := New(sched, Config{
+		MinDelay: -time.Second,
+		MaxDelay: -2 * time.Second,
+		DropRate: 1.7,
+		DupRate:  -0.3,
+		Seed:     1,
+	})
+	if net.cfg.MinDelay != 0 || net.cfg.MaxDelay != 0 {
+		t.Fatalf("negative delays not clamped: %v..%v", net.cfg.MinDelay, net.cfg.MaxDelay)
+	}
+	if net.cfg.DropRate != 1 {
+		t.Fatalf("DropRate = %v, want clamped to 1", net.cfg.DropRate)
+	}
+	if net.cfg.DupRate != 0 {
+		t.Fatalf("DupRate = %v, want clamped to 0", net.cfg.DupRate)
+	}
+	nan := math.NaN()
+	if got := clampRate(nan); got != 0 {
+		t.Fatalf("clampRate(NaN) = %v, want 0", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Directional link rules and the message filter.
+
+func TestOneWayBlockIsAsymmetric(t *testing.T) {
+	sched, net, rec := setup(Config{Seed: 1}, "p", "q")
+	net.SetLinkRule("p", "q", LinkRule{Block: true})
+	net.Broadcast("p", "x")
+	net.Broadcast("q", "y")
+	sched.RunUntilIdle(time.Second)
+	got := map[string]bool{}
+	for _, g := range rec.got {
+		got[g] = true
+	}
+	if got["q<-p:x"] {
+		t.Fatal("blocked direction p→q leaked")
+	}
+	if !got["p<-q:y"] {
+		t.Fatal("reverse direction q→p should be unaffected")
+	}
+	if net.Stats().Blocked != 1 {
+		t.Fatalf("Blocked = %d, want 1", net.Stats().Blocked)
+	}
+	net.SetLinkRule("p", "q", LinkRule{}) // zero rule clears
+	if net.LinkRules() != 0 {
+		t.Fatalf("zero rule did not clear the entry (%d rules)", net.LinkRules())
+	}
+	net.Broadcast("p", "z")
+	sched.RunUntilIdle(time.Second)
+	found := false
+	for _, g := range rec.got {
+		if g == "q<-p:z" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("healed link should deliver again")
+	}
+}
+
+func TestWildcardRuleBlocksWholeRow(t *testing.T) {
+	sched, net, rec := setup(Config{Seed: 1}, "p", "q", "r")
+	net.SetLinkRule("p", Wildcard, LinkRule{Block: true})
+	net.Broadcast("p", "x")
+	sched.RunUntilIdle(time.Second)
+	if len(rec.got) != 1 || rec.got[0] != "p<-p:x" {
+		t.Fatalf("deliveries %v, want only p's loopback", rec.got)
+	}
+}
+
+func TestInFlightPacketCutByOneWayBlock(t *testing.T) {
+	sched := &sim.Scheduler{}
+	net := New(sched, Config{MinDelay: 10 * time.Millisecond, MaxDelay: 10 * time.Millisecond, Seed: 1})
+	rec := &recorder{}
+	net.Register("p", rec.handler("p"))
+	net.Register("q", rec.handler("q"))
+	net.Broadcast("p", "x")
+	sched.RunUntil(time.Millisecond)
+	net.SetLinkRule("p", "q", LinkRule{Block: true})
+	sched.RunUntilIdle(time.Second)
+	for _, g := range rec.got {
+		if g == "q<-p:x" {
+			t.Fatal("in-flight packet crossed a one-way cut")
+		}
+	}
+}
+
+func TestLinkRuleDelayAndJitter(t *testing.T) {
+	sched := &sim.Scheduler{}
+	net := New(sched, Config{MinDelay: time.Millisecond, MaxDelay: time.Millisecond, Seed: 3})
+	var at time.Duration
+	net.Register("p", func(model.ProcessID, any, time.Duration) {})
+	net.Register("q", func(_ model.ProcessID, _ any, now time.Duration) { at = now })
+	net.SetLinkRule("p", "q", LinkRule{Delay: 20 * time.Millisecond, Jitter: 5 * time.Millisecond})
+	net.Broadcast("p", "x")
+	sched.RunUntilIdle(time.Second)
+	if at < 21*time.Millisecond || at >= 26*time.Millisecond {
+		t.Fatalf("delivery at %v, want within [21ms, 26ms)", at)
+	}
+}
+
+func TestLinkRuleDropLosesPackets(t *testing.T) {
+	sched, net, rec := setup(Config{Seed: 5}, "p", "q")
+	net.SetLinkRule("p", "q", LinkRule{Drop: 1})
+	net.Broadcast("p", "x")
+	sched.RunUntilIdle(time.Second)
+	for _, g := range rec.got {
+		if g == "q<-p:x" {
+			t.Fatal("Drop=1 rule delivered anyway")
+		}
+	}
+	if net.Stats().Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", net.Stats().Dropped)
+	}
+}
+
+func TestFilterTargetsMessageClass(t *testing.T) {
+	sched, net, rec := setup(Config{Seed: 1}, "p", "q")
+	net.SetFilter(func(_, _ model.ProcessID, payload any) bool {
+		s, _ := payload.(string)
+		return s != "token"
+	})
+	net.Broadcast("p", "token")
+	net.Broadcast("p", "data")
+	sched.RunUntilIdle(time.Second)
+	got := map[string]bool{}
+	for _, g := range rec.got {
+		got[g] = true
+	}
+	if got["q<-p:token"] {
+		t.Fatal("filtered class leaked to q")
+	}
+	if !got["p<-p:token"] {
+		t.Fatal("loopback must never be filtered")
+	}
+	if !got["q<-p:data"] {
+		t.Fatal("unfiltered class should pass")
+	}
+	if net.Stats().Filtered != 1 {
+		t.Fatalf("Filtered = %d, want 1", net.Stats().Filtered)
+	}
+	net.SetFilter(nil)
+	net.Broadcast("p", "token")
+	sched.RunUntilIdle(time.Second)
+	if net.Stats().Filtered != 1 {
+		t.Fatal("cleared filter still dropping")
 	}
 }

@@ -7,14 +7,20 @@ import "testing"
 func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte("garbage"))
-	f.Add(Encode(Message{Kind: KindProposal, Sender: "p", BestSeq: 3}))
+	if seed, err := Encode(Message{Kind: KindProposal, Sender: "p", BestSeq: 3}); err == nil {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
 		if err != nil {
 			return
 		}
 		// Whatever decoded must re-encode and decode identically.
-		again, err := Decode(Encode(m))
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := Decode(b)
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}

@@ -62,14 +62,12 @@ type Message struct {
 }
 
 // Encode serialises a primary-layer message.
-func Encode(m Message) []byte {
+func Encode(m Message) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
-		// Message contains only encodable fields; an error here is a
-		// programming bug surfaced during development.
-		panic(fmt.Sprintf("primary: encode: %v", err))
+		return nil, fmt.Errorf("primary: encode: %w", err)
 	}
-	return buf.Bytes()
+	return buf.Bytes(), nil
 }
 
 // Decode parses a primary-layer message.
@@ -84,9 +82,11 @@ func Decode(b []byte) (Message, error) {
 // Action is the sealed union of protocol outputs.
 type Action interface{ isAction() }
 
-// Broadcast asks the caller to send the payload as a safe message in the
-// current configuration.
-type Broadcast struct{ Payload []byte }
+// Broadcast asks the caller to send the message as a safe message in the
+// current configuration. The caller encodes it at the transport boundary
+// (and owns the handling of encoding or submission failures), keeping the
+// protocol itself free of serialisation concerns.
+type Broadcast struct{ Msg Message }
 
 func (Broadcast) isAction() {}
 
@@ -176,7 +176,7 @@ func (p *Protocol) OnConfig(cfg model.Configuration) []Action {
 		BestRep:     best.ID.Rep,
 		BestMembers: best.Members.Members(),
 	}
-	return []Action{Broadcast{Payload: Encode(msg)}}
+	return []Action{Broadcast{Msg: msg}}
 }
 
 // abandon drops the round in progress (the attempt record, if persisted,
@@ -246,7 +246,7 @@ func (p *Protocol) evaluate() []Action {
 	msg := Message{Kind: KindCommit, Sender: p.self, Config: p.cur.ID}
 	return []Action{
 		PersistAttempt{Cfg: p.cur},
-		Broadcast{Payload: Encode(msg)},
+		Broadcast{Msg: msg},
 	}
 }
 

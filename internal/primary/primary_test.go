@@ -22,7 +22,11 @@ func drive(t *testing.T, procs map[model.ProcessID]*Protocol, c model.Configurat
 		for _, a := range acts {
 			switch act := a.(type) {
 			case Broadcast:
-				bus = append(bus, act.Payload)
+				b, err := Encode(act.Msg)
+				if err != nil {
+					t.Fatalf("encode: %v", err)
+				}
+				bus = append(bus, b)
 			case Decided:
 				d := act
 				decided[id] = &d
@@ -179,7 +183,11 @@ func TestPersistActionsEmitted(t *testing.T) {
 		for _, a := range acts {
 			switch act := a.(type) {
 			case Broadcast:
-				bus = append(bus, act.Payload)
+				b, err := Encode(act.Msg)
+				if err != nil {
+					t.Fatalf("encode: %v", err)
+				}
+				bus = append(bus, b)
 			case PersistAttempt:
 				attempts++
 				if act.Cfg.ID != c.ID {
@@ -213,7 +221,11 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		BestRep:     "r",
 		BestMembers: []model.ProcessID{"r", "s"},
 	}
-	got, err := Decode(Encode(m))
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
 	if err != nil {
 		t.Fatal(err)
 	}

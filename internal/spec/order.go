@@ -188,10 +188,15 @@ func (c *Checker) checkDeliveryPrefix() []Violation {
 
 // comZoneOf returns com_q(c') as a zone: for a regular configuration, the
 // configuration plus q's transitional successor; for a transitional
-// configuration, the underlying regular configuration plus itself.
+// configuration, the underlying regular configuration plus q's own
+// transitional successor of it — which need not be c' itself. A member
+// that announced recovery completion and was then partitioned away from
+// the others carries its obligations into a later recovery and delivers
+// them in its own transitional configuration arising from the same
+// regular one; the zone must follow the member, not the observer.
 func (c *Checker) comZoneOf(q model.ProcessID, cfg model.ConfigID) []model.ConfigID {
 	if cfg.IsTransitional() {
-		return []model.ConfigID{cfg.Prev(), cfg}
+		return c.comZone(q, cfg.Prev())
 	}
 	return c.comZone(q, cfg)
 }

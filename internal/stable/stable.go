@@ -14,6 +14,8 @@
 package stable
 
 import (
+	"sort"
+
 	"repro/internal/model"
 	"repro/internal/wire"
 )
@@ -86,6 +88,12 @@ func (r Record) clone() Record {
 type Store struct {
 	rec    Record
 	writes uint64
+	// lastPut is the sequence number of the most recent PutLog, the
+	// record a torn write would destroy; lastPutValid marks whether it
+	// still names a live log entry.
+	lastPut      uint64
+	lastPutValid bool
+	corruptions  uint64
 }
 
 // Load returns a deep copy of the persisted record.
@@ -130,6 +138,8 @@ func (s *Store) PutLog(d wire.Data) {
 		c.VC = d.VC.Clone()
 	}
 	s.rec.Log[d.Seq] = c
+	s.lastPut = d.Seq
+	s.lastPutValid = true
 	s.writes++
 }
 
@@ -137,5 +147,80 @@ func (s *Store) PutLog(d wire.Data) {
 // empty log).
 func (s *Store) ClearLog() {
 	s.rec.Log = nil
+	s.lastPutValid = false
 	s.writes++
 }
+
+// ---------------------------------------------------------------------------
+// Injectable corruption model.
+//
+// The EVS failure model promises recovery "with stable storage intact"
+// (Section 2); real disks keep that promise only approximately. The chaos
+// harness injects the two classic crash-consistency faults at the moment a
+// process fails, and the recovery algorithm's behaviour under them is then
+// judged by the specification checker:
+//
+//   - a torn last record: the write that raced the crash never committed,
+//     so the most recently appended log entry vanishes;
+//   - a lost suffix: the tail of the log above the known-safe watermark is
+//     gone (e.g. unflushed cache pages), but everything the process has
+//     told its peers is durable survives.
+//
+// Both faults are deliberately bounded by SafeBound: entries at or below
+// it are known received by every member of the last regular configuration,
+// and a fault model that destroys *acknowledged-safe* state is
+// indistinguishable from Byzantine storage, which the protocol (and the
+// paper) explicitly does not claim to survive.
+
+// TearLastWrite removes the most recently PutLog-ed record, simulating a
+// torn write racing the crash, unless that record is already required to
+// be durable (at or below SafeBound) or no tearable record exists. It
+// reports whether a record was destroyed.
+func (s *Store) TearLastWrite() bool {
+	if !s.lastPutValid || s.rec.Log == nil {
+		return false
+	}
+	if s.lastPut <= s.rec.SafeBound {
+		return false
+	}
+	if _, ok := s.rec.Log[s.lastPut]; !ok {
+		return false
+	}
+	delete(s.rec.Log, s.lastPut)
+	s.lastPutValid = false
+	s.corruptions++
+	return true
+}
+
+// LoseLogSuffix removes up to n of the highest-sequence log records above
+// the SafeBound watermark, simulating unflushed tail pages lost in a
+// crash. It returns the number of records destroyed.
+func (s *Store) LoseLogSuffix(n int) int {
+	if n <= 0 || len(s.rec.Log) == 0 {
+		return 0
+	}
+	seqs := make([]uint64, 0, len(s.rec.Log))
+	for seq := range s.rec.Log {
+		if seq > s.rec.SafeBound {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	if n > len(seqs) {
+		n = len(seqs)
+	}
+	for _, seq := range seqs[:n] {
+		delete(s.rec.Log, seq)
+		if s.lastPutValid && s.lastPut == seq {
+			s.lastPutValid = false
+		}
+	}
+	if n > 0 {
+		s.corruptions++
+	}
+	return n
+}
+
+// Corruptions returns the number of injected corruption operations that
+// destroyed at least one record.
+func (s *Store) Corruptions() uint64 { return s.corruptions }

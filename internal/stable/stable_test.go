@@ -1,6 +1,8 @@
 package stable
 
 import (
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/model"
@@ -162,5 +164,94 @@ func TestClearLog(t *testing.T) {
 	}
 	if s.Writes() != 3 {
 		t.Fatalf("Writes() = %d, want 3", s.Writes())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Injectable corruption model.
+
+func logWith(seqs ...uint64) *Store {
+	s := &Store{}
+	for _, q := range seqs {
+		s.PutLog(wire.Data{Seq: q, Payload: []byte("x")})
+	}
+	return s
+}
+
+func logSeqs(s *Store) []uint64 {
+	var out []uint64
+	for q := range s.Load().Log {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestTearLastWriteDestroysMostRecentPut(t *testing.T) {
+	s := logWith(1, 2, 3)
+	if !s.TearLastWrite() {
+		t.Fatal("tear should destroy the last put")
+	}
+	if got := logSeqs(s); !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Fatalf("log after tear = %v, want [1 2]", got)
+	}
+	// A second tear has nothing torn to destroy: the surviving entries
+	// all committed before the racing write.
+	if s.TearLastWrite() {
+		t.Fatal("second tear destroyed a committed record")
+	}
+	if s.Corruptions() != 1 {
+		t.Fatalf("Corruptions = %d, want 1", s.Corruptions())
+	}
+}
+
+func TestTearLastWriteRespectsSafeBound(t *testing.T) {
+	s := logWith(1, 2)
+	rec := s.Load()
+	rec.SafeBound = 2
+	s.SetScalars(rec)
+	if s.TearLastWrite() {
+		t.Fatal("tear destroyed a record at or below SafeBound")
+	}
+	if got := logSeqs(s); len(got) != 2 {
+		t.Fatalf("log = %v, want intact", got)
+	}
+}
+
+func TestLoseLogSuffixDropsHighestAboveSafeBound(t *testing.T) {
+	s := logWith(1, 2, 3, 4, 5)
+	rec := s.Load()
+	rec.SafeBound = 2
+	s.SetScalars(rec)
+	if n := s.LoseLogSuffix(2); n != 2 {
+		t.Fatalf("lost %d records, want 2", n)
+	}
+	if got := logSeqs(s); !reflect.DeepEqual(got, []uint64{1, 2, 3}) {
+		t.Fatalf("log after suffix loss = %v, want [1 2 3]", got)
+	}
+	// Asking for more than remains above the bound stops at the bound.
+	if n := s.LoseLogSuffix(10); n != 1 {
+		t.Fatalf("lost %d records, want 1 (only seq 3 above bound)", n)
+	}
+	if got := logSeqs(s); !reflect.DeepEqual(got, []uint64{1, 2}) {
+		t.Fatalf("log = %v, want safe prefix [1 2]", got)
+	}
+}
+
+func TestLoseLogSuffixOnEmptyLog(t *testing.T) {
+	s := &Store{}
+	if n := s.LoseLogSuffix(3); n != 0 {
+		t.Fatalf("lost %d from empty log", n)
+	}
+	if s.TearLastWrite() {
+		t.Fatal("tear on empty log")
+	}
+}
+
+func TestClearLogInvalidatesTear(t *testing.T) {
+	s := logWith(7)
+	s.ClearLog()
+	if s.TearLastWrite() {
+		t.Fatal("tear after ClearLog destroyed something")
 	}
 }
