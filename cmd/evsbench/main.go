@@ -122,6 +122,19 @@ func run(seed int64, quick bool) error {
 	}
 	fmt.Println()
 
+	// S1: checker scaling.
+	fmt.Println("S1     specification checker scaling (conforming histories)")
+	fmt.Println("-------------------------------------------------------------")
+	series := []int{200, 1000, 4000, 10000}
+	if quick {
+		series = []int{200, 1000}
+	}
+	fmt.Printf("%8s %8s %10s %12s %12s\n", "procs", "msgs", "events", "check ms", "events/s")
+	for _, r := range experiments.CheckerScale(4, series) {
+		fmt.Printf("%8d %8d %10d %12.1f %12.0f\n", r.Procs, r.Msgs, r.Events, r.CheckMs, r.EvtPerSec)
+	}
+	fmt.Println()
+
 	// P1: primary history.
 	fmt.Println("P1     primary component history under churn")
 	fmt.Println("-------------------------------------------------------------")

@@ -9,13 +9,19 @@
 // Usage:
 //
 //	evschaos [-seeds N] [-seed S] [-procs P] [-duration D] [-settle D]
-//	         [-minimize] [-save FILE] [-replay FILE] [-v]
+//	         [-parallel W] [-minimize] [-save FILE] [-replay FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-v]
 //
 // Examples:
 //
 //	evschaos -seeds 50                 # seeds 1..50, report violations
+//	evschaos -seeds 200 -parallel 8    # soak on 8 workers
 //	evschaos -seed 86 -minimize        # one seed, shrink any failure
 //	evschaos -replay repro.json        # re-execute a saved reproducer
+//
+// Executions are deterministic per seed, so -parallel changes only the
+// wall-clock time: per-seed results (and their printed order) are
+// identical to a serial run.
 //
 // The exit status is non-zero if any execution violated the
 // specifications (or a replayed reproducer still does).
@@ -25,6 +31,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/chaos"
@@ -37,10 +46,13 @@ func main() {
 		procs    = flag.Int("procs", 0, "cluster size (0 = seed-dependent default)")
 		duration = flag.Duration("duration", 0, "fault-injection window (0 = default 1s)")
 		settle   = flag.Duration("settle", 0, "post-heal quiet period (0 = default 2.5s)")
+		parallel = flag.Int("parallel", 1, "worker pool size; results stay in seed order")
 		minimize = flag.Bool("minimize", false, "delta-debug failing schedules to a minimal reproducer")
 		maxRuns  = flag.Int("minimize-budget", 400, "maximum executions the minimizer may spend per failure")
 		save     = flag.String("save", "", "write the (minimized) failing program as JSON to this file")
 		replay   = flag.String("replay", "", "replay a saved program JSON instead of generating")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		verbose  = flag.Bool("v", false, "print every program before running it")
 	)
 	flag.Parse()
@@ -48,8 +60,11 @@ func main() {
 	if err := run(config{
 		seeds: *seeds, seed: *seed, procs: *procs,
 		duration: *duration, settle: *settle,
+		parallel: *parallel,
 		minimize: *minimize, maxRuns: *maxRuns,
-		save: *save, replay: *replay, verbose: *verbose,
+		save: *save, replay: *replay,
+		cpuProfile: *cpuProf, memProfile: *memProf,
+		verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -57,19 +72,87 @@ func main() {
 }
 
 type config struct {
-	seeds    int
-	seed     int64
-	procs    int
-	duration time.Duration
-	settle   time.Duration
-	minimize bool
-	maxRuns  int
-	save     string
-	replay   string
-	verbose  bool
+	seeds      int
+	seed       int64
+	procs      int
+	duration   time.Duration
+	settle     time.Duration
+	parallel   int
+	minimize   bool
+	maxRuns    int
+	save       string
+	replay     string
+	cpuProfile string
+	memProfile string
+	verbose    bool
+}
+
+// seedOutcome is one seed's complete result: the text a serial run would
+// have printed, whether it failed, and the (possibly minimized) failing
+// program for -save.
+type seedOutcome struct {
+	text   string
+	failed bool
+	report chaos.Program
+}
+
+// runSeed executes one seed and renders its report exactly as the
+// original serial loop printed it. Generation, execution and minimization
+// are all deterministic in the seed, so outcomes are independent of the
+// worker that computes them.
+func runSeed(s int64, cfg config, gen chaos.GenConfig) seedOutcome {
+	var b strings.Builder
+	p := chaos.Generate(s, gen)
+	if cfg.verbose {
+		fmt.Fprintln(&b, p)
+	}
+	res := chaos.Run(p)
+	if len(res.Violations) == 0 {
+		fmt.Fprintf(&b, "seed %-4d ok    (%d events, %d packets, %d submissions)\n",
+			s, res.Events, res.Net.Delivered, res.Harness.Submitted)
+		return seedOutcome{text: b.String()}
+	}
+	fmt.Fprintf(&b, "seed %-4d FAIL  %d specification violation(s)\n", s, len(res.Violations))
+	for _, v := range res.Violations {
+		fmt.Fprintf(&b, "    %s\n", v)
+	}
+	report := p
+	if cfg.minimize {
+		report = chaos.Minimize(p, chaos.MinimizeOptions{MaxRuns: cfg.maxRuns})
+		fmt.Fprintf(&b, "minimized to %d events (%d faults):\n",
+			len(report.Events), report.FaultCount())
+	}
+	fmt.Fprintln(&b, report)
+	return seedOutcome{text: b.String(), failed: true, report: report}
 }
 
 func run(cfg config) error {
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("evschaos: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("evschaos: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.memProfile != "" {
+		defer func() {
+			f, err := os.Create(cfg.memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "evschaos: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "evschaos: %v\n", err)
+			}
+		}()
+	}
+
 	if cfg.replay != "" {
 		return replayFile(cfg)
 	}
@@ -81,41 +164,55 @@ func run(cfg config) error {
 	if last < first {
 		return fmt.Errorf("evschaos: no seeds to run (-seeds %d)", cfg.seeds)
 	}
+	ran := last - first + 1
 
 	gen := chaos.GenConfig{Procs: cfg.procs, Duration: cfg.duration, Settle: cfg.settle}
+	workers := cfg.parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if int64(workers) > ran {
+		workers = int(ran)
+	}
+
+	// A worker pool over seeds; each seed's outcome arrives on its own
+	// buffered channel so the main loop prints (and saves) strictly in
+	// seed order, matching a serial run byte for byte.
+	outcomes := make([]chan seedOutcome, ran)
+	for i := range outcomes {
+		outcomes[i] = make(chan seedOutcome, 1)
+	}
+	jobs := make(chan int64)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for s := range jobs {
+				outcomes[s-first] <- runSeed(s, cfg, gen)
+			}
+		}()
+	}
+	go func() {
+		for s := first; s <= last; s++ {
+			jobs <- s
+		}
+		close(jobs)
+	}()
+
 	failures := 0
 	start := time.Now()
 	for s := first; s <= last; s++ {
-		p := chaos.Generate(s, gen)
-		if cfg.verbose {
-			fmt.Println(p)
-		}
-		res := chaos.Run(p)
-		if len(res.Violations) == 0 {
-			fmt.Printf("seed %-4d ok    (%d events, %d packets, %d submissions)\n",
-				s, res.Events, res.Net.Delivered, res.Harness.Submitted)
+		out := <-outcomes[s-first]
+		fmt.Print(out.text)
+		if !out.failed {
 			continue
 		}
 		failures++
-		fmt.Printf("seed %-4d FAIL  %d specification violation(s)\n", s, len(res.Violations))
-		for _, v := range res.Violations {
-			fmt.Printf("    %s\n", v)
-		}
-		report := p
-		if cfg.minimize {
-			report = chaos.Minimize(p, chaos.MinimizeOptions{MaxRuns: cfg.maxRuns})
-			fmt.Printf("minimized to %d events (%d faults):\n",
-				len(report.Events), report.FaultCount())
-		}
-		fmt.Println(report)
 		if cfg.save != "" {
-			if err := saveProgram(report, cfg.save); err != nil {
+			if err := saveProgram(out.report, cfg.save); err != nil {
 				return err
 			}
 			fmt.Printf("saved reproducer to %s\n", cfg.save)
 		}
 	}
-	ran := last - first + 1
 	fmt.Printf("%d seed(s), %d failure(s), %s\n", ran, failures, time.Since(start).Round(time.Millisecond))
 	if failures > 0 {
 		return fmt.Errorf("evschaos: %d of %d schedules violated the EVS specifications", failures, ran)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,6 +16,49 @@ func TestRunSmallSeedRange(t *testing.T) {
 	err := run(config{seeds: 2, maxRuns: 50})
 	if err != nil {
 		t.Fatalf("seeds 1..2 should satisfy the specifications: %v", err)
+	}
+}
+
+// captureRun executes run with stdout redirected to a pipe and returns
+// everything it printed.
+func captureRun(t *testing.T, cfg config) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(cfg)
+	os.Stdout = old
+	w.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b), runErr
+}
+
+// TestRunParallelMatchesSerial: the worker pool must not change per-seed
+// results or their order — only the trailing wall-clock line may differ.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos executions are slow")
+	}
+	cfg := config{seeds: 4, maxRuns: 50, duration: 300 * time.Millisecond}
+	serialOut, serialErr := captureRun(t, cfg)
+	cfg.parallel = 4
+	parallelOut, parallelErr := captureRun(t, cfg)
+	if (serialErr == nil) != (parallelErr == nil) {
+		t.Fatalf("exit status diverged: serial=%v parallel=%v", serialErr, parallelErr)
+	}
+	trim := func(s string) string {
+		lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+		return strings.Join(lines[:len(lines)-1], "\n") // drop the timing summary
+	}
+	if trim(serialOut) != trim(parallelOut) {
+		t.Fatalf("parallel output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serialOut, parallelOut)
 	}
 }
 

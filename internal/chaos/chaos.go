@@ -195,10 +195,19 @@ var BugHook func(c *harness.Cluster)
 
 // Run executes the program and judges the resulting history.
 func Run(p Program) Result {
+	_, r := RunHistory(p)
+	return r
+}
+
+// RunHistory executes the program and returns both the raw event history
+// and the judged result. The history is what the specification checker
+// consumed; differential tests feed it to alternative checker
+// implementations.
+func RunHistory(p Program) ([]model.Event, Result) {
 	c, ids := build(p)
 	apply(c, ids, p)
 	c.Run(p.Horizon + p.Settle)
-	return Result{
+	return c.History.Events(), Result{
 		Violations: c.Check(spec.Options{Settled: true}),
 		Events:     c.History.Len(),
 		Net:        c.Net.Stats(),

@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/spec/refcheck"
+)
+
+// compareCheckers judges the same history with the production checker and
+// the reference implementation and fails the test on any difference in
+// the violation multisets.
+func compareCheckers(t *testing.T, label string, events []model.Event, opts spec.Options) {
+	t.Helper()
+	got := render(spec.NewChecker(events, opts).CheckAll())
+	want := render(refcheck.CheckAll(events, opts))
+	if len(got) != len(want) {
+		t.Fatalf("%s: checker found %d violations, reference found %d\n got: %v\nwant: %v",
+			label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: violation %d differs\n got: %s\nwant: %s", label, i, got[i], want[i])
+		}
+	}
+}
+
+func render(vs []spec.Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mutate corrupts a chaos-generated history so the checkers have real
+// violations to agree on: drop an event, duplicate a delivery, swap two
+// adjacent events, or relabel a delivery's configuration.
+func mutate(rng *rand.Rand, events []model.Event) []model.Event {
+	out := append([]model.Event(nil), events...)
+	if len(out) < 4 {
+		return out
+	}
+	for k := 0; k < 1+rng.Intn(3); k++ {
+		switch rng.Intn(4) {
+		case 0: // drop
+			i := rng.Intn(len(out))
+			out = append(out[:i], out[i+1:]...)
+		case 1: // duplicate a delivery
+			for try := 0; try < 20; try++ {
+				i := rng.Intn(len(out))
+				if out[i].Type == model.EventDeliver {
+					dup := out[i]
+					out = append(out[:i+1], append([]model.Event{dup}, out[i+1:]...)...)
+					break
+				}
+			}
+		case 2: // swap adjacent
+			i := rng.Intn(len(out) - 1)
+			out[i], out[i+1] = out[i+1], out[i]
+		case 3: // relabel a delivery's configuration
+			for try := 0; try < 20; try++ {
+				i := rng.Intn(len(out))
+				if out[i].Type == model.EventDeliver {
+					out[i].Config = model.RegularID(77, out[i].Proc)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestChaosHistoriesMatchReference: on real protocol executions — clean
+// and deliberately corrupted — the rewritten checker reports exactly the
+// reference implementation's violations.
+func TestChaosHistoriesMatchReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos differential comparison is slow")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		p := Generate(seed, GenConfig{
+			Duration: 400 * time.Millisecond,
+			Settle:   1500 * time.Millisecond,
+		})
+		events, res := RunHistory(p)
+		if res.Events != len(events) {
+			t.Fatalf("seed %d: RunHistory returned %d events but result counted %d", seed, len(events), res.Events)
+		}
+		for _, opts := range []spec.Options{{Settled: true}, {}} {
+			compareCheckers(t, "clean", events, opts)
+		}
+		rng := rand.New(rand.NewSource(seed * 31))
+		for trial := 0; trial < 5; trial++ {
+			bad := mutate(rng, events)
+			compareCheckers(t, "mutated", bad, spec.Options{Settled: true})
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+)
+
+// CheckerScaleRow is one point of the checker scaling curve: a conforming
+// synthetic history of Events events checked end-to-end by CheckAll.
+type CheckerScaleRow struct {
+	Procs     int
+	Msgs      int
+	Events    int
+	CheckMs   float64
+	NsPerEvt  float64
+	EvtPerSec float64
+}
+
+// CheckerScale measures CheckAll wall-clock on conforming full-delivery
+// histories of increasing size (procs processes, each message delivered
+// by everyone). The checker's vector-timestamp core keeps this
+// near-linear; the row series makes regressions visible in the report.
+func CheckerScale(procs int, msgsSeries []int) []CheckerScaleRow {
+	rows := make([]CheckerScaleRow, 0, len(msgsSeries))
+	for _, msgs := range msgsSeries {
+		events := fullDeliveryHistory(procs, msgs)
+		start := time.Now()
+		c := spec.NewChecker(events, spec.Options{Settled: true})
+		if vs := c.CheckAll(); len(vs) != 0 {
+			panic(fmt.Sprintf("experiments: conforming synthetic history flagged: %v", vs))
+		}
+		elapsed := time.Since(start)
+		n := len(events)
+		rows = append(rows, CheckerScaleRow{
+			Procs:     procs,
+			Msgs:      msgs,
+			Events:    n,
+			CheckMs:   float64(elapsed.Microseconds()) / 1000,
+			NsPerEvt:  float64(elapsed.Nanoseconds()) / float64(n),
+			EvtPerSec: float64(n) / elapsed.Seconds(),
+		})
+	}
+	return rows
+}
+
+// fullDeliveryHistory builds a conforming single-configuration history
+// with msgs messages, each delivered by all procs processes.
+func fullDeliveryHistory(procs, msgs int) []model.Event {
+	ids := make([]model.ProcessID, procs)
+	for i := range ids {
+		ids[i] = model.ProcessID(fmt.Sprintf("p%02d", i))
+	}
+	members := model.NewProcessSet(ids...)
+	cfg := model.RegularID(1, ids[0])
+	events := make([]model.Event, 0, procs+msgs*(1+procs))
+	for _, id := range ids {
+		events = append(events, model.Event{
+			Type: model.EventDeliverConf, Proc: id, Config: cfg, Members: members,
+		})
+	}
+	for m := 0; m < msgs; m++ {
+		sender := ids[m%procs]
+		msg := model.MessageID{Sender: sender, SenderSeq: uint64(m/procs + 1)}
+		events = append(events, model.Event{
+			Type: model.EventSend, Proc: sender, Config: cfg, Members: members,
+			Msg: msg, Service: model.Safe,
+		})
+		for _, id := range ids {
+			events = append(events, model.Event{
+				Type: model.EventDeliver, Proc: id, Config: cfg, Members: members,
+				Msg: msg, Service: model.Safe,
+			})
+		}
+	}
+	return events
+}

@@ -166,8 +166,12 @@ func New(sched *sim.Scheduler, cfg Config) *Network {
 // handler (used when a process recovers with a fresh protocol instance).
 func (n *Network) Register(id model.ProcessID, h Handler) {
 	if _, ok := n.handlers[id]; !ok {
-		n.order = append(n.order, id)
-		sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+		// Insert in place: the slice is already sorted, so a full
+		// re-sort per registration is wasted work.
+		i := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= id })
+		n.order = append(n.order, "")
+		copy(n.order[i+1:], n.order[i:])
+		n.order[i] = id
 	}
 	n.handlers[id] = h
 	if _, ok := n.component[id]; !ok {

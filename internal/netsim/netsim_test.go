@@ -458,3 +458,20 @@ func TestFilterTargetsMessageClass(t *testing.T) {
 		t.Fatal("cleared filter still dropping")
 	}
 }
+
+func TestRegisterKeepsOrderSorted(t *testing.T) {
+	_, net, rec := setup(Config{Seed: 1})
+	// Register out of order, with a duplicate re-registration mixed in.
+	for _, id := range []model.ProcessID{"m", "c", "x", "a", "c", "q", "b"} {
+		net.Register(id, rec.handler(id))
+	}
+	want := []model.ProcessID{"a", "b", "c", "m", "q", "x"}
+	if len(net.order) != len(want) {
+		t.Fatalf("order = %v, want %v", net.order, want)
+	}
+	for i, id := range want {
+		if net.order[i] != id {
+			t.Fatalf("order = %v, want %v", net.order, want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package spec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/model"
 )
@@ -19,17 +20,62 @@ func NewChecker(events []model.Event, opts Options) *Checker {
 	return &Checker{ix: buildIndex(events), opts: opts}
 }
 
+// Precedes reports whether event i precedes event j in the closure of the
+// generating edges. Exported for differential testing against the
+// reference bitset closure (package refcheck).
+func (c *Checker) Precedes(i, j int) bool { return c.ix.precedes(i, j) }
+
 // CheckAll runs every specification check and returns all violations.
+// The index is fully precomputed and read-only, so the seven checks run
+// concurrently; the combined result is sorted into a deterministic order
+// (the individual checks inherit map-iteration order, as they always
+// did).
 func (c *Checker) CheckAll() []Violation {
+	checks := []func() []Violation{
+		c.CheckBasicDelivery,
+		c.CheckConfigChanges,
+		c.CheckSelfDelivery,
+		c.CheckFailureAtomicity,
+		c.CheckCausalDelivery,
+		c.CheckTotalOrder,
+		c.CheckSafeDelivery,
+	}
+	results := make([][]Violation, len(checks))
+	var wg sync.WaitGroup
+	for i, f := range checks {
+		wg.Add(1)
+		go func(i int, f func() []Violation) {
+			defer wg.Done()
+			results[i] = f()
+		}(i, f)
+	}
+	wg.Wait()
 	var out []Violation
-	out = append(out, c.CheckBasicDelivery()...)
-	out = append(out, c.CheckConfigChanges()...)
-	out = append(out, c.CheckSelfDelivery()...)
-	out = append(out, c.CheckFailureAtomicity()...)
-	out = append(out, c.CheckCausalDelivery()...)
-	out = append(out, c.CheckTotalOrder()...)
-	out = append(out, c.CheckSafeDelivery()...)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	sortViolations(out)
 	return out
+}
+
+// sortViolations orders violations deterministically: by clause, then by
+// the offending event indices, then by message text.
+func sortViolations(vs []Violation) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.Spec != b.Spec {
+			return a.Spec < b.Spec
+		}
+		for k := 0; k < len(a.Events) && k < len(b.Events); k++ {
+			if a.Events[k] != b.Events[k] {
+				return a.Events[k] < b.Events[k]
+			}
+		}
+		if len(a.Events) != len(b.Events) {
+			return len(a.Events) < len(b.Events)
+		}
+		return a.Msg < b.Msg
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -62,21 +108,18 @@ func (c *Checker) CheckBasicDelivery() []Violation {
 			}
 		}
 	}
-	perProcDeliver := make(map[model.ProcessID]map[model.MessageID]int)
 	for m, dIdxs := range ix.delivers {
 		for _, d := range dIdxs {
 			p := ix.events[d].Proc
-			if perProcDeliver[p] == nil {
-				perProcDeliver[p] = make(map[model.MessageID]int)
-			}
-			if prev, dup := perProcDeliver[p][m]; dup {
+			mine := ix.procDelivers[procMsg{p, m}]
+			k := sort.SearchInts(mine, d)
+			if k > 0 {
 				out = append(out, Violation{
 					Spec:   "1.4",
 					Msg:    fmt.Sprintf("process %s delivered message %s twice", p, m),
-					Events: []int{prev, d},
+					Events: []int{mine[k-1], d},
 				})
 			}
-			perProcDeliver[p][m] = d
 		}
 	}
 
@@ -258,15 +301,15 @@ func (c *Checker) CheckSelfDelivery() []Violation {
 		for _, s := range sIdxs {
 			se := ix.events[s]
 			p := se.Proc
-			zone := c.comZone(p, se.Config)
-			if c.failedIn(p, zone) {
+			zone := ix.comZone(p, se.Config)
+			if ix.failedIn(p, zone) {
 				continue
 			}
-			movedOn := c.leftZone(p, s, zone)
+			movedOn := ix.leftZone(p, s, zone)
 			if !movedOn && !c.opts.Settled {
 				continue
 			}
-			if !c.deliveredIn(p, m, zone) {
+			if !ix.deliveredIn(p, m, zone) {
 				out = append(out, Violation{
 					Spec:   "3",
 					Msg:    fmt.Sprintf("process %s never delivered its own message %s sent in %s", p, m, se.Config),
@@ -278,126 +321,107 @@ func (c *Checker) CheckSelfDelivery() []Violation {
 	return out
 }
 
-// comZone returns the configurations forming com_p(c): the regular
-// configuration c plus p's transitional configuration following c, if any.
-func (c *Checker) comZone(p model.ProcessID, cfg model.ConfigID) []model.ConfigID {
-	zone := []model.ConfigID{cfg}
-	if cfg.IsTransitional() {
-		return zone
-	}
-	for _, i := range c.ix.confSeq(p) {
-		e := c.ix.events[i]
-		if e.Config.IsTransitional() && e.Config.Prev() == cfg {
-			zone = append(zone, e.Config)
-		}
-	}
-	return zone
-}
-
-// failedIn reports whether p has a fail event in any of the zone's
-// configurations.
-func (c *Checker) failedIn(p model.ProcessID, zone []model.ConfigID) bool {
-	for _, i := range c.ix.byProc[p] {
-		e := c.ix.events[i]
-		if e.Type == model.EventFail {
-			for _, z := range zone {
-				if e.Config == z {
-					return true
-				}
-			}
-		}
-	}
-	return false
-}
-
-// leftZone reports whether p delivered a configuration change outside the
-// zone after event idx.
-func (c *Checker) leftZone(p model.ProcessID, idx int, zone []model.ConfigID) bool {
-	for _, i := range c.ix.byProc[p] {
-		if i <= idx {
-			continue
-		}
-		e := c.ix.events[i]
-		if e.Type != model.EventDeliverConf {
-			continue
-		}
-		inZone := false
-		for _, z := range zone {
-			if e.Config == z {
-				inZone = true
-			}
-		}
-		if !inZone {
-			return true
-		}
-	}
-	return false
-}
-
-// deliveredIn reports whether p delivered m in one of the zone's
-// configurations.
-func (c *Checker) deliveredIn(p model.ProcessID, m model.MessageID, zone []model.ConfigID) bool {
-	for _, d := range c.ix.delivers[m] {
-		e := c.ix.events[d]
-		if e.Proc != p {
-			continue
-		}
-		for _, z := range zone {
-			if e.Config == z {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // ---------------------------------------------------------------------------
 // Specification 4: failure atomicity.
 
 // CheckFailureAtomicity verifies that two processes proceeding together
 // from configuration c to the same next configuration delivered the same
 // set of messages in c.
+//
+// The quadratic all-pairs set comparison is replaced by an equivalence
+// grouping: within each (configuration, next-configuration) group the
+// installers' delivered sets are bucketed by comparing to class
+// representatives, and only configurations where more than one class
+// exists — i.e. an actual violation — fall back to the original pairwise
+// loop, reproducing the reference violations exactly.
 func (c *Checker) CheckFailureAtomicity() []Violation {
 	var out []Violation
 	ix := c.ix
 
-	type procConf struct {
-		p   model.ProcessID
-		cfg model.ConfigID
-	}
-	next := make(map[procConf]model.ConfigID)
+	// next[p,cfg] = the configuration p installed after cfg, from the
+	// cached configuration sequences.
+	next := make(map[procCfg]model.ConfigID)
 	for p := range ix.byProc {
 		seq := ix.confSeq(p)
 		for k := 0; k+1 < len(seq); k++ {
 			cur := ix.events[seq[k]].Config
 			nxt := ix.events[seq[k+1]].Config
-			next[procConf{p, cur}] = nxt
-		}
-	}
-	delivered := make(map[procConf]map[model.MessageID]bool)
-	for m, dIdxs := range ix.delivers {
-		for _, d := range dIdxs {
-			e := ix.events[d]
-			k := procConf{e.Proc, e.Config}
-			if delivered[k] == nil {
-				delivered[k] = make(map[model.MessageID]bool)
-			}
-			delivered[k][m] = true
+			next[procCfg{p, cur}] = nxt
 		}
 	}
 
+	sameSet := func(a, b map[model.MessageID]bool) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for m := range a {
+			if !b[m] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var slow []model.ConfigID
+	slowSeen := make(map[model.ConfigID]bool)
 	for cfg, idxs := range ix.confs {
+		// Group installers by their next configuration and bucket the
+		// delivered sets into equivalence classes per group.
+		type group struct {
+			reps []map[model.MessageID]bool
+		}
+		groups := make(map[model.ConfigID]*group)
+		for _, i := range idxs {
+			p := ix.events[i].Proc
+			nxt, ok := next[procCfg{p, cfg}]
+			if !ok {
+				continue
+			}
+			g := groups[nxt]
+			if g == nil {
+				g = &group{}
+				groups[nxt] = g
+			}
+			dp := ix.cfgDelivered[procCfg{p, cfg}]
+			matched := false
+			for _, rep := range g.reps {
+				if sameSet(dp, rep) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				g.reps = append(g.reps, dp)
+			}
+		}
+		for _, g := range groups {
+			if len(g.reps) > 1 && !slowSeen[cfg] {
+				slowSeen[cfg] = true
+				slow = append(slow, cfg)
+			}
+		}
+	}
+
+	// Fallback: re-run the reference pairwise comparison for the
+	// configurations where classes diverged, producing the exact
+	// reference violations. Order the configurations by their first
+	// installation event for determinism.
+	sort.Slice(slow, func(a, b int) bool {
+		return ix.confs[slow[a]][0] < ix.confs[slow[b]][0]
+	})
+	for _, cfg := range slow {
+		idxs := ix.confs[cfg]
 		for a := 0; a < len(idxs); a++ {
 			for b := a + 1; b < len(idxs); b++ {
 				p := ix.events[idxs[a]].Proc
 				q := ix.events[idxs[b]].Proc
-				np, okp := next[procConf{p, cfg}]
-				nq, okq := next[procConf{q, cfg}]
+				np, okp := next[procCfg{p, cfg}]
+				nq, okq := next[procCfg{q, cfg}]
 				if !okp || !okq || np != nq {
 					continue
 				}
-				dp := delivered[procConf{p, cfg}]
-				dq := delivered[procConf{q, cfg}]
+				dp := ix.cfgDelivered[procCfg{p, cfg}]
+				dq := ix.cfgDelivered[procCfg{q, cfg}]
 				if diff := setDiff(dp, dq); diff != "" {
 					out = append(out, Violation{
 						Spec: "4",
@@ -437,21 +461,141 @@ func setDiff(a, b map[model.MessageID]bool) string {
 // Specification 5: causal delivery.
 
 // CheckCausalDelivery verifies that when send(m) precedes send(m') within a
-// configuration, any process delivering m' (in the configuration or its
-// transitional successor) also delivered m, earlier.
+// configuration, any process delivering m' also delivered m, earlier.
+//
+// Instead of enumerating all ordered send pairs (quadratic) times their
+// deliveries (cubic), a single pass over the history certifies each
+// delivery directly: for a delivery of m' with send s, the causal
+// predecessors of s among the configuration's sends form, per sending
+// process, a prefix of that process's send list — the prefix of length
+// vt(s)[p] in local coordinates. The receiver is certified when, for
+// every sender, it has first-delivered that whole prefix strictly before
+// this delivery. Certification fails exactly when a reference violation
+// exists, and then the configuration falls back to the original
+// triple loop, reproducing the reference violations verbatim.
 func (c *Checker) CheckCausalDelivery() []Violation {
 	var out []Violation
 	ix := c.ix
+	P := ix.uni.Len()
 
-	// Group send events by regular configuration.
-	sendsByCfg := make(map[model.ConfigID][]int)
+	// Per configuration, the send events grouped by sending process, in
+	// history order (so local indices are ascending).
+	type cfgSends struct {
+		all    []int           // every send in the configuration, ascending
+		procs  []int32         // dense process ids with sends here
+		slot   map[int32]int   // dense process id -> index into procs/lists
+		lists  [][]int         // per slot: send event indices, ascending
+		locals [][]int32       // per slot: matching local indices, ascending
+	}
+	byCfg := make(map[model.ConfigID]*cfgSends)
+	for i, e := range ix.events {
+		if e.Type != model.EventSend {
+			continue
+		}
+		cs := byCfg[e.Config]
+		if cs == nil {
+			cs = &cfgSends{slot: make(map[int32]int)}
+			byCfg[e.Config] = cs
+		}
+		cs.all = append(cs.all, i)
+		p := ix.procOf[i]
+		t, ok := cs.slot[p]
+		if !ok {
+			t = len(cs.procs)
+			cs.slot[p] = t
+			cs.procs = append(cs.procs, p)
+			cs.lists = append(cs.lists, nil)
+			cs.locals = append(cs.locals, nil)
+		}
+		cs.lists[t] = append(cs.lists[t], i)
+		cs.locals[t] = append(cs.locals[t], ix.local[i])
+	}
+
+	slow := make(map[model.ConfigID]bool)
+	// Multiply-sent messages (a 1.4 violation) have no single send to
+	// certify against; route their configurations through the fallback.
 	for _, sIdxs := range ix.sends {
-		for _, s := range sIdxs {
-			sendsByCfg[ix.events[s].Config] = append(sendsByCfg[ix.events[s].Config], s)
+		if len(sIdxs) > 1 {
+			for _, s := range sIdxs {
+				slow[ix.events[s].Config] = true
+			}
 		}
 	}
-	for _, sends := range sendsByCfg {
-		sort.Ints(sends)
+
+	// prefixDone[r, cfg] = per sender slot, how many of that sender's
+	// sends the receiver has first-delivered strictly before the event
+	// currently being certified. Monotone in the scan, so each position
+	// is verified at most once plus one failed probe per certification.
+	type rcKey struct {
+		r   model.ProcessID
+		cfg model.ConfigID
+	}
+	prefixDone := make(map[rcKey][]int32)
+
+	for i, e := range ix.events {
+		if e.Type != model.EventDeliver {
+			continue
+		}
+		sIdxs := ix.sends[e.Msg]
+		if len(sIdxs) != 1 {
+			continue // no send: no pairs; multi-send: already slow
+		}
+		s := sIdxs[0]
+		cfg := ix.events[s].Config
+		if slow[cfg] {
+			continue
+		}
+		cs := byCfg[cfg]
+		r := e.Proc
+		key := rcKey{r, cfg}
+		done := prefixDone[key]
+		if done == nil {
+			done = make([]int32, len(cs.procs))
+			prefixDone[key] = done
+		}
+		svt := ix.vt[s*P : (s+1)*P]
+		for t, p := range cs.procs {
+			locals := cs.locals[t]
+			// Sends by p causally preceding s: the prefix with
+			// local index <= vt(s)[p]; s itself is excluded when
+			// p is s's own process (its component equals s's
+			// local index).
+			k := int32(sort.Search(len(locals), func(x int) bool {
+				return locals[x] > svt[p]
+			}))
+			if p == ix.procOf[s] {
+				k--
+			}
+			for done[t] < k {
+				m := ix.events[cs.lists[t][done[t]]].Msg
+				d1 := ix.deliveryIndex(r, m)
+				if d1 >= 0 && d1 < i {
+					done[t]++
+				} else {
+					break
+				}
+			}
+			if done[t] < k {
+				slow[cfg] = true
+				break
+			}
+		}
+	}
+
+	// Fallback: the reference triple loop, restricted to the slow
+	// configurations (exactly those containing a violation), ordered by
+	// first send for determinism.
+	slowCfgs := make([]model.ConfigID, 0, len(slow))
+	for cfg := range slow {
+		if byCfg[cfg] != nil {
+			slowCfgs = append(slowCfgs, cfg)
+		}
+	}
+	sort.Slice(slowCfgs, func(a, b int) bool {
+		return byCfg[slowCfgs[a]].all[0] < byCfg[slowCfgs[b]].all[0]
+	})
+	for _, cfg := range slowCfgs {
+		sends := byCfg[cfg].all
 		for a := 0; a < len(sends); a++ {
 			for b := 0; b < len(sends); b++ {
 				if a == b || !ix.precedes(sends[a], sends[b]) {
@@ -461,7 +605,7 @@ func (c *Checker) CheckCausalDelivery() []Violation {
 				m2 := ix.events[sends[b]].Msg
 				for _, d2 := range ix.delivers[m2] {
 					r := ix.events[d2].Proc
-					d1 := c.deliveryIndex(r, m)
+					d1 := ix.deliveryIndex(r, m)
 					if d1 < 0 {
 						out = append(out, Violation{
 							Spec: "5",
@@ -484,14 +628,4 @@ func (c *Checker) CheckCausalDelivery() []Violation {
 		}
 	}
 	return out
-}
-
-// deliveryIndex returns the index of p's delivery of m, or -1.
-func (c *Checker) deliveryIndex(p model.ProcessID, m model.MessageID) int {
-	for _, d := range c.ix.delivers[m] {
-		if c.ix.events[d].Proc == p {
-			return d
-		}
-	}
-	return -1
 }

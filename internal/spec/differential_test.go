@@ -1,0 +1,234 @@
+package spec_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/spec/refcheck"
+)
+
+// randomHistory generates a small history with deliberately mixed quality:
+// mostly well-formed traffic, plus (depending on the rng) duplicate sends,
+// missing sends, deliveries in the wrong configuration, wrong membership,
+// failures, and safe-service messages — enough variety to drive every
+// check down both its conforming and its violating paths.
+func randomHistory(rng *rand.Rand) []model.Event {
+	nProcs := 3 + rng.Intn(3)
+	procs := make([]model.ProcessID, nProcs)
+	for i := range procs {
+		procs[i] = model.ProcessID('a' + rune(i))
+	}
+	all := model.NewProcessSet(procs...)
+
+	reg1 := model.RegularID(1, procs[0])
+	reg2 := model.RegularID(2, procs[0])
+	tr12 := model.TransitionalID(reg2, reg1)
+	configs := []model.ConfigID{reg1, reg2, tr12}
+	memberOf := func(cfg model.ConfigID) model.ProcessSet {
+		// Occasionally record inconsistent membership.
+		if rng.Intn(12) == 0 {
+			return model.NewProcessSet(procs[:1+rng.Intn(nProcs)]...)
+		}
+		return all
+	}
+
+	var events []model.Event
+	seqs := make(map[model.ProcessID]uint64)
+
+	// Most processes install reg1 up front; some histories leave a
+	// process uninstalled to probe the empty-confSeq paths.
+	for _, p := range procs {
+		if rng.Intn(10) == 0 {
+			continue
+		}
+		events = append(events, model.Event{
+			Type: model.EventDeliverConf, Proc: p, Config: reg1, Members: memberOf(reg1),
+		})
+	}
+
+	n := 10 + rng.Intn(50)
+	var sent []model.Event // send events, for generating deliveries
+	for len(events) < n {
+		p := procs[rng.Intn(nProcs)]
+		switch k := rng.Intn(10); {
+		case k < 4: // send
+			seqs[p]++
+			m := model.MessageID{Sender: p, SenderSeq: seqs[p]}
+			svc := model.Agreed
+			if rng.Intn(4) == 0 {
+				svc = model.Safe
+			}
+			cfg := reg1
+			if rng.Intn(8) == 0 {
+				cfg = configs[rng.Intn(len(configs))] // maybe non-regular
+			}
+			e := model.Event{
+				Type: model.EventSend, Proc: p, Config: cfg,
+				Members: memberOf(cfg), Msg: m, Service: svc,
+			}
+			events = append(events, e)
+			sent = append(sent, e)
+			if rng.Intn(15) == 0 { // duplicate send
+				events = append(events, e)
+			}
+		case k < 8 && len(sent) > 0: // deliver a sent message
+			s := sent[rng.Intn(len(sent))]
+			cfg := s.Config
+			if rng.Intn(6) == 0 {
+				cfg = configs[rng.Intn(len(configs))] // wrong family
+			} else if rng.Intn(3) == 0 {
+				cfg = model.TransitionalID(reg2, s.Config) // transitional of the family
+			}
+			events = append(events, model.Event{
+				Type: model.EventDeliver, Proc: p, Config: cfg,
+				Members: memberOf(cfg), Msg: s.Msg, Service: s.Service,
+			})
+		case k == 8: // deliver a never-sent message
+			events = append(events, model.Event{
+				Type: model.EventDeliver, Proc: p, Config: reg1,
+				Members: all, Msg: model.MessageID{Sender: p, SenderSeq: 900 + uint64(rng.Intn(9))},
+				Service: model.Agreed,
+			})
+		default: // configuration change or failure
+			cfg := configs[rng.Intn(len(configs))]
+			typ := model.EventDeliverConf
+			if rng.Intn(4) == 0 {
+				typ = model.EventFail
+			}
+			events = append(events, model.Event{
+				Type: typ, Proc: p, Config: cfg, Members: memberOf(cfg),
+			})
+		}
+	}
+	return events
+}
+
+// TestPrecedesMatchesClosure: the vector-timestamp precedes relation is
+// identical to the reference bitset transitive closure on random
+// histories, over the full i×j matrix.
+func TestPrecedesMatchesClosure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 250; trial++ {
+		events := randomHistory(rng)
+		ck := spec.NewChecker(events, spec.Options{})
+		ref := refcheck.Closure(events)
+		for i := range events {
+			for j := range events {
+				if got, want := ck.Precedes(i, j), ref(i, j); got != want {
+					t.Fatalf("trial %d: precedes(%d,%d)=%v, reference closure says %v\nevents: %+v",
+						trial, i, j, got, want, events)
+				}
+			}
+		}
+	}
+}
+
+// renderSorted renders violations as sorted strings for order-insensitive
+// comparison (the reference checker's output order follows map iteration).
+func renderSorted(vs []spec.Violation) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diffViolations(t *testing.T, label string, got, want []spec.Violation) {
+	t.Helper()
+	g, w := renderSorted(got), renderSorted(want)
+	if len(g) != len(w) {
+		t.Errorf("%s: %d violations, reference found %d\n got: %v\nwant: %v",
+			label, len(g), len(w), g, w)
+		return
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Errorf("%s: violation %d differs\n got: %s\nwant: %s", label, i, g[i], w[i])
+		}
+	}
+}
+
+// TestCheckAllMatchesReference: the rewritten checks report exactly the
+// violations of the reference implementation — as multisets — on random
+// histories, settled and unsettled.
+func TestCheckAllMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 250; trial++ {
+		events := randomHistory(rng)
+		for _, settled := range []bool{false, true} {
+			opts := spec.Options{Settled: settled}
+			got := spec.NewChecker(events, opts).CheckAll()
+			want := refcheck.CheckAll(events, opts)
+			if t.Failed() {
+				return
+			}
+			diffViolations(t, "random history", got, want)
+			if t.Failed() {
+				t.Logf("trial %d settled=%v events: %+v", trial, settled, events)
+				return
+			}
+		}
+	}
+}
+
+// fullDeliveryHistory mirrors syntheticHistory in bench_test.go (that
+// builder lives in package spec and is not importable from this external
+// test package): a conforming single-configuration history with msgs
+// messages delivered by procs processes.
+func fullDeliveryHistory(procs, msgs int) []model.Event {
+	ids := make([]model.ProcessID, procs)
+	for i := range ids {
+		ids[i] = model.ProcessID(fmt.Sprintf("p%02d", i))
+	}
+	members := model.NewProcessSet(ids...)
+	cfg := model.RegularID(1, ids[0])
+	var events []model.Event
+	for _, id := range ids {
+		events = append(events, model.Event{
+			Type: model.EventDeliverConf, Proc: id, Config: cfg, Members: members,
+		})
+	}
+	for m := 0; m < msgs; m++ {
+		sender := ids[m%procs]
+		msg := model.MessageID{Sender: sender, SenderSeq: uint64(m/procs + 1)}
+		events = append(events, model.Event{
+			Type: model.EventSend, Proc: sender, Config: cfg, Members: members,
+			Msg: msg, Service: model.Safe,
+		})
+		for _, id := range ids {
+			events = append(events, model.Event{
+				Type: model.EventDeliver, Proc: id, Config: cfg, Members: members,
+				Msg: msg, Service: model.Safe,
+			})
+		}
+	}
+	return events
+}
+
+// BenchmarkCheckerScalingRef runs the seed (bitset-closure) checker on the
+// small end of the scaling series, so the speedup of the vector-timestamp
+// checker is visible by comparing against BenchmarkCheckerScaling at the
+// same sizes. The reference is quadratic-and-worse; larger sizes are
+// deliberately absent.
+func BenchmarkCheckerScalingRef(b *testing.B) {
+	for _, msgs := range []int{200, 1000} {
+		msgs := msgs
+		b.Run(fmt.Sprintf("procs=4/msgs=%d", msgs), func(b *testing.B) {
+			events := fullDeliveryHistory(4, msgs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if vs := refcheck.CheckAll(events, spec.Options{Settled: true}); len(vs) != 0 {
+					b.Fatalf("synthetic history flagged: %v", vs)
+				}
+			}
+			n := float64(len(events))
+			b.ReportMetric(n, "events")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*n), "ns/event")
+		})
+	}
+}

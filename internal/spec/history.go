@@ -21,12 +21,28 @@
 // is, a topological numbering of the condensation is a witness for ord
 // (and for the barrier behaviour 2.3/2.4 require); if it is cyclic, no
 // legal ord exists and the specifications are violated.
+//
+// # Scale
+//
+// The closure of "→" is never materialized. Every event carries a dense
+// vector timestamp over the generating edges (vclock.Dense), so
+// precedes(i,j) is one O(1) array probe and the whole relation costs
+// O(n·P) memory for n events and P processes — the n×n bitset closure of
+// the original checker is kept only as a differential-testing oracle in
+// package refcheck. On top of the timestamps the index precomputes the
+// lookup tables the checks share (per-process configuration sequences,
+// per-(process,message) delivery lists, per-(process,configuration)
+// delivered sets, installation and failure tables, com-zone caches), so
+// each specification check runs in near-linear time on conforming
+// histories and CheckAll runs the seven checks concurrently.
 package spec
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/model"
+	"repro/internal/vclock"
 )
 
 // History is an append-only event trace. Events must be appended in an
@@ -77,7 +93,21 @@ type Options struct {
 	Settled bool
 }
 
-// index holds the derived structures every check shares.
+// procMsg keys per-(process,message) tables.
+type procMsg struct {
+	p model.ProcessID
+	m model.MessageID
+}
+
+// procCfg keys per-(process,configuration) tables.
+type procCfg struct {
+	p model.ProcessID
+	c model.ConfigID
+}
+
+// index holds the derived structures every check shares. It is built once
+// by NewChecker and read-only afterwards, which is what makes the
+// concurrent CheckAll safe: no check mutates the index.
 type index struct {
 	events []model.Event
 	// byProc lists event indices per process in history order, which is
@@ -93,20 +123,62 @@ type index struct {
 	confs map[model.ConfigID][]int
 	// members caches the membership recorded for each configuration.
 	members map[model.ConfigID]model.ProcessSet
-	// reach is the transitive closure over the generating edges:
-	// reach[i] bit j set means event i precedes event j (i < j always,
-	// since generating edges respect history order).
-	reach []bitset
+
+	// Vector-timestamp representation of the precedes closure. uni
+	// enumerates the processes appearing in the history; procOf and
+	// local give each event its (dense process, 1-based per-process
+	// position); vt is the flat n×P timestamp array: row i (a
+	// vclock.Dense) is the componentwise maximum over event i's causal
+	// past, with vt[i][procOf[i]] = local[i].
+	uni    *vclock.Universe
+	procOf []int32
+	local  []int32
+	vt     []int32
+
+	// confSeqs caches, per process, the indices of its deliver_conf
+	// events in order: the process's configuration sequence.
+	confSeqs map[model.ProcessID][]int
+	// procDelivers lists, per (process,message), the indices of that
+	// process's deliveries of the message in history order. Conforming
+	// histories have at most one entry; duplicates are kept so the
+	// duplicate-delivery check and zone lookups see them.
+	procDelivers map[procMsg][]int
+	// installedBy records which processes delivered a configuration
+	// change for each configuration.
+	installedBy map[procCfg]bool
+	// failCfgs lists, per process, the configurations of its fail
+	// events in history order.
+	failCfgs map[model.ProcessID][]model.ConfigID
+	// zones caches com_p(c) per (process, regular configuration): the
+	// regular configuration itself followed by the process's installed
+	// transitional successors of it, in installation order. Regular
+	// configurations with no transitional successor have no entry;
+	// comZone synthesizes the singleton zone on the fly.
+	zones map[procCfg][]model.ConfigID
+	// cfgDelivered is the per-(process,configuration) delivered message
+	// set (failure atomicity compares these across processes).
+	cfgDelivered map[procCfg]map[model.MessageID]bool
+	// famDelivered is the per-(process, regular family) delivered set
+	// restricted to the process's com zone of the family: exactly the
+	// messages deliveredIn(p, ·, comZone(p, reg)) would accept.
+	famDelivered map[procCfg]map[model.MessageID]bool
 }
 
 func buildIndex(events []model.Event) *index {
 	ix := &index{
-		events:   events,
-		byProc:   make(map[model.ProcessID][]int),
-		sends:    make(map[model.MessageID][]int),
-		delivers: make(map[model.MessageID][]int),
-		confs:    make(map[model.ConfigID][]int),
-		members:  make(map[model.ConfigID]model.ProcessSet),
+		events:       events,
+		byProc:       make(map[model.ProcessID][]int),
+		sends:        make(map[model.MessageID][]int),
+		delivers:     make(map[model.MessageID][]int),
+		confs:        make(map[model.ConfigID][]int),
+		members:      make(map[model.ConfigID]model.ProcessSet),
+		confSeqs:     make(map[model.ProcessID][]int),
+		procDelivers: make(map[procMsg][]int),
+		installedBy:  make(map[procCfg]bool),
+		failCfgs:     make(map[model.ProcessID][]model.ConfigID),
+		zones:        make(map[procCfg][]model.ConfigID),
+		cfgDelivered: make(map[procCfg]map[model.MessageID]bool),
+		famDelivered: make(map[procCfg]map[model.MessageID]bool),
 	}
 	for i, e := range events {
 		ix.byProc[e.Proc] = append(ix.byProc[e.Proc], i)
@@ -115,91 +187,236 @@ func buildIndex(events []model.Event) *index {
 			ix.sends[e.Msg] = append(ix.sends[e.Msg], i)
 		case model.EventDeliver:
 			ix.delivers[e.Msg] = append(ix.delivers[e.Msg], i)
+			ix.procDelivers[procMsg{e.Proc, e.Msg}] = append(ix.procDelivers[procMsg{e.Proc, e.Msg}], i)
+			k := procCfg{e.Proc, e.Config}
+			if ix.cfgDelivered[k] == nil {
+				ix.cfgDelivered[k] = make(map[model.MessageID]bool)
+			}
+			ix.cfgDelivered[k][e.Msg] = true
 		case model.EventDeliverConf:
 			ix.confs[e.Config] = append(ix.confs[e.Config], i)
 			if _, ok := ix.members[e.Config]; !ok {
 				ix.members[e.Config] = e.Members
 			}
+			ix.confSeqs[e.Proc] = append(ix.confSeqs[e.Proc], i)
+			ix.installedBy[procCfg{e.Proc, e.Config}] = true
+			if e.Config.IsTransitional() {
+				zk := procCfg{e.Proc, e.Config.Prev()}
+				if ix.zones[zk] == nil {
+					ix.zones[zk] = []model.ConfigID{e.Config.Prev()}
+				}
+				ix.zones[zk] = append(ix.zones[zk], e.Config)
+			}
+		case model.EventFail:
+			ix.failCfgs[e.Proc] = append(ix.failCfgs[e.Proc], e.Config)
 		}
 	}
-	ix.buildReach()
+	ix.buildTimestamps()
+	ix.buildFamDelivered()
 	return ix
 }
 
-// buildReach computes the transitive closure of the generating edges. All
-// generating edges point forward in history order, so a single backward
-// sweep suffices. Events whose generating edges would point backward
-// (deliver before send) simply lack the edge; Check 1.3 reports them.
-func (ix *index) buildReach() {
+// buildTimestamps stamps every event with a dense vector timestamp over
+// the generating edges: each event inherits the timestamp of its
+// per-process predecessor, a deliver event additionally merges the
+// timestamp of its message's (first) send when that send comes earlier in
+// the history — the same edge set the reference closure uses; a deliver
+// preceding its send simply lacks the edge and Check 1.3 reports it.
+func (ix *index) buildTimestamps() {
 	n := len(ix.events)
-	ix.reach = make([]bitset, n)
-	words := (n + 63) / 64
-	// successors in the generating relation.
-	succ := make([][]int32, n)
-	for _, idxs := range ix.byProc {
-		for k := 0; k+1 < len(idxs); k++ {
-			succ[idxs[k]] = append(succ[idxs[k]], int32(idxs[k+1]))
-		}
+	procs := make([]model.ProcessID, 0, len(ix.byProc))
+	for p := range ix.byProc {
+		procs = append(procs, p)
 	}
-	for m, sIdxs := range ix.sends {
-		if len(sIdxs) == 0 {
-			continue
+	ix.uni = vclock.NewUniverse(procs)
+	P := ix.uni.Len()
+	ix.procOf = make([]int32, n)
+	ix.local = make([]int32, n)
+	ix.vt = make([]int32, n*P)
+
+	prev := make([]int32, P) // last event index per process, or -1
+	for i := range prev {
+		prev[i] = -1
+	}
+	counts := make([]int32, P)
+	for i, e := range ix.events {
+		p := int32(ix.uni.Index(e.Proc))
+		ix.procOf[i] = p
+		counts[p]++
+		ix.local[i] = counts[p]
+
+		row := vclock.Dense(ix.vt[i*P : (i+1)*P])
+		if pr := prev[p]; pr >= 0 {
+			copy(row, ix.vt[int(pr)*P:(int(pr)+1)*P])
 		}
-		s := sIdxs[0]
-		for _, d := range ix.delivers[m] {
-			if s < d {
-				succ[s] = append(succ[s], int32(d))
+		if e.Type == model.EventDeliver {
+			if sIdxs := ix.sends[e.Msg]; len(sIdxs) > 0 && sIdxs[0] < i {
+				row.Merge(ix.vt[sIdxs[0]*P : (sIdxs[0]+1)*P])
 			}
 		}
-	}
-	for i := n - 1; i >= 0; i-- {
-		b := newBitset(words)
-		for _, j := range succ[i] {
-			b.set(int(j))
-			b.orInto(ix.reach[j])
-		}
-		ix.reach[i] = b
+		row[p] = ix.local[i]
+		prev[p] = int32(i)
 	}
 }
 
+// buildFamDelivered fills the per-(process, regular family) delivered
+// sets. A delivery by p in configuration c contributes to family reg =
+// c.Prev() exactly when c lies in com_p(reg): always for c == reg, and
+// for a transitional c only when p installed it (the zone follows the
+// process's own configuration sequence).
+func (ix *index) buildFamDelivered() {
+	for _, e := range ix.events {
+		if e.Type != model.EventDeliver {
+			continue
+		}
+		c := e.Config
+		reg := c.Prev()
+		if c.IsTransitional() {
+			inZone := false
+			for _, z := range ix.zones[procCfg{e.Proc, reg}] {
+				if z == c {
+					inZone = true
+					break
+				}
+			}
+			if !inZone {
+				continue
+			}
+		}
+		k := procCfg{e.Proc, reg}
+		if ix.famDelivered[k] == nil {
+			ix.famDelivered[k] = make(map[model.MessageID]bool)
+		}
+		ix.famDelivered[k][e.Msg] = true
+	}
+}
+
+// vtOf returns event i's dense vector timestamp (a view, not a copy).
+func (ix *index) vtOf(i int) vclock.Dense {
+	P := ix.uni.Len()
+	return vclock.Dense(ix.vt[i*P : (i+1)*P])
+}
+
 // precedes reports whether event i precedes event j in the closure of the
-// generating edges (irreflexive: precedes(i,i) is false).
+// generating edges (irreflexive: precedes(i,i) is false). All generating
+// edges point forward in history order, so i ≥ j is an immediate no; for
+// i < j, i precedes j exactly when j's timestamp covers i's position in
+// i's own process component — because each process's events form a chain,
+// covering the count implies covering the event.
 func (ix *index) precedes(i, j int) bool {
-	if i == j {
+	if i >= j {
 		return false
 	}
-	return ix.reach[i].get(j)
+	return ix.vt[j*ix.uni.Len()+int(ix.procOf[i])] >= ix.local[i]
 }
 
 // confSeq returns, for process p, the indices of its deliver_conf events in
 // order: p's configuration sequence.
 func (ix *index) confSeq(p model.ProcessID) []int {
-	var out []int
-	for _, i := range ix.byProc[p] {
-		if ix.events[i].Type == model.EventDeliverConf {
-			out = append(out, i)
+	return ix.confSeqs[p]
+}
+
+// comZone returns the configurations forming com_p(c): the regular
+// configuration c plus p's installed transitional successors of c, if
+// any. For a transitional c the zone is c alone. The returned slice is
+// shared; callers must not mutate it.
+func (ix *index) comZone(p model.ProcessID, cfg model.ConfigID) []model.ConfigID {
+	if cfg.IsTransitional() {
+		return []model.ConfigID{cfg}
+	}
+	if z, ok := ix.zones[procCfg{p, cfg}]; ok {
+		return z
+	}
+	return []model.ConfigID{cfg}
+}
+
+// comZoneOf returns com_q(c') as a zone: for a regular configuration, the
+// configuration plus q's transitional successor; for a transitional
+// configuration, the underlying regular configuration plus q's own
+// transitional successor of it — which need not be c' itself. A member
+// that announced recovery completion and was then partitioned away from
+// the others carries its obligations into a later recovery and delivers
+// them in its own transitional configuration arising from the same
+// regular one; the zone must follow the member, not the observer.
+func (ix *index) comZoneOf(q model.ProcessID, cfg model.ConfigID) []model.ConfigID {
+	return ix.comZone(q, cfg.Prev())
+}
+
+// failedIn reports whether p has a fail event in any of the zone's
+// configurations.
+func (ix *index) failedIn(p model.ProcessID, zone []model.ConfigID) bool {
+	for _, fc := range ix.failCfgs[p] {
+		for _, z := range zone {
+			if fc == z {
+				return true
+			}
 		}
 	}
-	return out
+	return false
 }
 
-// bitset is a fixed-size bit vector.
-type bitset []uint64
-
-func newBitset(words int) bitset { return make(bitset, words) }
-
-func (b bitset) set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
-
-func (b bitset) get(i int) bool {
-	w := i / 64
-	if w >= len(b) {
-		return false
+// deliveredIn reports whether p delivered m in one of the zone's
+// configurations.
+func (ix *index) deliveredIn(p model.ProcessID, m model.MessageID, zone []model.ConfigID) bool {
+	for _, d := range ix.procDelivers[procMsg{p, m}] {
+		c := ix.events[d].Config
+		for _, z := range zone {
+			if c == z {
+				return true
+			}
+		}
 	}
-	return b[w]&(1<<(uint(i)%64)) != 0
+	return false
 }
 
-func (b bitset) orInto(o bitset) {
-	for w := range o {
-		b[w] |= o[w]
+// deliveryIndex returns the index of p's (first) delivery of m, or -1.
+func (ix *index) deliveryIndex(p model.ProcessID, m model.MessageID) int {
+	if ds := ix.procDelivers[procMsg{p, m}]; len(ds) > 0 {
+		return ds[0]
 	}
+	return -1
+}
+
+// leftZone reports whether p delivered a configuration change outside the
+// zone after event idx.
+func (ix *index) leftZone(p model.ProcessID, idx int, zone []model.ConfigID) bool {
+	seq := ix.confSeqs[p]
+	// First configuration change strictly after idx.
+	k := sort.SearchInts(seq, idx+1)
+	for ; k < len(seq); k++ {
+		c := ix.events[seq[k]].Config
+		inZone := false
+		for _, z := range zone {
+			if c == z {
+				inZone = true
+				break
+			}
+		}
+		if !inZone {
+			return true
+		}
+	}
+	return false
+}
+
+// installed reports whether q delivered a configuration change for cfg.
+func (ix *index) installed(q model.ProcessID, cfg model.ConfigID) bool {
+	return ix.installedBy[procCfg{q, cfg}]
+}
+
+// inFinalZone reports whether q's last configuration belongs to the zone.
+func (ix *index) inFinalZone(q model.ProcessID, zone []model.ConfigID) bool {
+	seq := ix.confSeqs[q]
+	if len(seq) == 0 {
+		// q never installed anything; its whole (empty) history is
+		// final.
+		return true
+	}
+	last := ix.events[seq[len(seq)-1]].Config
+	for _, z := range zone {
+		if last == z {
+			return true
+		}
+	}
+	return false
 }

@@ -1,7 +1,9 @@
 package spec
 
 import (
+	"container/heap"
 	"fmt"
+	"sort"
 
 	"repro/internal/model"
 )
@@ -23,52 +25,75 @@ func (c *Checker) CheckTotalOrder() []Violation {
 	return out
 }
 
+// intHeap is a plain min-heap of supernode ids for the Kahn loop.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
 // BuildOrd constructs a witness ord assignment: a map from event index to
 // logical time such that ord respects the generating edges (6.1), gives
 // deliveries of one message — and configuration changes of one
 // configuration — the same time (6.2), and gives distinct times otherwise.
 // The second result reports whether the condensation is cyclic, in which
 // case the assignment is nil.
+//
+// Supernodes are numbered by first occurrence in the history (so the
+// assignment is deterministic), edges live in a compact sorted slice
+// instead of nested maps, and the Kahn loop picks the smallest ready
+// supernode with a container/heap min-heap instead of an O(q) scan.
 func (c *Checker) BuildOrd() (map[int]uint64, bool) {
 	ix := c.ix
 	n := len(ix.events)
 
-	// Assign each event to a supernode.
+	// Assign each event to a supernode, numbering supernodes in order
+	// of their first event.
 	super := make([]int, n)
-	for i := range super {
-		super[i] = -1
-	}
 	nextSuper := 0
-	alloc := func(idxs []int) {
-		s := nextSuper
-		nextSuper++
-		for _, i := range idxs {
+	msgSuper := make(map[model.MessageID]int)
+	cfgSuper := make(map[model.ConfigID]int)
+	for i, e := range ix.events {
+		switch e.Type {
+		case model.EventDeliver:
+			s, ok := msgSuper[e.Msg]
+			if !ok {
+				s = nextSuper
+				nextSuper++
+				msgSuper[e.Msg] = s
+			}
 			super[i] = s
-		}
-	}
-	for _, dIdxs := range ix.delivers {
-		alloc(dIdxs)
-	}
-	for _, cIdxs := range ix.confs {
-		alloc(cIdxs)
-	}
-	for i := range super {
-		if super[i] == -1 {
-			alloc([]int{i})
+		case model.EventDeliverConf:
+			s, ok := cfgSuper[e.Config]
+			if !ok {
+				s = nextSuper
+				nextSuper++
+				cfgSuper[e.Config] = s
+			}
+			super[i] = s
+		default:
+			super[i] = nextSuper
+			nextSuper++
 		}
 	}
 
-	// Lift generating edges to supernodes.
-	adj := make(map[int]map[int]bool, nextSuper)
+	// Lift generating edges to supernodes, packed as (from,to) pairs,
+	// then sort and dedup into CSR form.
+	var edges []uint64
 	addEdge := func(a, b int) {
 		sa, sb := super[a], super[b]
 		if sa == sb {
 			return
 		}
-		if adj[sa] == nil {
-			adj[sa] = make(map[int]bool)
-		}
-		adj[sa][sb] = true
+		edges = append(edges, uint64(sa)<<32|uint64(sb))
 	}
 	for _, idxs := range ix.byProc {
 		for k := 0; k+1 < len(idxs); k++ {
@@ -83,40 +108,57 @@ func (c *Checker) BuildOrd() (map[int]uint64, bool) {
 			addEdge(sIdxs[0], d)
 		}
 	}
-
-	// Topologically sort the supernode graph (Kahn).
-	indeg := make([]int, nextSuper)
-	for _, ss := range adj {
-		for b := range ss {
-			indeg[b]++
+	sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+	uniq := edges[:0]
+	for i, e := range edges {
+		if i == 0 || e != edges[i-1] {
+			uniq = append(uniq, e)
 		}
 	}
-	var queue []int
+	edges = uniq
+	start := make([]int32, nextSuper+1)
+	dst := make([]int32, len(edges))
+	indeg := make([]int32, nextSuper)
+	for _, e := range edges {
+		start[int(e>>32)+1]++
+		indeg[uint32(e)]++
+	}
+	for s := 0; s < nextSuper; s++ {
+		start[s+1] += start[s]
+	}
+	for _, e := range edges {
+		fill := e >> 32
+		dst[start[fill]] = int32(uint32(e))
+		start[fill]++
+	}
+	// start was consumed as a fill cursor; shift it back.
+	for s := nextSuper; s > 0; s-- {
+		start[s] = start[s-1]
+	}
+	start[0] = 0
+
+	// Topologically sort the supernode graph (Kahn), always taking the
+	// smallest ready supernode.
+	var ready intHeap
 	for s := 0; s < nextSuper; s++ {
 		if indeg[s] == 0 {
-			queue = append(queue, s)
+			ready = append(ready, s)
 		}
 	}
+	heap.Init(&ready)
 	rank := make([]uint64, nextSuper)
 	var done int
 	var t uint64
-	for len(queue) > 0 {
-		// Deterministic: pick the smallest ready supernode.
-		min := 0
-		for k := 1; k < len(queue); k++ {
-			if queue[k] < queue[min] {
-				min = k
-			}
-		}
-		s := queue[min]
-		queue = append(queue[:min], queue[min+1:]...)
+	for ready.Len() > 0 {
+		s := heap.Pop(&ready).(int)
 		t++
 		rank[s] = t
 		done++
-		for b := range adj[s] {
+		for k := start[s]; k < start[s+1]; k++ {
+			b := int(dst[k])
 			indeg[b]--
 			if indeg[b] == 0 {
-				queue = append(queue, b)
+				heap.Push(&ready, b)
 			}
 		}
 	}
@@ -130,33 +172,105 @@ func (c *Checker) BuildOrd() (map[int]uint64, bool) {
 	return ord, false
 }
 
+// famKey identifies a per-process delivery family: a regular
+// configuration together with its transitional successors.
+type famKey struct {
+	p   model.ProcessID
+	reg model.ConfigID
+}
+
 // checkDeliveryPrefix verifies Specification 6.3: if p delivered m before
 // m' within com_p(c), and q delivered m' in configuration c' whose
 // membership includes m's sender, then q delivered m within com_q(c').
+//
+// The reference enumerates every delivery pair of every family times
+// every co-delivery — quartic in the worst case. Here each co-delivery is
+// certified directly: q delivering m' in c' must hold, in its own com
+// zone of c'.Prev(), every message p delivered before m' in p's family.
+// Because q's zone-delivered set is precomputed (famDelivered), that is a
+// monotone prefix pointer per (q, family). Certification is conservative
+// — it ignores the sender-membership escape clause and zone mismatches —
+// so a failed family falls back to the reference pair loop, emitting
+// exactly the reference violations (or none, when the escape clause
+// applies).
 func (c *Checker) checkDeliveryPrefix() []Violation {
 	var out []Violation
 	ix := c.ix
 
-	// Per-process delivery order per regular family (regular
-	// configuration and its transitional successors share a family
-	// keyed by the regular configuration's ID).
-	type famKey struct {
-		p   model.ProcessID
-		reg model.ConfigID
-	}
+	// Per-process delivery order per regular family, in history order,
+	// plus each delivery's position in its family list.
 	famDeliveries := make(map[famKey][]int)
-	for p, idxs := range ix.byProc {
-		for _, i := range idxs {
-			e := ix.events[i]
-			if e.Type != model.EventDeliver {
+	famPos := make(map[int]int32)
+	for i, e := range ix.events {
+		if e.Type != model.EventDeliver {
+			continue
+		}
+		k := famKey{e.Proc, e.Config.Prev()}
+		famPos[i] = int32(len(famDeliveries[k]))
+		famDeliveries[k] = append(famDeliveries[k], i)
+	}
+
+	// prefixDone[q, fam] = how many leading deliveries of
+	// famDeliveries[fam] the process q has delivered within its own com
+	// zone of fam.reg. Monotone; amortized linear.
+	type qFam struct {
+		q model.ProcessID
+		k famKey
+	}
+	prefixDone := make(map[qFam]int32)
+	slow := make(map[famKey]bool)
+
+	for _, dIdxs := range ix.delivers {
+		for _, dp := range dIdxs {
+			k := famKey{ix.events[dp].Proc, ix.events[dp].Config.Prev()}
+			if slow[k] {
 				continue
 			}
-			k := famKey{p, e.Config.Prev()}
-			famDeliveries[k] = append(famDeliveries[k], i)
+			b := famPos[dp]
+			if b == 0 {
+				continue
+			}
+			m2 := ix.events[dp].Msg
+			for _, d2 := range ix.delivers[m2] {
+				q := ix.events[d2].Proc
+				if q == k.p {
+					continue
+				}
+				cPrime := ix.events[d2].Config
+				if cPrime.Prev() != k.reg {
+					// q delivered m' under a different family;
+					// its com zone does not line up with the
+					// prefix set. Resolve by reference.
+					slow[k] = true
+					break
+				}
+				qk := qFam{q, k}
+				done := prefixDone[qk]
+				dels := famDeliveries[k]
+				got := ix.famDelivered[procCfg{q, k.reg}]
+				for done < b && got[ix.events[dels[done]].Msg] {
+					done++
+				}
+				prefixDone[qk] = done
+				if done < b {
+					slow[k] = true
+					break
+				}
+			}
 		}
 	}
 
-	for key, dels := range famDeliveries {
+	// Fallback: the reference double loop for the families that failed
+	// certification, ordered by first family delivery for determinism.
+	slowKeys := make([]famKey, 0, len(slow))
+	for k := range slow {
+		slowKeys = append(slowKeys, k)
+	}
+	sort.Slice(slowKeys, func(a, b int) bool {
+		return famDeliveries[slowKeys[a]][0] < famDeliveries[slowKeys[b]][0]
+	})
+	for _, key := range slowKeys {
+		dels := famDeliveries[key]
 		for a := 0; a < len(dels); a++ {
 			for b := a + 1; b < len(dels); b++ {
 				m := ix.events[dels[a]].Msg  // delivered first
@@ -171,7 +285,7 @@ func (c *Checker) checkDeliveryPrefix() []Violation {
 					if !ix.events[d2].Members.Contains(sender) {
 						continue
 					}
-					if !c.deliveredIn(q, m, c.comZoneOf(q, cPrime)) {
+					if !ix.deliveredIn(q, m, ix.comZoneOf(q, cPrime)) {
 						out = append(out, Violation{
 							Spec: "6.3",
 							Msg: fmt.Sprintf("%s delivered %s (after %s at %s) in %s whose membership includes %s, but never delivered %s",
@@ -186,27 +300,13 @@ func (c *Checker) checkDeliveryPrefix() []Violation {
 	return out
 }
 
-// comZoneOf returns com_q(c') as a zone: for a regular configuration, the
-// configuration plus q's transitional successor; for a transitional
-// configuration, the underlying regular configuration plus q's own
-// transitional successor of it — which need not be c' itself. A member
-// that announced recovery completion and was then partitioned away from
-// the others carries its obligations into a later recovery and delivers
-// them in its own transitional configuration arising from the same
-// regular one; the zone must follow the member, not the observer.
-func (c *Checker) comZoneOf(q model.ProcessID, cfg model.ConfigID) []model.ConfigID {
-	if cfg.IsTransitional() {
-		return c.comZone(q, cfg.Prev())
-	}
-	return c.comZone(q, cfg)
-}
-
 // ---------------------------------------------------------------------------
 // Specification 7: safe delivery.
 
 // CheckSafeDelivery verifies Specifications 7.1 and 7.2 for messages sent
 // with the safe service. Deliveries within a process's final configuration
-// zone are enforced only on settled histories.
+// zone are enforced only on settled histories. All membership, zone,
+// failure and delivery lookups hit the precomputed index tables.
 func (c *Checker) CheckSafeDelivery() []Violation {
 	var out []Violation
 	ix := c.ix
@@ -223,7 +323,7 @@ func (c *Checker) CheckSafeDelivery() []Violation {
 			// requires every member to have installed it.
 			if e.Config.IsRegular() {
 				for _, q := range members.Members() {
-					if !c.installed(q, e.Config) {
+					if !ix.installed(q, e.Config) {
 						out = append(out, Violation{
 							Spec: "7.2",
 							Msg: fmt.Sprintf("%s delivered safe message %s in %s but member %s never installed it",
@@ -240,11 +340,11 @@ func (c *Checker) CheckSafeDelivery() []Violation {
 				if q == e.Proc {
 					continue
 				}
-				zone := c.comZoneOf(q, e.Config)
-				if c.deliveredIn(q, m, zone) || c.failedIn(q, zone) {
+				zone := ix.comZoneOf(q, e.Config)
+				if ix.deliveredIn(q, m, zone) || ix.failedIn(q, zone) {
 					continue
 				}
-				if !c.opts.Settled && c.inFinalZone(q, zone) {
+				if !c.opts.Settled && ix.inFinalZone(q, zone) {
 					continue
 				}
 				out = append(out, Violation{
@@ -257,33 +357,6 @@ func (c *Checker) CheckSafeDelivery() []Violation {
 		}
 	}
 	return out
-}
-
-// installed reports whether q delivered a configuration change for cfg.
-func (c *Checker) installed(q model.ProcessID, cfg model.ConfigID) bool {
-	for _, i := range c.ix.confs[cfg] {
-		if c.ix.events[i].Proc == q {
-			return true
-		}
-	}
-	return false
-}
-
-// inFinalZone reports whether q's last configuration belongs to the zone.
-func (c *Checker) inFinalZone(q model.ProcessID, zone []model.ConfigID) bool {
-	seq := c.ix.confSeq(q)
-	if len(seq) == 0 {
-		// q never installed anything; its whole (empty) history is
-		// final.
-		return true
-	}
-	last := c.ix.events[seq[len(seq)-1]].Config
-	for _, z := range zone {
-		if last == z {
-			return true
-		}
-	}
-	return false
 }
 
 // ---------------------------------------------------------------------------
