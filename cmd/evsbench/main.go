@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	evsbench [-seed N] [-quick]
+//	evsbench [-seed N] [-quick] [-t1] [-ordering-json FILE]
+//
+// -t1 runs only the ordering-throughput section (used by CI as a smoke
+// benchmark). -ordering-json additionally writes the T1 series with
+// host-side cost metrics (ns/msg, B/msg, allocs/msg, packets/msg) as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,14 +25,60 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps")
+	t1Only := flag.Bool("t1", false, "run only the T1 ordering section")
+	orderingJSON := flag.String("ordering-json", "", "write T1 ordering metrics to this JSON file (empty disables)")
 	flag.Parse()
-	if err := run(*seed, *quick); err != nil {
+	if err := run(*seed, *quick, *t1Only, *orderingJSON); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, quick bool) error {
+// orderingReport is the BENCH_ordering.json document.
+type orderingReport struct {
+	Seed          int64                          `json:"seed"`
+	WindowSeconds float64                        `json:"window_seconds"`
+	Rows          []experiments.OrderingBenchRow `json:"rows"`
+}
+
+func runT1(seed int64, sizes []int, window time.Duration, jsonPath string) error {
+	fmt.Println("T1     ordering throughput vs group size (safe service)")
+	fmt.Println("-------------------------------------------------------------")
+	rep := orderingReport{Seed: seed, WindowSeconds: window.Seconds()}
+	fmt.Printf("%8s %12s %12s %10s %12s %12s %12s\n",
+		"procs", "msgs/s", "rotations", "pkts/msg", "ns/msg", "B/msg", "allocs/msg")
+	for _, n := range sizes {
+		r := experiments.OrderingBench(n, seed, window)
+		rep.Rows = append(rep.Rows, r)
+		fmt.Printf("%8d %12.0f %12d %10.2f %12.0f %12.0f %12.2f\n",
+			r.GroupSize, r.MsgsPerSec, r.TokenRotations, r.PacketsPerMsg,
+			r.NsPerMsg, r.BytesPerMsg, r.AllocsPerMsg)
+	}
+	fmt.Println()
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("=> wrote %s\n\n", jsonPath)
+	}
+	return nil
+}
+
+func run(seed int64, quick, t1Only bool, orderingJSON string) error {
+	sizes := []int{2, 3, 5, 8, 12, 16}
+	window := time.Second
+	if quick {
+		sizes = []int{2, 3, 5}
+		window = 300 * time.Millisecond
+	}
+	if t1Only {
+		return runT1(seed, sizes, window, orderingJSON)
+	}
+
 	fmt.Println("extended virtual synchrony — experiment report")
 	fmt.Println("================================================")
 	fmt.Println()
@@ -73,20 +124,9 @@ func run(seed int64, quick bool) error {
 	fmt.Printf("=> EVS specification violations:                %d\n\n", len(f7.EVSViolations))
 
 	// T1: ordering throughput.
-	fmt.Println("T1     ordering throughput vs group size (safe service)")
-	fmt.Println("-------------------------------------------------------------")
-	sizes := []int{2, 3, 5, 8, 12, 16}
-	window := time.Second
-	if quick {
-		sizes = []int{2, 3, 5}
-		window = 300 * time.Millisecond
+	if err := runT1(seed, sizes, window, orderingJSON); err != nil {
+		return err
 	}
-	fmt.Printf("%8s %12s %14s %12s\n", "procs", "msgs/s", "rotations", "broadcasts")
-	for _, n := range sizes {
-		r := experiments.Throughput(n, seed, window)
-		fmt.Printf("%8d %12.0f %14d %12d\n", r.GroupSize, r.MsgsPerSec, r.TokenRotations, r.Broadcasts)
-	}
-	fmt.Println()
 
 	// T1b: latency.
 	fmt.Println("T1b    safe vs agreed delivery latency (unloaded)")

@@ -1,13 +1,30 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 // The quick report must complete without error.
 func TestQuickReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("report generation")
 	}
-	if err := run(1, true); err != nil {
+	if err := run(1, true, false, ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The T1-only mode must complete and write the ordering metrics file.
+func TestT1OnlyWritesOrderingJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report generation")
+	}
+	path := t.TempDir() + "/BENCH_ordering.json"
+	if err := run(1, true, true, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("ordering json not written: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package evs
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -124,9 +125,17 @@ func NewGroup(opts Options) *Group {
 }
 
 // OnWire registers an observer of every transmitted protocol message (for
-// traffic accounting in the benchmark harness).
+// traffic accounting in the benchmark harness). Batched data packets are
+// unwrapped: the observer sees one "data" call per carried message, so
+// accounting is independent of how the transport packs packets.
 func (g *Group) OnWire(fn func(from ProcessID, kind string)) {
 	g.cluster.OnWire = func(from model.ProcessID, msg wire.Message) {
+		if b, ok := msg.(wire.DataBatch); ok {
+			for range b.Msgs {
+				fn(from, "data")
+			}
+			return
+		}
 		fn(from, msg.Kind())
 	}
 }
@@ -160,7 +169,11 @@ func (g *Group) submit(id ProcessID, payload []byte, svc Service) {
 	}
 	wrapped := append([]byte{tagApp}, payload...)
 	if err := g.cluster.Node(id).Submit(wrapped, svc); err != nil {
-		g.stats.Rejected++
+		if errors.Is(err, node.ErrBacklog) {
+			g.stats.Backlogged++
+		} else {
+			g.stats.Rejected++
+		}
 		return
 	}
 	g.stats.Submitted++
@@ -417,6 +430,13 @@ func (g *Group) StableRecord(id ProcessID) stable.Record {
 // NetStats returns network activity counters.
 func (g *Group) NetStats() netsim.Stats { return g.cluster.Net.Stats() }
 
+// PendingDepth returns the send backlog at a process: messages submitted
+// but not yet sequenced. Submissions beyond the node's MaxPending bound
+// are shed (counted in GroupStats.Backlogged).
+func (g *Group) PendingDepth(id ProcessID) int {
+	return g.cluster.Node(id).PendingDepth()
+}
+
 // GroupStats counts group-level activity that would otherwise vanish
 // silently: application submissions and primary-layer protocol traffic
 // refused or unencodable at the transport boundary.
@@ -424,6 +444,9 @@ type GroupStats struct {
 	// Submitted and Rejected count application submissions accepted and
 	// refused (process down or reconfiguring).
 	Submitted, Rejected uint64
+	// Backlogged counts application submissions shed because the
+	// process's send backlog was full (backpressure).
+	Backlogged uint64
 	// PrimaryRejected counts primary-layer broadcasts the node refused.
 	PrimaryRejected uint64
 	// PrimaryEncodeErrors counts primary-layer messages that failed to

@@ -253,11 +253,13 @@ func TestHealTailSettlesEveryPrefix(t *testing.T) {
 
 // TestStableFaultsActuallyInjected: across the smoke seeds, at least one
 // schedule must exercise the stable-storage corruption path, or the fault
-// model is dead code.
+// model is dead code. Corruption must both be scheduled (a crash with a
+// corrupt mode) and materialize (an uncommitted record above the safe
+// bound), so the sweep is wider than the other smoke tests.
 func TestStableFaultsActuallyInjected(t *testing.T) {
 	var corruptions uint64
 	var filtered, blocked uint64
-	for seed := int64(1); seed <= 12; seed++ {
+	for seed := int64(1); seed <= 30; seed++ {
 		res := Run(Generate(seed, GenConfig{}))
 		corruptions += res.Harness.Corruptions
 		filtered += res.Net.Filtered

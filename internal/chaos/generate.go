@@ -57,6 +57,7 @@ var kindTargets = [][]string{
 	{"recovery_done"},
 	{"token", "join"},
 	{"data"},
+	{"data_batch"},
 }
 
 // Generate derives a deterministic adversarial program from the seed. The

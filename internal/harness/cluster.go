@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -198,7 +199,11 @@ func (c *Cluster) At(t time.Duration, fn func()) {
 func (c *Cluster) Send(t time.Duration, id model.ProcessID, payload string, svc model.Service) {
 	c.At(t, func() {
 		if err := c.nodes[id].Submit([]byte(payload), svc); err != nil {
-			c.stats.Rejected++
+			if errors.Is(err, node.ErrBacklog) {
+				c.stats.Backlogged++
+			} else {
+				c.stats.Rejected++
+			}
 			return
 		}
 		c.stats.Submitted++

@@ -129,3 +129,38 @@ func netsimDefaultWithLoss(drop, dup float64) netsim.Config {
 	cfg.DupRate = dup
 	return cfg
 }
+
+// TestBackpressureShedsIntoBackloggedStat bounds a node's send backlog and
+// floods one process in a single instant: the excess is rejected with
+// ErrBacklog, counted separately from down-process rejections, and the
+// accepted prefix still delivers everywhere without violations.
+func TestBackpressureShedsIntoBackloggedStat(t *testing.T) {
+	cfg := node.DefaultConfig()
+	cfg.MaxPending = 8
+	c := New(Options{Procs: 3, Seed: 1, Node: &cfg})
+	ids := c.IDs()
+	for i := 0; i < 40; i++ {
+		c.Send(500*time.Millisecond, ids[0], fmt.Sprintf("m%d", i), model.Safe)
+	}
+	c.Run(2 * time.Second)
+	st := c.Stats()
+	if st.Backlogged == 0 {
+		t.Fatal("no submissions shed: backpressure bound not enforced")
+	}
+	if st.Rejected != 0 {
+		t.Fatalf("Rejected = %d, want backlog shedding counted separately", st.Rejected)
+	}
+	if st.Submitted+st.Backlogged != 40 {
+		t.Fatalf("submitted %d + backlogged %d, want 40 total", st.Submitted, st.Backlogged)
+	}
+	want := payloads(c.Deliveries(ids[0]))
+	if len(want) == 0 {
+		t.Fatal("accepted prefix not delivered")
+	}
+	for _, id := range ids[1:] {
+		if fmt.Sprint(payloads(c.Deliveries(id))) != fmt.Sprint(want) {
+			t.Fatalf("%s delivered %v, want %v", id, payloads(c.Deliveries(id)), want)
+		}
+	}
+	requireClean(t, c, spec.Options{})
+}

@@ -20,6 +20,9 @@ type Stats struct {
 	Submitted uint64
 	// Rejected counts client submissions refused (process down).
 	Rejected uint64
+	// Backlogged counts client submissions shed because the process's
+	// send backlog was full (node.ErrBacklog).
+	Backlogged uint64
 	// Corruptions counts stable-storage faults injected at crash time.
 	Corruptions uint64
 }
@@ -151,19 +154,30 @@ func (c *Cluster) ClearKindDrops(t time.Duration) {
 	})
 }
 
-// filterKinds is the netsim filter consulting the active drop rules.
+// filterKinds is the netsim filter consulting the active drop rules. A
+// wire.DataBatch is a packet of the "data" class: dropping either class
+// ("data" or "data_batch") on the link loses the packet and everything it
+// carries, exactly as a "data" rule lost each individual data packet
+// before batching.
 func (c *Cluster) filterKinds(from, to model.ProcessID, payload any) bool {
 	msg, ok := payload.(wire.Message)
 	if !ok {
 		return true
 	}
-	kind := msg.Kind()
+	if _, isBatch := msg.(wire.DataBatch); isBatch {
+		return !c.dropsKind(from, to, "data") && !c.dropsKind(from, to, msg.Kind())
+	}
+	return !c.dropsKind(from, to, msg.Kind())
+}
+
+// dropsKind reports whether an active rule drops the kind on the link.
+func (c *Cluster) dropsKind(from, to model.ProcessID, kind string) bool {
 	for _, k := range [4]dropKey{
 		{from, to}, {from, netsim.Wildcard}, {netsim.Wildcard, to}, {netsim.Wildcard, netsim.Wildcard},
 	} {
 		if kinds, ok := c.dropKinds[k]; ok && kinds[kind] {
-			return false
+			return true
 		}
 	}
-	return true
+	return false
 }

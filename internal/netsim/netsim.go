@@ -296,8 +296,21 @@ func (n *Network) Broadcast(from model.ProcessID, payload any) {
 		return
 	}
 	n.stats.Broadcasts++
+	// The sender's component and down-map lookups are hoisted out of the
+	// per-receiver loop: with data batching one Broadcast often carries a
+	// whole token visit's worth of messages, so this loop is the
+	// simulator's hottest path.
+	comp := n.component[from]
 	for _, id := range n.order {
-		n.transmit(from, id, payload, id == from)
+		if id == from {
+			n.transmitLink(from, id, payload, true)
+			continue
+		}
+		if comp != n.component[id] || n.down[id] {
+			n.stats.Cut++
+			continue
+		}
+		n.transmitLink(from, id, payload, false)
 	}
 }
 
@@ -314,14 +327,22 @@ func (n *Network) Unicast(from, to model.ProcessID, payload any) {
 // transmit schedules the delivery of one packet copy (possibly two, on
 // duplication) to one receiver.
 func (n *Network) transmit(from, to model.ProcessID, payload any, loopback bool) {
-	var rule LinkRule
 	if !loopback {
-		// Drop decision is made at send time from the deterministic
-		// stream; partition checks happen again at delivery time.
 		if n.component[from] != n.component[to] || n.down[to] {
 			n.stats.Cut++
 			return
 		}
+	}
+	n.transmitLink(from, to, payload, loopback)
+}
+
+// transmitLink applies link rules, filters, and loss to a send whose
+// partition/down reachability has already been established by the caller.
+func (n *Network) transmitLink(from, to model.ProcessID, payload any, loopback bool) {
+	var rule LinkRule
+	if !loopback {
+		// Drop decision is made at send time from the deterministic
+		// stream; partition checks happen again at delivery time.
 		rule = n.ruleFor(from, to)
 		if rule.Block {
 			n.stats.Blocked++

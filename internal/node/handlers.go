@@ -19,6 +19,15 @@ func (n *Node) OnMessage(from model.ProcessID, msg wire.Message) {
 	switch m := msg.(type) {
 	case wire.Data:
 		n.onData(from, m)
+	case wire.DataBatch:
+		// A batch is pure transport packing: each element is processed
+		// exactly as if it had arrived in its own packet.
+		for _, d := range m.Msgs {
+			if n.mode == Down {
+				return
+			}
+			n.onData(from, d)
+		}
 	case wire.Token:
 		n.onToken(from, m)
 	case wire.Join:
@@ -94,9 +103,9 @@ func (n *Node) maybeForeign(from model.ProcessID, ring model.ConfigID) {
 func (n *Node) onData(from model.ProcessID, d wire.Data) {
 	switch {
 	case n.mode == Operational && n.ring != nil && d.Ring == n.ringCfg.ID:
-		before := len(n.ring.Messages())
+		before := n.ring.Len()
 		deliveries := n.ring.OnData(d)
-		if len(n.ring.Messages()) > before {
+		if n.ring.Len() > before {
 			n.persistLog(d)
 		}
 		n.deliverAll(deliveries, n.ringCfg)
@@ -188,9 +197,7 @@ func (n *Node) processToken(t wire.Token) {
 	for _, d := range res.Sent {
 		n.persistLog(d)
 	}
-	for _, d := range res.Broadcasts {
-		n.env.Broadcast(d)
-	}
+	n.broadcastData(res.Broadcasts)
 	n.deliverAll(res.Deliveries, n.ringCfg)
 	fwd := res.Forward
 	n.env.Broadcast(fwd)
@@ -199,6 +206,31 @@ func (n *Node) processToken(t wire.Token) {
 	n.env.SetTimer(TimerTokenRetrans, n.cfg.TokenRetrans)
 	n.env.SetTimer(TimerTokenLoss, n.cfg.TokenLoss)
 	n.persist()
+}
+
+// broadcastData transmits one token visit's data messages, packing them
+// into wire.DataBatch packets of at most MaxBatch messages so the medium
+// carries one packet per visit instead of one per message. A lone message
+// travels unbatched.
+func (n *Node) broadcastData(ds []wire.Data) {
+	max := n.cfg.MaxBatch
+	if max <= 1 {
+		for _, d := range ds {
+			n.env.Broadcast(d)
+		}
+		return
+	}
+	for len(ds) > max {
+		n.env.Broadcast(wire.DataBatch{Ring: n.ringCfg.ID, Msgs: ds[:max:max]})
+		ds = ds[max:]
+	}
+	switch len(ds) {
+	case 0:
+	case 1:
+		n.env.Broadcast(ds[0])
+	default:
+		n.env.Broadcast(wire.DataBatch{Ring: n.ringCfg.ID, Msgs: ds})
+	}
 }
 
 // deliverAll delivers ordered messages to the application and the trace.

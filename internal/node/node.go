@@ -114,6 +114,13 @@ type Config struct {
 	RecoveryRetry   time.Duration
 	RecoveryTimeout time.Duration
 	Totem           totem.Options
+	// MaxBatch bounds how many data messages one broadcast packet
+	// (wire.DataBatch) may carry; values ≤ 1 disable batching.
+	MaxBatch int
+	// MaxPending bounds the send backlog (messages submitted but not yet
+	// sequenced); Submit returns ErrBacklog beyond it. Zero means
+	// unbounded.
+	MaxPending int
 }
 
 // DefaultConfig returns timing suited to the simulated network's
@@ -128,6 +135,8 @@ func DefaultConfig() Config {
 		RecoveryRetry:   8 * time.Millisecond,
 		RecoveryTimeout: 120 * time.Millisecond,
 		Totem:           totem.DefaultOptions(),
+		MaxBatch:        64,
+		MaxPending:      2048,
 	}
 }
 
@@ -168,6 +177,12 @@ type Node struct {
 
 // ErrDown is returned by Submit when the process has failed.
 var ErrDown = errors.New("process is down")
+
+// ErrBacklog is returned by Submit when the send backlog is full
+// (Config.MaxPending messages are already queued for sequencing): the
+// offered load exceeds what the ring's flow control is draining, and the
+// submitter must back off instead of growing the queue without bound.
+var ErrBacklog = errors.New("send backlog full")
 
 // New creates a node. The store may contain a prior incarnation's state
 // (recovery with stable storage intact); Start consults it.
@@ -224,6 +239,9 @@ func (n *Node) Submit(payload []byte, svc model.Service) error {
 	if n.mode == Down {
 		return ErrDown
 	}
+	if n.cfg.MaxPending > 0 && n.PendingDepth() >= n.cfg.MaxPending {
+		return ErrBacklog
+	}
 	n.senderSeq++
 	p := totem.Pending{
 		ID:      model.MessageID{Sender: n.id, SenderSeq: n.senderSeq},
@@ -237,6 +255,16 @@ func (n *Node) Submit(payload []byte, svc model.Service) error {
 	}
 	n.persist()
 	return nil
+}
+
+// PendingDepth returns the send backlog: messages submitted but not yet
+// sequenced on a ring (the queue Submit sheds against via ErrBacklog).
+func (n *Node) PendingDepth() int {
+	d := len(n.pending)
+	if n.ring != nil {
+		d += n.ring.PendingCount()
+	}
+	return d
 }
 
 // Crash fails the process: volatile state is lost, stable storage remains.

@@ -297,3 +297,80 @@ func TestMembershipPhaseVisibleThroughMode(t *testing.T) {
 		t.Fatalf("membership phase %v, want commit", n.mem.Phase())
 	}
 }
+
+func TestBroadcastDataChunksIntoBatches(t *testing.T) {
+	env := newMockEnv()
+	cfg := DefaultConfig()
+	cfg.MaxBatch = 2
+	n := New("p", cfg, env, &stable.Store{})
+	ds := make([]wire.Data, 5)
+	for i := range ds {
+		ds[i] = wire.Data{Seq: uint64(i + 1)}
+	}
+	n.broadcastData(ds)
+	msgs := env.take()
+	if len(msgs) != 3 {
+		t.Fatalf("sent %d packets, want 3 (2+2+1)", len(msgs))
+	}
+	for i, want := range []int{2, 2} {
+		b, ok := msgs[i].(wire.DataBatch)
+		if !ok || len(b.Msgs) != want {
+			t.Fatalf("packet %d = %v, want batch of %d", i, msgs[i], want)
+		}
+	}
+	if d, ok := msgs[2].(wire.Data); !ok || d.Seq != 5 {
+		t.Fatalf("trailing packet = %v, want single data seq 5", msgs[2])
+	}
+
+	// A full chunk at the end stays one batch; a lone message is sent bare.
+	n.broadcastData(ds[:2])
+	if msgs = env.take(); len(msgs) != 1 {
+		t.Fatalf("sent %d packets for exact chunk, want 1", len(msgs))
+	}
+	if b, ok := msgs[0].(wire.DataBatch); !ok || len(b.Msgs) != 2 {
+		t.Fatalf("packet = %v, want batch of 2", msgs[0])
+	}
+	n.broadcastData(ds[:1])
+	if msgs = env.take(); len(msgs) != 1 {
+		t.Fatalf("sent %d packets for one message, want 1", len(msgs))
+	}
+	if _, ok := msgs[0].(wire.Data); !ok {
+		t.Fatalf("packet = %T, want bare data", msgs[0])
+	}
+}
+
+func TestBroadcastDataDisabledBatchingSendsSingles(t *testing.T) {
+	env := newMockEnv()
+	cfg := DefaultConfig()
+	cfg.MaxBatch = 1
+	n := New("p", cfg, env, &stable.Store{})
+	n.broadcastData([]wire.Data{{Seq: 1}, {Seq: 2}, {Seq: 3}})
+	msgs := env.take()
+	if len(msgs) != 3 {
+		t.Fatalf("sent %d packets, want 3 singles", len(msgs))
+	}
+	for i, m := range msgs {
+		if _, ok := m.(wire.Data); !ok {
+			t.Fatalf("packet %d = %T, want bare data", i, m)
+		}
+	}
+}
+
+func TestSubmitBacklogBounded(t *testing.T) {
+	env := newMockEnv()
+	cfg := DefaultConfig()
+	cfg.MaxPending = 2
+	n := New("p", cfg, env, &stable.Store{})
+	n.Start()
+	for i := 0; i < 2; i++ {
+		if err := n.Submit([]byte("x"), model.Safe); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := n.Submit([]byte("x"), model.Safe); err != ErrBacklog {
+		t.Fatalf("submit over bound returned %v, want ErrBacklog", err)
+	}
+	if got := n.PendingDepth(); got != 2 {
+		t.Fatalf("PendingDepth = %d, want 2", got)
+	}
+}

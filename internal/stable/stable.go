@@ -72,9 +72,7 @@ func (r Record) clone() Record {
 			if v.Payload != nil {
 				c.Payload = append([]byte(nil), v.Payload...)
 			}
-			if v.VC != nil {
-				c.VC = v.VC.Clone()
-			}
+			c.VC = v.VC.Clone()
 			out.Log[k] = c
 		}
 	}
@@ -134,9 +132,7 @@ func (s *Store) PutLog(d wire.Data) {
 	if d.Payload != nil {
 		c.Payload = append([]byte(nil), d.Payload...)
 	}
-	if d.VC != nil {
-		c.VC = d.VC.Clone()
-	}
+	c.VC = d.VC.Clone()
 	s.rec.Log[d.Seq] = c
 	s.lastPut = d.Seq
 	s.lastPutValid = true

@@ -28,7 +28,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		SafeBound:     7,
 		HighestSeen:   12,
 		Log: map[uint64]wire.Data{
-			10: {ID: model.MessageID{Sender: "q", SenderSeq: 2}, Seq: 10, Payload: []byte("x"), VC: vclock.VC{"q": 2}},
+			10: {ID: model.MessageID{Sender: "q", SenderSeq: 2}, Seq: 10, Payload: []byte("x"), VC: vclock.NewStamp(vclock.VC{"q": 2})},
 		},
 		Obligations: model.NewProcessSet("q"),
 	}
@@ -64,14 +64,14 @@ func TestSaveIsDeepCopyIn(t *testing.T) {
 
 func TestLoadIsDeepCopyOut(t *testing.T) {
 	var s Store
-	s.Save(Record{Log: map[uint64]wire.Data{1: {Seq: 1, Payload: []byte("a"), VC: vclock.VC{"p": 1}}}})
+	s.Save(Record{Log: map[uint64]wire.Data{1: {Seq: 1, Payload: []byte("a"), VC: vclock.NewStamp(vclock.VC{"p": 1})}}})
 	got := s.Load()
 	got.Log[2] = wire.Data{Seq: 2}
 	g1 := got.Log[1]
 	g1.Payload[0] = 'z'
-	g1.VC.Tick("p")
+	g1.VC.D[0] = 99
 	again := s.Load()
-	if len(again.Log) != 1 || string(again.Log[1].Payload) != "a" || again.Log[1].VC["p"] != 1 {
+	if len(again.Log) != 1 || string(again.Log[1].Payload) != "a" || again.Log[1].VC.Get("p") != 1 {
 		t.Fatal("Load must deep-copy so callers cannot mutate the store")
 	}
 }
@@ -135,7 +135,7 @@ func TestSetScalarsPreservesLogAndPrimary(t *testing.T) {
 func TestPutLogDeepCopiesAndAccumulates(t *testing.T) {
 	var s Store
 	payload := []byte("abc")
-	s.PutLog(wire.Data{Seq: 5, Payload: payload, VC: vclock.VC{"p": 1}})
+	s.PutLog(wire.Data{Seq: 5, Payload: payload, VC: vclock.NewStamp(vclock.VC{"p": 1})})
 	payload[0] = 'z'
 	s.PutLog(wire.Data{Seq: 6})
 	got := s.Load()
@@ -145,7 +145,7 @@ func TestPutLogDeepCopiesAndAccumulates(t *testing.T) {
 	if string(got.Log[5].Payload) != "abc" {
 		t.Fatal("PutLog must deep-copy the payload")
 	}
-	if got.Log[5].VC["p"] != 1 {
+	if got.Log[5].VC.Get("p") != 1 {
 		t.Fatal("PutLog must keep the vector clock")
 	}
 }

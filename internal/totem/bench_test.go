@@ -26,6 +26,7 @@ func benchRing(b *testing.B, n int, opts Options) {
 	tok := rings[0].InitialToken()
 	seq := uint64(0)
 	delivered := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := rings[i%n]
@@ -86,6 +87,7 @@ func BenchmarkRingAblationWindow(b *testing.B) {
 func BenchmarkOnData(b *testing.B) {
 	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p", "q")}
 	r := New("p", cfg, DefaultOptions())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.OnData(wire.Data{

@@ -14,6 +14,12 @@
 // the message. This is the acknowledgment described in Step 1 of the EVS
 // algorithm (Section 3 of the paper).
 //
+// The receive log is a slice indexed by sequence number (the token assigns
+// sequence numbers contiguously from 1, so the log is dense), with the
+// missing numbers tracked as a short list of gap ranges. Receipt, the
+// retransmission scan, aru advancement and delivery are all O(1) probes;
+// a token visit is linear only in the work it actually performs.
+//
 // The Ring type is a pure state machine: it consumes received wire messages
 // and emits messages to transmit and messages to deliver. Timers, the
 // network, stable storage and the recovery algorithm live in other
@@ -31,17 +37,26 @@ import (
 // Options tune the ordering protocol.
 type Options struct {
 	// MaxPerToken bounds the number of new messages sequenced per token
-	// visit.
+	// visit. With Adaptive set it is the floor of the self-tuned budget.
 	MaxPerToken int
 	// Window bounds token.Seq - token.Aru: no new messages are
 	// sequenced while more than Window messages are unacknowledged.
+	// With Adaptive set the effective window also scales with the
+	// current budget so a full rotation of sends always fits.
 	Window uint64
+	// Adaptive enables Totem-style self-tuning of the per-visit budget:
+	// it grows multiplicatively while the ring is loss-free and the
+	// backlog is budget-limited, and collapses back toward MaxPerToken
+	// under retransmission pressure.
+	Adaptive bool
+	// AdaptiveMax caps the self-tuned budget (default 8×MaxPerToken).
+	AdaptiveMax int
 }
 
 // DefaultOptions returns the tuning used by the test and benchmark
 // harnesses.
 func DefaultOptions() Options {
-	return Options{MaxPerToken: 16, Window: 256}
+	return Options{MaxPerToken: 16, Window: 256, Adaptive: true, AdaptiveMax: 128}
 }
 
 // Pending is an application message awaiting sequencing.
@@ -58,6 +73,7 @@ type TokenResult struct {
 	Accepted bool
 	// Broadcasts are data messages to broadcast: retransmissions
 	// requested via the token followed by newly sequenced messages.
+	// The transport may pack them into a single packet (wire.DataBatch).
 	Broadcasts []wire.Data
 	// Sent are the newly sequenced messages (a subset of Broadcasts);
 	// each is a send event of the formal model.
@@ -68,13 +84,30 @@ type TokenResult struct {
 	Deliveries []wire.Data
 }
 
+// seqRange is a closed range [Lo, Hi] of sequence numbers.
+type seqRange struct {
+	lo, hi uint64
+}
+
+// stampArenaChunk is how many stamps one arena allocation amortises.
+const stampArenaChunk = 64
+
 // Ring is the per-process ordering state for one regular configuration.
 type Ring struct {
 	self model.ProcessID
 	cfg  model.Configuration
 	opts Options
 
-	recv          map[uint64]wire.Data
+	// log[i] holds the message with sequence number i+1; a zero Seq
+	// marks an entry not yet received. Sequence numbers are assigned
+	// contiguously from 1 by the token, so the log is dense and never
+	// trimmed: recovery (Step 5.a) may need to rebroadcast any message
+	// down to a merging peer's safe bound.
+	log    []wire.Data
+	stored int
+	// gaps lists the missing sequence numbers in (myAru, highestSeen]
+	// as sorted, disjoint, non-empty ranges.
+	gaps          []seqRange
 	myAru         uint64 // contiguous receipt watermark
 	highestSeen   uint64 // highest sequence number known assigned
 	deliveredUpTo uint64
@@ -83,7 +116,22 @@ type Ring struct {
 	everForwarded bool
 	lastTokenID   uint64
 	pending       []Pending
-	vc            vclock.VC
+	// prevHigh and prevPrevHigh are highestSeen at the last two token
+	// forwards: sequence numbers at or below prevPrevHigh were assigned
+	// two full rotations ago, so a message still missing from that range
+	// was lost rather than merely overtaken by the token in flight. This
+	// is the loss signal the adaptive flow control shrinks on.
+	prevHigh, prevPrevHigh uint64
+
+	// Causality witness: a dense working clock over the ring members,
+	// snapshotted per send from an arena (one allocation per
+	// stampArenaChunk sends instead of one map clone per send).
+	uni     *vclock.Universe
+	vc      vclock.Dense
+	selfIdx int
+	arena   []int32
+
+	curMax int // adaptive per-visit sequencing budget
 }
 
 // New creates the ordering state for configuration cfg at process self.
@@ -96,12 +144,18 @@ func New(self model.ProcessID, cfg model.Configuration, opts Options) *Ring {
 	if opts.Window == 0 {
 		opts.Window = DefaultOptions().Window
 	}
+	if opts.Adaptive && opts.AdaptiveMax < opts.MaxPerToken {
+		opts.AdaptiveMax = 8 * opts.MaxPerToken
+	}
+	uni := vclock.NewUniverse(cfg.Members.Members())
 	return &Ring{
-		self: self,
-		cfg:  cfg,
-		opts: opts,
-		recv: make(map[uint64]wire.Data),
-		vc:   vclock.New(),
+		self:    self,
+		cfg:     cfg,
+		opts:    opts,
+		uni:     uni,
+		vc:      uni.NewDense(),
+		selfIdx: uni.Index(self),
+		curMax:  opts.MaxPerToken,
 	}
 }
 
@@ -151,24 +205,185 @@ func (r *Ring) TakePending() []Pending {
 	return p
 }
 
+// present reports whether the message with the given sequence number is in
+// the log.
+func (r *Ring) present(seq uint64) bool {
+	return seq > 0 && seq <= uint64(len(r.log)) && r.log[seq-1].Seq != 0
+}
+
+// get returns the logged message with the given sequence number.
+func (r *Ring) get(seq uint64) (wire.Data, bool) {
+	if !r.present(seq) {
+		return wire.Data{}, false
+	}
+	return r.log[seq-1], true
+}
+
+// growLog extends the log slice to cover sequence number seq.
+func (r *Ring) growLog(seq uint64) {
+	if seq <= uint64(cap(r.log)) {
+		r.log = r.log[:seq]
+		return
+	}
+	newCap := 2 * cap(r.log)
+	if uint64(newCap) < seq {
+		newCap = int(seq)
+	}
+	grown := make([]wire.Data, seq, newCap)
+	copy(grown, r.log)
+	r.log = grown
+}
+
+// noteAssigned records that every sequence number up to h has been
+// assigned; numbers above the previous highestSeen become (part of) the
+// trailing gap until their messages arrive.
+func (r *Ring) noteAssigned(h uint64) {
+	if h <= r.highestSeen {
+		return
+	}
+	lo := r.highestSeen + 1
+	if n := len(r.gaps); n > 0 && r.gaps[n-1].hi+1 == lo {
+		r.gaps[n-1].hi = h
+	} else {
+		r.gaps = append(r.gaps, seqRange{lo, h})
+	}
+	r.highestSeen = h
+}
+
+// fillGap removes seq from the gap list.
+func (r *Ring) fillGap(seq uint64) {
+	i := sort.Search(len(r.gaps), func(i int) bool { return r.gaps[i].hi >= seq })
+	if i == len(r.gaps) || r.gaps[i].lo > seq {
+		return
+	}
+	g := r.gaps[i]
+	switch {
+	case g.lo == seq && g.hi == seq:
+		r.gaps = append(r.gaps[:i], r.gaps[i+1:]...)
+	case g.lo == seq:
+		r.gaps[i].lo = seq + 1
+	case g.hi == seq:
+		r.gaps[i].hi = seq - 1
+	default:
+		r.gaps = append(r.gaps, seqRange{})
+		copy(r.gaps[i+1:], r.gaps[i:])
+		r.gaps[i] = seqRange{g.lo, seq - 1}
+		r.gaps[i+1] = seqRange{seq + 1, g.hi}
+	}
+}
+
+// advanceAru derives the contiguous receipt watermark from the gap list.
+func (r *Ring) advanceAru() {
+	if len(r.gaps) > 0 {
+		r.myAru = r.gaps[0].lo - 1
+	} else {
+		r.myAru = r.highestSeen
+	}
+}
+
+// store inserts a received message into the log, maintaining the gap list
+// and watermarks. It reports whether the message was new.
+func (r *Ring) store(d wire.Data) bool {
+	seq := d.Seq
+	if r.present(seq) {
+		return false
+	}
+	switch {
+	case seq == r.highestSeen+1:
+		r.highestSeen = seq
+	case seq > r.highestSeen:
+		r.noteAssigned(seq - 1)
+		r.highestSeen = seq
+	default:
+		r.fillGap(seq)
+	}
+	if seq > uint64(len(r.log)) {
+		r.growLog(seq)
+	}
+	r.log[seq-1] = d
+	r.stored++
+	r.advanceAru()
+	return true
+}
+
+// stamp ticks the working clock for a send and snapshots it from the
+// arena: O(P) bytes copied, one allocation per stampArenaChunk sends.
+func (r *Ring) stamp() vclock.Stamp {
+	if r.selfIdx >= 0 {
+		r.vc[r.selfIdx]++
+	}
+	n := len(r.vc)
+	if len(r.arena) < n {
+		r.arena = make([]int32, n*stampArenaChunk)
+	}
+	d := vclock.Dense(r.arena[:n:n])
+	r.arena = r.arena[n:]
+	copy(d, r.vc)
+	return vclock.Stamp{U: r.uni, D: d}
+}
+
+// mergeClock folds a delivered message's stamp into the working clock.
+func (r *Ring) mergeClock(s vclock.Stamp) {
+	switch {
+	case s.U == nil:
+	case s.U == r.uni:
+		r.vc.Merge(s.D)
+	default:
+		// Stamp from another universe (a message restored across a
+		// crash-recovery boundary): merge by identifier.
+		for i, t := range s.D {
+			if t == 0 {
+				continue
+			}
+			if j := r.uni.Index(s.U.ID(i)); j >= 0 && t > r.vc[j] {
+				r.vc[j] = t
+			}
+		}
+	}
+}
+
 // OnData ingests a received data message for this ring and returns any
 // messages that become deliverable, in total order.
 func (r *Ring) OnData(d wire.Data) []wire.Data {
 	if d.Ring != r.cfg.ID || d.Seq == 0 {
 		return nil
 	}
-	if d.Seq > r.highestSeen {
-		r.highestSeen = d.Seq
-	}
-	if d.Seq <= r.deliveredUpTo {
+	if !r.store(d) {
 		return nil
 	}
-	if _, dup := r.recv[d.Seq]; dup {
-		return nil
-	}
-	r.recv[d.Seq] = d
-	r.advanceAru()
 	return r.collectDeliverable()
+}
+
+// budget returns the effective per-visit sequencing budget and flow
+// window, shrinking the adaptive budget under retransmission pressure.
+func (r *Ring) budget(pressure bool) (int, uint64) {
+	if !r.opts.Adaptive {
+		return r.opts.MaxPerToken, r.opts.Window
+	}
+	if pressure {
+		half := r.curMax / 2
+		if half < r.opts.MaxPerToken {
+			half = r.opts.MaxPerToken
+		}
+		r.curMax = half
+	}
+	win := r.opts.Window
+	if grown := 2 * uint64(r.cfg.Members.Size()) * uint64(r.curMax); grown > win {
+		win = grown
+	}
+	return r.curMax, win
+}
+
+// growBudget raises the adaptive budget multiplicatively toward the cap.
+func (r *Ring) growBudget() {
+	g := r.curMax + r.curMax/2
+	if g <= r.curMax {
+		g = r.curMax + 1
+	}
+	if g > r.opts.AdaptiveMax {
+		g = r.opts.AdaptiveMax
+	}
+	r.curMax = g
 }
 
 // OnToken processes a token visit: it satisfies retransmission requests,
@@ -181,62 +396,69 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 	r.lastTokenID = t.TokenID
 	res := TokenResult{Accepted: true}
 
-	if t.Seq > r.highestSeen {
-		r.highestSeen = t.Seq
-	}
+	r.noteAssigned(t.Seq)
 
-	// Retransmit requested messages this process holds.
-	remaining := t.Rtr[:0:0]
+	// Retransmission pressure collapses the adaptive budget (see
+	// budget). Freshly assigned messages are routinely still in flight
+	// when the token arrives — the token and the data leave a sender at
+	// the same instant on independently delayed packets — so only
+	// messages missing (here or at a requester) two visits after
+	// assignment count as lost.
+	pressure := (len(t.Rtr) > 0 && t.Rtr[0] <= r.prevPrevHigh) ||
+		(len(r.gaps) > 0 && r.gaps[0].lo <= r.prevPrevHigh)
+	maxPer, win := r.budget(pressure)
+
+	// Retransmit requested messages this process holds. Requests it
+	// cannot satisfy name messages it is itself missing (they are ≤
+	// token.Seq, so they are in the gap list) and are re-issued below.
 	for _, seq := range t.Rtr {
-		if d, ok := r.recv[seq]; ok {
+		if d, ok := r.get(seq); ok {
 			d.Retrans = true
 			res.Broadcasts = append(res.Broadcasts, d)
-		} else if seq > r.deliveredUpTo {
-			remaining = append(remaining, seq)
 		}
-		// Requests at or below our delivery watermark that we no
-		// longer hold are dropped: the requester will re-request and
-		// someone holding the message will answer. (We retain
-		// delivered messages in recv, so this arm is defensive.)
 	}
-	t.Rtr = remaining
 
 	// Sequence new messages within the flow-control window.
-	for len(r.pending) > 0 &&
-		len(res.Sent) < r.opts.MaxPerToken &&
-		t.Seq-t.Aru < r.opts.Window {
+	for len(r.pending) > 0 && len(res.Sent) < maxPer && t.Seq-t.Aru < win {
 		p := r.pending[0]
 		r.pending = r.pending[1:]
 		t.Seq++
-		r.vc.Tick(r.self)
 		d := wire.Data{
 			ID:      p.ID,
 			Ring:    r.cfg.ID,
 			Seq:     t.Seq,
 			Service: p.Service,
 			Payload: p.Payload,
-			VC:      r.vc.Clone(),
+			VC:      r.stamp(),
 		}
-		r.recv[d.Seq] = d
-		if d.Seq > r.highestSeen {
-			r.highestSeen = d.Seq
-		}
+		r.store(d)
 		res.Sent = append(res.Sent, d)
 		res.Broadcasts = append(res.Broadcasts, d)
 	}
-	r.advanceAru()
+	if r.opts.Adaptive && !pressure && len(r.pending) > 0 &&
+		len(res.Sent) == maxPer && t.Seq-t.Aru < win {
+		// Loss-free and budget-limited with window headroom: grow.
+		r.growBudget()
+	}
 
-	// Request retransmission of messages this process is missing.
-	have := make(map[uint64]bool, len(t.Rtr))
-	for _, seq := range t.Rtr {
-		have[seq] = true
-	}
-	for seq := r.myAru + 1; seq <= t.Seq; seq++ {
-		if _, ok := r.recv[seq]; !ok && !have[seq] {
-			t.Rtr = append(t.Rtr, seq)
+	// Request retransmission of messages this process is missing: the
+	// gap list expands to exactly the sorted request list (it subsumes
+	// any unsatisfied incoming requests), so no per-sequence probing and
+	// no sort is needed.
+	t.Rtr = nil
+	if len(r.gaps) > 0 {
+		n := uint64(0)
+		for _, g := range r.gaps {
+			n += g.hi - g.lo + 1
 		}
+		rtr := make([]uint64, 0, n)
+		for _, g := range r.gaps {
+			for seq := g.lo; seq <= g.hi; seq++ {
+				rtr = append(rtr, seq)
+			}
+		}
+		t.Rtr = rtr
 	}
-	sort.Slice(t.Rtr, func(i, j int) bool { return t.Rtr[i] < t.Rtr[j] })
 
 	// Two-visit safe watermark: messages acknowledged on both the
 	// previously forwarded token and the incoming token are stable at
@@ -270,18 +492,10 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 	t.TokenID++
 	r.lastFwdAru = t.Aru
 	r.everForwarded = true
+	r.prevPrevHigh = r.prevHigh
+	r.prevHigh = r.highestSeen
 	res.Forward = t
 	return res
-}
-
-// advanceAru advances the contiguous receipt watermark.
-func (r *Ring) advanceAru() {
-	for {
-		if _, ok := r.recv[r.myAru+1]; !ok {
-			return
-		}
-		r.myAru++
-	}
 }
 
 // collectDeliverable returns, in order, received messages past the delivery
@@ -290,18 +504,16 @@ func (r *Ring) advanceAru() {
 // total order.
 func (r *Ring) collectDeliverable() []wire.Data {
 	var out []wire.Data
-	for {
-		d, ok := r.recv[r.deliveredUpTo+1]
-		if !ok {
-			return out
-		}
+	for r.present(r.deliveredUpTo + 1) {
+		d := r.log[r.deliveredUpTo]
 		if d.Service == model.Safe && d.Seq > r.safeBound {
-			return out
+			break
 		}
 		r.deliveredUpTo++
-		r.vc.Merge(d.VC)
+		r.mergeClock(d.VC)
 		out = append(out, d)
 	}
+	return out
 }
 
 // State is the ring's receipt and delivery state, exchanged during recovery
@@ -317,12 +529,11 @@ type State struct {
 // Snapshot returns the ring's exchange state.
 func (r *Ring) Snapshot() State {
 	var have []uint64
-	for seq := range r.recv {
-		if seq > r.myAru {
+	for seq := r.myAru + 1; seq <= r.highestSeen; seq++ {
+		if r.present(seq) {
 			have = append(have, seq)
 		}
 	}
-	sort.Slice(have, func(i, j int) bool { return have[i] < have[j] })
 	return State{
 		MyAru:         r.myAru,
 		Have:          have,
@@ -333,7 +544,7 @@ func (r *Ring) Snapshot() State {
 }
 
 // Watermarks returns the receipt and delivery watermarks without scanning
-// the receive buffer (State.Have is left empty).
+// the receive log (State.Have is left empty).
 func (r *Ring) Watermarks() State {
 	return State{
 		MyAru:         r.myAru,
@@ -343,9 +554,21 @@ func (r *Ring) Watermarks() State {
 	}
 }
 
-// Messages returns the ring's received message log (shared map; callers
-// must not mutate).
-func (r *Ring) Messages() map[uint64]wire.Data { return r.recv }
+// Len returns the number of messages in the receive log.
+func (r *Ring) Len() int { return r.stored }
+
+// Messages materialises the receive log as a map keyed by sequence number
+// (the representation the recovery algorithm exchanges and merges). The
+// result is a fresh map; the log itself is not exposed.
+func (r *Ring) Messages() map[uint64]wire.Data {
+	out := make(map[uint64]wire.Data, r.stored)
+	for _, d := range r.log {
+		if d.Seq != 0 {
+			out[d.Seq] = d
+		}
+	}
+	return out
+}
 
 // DeliveredUpTo returns the delivery watermark.
 func (r *Ring) DeliveredUpTo() uint64 { return r.deliveredUpTo }
@@ -353,20 +576,23 @@ func (r *Ring) DeliveredUpTo() uint64 { return r.deliveredUpTo }
 // SafeBound returns the current two-visit safe watermark.
 func (r *Ring) SafeBound() uint64 { return r.safeBound }
 
-// VC returns a copy of the ring's vector clock.
-func (r *Ring) VC() vclock.VC { return r.vc.Clone() }
+// VC returns a sparse copy of the ring's vector clock.
+func (r *Ring) VC() vclock.VC { return r.uni.ToVC(r.vc) }
 
 // Restore seeds the ring with state recovered from stable storage: the
 // message log, delivery watermark and safe bound of a configuration this
-// process was a member of before failing.
+// process was a member of before failing. Sequence numbers the process
+// knows were assigned but whose messages it lacks become gaps, re-requested
+// at the next token visit.
 func (r *Ring) Restore(log map[uint64]wire.Data, deliveredUpTo, safeBound, highestSeen uint64) {
-	for seq, d := range log {
-		r.recv[seq] = d
+	for _, d := range log {
+		if d.Seq == 0 {
+			continue
+		}
+		r.store(d)
 	}
 	r.deliveredUpTo = deliveredUpTo
 	r.safeBound = safeBound
-	if highestSeen > r.highestSeen {
-		r.highestSeen = highestSeen
-	}
+	r.noteAssigned(highestSeen)
 	r.advanceAru()
 }

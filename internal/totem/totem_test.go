@@ -25,6 +25,10 @@ type harness struct {
 }
 
 func newHarness(t *testing.T, ids ...model.ProcessID) *harness {
+	return newHarnessOpts(t, DefaultOptions(), ids...)
+}
+
+func newHarnessOpts(t *testing.T, opts Options, ids ...model.ProcessID) *harness {
 	cfg := model.Configuration{ID: model.RegularID(1, ids[0]), Members: model.NewProcessSet(ids...)}
 	h := &harness{
 		t:         t,
@@ -33,7 +37,7 @@ func newHarness(t *testing.T, ids ...model.ProcessID) *harness {
 	}
 	h.order = cfg.Members.Members()
 	for _, id := range h.order {
-		h.rings[id] = New(id, cfg, DefaultOptions())
+		h.rings[id] = New(id, cfg, opts)
 	}
 	h.token = h.rings[h.order[0]].InitialToken()
 	return h
@@ -312,6 +316,175 @@ func TestRestoreSeedsState(t *testing.T) {
 	st := r.Snapshot()
 	if st.MyAru != 2 || st.DeliveredUpTo != 1 || st.SafeBound != 1 || st.HighestSeen != 2 {
 		t.Fatalf("restored snapshot %+v", st)
+	}
+}
+
+// TestWindowExhaustionBlocksSequencingAcrossVisits pins the flow-control
+// invariant token.Seq - token.Aru < Window over multiple visits: while a
+// member's receipts stall the aru, the sender keeps retransmitting but
+// sequences nothing new, and resumes only once the aru advances.
+func TestWindowExhaustionBlocksSequencingAcrossVisits(t *testing.T) {
+	h := newHarnessOpts(t, Options{MaxPerToken: 100, Window: 4}, "p", "q")
+	h.dropData = func(to model.ProcessID, _ wire.Data) bool { return to == "q" }
+	h.submit("p", 50, model.Agreed)
+	for i := 0; i < 4; i++ {
+		h.rotate()
+	}
+	// Window filled on the first visit, then exhausted: Seq stays at 4
+	// because q's aru is pinned at 0.
+	if h.token.Seq != 4 {
+		t.Fatalf("token.Seq = %d, want 4 (window exhausted)", h.token.Seq)
+	}
+	if got := h.rings["p"].PendingCount(); got != 46 {
+		t.Fatalf("pending = %d, want 46", got)
+	}
+	if len(h.delivered["q"]) != 0 {
+		t.Fatalf("q delivered %d messages with all data dropped", len(h.delivered["q"]))
+	}
+	// Heal the link: retransmissions land, the aru advances, and
+	// sequencing resumes.
+	h.dropData = nil
+	for i := 0; i < 4; i++ {
+		h.rotate()
+	}
+	if h.token.Seq <= 4 {
+		t.Fatalf("token.Seq = %d, want progress after heal", h.token.Seq)
+	}
+	if got := h.rings["p"].PendingCount(); got >= 46 {
+		t.Fatalf("pending = %d, want sequencing resumed", got)
+	}
+	if len(h.delivered["q"]) == 0 {
+		t.Fatal("q delivered nothing after heal")
+	}
+}
+
+// TestAdaptiveBudgetGrowsWhenLossFree drives a saturated loss-free ring and
+// checks the per-visit budget climbs from MaxPerToken to AdaptiveMax.
+func TestAdaptiveBudgetGrowsWhenLossFree(t *testing.T) {
+	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p")}
+	r := New("p", cfg, Options{MaxPerToken: 4, Window: 8, Adaptive: true, AdaptiveMax: 32})
+	for i := 0; i < 400; i++ {
+		r.Submit(Pending{ID: model.MessageID{Sender: "p", SenderSeq: uint64(i + 1)}, Service: model.Agreed})
+	}
+	tok := r.InitialToken()
+	first := -1
+	last := 0
+	for i := 0; i < 8; i++ {
+		res := r.OnToken(tok)
+		if !res.Accepted {
+			t.Fatal("token rejected")
+		}
+		if first < 0 {
+			first = len(res.Sent)
+		}
+		last = len(res.Sent)
+		tok = res.Forward
+	}
+	if first != 4 {
+		t.Fatalf("first visit sequenced %d, want the MaxPerToken floor 4", first)
+	}
+	if last != 32 {
+		t.Fatalf("steady-state visit sequenced %d, want the AdaptiveMax cap 32", last)
+	}
+	if r.curMax != 32 {
+		t.Fatalf("curMax = %d, want 32", r.curMax)
+	}
+}
+
+// TestAdaptiveBudgetShrinksUnderPersistentLoss grows the budget, then cuts
+// one member's data reception: once the missing messages are two rotations
+// old the requests count as loss and the budget collapses to the floor.
+func TestAdaptiveBudgetShrinksUnderPersistentLoss(t *testing.T) {
+	opts := Options{MaxPerToken: 2, Window: 256, Adaptive: true, AdaptiveMax: 64}
+	h := newHarnessOpts(t, opts, "p", "q")
+	h.submit("p", 500, model.Agreed)
+	for i := 0; i < 4; i++ {
+		h.rotate()
+	}
+	grown := h.rings["p"].curMax
+	if grown <= opts.MaxPerToken {
+		t.Fatalf("budget did not grow while loss-free: curMax = %d", grown)
+	}
+	h.dropData = func(to model.ProcessID, _ wire.Data) bool { return to == "q" }
+	for i := 0; i < 6; i++ {
+		h.rotate()
+	}
+	if got := h.rings["p"].curMax; got != opts.MaxPerToken {
+		t.Fatalf("curMax = %d after persistent loss, want the floor %d (was %d)", got, opts.MaxPerToken, grown)
+	}
+}
+
+// TestTokenRtrListsExactlyTheGaps checks the retransmission request list is
+// built from the gap ranges: exactly the missing sequence numbers, sorted.
+func TestTokenRtrListsExactlyTheGaps(t *testing.T) {
+	h := newHarness(t, "p", "q")
+	h.dropData = func(to model.ProcessID, d wire.Data) bool {
+		return to == "q" && (d.Seq == 2 || d.Seq == 4)
+	}
+	h.submit("p", 5, model.Agreed)
+	h.rotate()
+	// The token has completed q's visit: its requests are q's gaps.
+	if fmt.Sprint(h.token.Rtr) != "[2 4]" {
+		t.Fatalf("token.Rtr = %v, want [2 4]", h.token.Rtr)
+	}
+}
+
+// TestTokenVisitMixesRetransmissionsAndFreshSends checks one visit's
+// broadcast list carries requested retransmissions first, then newly
+// sequenced messages — the mixed batch the transport packs into a single
+// packet.
+func TestTokenVisitMixesRetransmissionsAndFreshSends(t *testing.T) {
+	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p", "q")}
+	p := New("p", cfg, DefaultOptions())
+	q := New("q", cfg, DefaultOptions())
+	sub := func(r *Ring, n int) {
+		for i := 0; i < n; i++ {
+			r.Submit(Pending{ID: model.MessageID{Sender: r.self, SenderSeq: uint64(100 + i)}, Service: model.Agreed})
+		}
+	}
+	sub(p, 2)
+	res := p.OnToken(p.InitialToken())
+	if len(res.Sent) != 2 {
+		t.Fatalf("sequenced %d, want 2", len(res.Sent))
+	}
+	// q never receives the data, only the token: it requests 1 and 2.
+	res = q.OnToken(res.Forward)
+	if fmt.Sprint(res.Forward.Rtr) != "[1 2]" {
+		t.Fatalf("q requested %v, want [1 2]", res.Forward.Rtr)
+	}
+	sub(p, 2)
+	res = p.OnToken(res.Forward)
+	if len(res.Broadcasts) != 4 || len(res.Sent) != 2 {
+		t.Fatalf("broadcasts %d sent %d, want 4 and 2", len(res.Broadcasts), len(res.Sent))
+	}
+	for i, d := range res.Broadcasts {
+		wantRetrans := i < 2
+		if d.Retrans != wantRetrans {
+			t.Fatalf("broadcast %d (seq %d) Retrans = %v, want %v", i, d.Seq, d.Retrans, wantRetrans)
+		}
+	}
+}
+
+// TestRestoreWithGapsRequestsMissingTail checks a restored log with holes
+// regenerates the gap ranges: the first forwarded token re-requests exactly
+// the missing messages.
+func TestRestoreWithGapsRequestsMissingTail(t *testing.T) {
+	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p", "q")}
+	r := New("p", cfg, DefaultOptions())
+	mk := func(seq uint64) wire.Data {
+		return wire.Data{ID: model.MessageID{Sender: "q", SenderSeq: seq}, Ring: cfg.ID, Seq: seq, Service: model.Agreed}
+	}
+	r.Restore(map[uint64]wire.Data{1: mk(1), 3: mk(3), 6: mk(6)}, 1, 1, 7)
+	st := r.Snapshot()
+	if st.MyAru != 1 || st.HighestSeen != 7 {
+		t.Fatalf("restored snapshot %+v", st)
+	}
+	if fmt.Sprint(st.Have) != "[3 6]" {
+		t.Fatalf("Have = %v, want [3 6]", st.Have)
+	}
+	res := r.OnToken(wire.Token{Ring: cfg.ID, TokenID: 1, Seq: 7, Aru: 1, AruID: "q"})
+	if fmt.Sprint(res.Forward.Rtr) != "[2 4 5 7]" {
+		t.Fatalf("token.Rtr = %v, want [2 4 5 7]", res.Forward.Rtr)
 	}
 }
 
