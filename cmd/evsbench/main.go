@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	evsbench [-seed N] [-quick] [-t1] [-ordering-json FILE]
+//	evsbench [-seed N] [-quick] [-t1] [-ordering-json FILE] [-metrics-json FILE]
 //
 // -t1 runs only the ordering-throughput section (used by CI as a smoke
 // benchmark). -ordering-json additionally writes the T1 series with
 // host-side cost metrics (ns/msg, B/msg, allocs/msg, packets/msg) as JSON.
+// -metrics-json runs a 16-process loaded scenario (lossy network plus a
+// partition/merge) and writes the cluster's full observability snapshot —
+// token rotations, retransmissions, batch fill, budget trajectory — as JSON,
+// skipping the report sections.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	evs "repro"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,11 +32,85 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	t1Only := flag.Bool("t1", false, "run only the T1 ordering section")
 	orderingJSON := flag.String("ordering-json", "", "write T1 ordering metrics to this JSON file (empty disables)")
+	metricsJSON := flag.String("metrics-json", "", "run a 16-process scenario and write its observability snapshot to this JSON file (empty disables)")
 	flag.Parse()
-	if err := run(*seed, *quick, *t1Only, *orderingJSON); err != nil {
+	var err error
+	if *metricsJSON != "" {
+		err = runMetrics(*seed, *metricsJSON)
+	} else {
+		err = run(*seed, *quick, *t1Only, *orderingJSON)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// budgetPoint is one sample of a process's flow-control budget trajectory,
+// taken from the KBudget trace events the token layer emits whenever the
+// adaptive window actually changes.
+type budgetPoint struct {
+	AtUs   int64  `json:"at_us"`
+	Proc   string `json:"proc"`
+	Budget uint64 `json:"budget"`
+}
+
+// metricsReport is the -metrics-json document.
+type metricsReport struct {
+	Seed             int64              `json:"seed"`
+	Procs            int                `json:"procs"`
+	VirtualSeconds   float64            `json:"virtual_seconds"`
+	Metrics          evs.ClusterMetrics `json:"metrics"`
+	BudgetTrajectory []budgetPoint      `json:"budget_trajectory"`
+}
+
+func runMetrics(seed int64, jsonPath string) error {
+	const procs = 16
+	horizon := 3 * time.Second
+	g := evs.NewGroup(evs.Options{NumProcesses: procs, Seed: seed, DropRate: 0.02})
+	defer g.Close()
+	ids := g.IDs()
+	// Steady all-to-all traffic, interrupted by a partition/merge cycle so
+	// the snapshot exercises recovery and membership counters too.
+	for i, id := range ids {
+		id := id
+		step := time.Duration(8+i) * time.Millisecond
+		for at := 200 * time.Millisecond; at < horizon; at += step {
+			g.Send(at, id, []byte(fmt.Sprintf("%s@%d", id, at)), evs.Safe)
+		}
+	}
+	g.Partition(1200*time.Millisecond, ids[:procs/2], ids[procs/2:])
+	g.Merge(1900 * time.Millisecond)
+	g.Run(horizon)
+
+	rep := metricsReport{
+		Seed:           seed,
+		Procs:          procs,
+		VirtualSeconds: horizon.Seconds(),
+		Metrics:        g.Metrics(),
+	}
+	for _, ev := range g.ObsEvents() {
+		if ev.Kind == obs.KBudget {
+			rep.BudgetTrajectory = append(rep.BudgetTrajectory, budgetPoint{
+				AtUs: ev.At.Microseconds(), Proc: ev.Proc, Budget: ev.A,
+			})
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	tot := rep.Metrics.Total
+	fmt.Printf("metrics snapshot: %d procs, %.0fs virtual\n", procs, rep.VirtualSeconds)
+	fmt.Printf("  token rotations:   %d\n", tot.Counters["totem_token_rotations_total"])
+	fmt.Printf("  msgs delivered:    %d\n", tot.Counters["totem_msgs_delivered_total"])
+	fmt.Printf("  retrans served:    %d\n", tot.Counters["totem_retrans_served_total"])
+	fmt.Printf("  budget samples:    %d\n", len(rep.BudgetTrajectory))
+	fmt.Printf("=> wrote %s\n", jsonPath)
+	return nil
 }
 
 // orderingReport is the BENCH_ordering.json document.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
 )
@@ -26,5 +27,49 @@ func TestT1OnlyWritesOrderingJSON(t *testing.T) {
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("ordering json not written: %v", err)
+	}
+}
+
+// The -metrics-json scenario must emit a 16-process snapshot whose totals
+// show real protocol activity: token rotations, retransmissions, batch
+// fill, and a non-empty budget trajectory.
+func TestMetricsJSONSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 3s virtual scenario")
+	}
+	path := t.TempDir() + "/metrics.json"
+	if err := runMetrics(1, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep metricsReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if rep.Procs != 16 {
+		t.Fatalf("expected a 16-process snapshot, got %d", rep.Procs)
+	}
+	// 16 process scopes plus the "net" medium scope.
+	if got := len(rep.Metrics.Procs); got != 17 {
+		t.Fatalf("expected 17 scopes, got %d", got)
+	}
+	tot := rep.Metrics.Total
+	for _, name := range []string{
+		"totem_token_rotations_total",
+		"totem_retrans_served_total",
+		"totem_msgs_delivered_total",
+	} {
+		if tot.Counters[name] == 0 {
+			t.Errorf("counter %s is zero in a loaded lossy scenario", name)
+		}
+	}
+	if tot.Histograms["totem_batch_fill"].Count == 0 {
+		t.Error("batch fill histogram is empty")
+	}
+	if len(rep.BudgetTrajectory) == 0 {
+		t.Error("budget trajectory is empty: flow control never adapted")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -121,9 +122,39 @@ func runSeed(s int64, cfg config, gen chaos.GenConfig) seedOutcome {
 		report = chaos.Minimize(p, chaos.MinimizeOptions{MaxRuns: cfg.maxRuns})
 		fmt.Fprintf(&b, "minimized to %d events (%d faults):\n",
 			len(report.Events), report.FaultCount())
+		printMetricDeltas(&b, res.Metrics, chaos.Run(report).Metrics)
 	}
 	fmt.Fprintln(&b, report)
 	return seedOutcome{text: b.String(), failed: true, report: report}
+}
+
+// deltaCounters are the protocol counters worth comparing between a full
+// failing schedule and its minimized reproducer: together they show how
+// much ordering, membership and recovery work the shrink preserved.
+var deltaCounters = []string{
+	"totem_token_rotations_total",
+	"totem_msgs_delivered_total",
+	"totem_retrans_served_total",
+	"node_recovery_started_total",
+	"node_recovery_finished_total",
+	"node_recovery_aborted_total",
+	"node_configs_regular_total",
+	"node_configs_transitional_total",
+	"net_packets_delivered_total",
+	"net_packets_dropped_total",
+}
+
+// printMetricDeltas renders the full-run versus minimized-run counter
+// comparison that accompanies a minimized reproducer.
+func printMetricDeltas(b *strings.Builder, full, min obs.Snapshot) {
+	fmt.Fprintf(b, "metric deltas (full run -> minimized):\n")
+	for _, name := range deltaCounters {
+		fv, mv := full.Counters[name], min.Counters[name]
+		if fv == 0 && mv == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "    %-34s %10d -> %d\n", name, fv, mv)
+	}
 }
 
 func run(cfg config) error {

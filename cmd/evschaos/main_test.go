@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestRunSmallSeedRange(t *testing.T) {
@@ -59,6 +61,40 @@ func TestRunParallelMatchesSerial(t *testing.T) {
 	if trim(serialOut) != trim(parallelOut) {
 		t.Fatalf("parallel output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serialOut, parallelOut)
+	}
+}
+
+// TestPrintMetricDeltas: every name in the delta table must exist in the
+// obs catalog (a typo would silently render zeros forever), and the
+// rendering must show changed counters while skipping all-zero rows.
+func TestPrintMetricDeltas(t *testing.T) {
+	known := make(map[string]bool)
+	for _, n := range obs.CounterNames() {
+		known[n] = true
+	}
+	for _, n := range deltaCounters {
+		if !known[n] {
+			t.Errorf("deltaCounters entry %q is not in the obs catalog", n)
+		}
+	}
+
+	full := obs.Snapshot{Counters: map[string]uint64{
+		"totem_token_rotations_total": 5000,
+		"net_packets_dropped_total":   0,
+	}}
+	min := obs.Snapshot{Counters: map[string]uint64{
+		"totem_token_rotations_total": 40,
+		"net_packets_dropped_total":   0,
+	}}
+	var b strings.Builder
+	printMetricDeltas(&b, full, min)
+	out := b.String()
+	if !strings.Contains(out, "totem_token_rotations_total") ||
+		!strings.Contains(out, "5000 -> 40") {
+		t.Errorf("delta table missing the changed counter:\n%s", out)
+	}
+	if strings.Contains(out, "net_packets_dropped_total") {
+		t.Errorf("delta table should skip all-zero counters:\n%s", out)
 	}
 }
 

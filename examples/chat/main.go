@@ -26,7 +26,10 @@ func main() {
 func run() error {
 	ids := []evs.ProcessID{"alice", "bob", "carol", "dave"}
 	g := evs.NewGroup(evs.Options{Processes: ids, Seed: 99})
-	rooms := evs.NewTopics(g)
+	rooms, err := evs.NewTopics(g)
+	if err != nil {
+		return err
+	}
 
 	// Everyone joins #general; alice and bob also share #ops.
 	for i, id := range ids {

@@ -33,6 +33,12 @@ func run() error {
 	ids := g.IDs()
 	fmt.Printf("%-8s group %v operational\n", since(start), ids)
 
+	// The live runtime exposes the protocol's metrics over HTTP while it
+	// runs: Prometheus text at /metrics, JSON at /metrics?format=json.
+	if addr, err := g.ServeMetrics("127.0.0.1:0"); err == nil {
+		fmt.Printf("%-8s metrics at http://%s/metrics\n", since(start), addr)
+	}
+
 	// Four goroutines send concurrently; the ring orders them totally.
 	var wg sync.WaitGroup
 	for _, id := range ids {
@@ -93,6 +99,13 @@ func run() error {
 		return fmt.Errorf("specification violations: %v", vs)
 	}
 	fmt.Printf("%-8s specification check clean\n", since(start))
+
+	m := g.Metrics()
+	fmt.Printf("%-8s %d token rotations, %d messages delivered, %d configurations installed\n",
+		since(start),
+		m.Total.Counters["totem_token_rotations_total"],
+		m.Total.Counters["totem_msgs_delivered_total"],
+		m.Total.Counters["node_configs_regular_total"])
 	return nil
 }
 

@@ -65,9 +65,17 @@ type Group struct {
 	crashed    map[ProcessID]bool
 	stats      GroupStats
 
-	// OnDelivery and OnConfigChange, when set, observe application-level
-	// events as they happen (used by layers built on the public API,
-	// e.g. Topics).
+	// observers receive application-level events as they happen, in
+	// registration order (AddObserver).
+	observers []Observer
+
+	// OnDelivery and OnConfigChange observe application-level events as
+	// they happen.
+	//
+	// Deprecated: assignable function fields force layers to chain each
+	// other fragilely (each must remember to call the previous value).
+	// Register with AddObserver instead; these fields remain as shims and
+	// fire before any registered observer.
 	OnDelivery     func(id ProcessID, d Delivery)
 	OnConfigChange func(id ProcessID, c ConfigEvent)
 }
@@ -140,6 +148,20 @@ func (g *Group) OnWire(fn func(from ProcessID, kind string)) {
 	}
 }
 
+// AddObserver registers an additional application-event observer; every
+// registered observer sees every delivery and configuration change, in
+// registration order. Register before the simulation runs.
+func (g *Group) AddObserver(o Observer) {
+	if o != nil {
+		g.observers = append(g.observers, o)
+	}
+}
+
+// started reports whether the simulation has begun executing events.
+func (g *Group) started() bool {
+	return g.cluster.Sched.Fired() > 0 || g.cluster.Sched.Now() > 0
+}
+
 // IDs returns the process identifiers.
 func (g *Group) IDs() []ProcessID {
 	out := make([]ProcessID, len(g.ids))
@@ -158,14 +180,24 @@ func (g *Group) At(t time.Duration, fn func()) { g.cluster.At(t, fn) }
 
 // Send schedules a message submission at process id at virtual time t.
 func (g *Group) Send(t time.Duration, id ProcessID, payload []byte, svc Service) {
-	g.At(t, func() { g.submit(id, payload, svc) })
+	g.At(t, func() { _ = g.submit(id, payload, svc) })
+}
+
+// Submit submits an application message at the current virtual time. It is
+// the Cluster-interface counterpart of Send, for code that drives the
+// simulation itself (typically from an At callback or between Run calls).
+func (g *Group) Submit(id ProcessID, payload []byte, svc Service) error {
+	return g.submit(id, payload, svc)
 }
 
 // submit wraps the payload in the application envelope and submits it.
-func (g *Group) submit(id ProcessID, payload []byte, svc Service) {
+// Errors are additionally counted in GroupStats: scenario-expected
+// rejections (process down, backlog shed) must stay visible even when the
+// scheduled-send path has no caller to return them to.
+func (g *Group) submit(id ProcessID, payload []byte, svc Service) error {
 	if g.crashed[id] {
 		g.stats.Rejected++
-		return
+		return ErrDown
 	}
 	wrapped := append([]byte{tagApp}, payload...)
 	if err := g.cluster.Node(id).Submit(wrapped, svc); err != nil {
@@ -174,7 +206,7 @@ func (g *Group) submit(id ProcessID, payload []byte, svc Service) {
 		} else {
 			g.stats.Rejected++
 		}
-		return
+		return err
 	}
 	g.stats.Submitted++
 	if f := g.filters[id]; f != nil && !f.Blocked() {
@@ -187,6 +219,7 @@ func (g *Group) submit(id ProcessID, payload []byte, svc Service) {
 			Msg:  MessageID{Sender: id, SenderSeq: rec.SenderSeq},
 		})
 	}
+	return nil
 }
 
 // Partition schedules a network partition at virtual time t; processes not
@@ -246,6 +279,9 @@ func (g *Group) onConfig(id model.ProcessID, cc node.ConfigChange) {
 	if g.OnConfigChange != nil {
 		g.OnConfigChange(id, ce)
 	}
+	for _, o := range g.observers {
+		o.OnConfigChange(id, ce)
+	}
 	if p := g.prim[id]; p != nil {
 		g.applyPrimaryActions(id, p.OnConfig(cc.Config))
 	}
@@ -283,6 +319,9 @@ func (g *Group) onDeliver(id model.ProcessID, d node.Delivery) {
 		g.deliveries[id] = append(g.deliveries[id], del)
 		if g.OnDelivery != nil {
 			g.OnDelivery(id, del)
+		}
+		for _, o := range g.observers {
+			o.OnDelivery(id, del)
 		}
 		if f := g.filters[id]; f != nil {
 			g.applyVSOutputs(id, f.OnDeliver(d.Msg, body, d.Service))
@@ -384,6 +423,23 @@ func (g *Group) Deliveries(id ProcessID) []Delivery { return g.deliveries[id] }
 
 // ConfigEvents returns the configuration changes delivered at a process.
 func (g *Group) ConfigEvents(id ProcessID) []ConfigEvent { return g.confs[id] }
+
+// ConfigChanges returns the configuration changes delivered at a process
+// (the Cluster-interface name for ConfigEvents).
+func (g *Group) ConfigChanges(id ProcessID) []ConfigEvent { return g.confs[id] }
+
+// Metrics freezes every process's observability scope, plus the "net"
+// medium scope, into one cluster snapshot.
+func (g *Group) Metrics() ClusterMetrics { return g.cluster.MetricsSnapshot() }
+
+// ObsEvents returns the merged protocol trace: every scope's retained
+// events in one time-ordered stream (budget trajectory, gather causes,
+// recovery steps, configuration installs).
+func (g *Group) ObsEvents() []ObsEvent { return g.cluster.ObsEvents() }
+
+// Close implements Cluster. The simulator holds no external resources;
+// Close is a no-op so simulation code can be runtime-generic.
+func (g *Group) Close() error { return nil }
 
 // PrimaryEvents returns the primary verdicts observed at a process.
 func (g *Group) PrimaryEvents(id ProcessID) []PrimaryEvent { return g.primaryEvs[id] }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/spec"
 )
 
@@ -185,6 +186,12 @@ type Result struct {
 	// Net and Harness are the activity counters of the run.
 	Net     netsim.Stats
 	Harness harness.Stats
+	// Metrics is the cluster-wide observability snapshot (the cross-scope
+	// total), letting reports quantify what protocol work a schedule
+	// caused. It is informational and deliberately excluded from
+	// determinism comparison (sameResult), which stays pinned to the
+	// original fingerprint fields.
+	Metrics obs.Snapshot
 }
 
 // BugHook, when non-nil, is invoked with every newly built cluster before
@@ -212,6 +219,7 @@ func RunHistory(p Program) ([]model.Event, Result) {
 		Events:     c.History.Len(),
 		Net:        c.Net.Stats(),
 		Harness:    c.Stats(),
+		Metrics:    c.MetricsSnapshot().Total,
 	}
 }
 

@@ -190,6 +190,16 @@ func (r *Recovery) Finished() bool { return r.finished }
 // Transitional returns the transitional member set (empty before Step 4).
 func (r *Recovery) Transitional() model.ProcessSet { return r.trans }
 
+// Planned reports whether Step 4 has computed the rebroadcast plan (every
+// member's exchange has arrived).
+func (r *Recovery) Planned() bool { return r.planned }
+
+// SentDone reports whether this process has announced Step 5 completion.
+func (r *Recovery) SentDone() bool { return r.sentDone }
+
+// NeededCount returns the size of the needed set (zero before Step 4).
+func (r *Recovery) NeededCount() int { return len(r.needed) }
+
 // Start emits this process's Exchange broadcast (Step 3).
 func (r *Recovery) Start() []Action {
 	return []Action{Send{Msg: r.frozen}}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netsim"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/stable"
@@ -45,6 +46,8 @@ type Cluster struct {
 	envs    map[model.ProcessID]*env
 	deliver map[model.ProcessID][]node.Delivery
 	configs map[model.ProcessID][]model.Configuration
+	metrics map[model.ProcessID]*obs.Metrics
+	netMet  *obs.Metrics
 	stats   Stats
 	// dropKinds holds the active message-class loss rules, consulted by
 	// the netsim filter installed on first use (see faults.go).
@@ -139,14 +142,20 @@ func New(opts Options) *Cluster {
 		envs:    make(map[model.ProcessID]*env, len(ids)),
 		deliver: make(map[model.ProcessID][]node.Delivery, len(ids)),
 		configs: make(map[model.ProcessID][]model.Configuration, len(ids)),
+		metrics: make(map[model.ProcessID]*obs.Metrics, len(ids)),
 	}
+	clock := func() time.Duration { return c.Sched.Now() }
 	c.Net = netsim.New(c.Sched, netCfg)
+	c.netMet = obs.New("net", clock)
+	c.Net.SetMetrics(c.netMet)
 	for _, id := range ids {
 		id := id
 		e := &env{c: c, id: id, timers: make(map[node.TimerKind]*sim.Entry)}
 		c.envs[id] = e
 		c.stores[id] = &stable.Store{}
 		c.nodes[id] = node.New(id, nodeCfg, e, c.stores[id])
+		c.metrics[id] = obs.New(string(id), clock)
+		c.nodes[id].SetMetrics(c.metrics[id])
 		c.Net.Register(id, func(from model.ProcessID, payload any, _ time.Duration) {
 			msg, ok := payload.(wire.Message)
 			if !ok {
@@ -186,6 +195,34 @@ func (c *Cluster) Deliveries(id model.ProcessID) []node.Delivery {
 // application, in order.
 func (c *Cluster) Configs(id model.ProcessID) []model.Configuration {
 	return c.configs[id]
+}
+
+// Metrics returns a process's observability scope.
+func (c *Cluster) Metrics(id model.ProcessID) *obs.Metrics { return c.metrics[id] }
+
+// NetMetrics returns the cluster-level scope mirroring the medium's stats.
+func (c *Cluster) NetMetrics() *obs.Metrics { return c.netMet }
+
+// MetricsSnapshot freezes every scope — one per process plus the "net"
+// medium scope — into a cluster snapshot.
+func (c *Cluster) MetricsSnapshot() obs.ClusterSnapshot {
+	scopes := make([]*obs.Metrics, 0, len(c.ids)+1)
+	for _, id := range c.ids {
+		scopes = append(scopes, c.metrics[id])
+	}
+	scopes = append(scopes, c.netMet)
+	return obs.Cluster(scopes...)
+}
+
+// ObsEvents returns every scope's retained trace events merged into one
+// time-ordered stream.
+func (c *Cluster) ObsEvents() []obs.Event {
+	scopes := make([]*obs.Metrics, 0, len(c.ids)+1)
+	for _, id := range c.ids {
+		scopes = append(scopes, c.metrics[id])
+	}
+	scopes = append(scopes, c.netMet)
+	return obs.MergeEvents(scopes...)
 }
 
 // At schedules an action at an absolute virtual time.

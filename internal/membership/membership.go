@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -112,6 +113,9 @@ type Protocol struct {
 	// lastFormed suppresses re-processing of our own or duplicated
 	// Install messages for a ring we already formed.
 	lastFormed model.ConfigID
+
+	// met is the process's observability scope (nil disables).
+	met *obs.Metrics
 }
 
 // New creates the protocol. attempt and maxRingSeq come from stable storage
@@ -125,6 +129,9 @@ func New(self model.ProcessID, attempt, maxRingSeq uint64) *Protocol {
 		lastSeen:   make(map[model.ProcessID]uint64),
 	}
 }
+
+// SetMetrics attaches the process's observability scope (nil disables).
+func (m *Protocol) SetMetrics(met *obs.Metrics) { m.met = met }
 
 // Phase returns the current phase.
 func (m *Protocol) Phase() Phase { return m.phase }
@@ -181,6 +188,7 @@ func (m *Protocol) broadcastJoin() []Action {
 	}
 	m.joins[m.self] = j
 	m.lastSeen[m.self] = m.attempt
+	m.met.Inc(obs.CMemJoinsSent)
 	return append([]Action{Send{Msg: j}}, m.checkConsensus()...)
 }
 
@@ -222,6 +230,7 @@ func (m *Protocol) OnJoin(j wire.Join) []Action {
 		return nil
 	}
 	m.lastSeen[j.Sender] = j.Attempt
+	m.met.Inc(obs.CMemJoinsRecv)
 	if j.MaxRingSeq > m.maxRingSeq {
 		m.maxRingSeq = j.MaxRingSeq
 	}
@@ -313,11 +322,13 @@ func (m *Protocol) checkConsensus() []Action {
 		return nil
 	}
 	m.phase = Commit
+	m.met.Inc(obs.CMemConsensus)
 	if rep != m.self {
 		// Wait for the representative's Commit.
 		return nil
 	}
 	m.isRep = true
+	m.met.Inc(obs.CMemCommits)
 	m.maxRingSeq++
 	m.proposed = model.Configuration{
 		ID:      model.RegularID(m.maxRingSeq, rep),
@@ -386,6 +397,7 @@ func (m *Protocol) maybeInstall() []Action {
 	ring := m.proposed
 	m.phase = Idle
 	m.lastFormed = ring.ID
+	m.met.Inc(obs.CMemInstalls)
 	return []Action{Send{Msg: inst}, Form{Ring: ring}}
 }
 
@@ -409,6 +421,7 @@ func (m *Protocol) OnInstall(i wire.Install) []Action {
 	ring := m.proposed
 	m.phase = Idle
 	m.lastFormed = ring.ID
+	m.met.Inc(obs.CMemInstalls)
 	return []Action{Form{Ring: ring}}
 }
 
@@ -458,9 +471,12 @@ func (m *Protocol) OnJoinTimeout() []Action {
 		}
 	}
 	m.heard = make(map[model.ProcessID]bool)
+	m.met.Inc(obs.CMemJoinTimeouts)
 	if len(newlyFailed) > 0 {
 		sort.Slice(newlyFailed, func(i, j int) bool { return newlyFailed[i] < newlyFailed[j] })
+		before := m.failed.Size()
 		m.failed = m.failed.Union(model.NewProcessSet(newlyFailed...))
+		m.met.Add(obs.CMemFailuresDeclared, uint64(m.failed.Size()-before))
 	}
 	m.aloneOK = true
 	return m.broadcastJoin()
@@ -484,7 +500,9 @@ func (m *Protocol) OnCommitTimeout() []Action {
 	m.phase = Idle
 	out := m.StartGather()
 	if len(silent) > 0 {
+		before := m.failed.Size()
 		m.failed = m.failed.Union(model.NewProcessSet(silent...))
+		m.met.Add(obs.CMemFailuresDeclared, uint64(m.failed.Size()-before))
 		out = append(out, m.broadcastJoin()...)
 	}
 	return out

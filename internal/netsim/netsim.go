@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -114,6 +115,10 @@ type Network struct {
 	stats     Stats
 	rules     map[link]LinkRule
 	filter    Filter
+
+	// met is the cluster-level observability scope for the medium (nil
+	// disables); it mirrors the Stats counters into the metric catalog.
+	met *obs.Metrics
 }
 
 // clampRate forces a probability into [0,1]; NaN becomes 0.
@@ -235,6 +240,9 @@ func (n *Network) ComponentOf(p model.ProcessID) model.ProcessSet {
 	return model.NewProcessSet(ids...)
 }
 
+// SetMetrics attaches the cluster-level observability scope (nil disables).
+func (n *Network) SetMetrics(m *obs.Metrics) { n.met = m }
+
 // Stats returns a copy of the activity counters.
 func (n *Network) Stats() Stats { return n.stats }
 
@@ -296,6 +304,7 @@ func (n *Network) Broadcast(from model.ProcessID, payload any) {
 		return
 	}
 	n.stats.Broadcasts++
+	n.met.Inc(obs.CNetBroadcasts)
 	// The sender's component and down-map lookups are hoisted out of the
 	// per-receiver loop: with data batching one Broadcast often carries a
 	// whole token visit's worth of messages, so this loop is the
@@ -308,6 +317,7 @@ func (n *Network) Broadcast(from model.ProcessID, payload any) {
 		}
 		if comp != n.component[id] || n.down[id] {
 			n.stats.Cut++
+			n.met.Inc(obs.CNetCut)
 			continue
 		}
 		n.transmitLink(from, id, payload, false)
@@ -330,6 +340,7 @@ func (n *Network) transmit(from, to model.ProcessID, payload any, loopback bool)
 	if !loopback {
 		if n.component[from] != n.component[to] || n.down[to] {
 			n.stats.Cut++
+			n.met.Inc(obs.CNetCut)
 			return
 		}
 	}
@@ -354,10 +365,12 @@ func (n *Network) transmitLink(from, to model.ProcessID, payload any, loopback b
 		}
 		if n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate {
 			n.stats.Dropped++
+			n.met.Inc(obs.CNetDropped)
 			return
 		}
 		if rule.Drop > 0 && n.rng.Float64() < rule.Drop {
 			n.stats.Dropped++
+			n.met.Inc(obs.CNetDropped)
 			return
 		}
 	}
@@ -365,6 +378,7 @@ func (n *Network) transmitLink(from, to model.ProcessID, payload any, loopback b
 	if !loopback && n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
 		copies = 2
 		n.stats.Duplicated++
+		n.met.Inc(obs.CNetDuplicated)
 	}
 	for i := 0; i < copies; i++ {
 		d := n.delay() + rule.Delay
@@ -381,6 +395,7 @@ func (n *Network) transmitLink(from, to model.ProcessID, payload any, loopback b
 func (n *Network) deliver(from, to model.ProcessID, payload any, now time.Duration) {
 	if from != to && (n.component[from] != n.component[to] || n.down[from]) {
 		n.stats.Cut++
+		n.met.Inc(obs.CNetCut)
 		return
 	}
 	if from != to && n.ruleFor(from, to).Block {
@@ -391,6 +406,7 @@ func (n *Network) deliver(from, to model.ProcessID, payload any, now time.Durati
 	}
 	if n.down[to] {
 		n.stats.Cut++
+		n.met.Inc(obs.CNetCut)
 		return
 	}
 	h, ok := n.handlers[to]
@@ -398,6 +414,7 @@ func (n *Network) deliver(from, to model.ProcessID, payload any, now time.Durati
 		return
 	}
 	n.stats.Delivered++
+	n.met.Inc(obs.CNetDelivered)
 	h(from, payload, now)
 }
 

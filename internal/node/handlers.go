@@ -4,6 +4,7 @@ import (
 	"repro/internal/evs"
 	"repro/internal/membership"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/totem"
 	"repro/internal/wire"
 )
@@ -84,7 +85,7 @@ func (n *Node) maybeForeign(from model.ProcessID, ring model.ConfigID) {
 	switch n.mode {
 	case Operational:
 		if ring != n.ringCfg.ID && !n.ringCfg.Members.Contains(from) {
-			n.enterGather()
+			n.enterGather(obs.CauseForeign)
 			n.applyMemActions(n.mem.StartGather())
 			n.reconcileMemTimers()
 		}
@@ -92,7 +93,7 @@ func (n *Node) maybeForeign(from model.ProcessID, ring model.ConfigID) {
 		if ring != n.newRing.ID && ring != n.ringCfg.ID &&
 			!n.newRing.Members.Contains(from) {
 			n.abortRecovery()
-			n.enterGather()
+			n.enterGather(obs.CauseForeign)
 			n.applyMemActions(n.mem.StartGather())
 			n.reconcileMemTimers()
 		}
@@ -199,6 +200,7 @@ func (n *Node) processToken(t wire.Token) {
 	}
 	n.broadcastData(res.Broadcasts)
 	n.deliverAll(res.Deliveries, n.ringCfg)
+	n.met.Set(obs.GPendingDepth, int64(n.PendingDepth()))
 	fwd := res.Forward
 	n.env.Broadcast(fwd)
 	n.lastToken = &fwd
@@ -217,20 +219,27 @@ func (n *Node) broadcastData(ds []wire.Data) {
 	if max <= 1 {
 		for _, d := range ds {
 			n.env.Broadcast(d)
+			n.met.Inc(obs.CBatchesSent)
+			n.met.Observe(obs.HBatchFill, 1)
 		}
 		return
 	}
 	for len(ds) > max {
 		n.env.Broadcast(wire.DataBatch{Ring: n.ringCfg.ID, Msgs: ds[:max:max]})
+		n.met.Inc(obs.CBatchesSent)
+		n.met.Observe(obs.HBatchFill, uint64(max))
 		ds = ds[max:]
 	}
 	switch len(ds) {
 	case 0:
+		return
 	case 1:
 		n.env.Broadcast(ds[0])
 	default:
 		n.env.Broadcast(wire.DataBatch{Ring: n.ringCfg.ID, Msgs: ds})
 	}
+	n.met.Inc(obs.CBatchesSent)
+	n.met.Observe(obs.HBatchFill, uint64(len(ds)))
 }
 
 // deliverAll delivers ordered messages to the application and the trace.
@@ -265,9 +274,9 @@ func (n *Node) onJoin(j wire.Join) {
 			return
 		}
 		n.abortRecovery()
-		n.enterGather()
+		n.enterGather(obs.CauseJoin)
 	} else if n.mode == Operational {
-		n.enterGather()
+		n.enterGather(obs.CauseJoin)
 	}
 	n.applyMemActions(n.mem.OnJoin(j))
 	n.reconcileMemTimers()
@@ -281,7 +290,7 @@ func (n *Node) OnTimer(kind TimerKind) {
 	switch kind {
 	case TimerTokenLoss:
 		if n.mode == Operational {
-			n.enterGather()
+			n.enterGather(obs.CauseTokenLoss)
 			n.applyMemActions(n.mem.StartGather())
 			n.reconcileMemTimers()
 		}
@@ -311,7 +320,7 @@ func (n *Node) OnTimer(kind TimerKind) {
 	case TimerRecoveryTimeout:
 		if n.mode == Recovering {
 			n.abortRecovery()
-			n.enterGather()
+			n.enterGather(obs.CauseRecoveryTimeout)
 			n.applyMemActions(n.mem.StartGather())
 			n.reconcileMemTimers()
 		}
@@ -320,8 +329,11 @@ func (n *Node) OnTimer(kind TimerKind) {
 
 // enterGather leaves operational mode, carrying the ring's receipt state
 // into the reconfiguration (the ring itself stops: no deliveries occur
-// until the recovery algorithm's Step 6).
-func (n *Node) enterGather() {
+// until the recovery algorithm's Step 6). cause records why, for the
+// membership-transition metrics.
+func (n *Node) enterGather(cause obs.GatherCause) {
+	n.met.Inc(cause.GatherCounter())
+	n.met.Event(obs.KGatherEnter, uint64(cause), 0)
 	if n.mode == Operational && n.ring != nil {
 		n.oldState = n.ring.Snapshot()
 		n.oldLog = n.ring.Messages()
@@ -344,6 +356,8 @@ func (n *Node) abortRecovery() {
 	if n.rec == nil {
 		return
 	}
+	n.met.Inc(obs.CRecoveryAborted)
+	n.met.Event(obs.KRecoveryAbort, n.newRing.ID.Seq, 0)
 	n.oldState = n.rec.State()
 	n.oldLog = n.rec.Log()
 	n.obligations = n.rec.Obligations()
@@ -395,6 +409,11 @@ func (n *Node) startRecovery(ring model.Configuration) {
 	n.mode = Recovering
 	n.newRing = ring
 	n.buffered = nil
+	n.met.Inc(obs.CRecoveryStarted)
+	n.met.Event(obs.KRecoveryStart, ring.ID.Seq, uint64(ring.Members.Size()))
+	n.recStart = n.met.Now()
+	n.recPlan = false
+	n.recDone = false
 	n.env.CancelTimer(TimerJoin)
 	n.env.CancelTimer(TimerCommit)
 	n.rec = evs.New(n.id, ring, n.ringCfg, n.recoveryState(), n.oldLog, n.obligations)
@@ -455,7 +474,27 @@ func (n *Node) applyRecActions(acts []evs.Action) {
 		}
 	}
 	if n.mode == Recovering {
+		n.noteRecoveryProgress()
 		n.persist()
+	}
+}
+
+// noteRecoveryProgress observes recovery step transitions after each batch
+// of recovery actions: Step 4 (plan computed, closing the exchange phase)
+// and Step 5 (this process announced completion).
+func (n *Node) noteRecoveryProgress() {
+	if n.met == nil || n.rec == nil {
+		return
+	}
+	if !n.recPlan && n.rec.Planned() {
+		n.recPlan = true
+		n.recPlanAt = n.met.Now()
+		n.met.ObserveSince(obs.HRecoveryExchangeUs, n.recStart)
+		n.met.Event(obs.KRecoveryPlan, uint64(n.rec.NeededCount()), 0)
+	}
+	if !n.recDone && n.rec.SentDone() {
+		n.recDone = true
+		n.met.Event(obs.KRecoveryDone, 0, 0)
 	}
 }
 
@@ -465,6 +504,9 @@ func (n *Node) applyRecActions(acts []evs.Action) {
 // pending application messages are sequenced on the new ring and buffered
 // messages for it are processed.
 func (n *Node) finishRecovery(res evs.Result) {
+	// The plan and done transitions may complete in the same action batch
+	// that finishes: record them before the attempt state is cleared.
+	n.noteRecoveryProgress()
 	old := n.ringCfg
 
 	// 6.b: remaining old-configuration messages, delivered in the old
@@ -474,6 +516,9 @@ func (n *Node) finishRecovery(res evs.Result) {
 	// 6.c: the configuration change initiating the transitional
 	// configuration.
 	if !res.Transitional.ID.IsZero() {
+		n.met.Inc(obs.CConfigsTransitional)
+		n.met.Event(obs.KConfigTransitional, res.Transitional.ID.Seq,
+			uint64(res.Transitional.Members.Size()))
 		n.traceConf(res.Transitional, false)
 		n.env.DeliverConfig(ConfigChange{Config: res.Transitional})
 		// 6.d: transitional deliveries.
@@ -495,10 +540,20 @@ func (n *Node) finishRecovery(res evs.Result) {
 	n.env.CancelTimer(TimerRecoveryRetry)
 	n.env.CancelTimer(TimerRecoveryTimeout)
 
+	n.met.Inc(obs.CRecoveryFinished)
+	n.met.ObserveSince(obs.HRecoveryTotalUs, n.recStart)
+	if n.recPlan {
+		n.met.ObserveSince(obs.HRecoveryFlushUs, n.recPlanAt)
+	}
+	n.met.Event(obs.KRecoveryFinish, newCfg.ID.Seq, uint64(newCfg.Members.Size()))
+	n.met.Inc(obs.CConfigsRegular)
+	n.met.Event(obs.KConfigRegular, newCfg.ID.Seq, uint64(newCfg.Members.Size()))
+
 	n.traceConf(newCfg, false)
 	n.env.DeliverConfig(ConfigChange{Config: newCfg})
 
 	n.ring = totem.New(n.id, newCfg, n.cfg.Totem)
+	n.ring.SetMetrics(n.met)
 	for _, p := range n.pending {
 		n.ring.Submit(p)
 	}

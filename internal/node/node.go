@@ -17,6 +17,7 @@ import (
 	"repro/internal/evs"
 	"repro/internal/membership"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/stable"
 	"repro/internal/totem"
 	"repro/internal/wire"
@@ -173,6 +174,15 @@ type Node struct {
 	lastToken    *wire.Token
 	retransLeft  int
 	everInstalld bool
+
+	// met is this process's observability scope (nil disables). Recovery
+	// step timings are taken against the scope's clock: recStart marks
+	// Step 2 (ring formed), recPlanAt marks Step 4 (plan computed).
+	met       *obs.Metrics
+	recStart  time.Duration
+	recPlanAt time.Duration
+	recPlan   bool
+	recDone   bool
 }
 
 // ErrDown is returned by Submit when the process has failed.
@@ -194,6 +204,13 @@ func New(id model.ProcessID, cfg Config, env Env, store *stable.Store) *Node {
 		store: store,
 	}
 }
+
+// SetMetrics attaches the process's observability scope (nil disables).
+// Call before Start; the scope is threaded into each layer as it is built.
+func (n *Node) SetMetrics(m *obs.Metrics) { n.met = m }
+
+// Metrics returns the process's observability scope (nil when disabled).
+func (n *Node) Metrics() *obs.Metrics { return n.met }
 
 // ID returns the process identifier.
 func (n *Node) ID() model.ProcessID { return n.id }
@@ -227,7 +244,10 @@ func (n *Node) Start() {
 		// checks, without resetting gather state.
 		n.mem.SetCurrent(n.ringCfg)
 	}
+	n.mem.SetMetrics(n.met)
 	n.mode = Gathering
+	n.met.Inc(obs.CGatherStart)
+	n.met.Event(obs.KGatherEnter, uint64(obs.CauseStart), 0)
 	n.applyMemActions(n.mem.StartGather())
 	n.reconcileMemTimers()
 }
@@ -240,6 +260,7 @@ func (n *Node) Submit(payload []byte, svc model.Service) error {
 		return ErrDown
 	}
 	if n.cfg.MaxPending > 0 && n.PendingDepth() >= n.cfg.MaxPending {
+		n.met.Inc(obs.CSubmitBacklog)
 		return ErrBacklog
 	}
 	n.senderSeq++
@@ -253,6 +274,8 @@ func (n *Node) Submit(payload []byte, svc model.Service) error {
 	} else {
 		n.pending = append(n.pending, p)
 	}
+	n.met.Inc(obs.CSubmits)
+	n.met.Set(obs.GPendingDepth, int64(n.PendingDepth()))
 	n.persist()
 	return nil
 }
@@ -278,6 +301,7 @@ func (n *Node) Crash() {
 		Config:  n.ringCfg.ID,
 		Members: n.ringCfg.Members,
 	})
+	n.met.Event(obs.KCrash, 0, 0)
 	n.mode = Down
 	n.ring = nil
 	n.rec = nil
@@ -295,6 +319,7 @@ func (n *Node) Recover() {
 	if n.mode != Down {
 		return
 	}
+	n.met.Event(obs.KRecover, 0, 0)
 	n.mode = Gathering
 	n.Start()
 }

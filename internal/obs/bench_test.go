@@ -1,0 +1,91 @@
+package obs
+
+import "testing"
+
+// The acceptance bar for the whole layer: a nil *Metrics (instrumentation
+// disabled) must add zero allocations per operation, so un-instrumented
+// stacks pay only the nil check.
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	var m *Metrics
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Inc(CTokenRotations)
+	}
+}
+
+func BenchmarkDisabledObserve(b *testing.B) {
+	var m *Metrics
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Observe(HBatchFill, uint64(i))
+	}
+}
+
+func BenchmarkDisabledEvent(b *testing.B) {
+	var m *Metrics
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Event(KBudget, uint64(i), 0)
+	}
+}
+
+// The enabled hot path (counters, gauges, histograms) must also be
+// allocation-free: instruments are fixed-index atomics.
+func BenchmarkEnabledCounterInc(b *testing.B) {
+	m := New("p1", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Inc(CTokenRotations)
+	}
+}
+
+func BenchmarkEnabledObserve(b *testing.B) {
+	m := New("p1", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Observe(HBatchFill, uint64(i))
+	}
+}
+
+func BenchmarkEnabledEvent(b *testing.B) {
+	m := New("p1", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Event(KBudget, uint64(i), 0)
+	}
+}
+
+// TestDisabledPathAllocs pins the zero-alloc contract as a test, so CI
+// fails (not just a benchmark drifting) if the disabled path ever
+// allocates.
+func TestDisabledPathAllocs(t *testing.T) {
+	var m *Metrics
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Inc(CTokenRotations)
+		m.Add(CMsgsDelivered, 3)
+		m.Set(GBudget, 9)
+		m.Observe(HBatchFill, 4)
+		m.Event(KBudget, 1, 2)
+	}); n != 0 {
+		t.Fatalf("disabled metrics path allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestEnabledHotPathAllocs pins the enabled instrument path (not the trace
+// ring, whose events are value-typed but take a lock) to zero allocations.
+func TestEnabledHotPathAllocs(t *testing.T) {
+	m := New("p1", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Inc(CTokenRotations)
+		m.Add(CMsgsDelivered, 3)
+		m.Set(GBudget, 9)
+		m.Observe(HBatchFill, 4)
+	}); n != 0 {
+		t.Fatalf("enabled metrics hot path allocates %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Event(KBudget, 1, 2)
+	}); n != 0 {
+		t.Fatalf("trace ring event allocates %.1f allocs/op, want 0", n)
+	}
+}

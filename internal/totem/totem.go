@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/wire"
 )
@@ -132,6 +133,10 @@ type Ring struct {
 	arena   []int32
 
 	curMax int // adaptive per-visit sequencing budget
+
+	// met is the process's observability scope (nil disables: every obs
+	// call is a nil-safe no-op costing one branch and zero allocations).
+	met *obs.Metrics
 }
 
 // New creates the ordering state for configuration cfg at process self.
@@ -158,6 +163,9 @@ func New(self model.ProcessID, cfg model.Configuration, opts Options) *Ring {
 		curMax:  opts.MaxPerToken,
 	}
 }
+
+// SetMetrics attaches the process's observability scope (nil disables).
+func (r *Ring) SetMetrics(m *obs.Metrics) { r.met = m }
 
 // Config returns the ring's configuration.
 func (r *Ring) Config() model.Configuration { return r.cfg }
@@ -365,7 +373,11 @@ func (r *Ring) budget(pressure bool) (int, uint64) {
 		if half < r.opts.MaxPerToken {
 			half = r.opts.MaxPerToken
 		}
-		r.curMax = half
+		if half != r.curMax {
+			r.curMax = half
+			r.met.Inc(obs.CBudgetShrinks)
+			r.met.Event(obs.KBudget, uint64(r.curMax), 0)
+		}
 	}
 	win := r.opts.Window
 	if grown := 2 * uint64(r.cfg.Members.Size()) * uint64(r.curMax); grown > win {
@@ -383,7 +395,11 @@ func (r *Ring) growBudget() {
 	if g > r.opts.AdaptiveMax {
 		g = r.opts.AdaptiveMax
 	}
-	r.curMax = g
+	if g != r.curMax {
+		r.curMax = g
+		r.met.Inc(obs.CBudgetGrows)
+		r.met.Event(obs.KBudget, uint64(r.curMax), 0)
+	}
 }
 
 // OnToken processes a token visit: it satisfies retransmission requests,
@@ -391,9 +407,11 @@ func (r *Ring) growBudget() {
 // collects deliverable messages, and produces the token to forward.
 func (r *Ring) OnToken(t wire.Token) TokenResult {
 	if t.Ring != r.cfg.ID || t.TokenID <= r.lastTokenID {
+		r.met.Inc(obs.CTokenStale)
 		return TokenResult{}
 	}
 	r.lastTokenID = t.TokenID
+	r.met.Inc(obs.CTokenRotations)
 	res := TokenResult{Accepted: true}
 
 	r.noteAssigned(t.Seq)
@@ -407,6 +425,9 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 	pressure := (len(t.Rtr) > 0 && t.Rtr[0] <= r.prevPrevHigh) ||
 		(len(r.gaps) > 0 && r.gaps[0].lo <= r.prevPrevHigh)
 	maxPer, win := r.budget(pressure)
+	r.met.Observe(obs.HBudgetPerVisit, uint64(maxPer))
+	r.met.Set(obs.GBudget, int64(maxPer))
+	r.met.Set(obs.GWindow, int64(win))
 
 	// Retransmit requested messages this process holds. Requests it
 	// cannot satisfy name messages it is itself missing (they are ≤
@@ -415,6 +436,7 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 		if d, ok := r.get(seq); ok {
 			d.Retrans = true
 			res.Broadcasts = append(res.Broadcasts, d)
+			r.met.Inc(obs.CRetransServed)
 		}
 	}
 
@@ -458,6 +480,7 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 			}
 		}
 		t.Rtr = rtr
+		r.met.Add(obs.CRetransRequested, n)
 	}
 
 	// Two-visit safe watermark: messages acknowledged on both the
@@ -487,6 +510,7 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 		}
 	}
 
+	r.met.Add(obs.CMsgsSequenced, uint64(len(res.Sent)))
 	res.Deliveries = r.collectDeliverable()
 
 	t.TokenID++
@@ -513,6 +537,7 @@ func (r *Ring) collectDeliverable() []wire.Data {
 		r.mergeClock(d.VC)
 		out = append(out, d)
 	}
+	r.met.Add(obs.CMsgsDelivered, uint64(len(out)))
 	return out
 }
 

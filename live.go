@@ -1,12 +1,17 @@
 package evs
 
 import (
+	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/model"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/stable"
 	"repro/internal/wire"
@@ -30,7 +35,16 @@ type LiveGroup struct {
 
 	trace      spec.History
 	deliveries map[ProcessID][]Delivery
-	confs      map[ProcessID][]Configuration
+	confs      map[ProcessID][]ConfigEvent
+	observers  []Observer
+
+	// start anchors the group's clock: metric timestamps and delivery
+	// times are wall-clock durations since the group was created, the
+	// live counterpart of the simulator's virtual time.
+	start   time.Time
+	metrics map[ProcessID]*obs.Metrics
+
+	metricsSrv *http.Server
 
 	closed bool
 	wg     sync.WaitGroup
@@ -43,6 +57,10 @@ type liveHub struct {
 	down      map[ProcessID]bool
 	inbox     map[ProcessID]chan liveEnvelope
 	nextComp  int
+	// met is the medium's observability scope, mirroring what netsim's
+	// "net" scope records in the simulator: sends, deliveries (enqueues),
+	// overflow drops and partition/down cuts.
+	met *obs.Metrics
 }
 
 type liveEnvelope struct {
@@ -76,13 +94,17 @@ func NewLiveGroup(n int, cfg *node.Config) *LiveGroup {
 	g := &LiveGroup{
 		procs:      make(map[ProcessID]*liveProc, n),
 		deliveries: make(map[ProcessID][]Delivery),
-		confs:      make(map[ProcessID][]Configuration),
+		confs:      make(map[ProcessID][]ConfigEvent),
+		start:      time.Now(),
+		metrics:    make(map[ProcessID]*obs.Metrics, n),
 		hub: &liveHub{
 			component: make(map[ProcessID]int),
 			down:      make(map[ProcessID]bool),
 			inbox:     make(map[ProcessID]chan liveEnvelope),
 		},
 	}
+	clock := func() time.Duration { return time.Since(g.start) }
+	g.hub.met = obs.New("net", clock)
 	for i := 0; i < n; i++ {
 		id := ProcessID(fmt.Sprintf("p%02d", i+1))
 		g.ids = append(g.ids, id)
@@ -93,6 +115,8 @@ func NewLiveGroup(n int, cfg *node.Config) *LiveGroup {
 			id:     id,
 		}
 		p.node = node.New(id, nodeCfg, p, p.store)
+		g.metrics[id] = obs.New(string(id), clock)
+		p.node.SetMetrics(g.metrics[id])
 		g.procs[id] = p
 		g.hub.inbox[id] = make(chan liveEnvelope, 4096)
 		g.hub.component[id] = 0
@@ -153,21 +177,34 @@ func (p *liveProc) Deliver(d node.Delivery) {
 	if len(payload) > 0 && payload[0] == tagApp {
 		payload = payload[1:]
 	}
-	p.g.mu.Lock()
-	p.g.deliveries[p.id] = append(p.g.deliveries[p.id], Delivery{
+	del := Delivery{
 		Msg:     d.Msg,
 		Payload: payload,
 		Service: d.Service,
 		Config:  d.Config,
-	})
+		Time:    time.Since(p.g.start),
+	}
+	p.g.mu.Lock()
+	p.g.deliveries[p.id] = append(p.g.deliveries[p.id], del)
+	obsvs := p.g.observers
 	p.g.mu.Unlock()
+	// Observers run outside the group lock (they may read group state)
+	// but on the process's event path, so per-process event order holds.
+	for _, o := range obsvs {
+		o.OnDelivery(p.id, del)
+	}
 }
 
 // DeliverConfig implements node.Env.
 func (p *liveProc) DeliverConfig(c node.ConfigChange) {
+	ce := ConfigEvent{Config: c.Config, Time: time.Since(p.g.start)}
 	p.g.mu.Lock()
-	p.g.confs[p.id] = append(p.g.confs[p.id], c.Config)
+	p.g.confs[p.id] = append(p.g.confs[p.id], ce)
+	obsvs := p.g.observers
 	p.g.mu.Unlock()
+	for _, o := range obsvs {
+		o.OnConfigChange(p.id, ce)
+	}
 }
 
 // Trace implements node.Env.
@@ -184,19 +221,24 @@ func (h *liveHub) broadcast(from ProcessID, msg wire.Message) {
 	if h.down[from] {
 		return
 	}
+	h.met.Inc(obs.CNetBroadcasts)
 	comp := h.component[from]
 	for id, in := range h.inbox {
 		if h.down[id] && id != from {
+			h.met.Inc(obs.CNetCut)
 			continue
 		}
 		if h.component[id] != comp {
+			h.met.Inc(obs.CNetCut)
 			continue
 		}
 		select {
 		case in <- liveEnvelope{from: from, msg: msg}:
+			h.met.Inc(obs.CNetDelivered)
 		default:
 			// Inbox full: the medium is lossy; the protocol's
 			// retransmission machinery recovers.
+			h.met.Inc(obs.CNetDropped)
 		}
 	}
 }
@@ -218,6 +260,26 @@ func (g *LiveGroup) Send(id ProcessID, payload []byte, svc Service) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.node.Submit(wrapped, svc)
+}
+
+// Submit submits an application message at process id (the
+// Cluster-interface name for Send).
+func (g *LiveGroup) Submit(id ProcessID, payload []byte, svc Service) error {
+	return g.Send(id, payload, svc)
+}
+
+// AddObserver registers an additional application-event observer; every
+// registered observer sees every delivery and configuration change, in
+// registration order. Callbacks run on process goroutines: per-process
+// event order is preserved, but callbacks from different processes are
+// concurrent and the observer must synchronise its own state.
+func (g *LiveGroup) AddObserver(o Observer) {
+	if o == nil {
+		return
+	}
+	g.mu.Lock()
+	g.observers = append(g.observers, o)
+	g.mu.Unlock()
 }
 
 // Partition splits the hub into the given components; unmentioned
@@ -284,13 +346,104 @@ func (g *LiveGroup) Deliveries(id ProcessID) []Delivery {
 	return out
 }
 
-// Configs returns a snapshot of a process's configuration changes.
-func (g *LiveGroup) Configs(id ProcessID) []Configuration {
+// ConfigChanges returns a snapshot of the configuration changes delivered
+// at a process, in order.
+func (g *LiveGroup) ConfigChanges(id ProcessID) []ConfigEvent {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	out := make([]Configuration, len(g.confs[id]))
+	out := make([]ConfigEvent, len(g.confs[id]))
 	copy(out, g.confs[id])
 	return out
+}
+
+// Configs returns a snapshot of a process's configuration changes, without
+// timestamps.
+func (g *LiveGroup) Configs(id ProcessID) []Configuration {
+	ces := g.ConfigChanges(id)
+	out := make([]Configuration, len(ces))
+	for i, ce := range ces {
+		out[i] = ce.Config
+	}
+	return out
+}
+
+// History returns a snapshot of the formal-model trace of the execution.
+func (g *LiveGroup) History() []Event {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	events := g.trace.Events()
+	out := make([]Event, len(events))
+	copy(out, events)
+	return out
+}
+
+// Metrics freezes every process's observability scope, plus the "net" hub
+// scope, into one cluster snapshot. Safe to call while the group runs.
+func (g *LiveGroup) Metrics() ClusterMetrics {
+	return obs.Cluster(g.scopes()...)
+}
+
+// ObsEvents returns the merged protocol trace: every scope's retained
+// events in one time-ordered stream.
+func (g *LiveGroup) ObsEvents() []ObsEvent {
+	return obs.MergeEvents(g.scopes()...)
+}
+
+// ProcMetrics returns one process's live observability scope (for
+// attaching trace sinks or reading individual counters).
+func (g *LiveGroup) ProcMetrics(id ProcessID) *obs.Metrics { return g.metrics[id] }
+
+// scopes lists every observability scope: one per process plus the hub.
+func (g *LiveGroup) scopes() []*obs.Metrics {
+	out := make([]*obs.Metrics, 0, len(g.ids)+1)
+	for _, id := range g.ids {
+		out = append(out, g.metrics[id])
+	}
+	return append(out, g.hub.met)
+}
+
+// MetricsHandler returns an HTTP handler exposing the group's metrics: the
+// Prometheus text exposition format by default, or the expvar-style nested
+// JSON document when the request has format=json (or a path ending in
+// ".json"). Snapshots are taken per request; the handler is safe while the
+// group runs.
+func (g *LiveGroup) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cs := g.Metrics()
+		if r.URL.Query().Get("format") == "json" || strings.HasSuffix(r.URL.Path, ".json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(obs.ExpvarMap(cs))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, cs)
+	})
+}
+
+// ServeMetrics starts an HTTP server exposing MetricsHandler on addr
+// (":0" picks a free port) and returns the bound address. The server stops
+// when the group is closed. At most one metrics server per group.
+func (g *LiveGroup) ServeMetrics(addr string) (string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return "", fmt.Errorf("group is closed")
+	}
+	if g.metricsSrv != nil {
+		return "", fmt.Errorf("metrics server already running on %s", g.metricsSrv.Addr)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: g.MetricsHandler()}
+	g.metricsSrv = srv
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	return srv.Addr, nil
 }
 
 // Mode returns the protocol mode of a process.
@@ -367,16 +520,21 @@ func (g *LiveGroup) Check(settled bool) []Violation {
 	return spec.NewChecker(events, spec.Options{Settled: settled}).CheckAll()
 }
 
-// Close stops every process, timer and goroutine.
-func (g *LiveGroup) Close() {
+// Close stops every process, timer, goroutine and the metrics server (if
+// one was started). It is idempotent and always returns nil.
+func (g *LiveGroup) Close() error {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
-		return
+		return nil
 	}
 	g.closed = true
+	srv := g.metricsSrv
 	g.mu.Unlock()
 
+	if srv != nil {
+		_ = srv.Close()
+	}
 	for _, id := range g.ids {
 		p := g.procs[id]
 		p.mu.Lock()
@@ -394,4 +552,5 @@ func (g *LiveGroup) Close() {
 	}
 	g.hub.mu.Unlock()
 	g.wg.Wait()
+	return nil
 }

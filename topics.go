@@ -1,6 +1,7 @@
 package evs
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/groups"
@@ -22,18 +23,26 @@ type (
 // member of a configuration derives identical group membership views from
 // the safe total order.
 //
-// Create it before running the simulation; it installs itself on the
-// Group's delivery hooks.
+// Create it before running the simulation; it registers itself as a
+// delivery observer on the Group.
 type Topics struct {
 	g      *Group
 	mux    map[ProcessID]*groups.Mux
 	events map[ProcessID][]GroupEvent
 }
 
+// ErrStarted reports an attempt to attach a layer to a simulation that has
+// already begun executing events.
+var ErrStarted = errors.New("simulation has already started")
+
 // NewTopics attaches a group layer to g. It must be called before the
-// simulation runs (it consumes the Group's OnDelivery/OnConfigChange
-// hooks).
-func NewTopics(g *Group) *Topics {
+// simulation runs: the layer derives group membership from the complete
+// safe total order, so attaching it to a simulation that has already
+// executed events would silently miss the prefix — that is an error.
+func NewTopics(g *Group) (*Topics, error) {
+	if g.started() {
+		return nil, ErrStarted
+	}
 	t := &Topics{
 		g:      g,
 		mux:    make(map[ProcessID]*groups.Mux, len(g.ids)),
@@ -42,25 +51,26 @@ func NewTopics(g *Group) *Topics {
 	for _, id := range g.IDs() {
 		t.mux[id] = groups.New(id)
 	}
-	prevDel := g.OnDelivery
-	g.OnDelivery = func(id ProcessID, d Delivery) {
-		if prevDel != nil {
-			prevDel(id, d)
-		}
-		t.events[id] = append(t.events[id], t.mux[id].OnDeliver(d.Msg.Sender, d.Payload)...)
+	g.AddObserver(topicsObserver{t})
+	return t, nil
+}
+
+// topicsObserver adapts Topics to the Observer interface without exposing
+// the callbacks on Topics' public API.
+type topicsObserver struct{ t *Topics }
+
+func (o topicsObserver) OnDelivery(id ProcessID, d Delivery) {
+	t := o.t
+	t.events[id] = append(t.events[id], t.mux[id].OnDeliver(d.Msg.Sender, d.Payload)...)
+}
+
+func (o topicsObserver) OnConfigChange(id ProcessID, c ConfigEvent) {
+	t := o.t
+	announce, evs := t.mux[id].OnConfig(c.Config)
+	t.events[id] = append(t.events[id], evs...)
+	if announce != nil {
+		_ = t.g.submit(id, announce, Safe)
 	}
-	prevConf := g.OnConfigChange
-	g.OnConfigChange = func(id ProcessID, c ConfigEvent) {
-		if prevConf != nil {
-			prevConf(id, c)
-		}
-		announce, evs := t.mux[id].OnConfig(c.Config)
-		t.events[id] = append(t.events[id], evs...)
-		if announce != nil {
-			t.g.submit(id, announce, Safe)
-		}
-	}
-	return t
 }
 
 // Join schedules a group subscription at virtual time at.

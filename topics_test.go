@@ -7,7 +7,7 @@ import (
 
 func TestTopicsJoinSendDeliver(t *testing.T) {
 	g := NewGroup(Options{NumProcesses: 4, Seed: 41})
-	top := NewTopics(g)
+	top, _ := NewTopics(g)
 	ids := g.IDs()
 
 	top.Join(200*time.Millisecond, ids[0], "chat")
@@ -41,7 +41,7 @@ func TestTopicsJoinSendDeliver(t *testing.T) {
 
 func TestTopicsPartitionShrinksViews(t *testing.T) {
 	g := NewGroup(Options{NumProcesses: 4, Seed: 42})
-	top := NewTopics(g)
+	top, _ := NewTopics(g)
 	ids := g.IDs()
 	for i, id := range ids {
 		top.Join(time.Duration(200+10*i)*time.Millisecond, id, "g")
@@ -69,7 +69,7 @@ func TestTopicsPartitionShrinksViews(t *testing.T) {
 
 func TestTopicsLeave(t *testing.T) {
 	g := NewGroup(Options{NumProcesses: 3, Seed: 43})
-	top := NewTopics(g)
+	top, _ := NewTopics(g)
 	ids := g.IDs()
 	top.Join(200*time.Millisecond, ids[0], "g")
 	top.Join(210*time.Millisecond, ids[1], "g")
@@ -91,7 +91,7 @@ func TestTopicsLeave(t *testing.T) {
 
 func TestTopicsViewsOrderedIdentically(t *testing.T) {
 	g := NewGroup(Options{NumProcesses: 3, Seed: 44})
-	top := NewTopics(g)
+	top, _ := NewTopics(g)
 	ids := g.IDs()
 	// Everyone joins and leaves in a scramble; views derive from the
 	// safe total order, so each member's view sequence for the group
