@@ -249,7 +249,11 @@ func run(seed int64, quick, t1Only bool, orderingJSON string) error {
 		series = []int{200, 1000}
 	}
 	fmt.Printf("%8s %8s %10s %12s %12s\n", "procs", "msgs", "events", "check ms", "events/s")
-	for _, r := range experiments.CheckerScale(4, series) {
+	scaleRows, err := experiments.CheckerScale(4, series)
+	if err != nil {
+		return err
+	}
+	for _, r := range scaleRows {
 		fmt.Printf("%8d %8d %10d %12.1f %12.0f\n", r.Procs, r.Msgs, r.Events, r.CheckMs, r.EvtPerSec)
 	}
 	fmt.Println()

@@ -86,6 +86,12 @@ type config struct {
 	cpuProfile string
 	memProfile string
 	verbose    bool
+	// clock supplies elapsed time for the trailing summary line, in the
+	// obs style (a monotonic duration since some epoch). main leaves it
+	// nil, which anchors a wall clock at the start of the run; tests
+	// inject a fixed clock so serial and parallel output compare byte
+	// for byte, timing line included.
+	clock func() time.Duration
 }
 
 // seedOutcome is one seed's complete result: the text a serial run would
@@ -158,6 +164,11 @@ func printMetricDeltas(b *strings.Builder, full, min obs.Snapshot) {
 }
 
 func run(cfg config) error {
+	clock := cfg.clock
+	if clock == nil {
+		start := time.Now()
+		clock = func() time.Duration { return time.Since(start) }
+	}
 	if cfg.cpuProfile != "" {
 		f, err := os.Create(cfg.cpuProfile)
 		if err != nil {
@@ -229,7 +240,7 @@ func run(cfg config) error {
 	}()
 
 	failures := 0
-	start := time.Now()
+	epoch := clock()
 	for s := first; s <= last; s++ {
 		out := <-outcomes[s-first]
 		fmt.Print(out.text)
@@ -244,7 +255,7 @@ func run(cfg config) error {
 			fmt.Printf("saved reproducer to %s\n", cfg.save)
 		}
 	}
-	fmt.Printf("%d seed(s), %d failure(s), %s\n", ran, failures, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%d seed(s), %d failure(s), %s\n", ran, failures, (clock() - epoch).Round(time.Millisecond))
 	if failures > 0 {
 		return fmt.Errorf("evschaos: %d of %d schedules violated the EVS specifications", failures, ran)
 	}

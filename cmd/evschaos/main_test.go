@@ -41,24 +41,25 @@ func captureRun(t *testing.T, cfg config) (string, error) {
 	return string(b), runErr
 }
 
-// TestRunParallelMatchesSerial: the worker pool must not change per-seed
-// results or their order — only the trailing wall-clock line may differ.
+// TestRunParallelMatchesSerial: the worker pool must not change the
+// output at all. With an injected fixed clock the timing summary is
+// deterministic too, so the comparison is full byte identity — no line
+// is exempt.
 func TestRunParallelMatchesSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos executions are slow")
 	}
-	cfg := config{seeds: 4, maxRuns: 50, duration: 300 * time.Millisecond}
+	cfg := config{
+		seeds: 4, maxRuns: 50, duration: 300 * time.Millisecond,
+		clock: func() time.Duration { return 0 },
+	}
 	serialOut, serialErr := captureRun(t, cfg)
 	cfg.parallel = 4
 	parallelOut, parallelErr := captureRun(t, cfg)
 	if (serialErr == nil) != (parallelErr == nil) {
 		t.Fatalf("exit status diverged: serial=%v parallel=%v", serialErr, parallelErr)
 	}
-	trim := func(s string) string {
-		lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
-		return strings.Join(lines[:len(lines)-1], "\n") // drop the timing summary
-	}
-	if trim(serialOut) != trim(parallelOut) {
+	if serialOut != parallelOut {
 		t.Fatalf("parallel output diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			serialOut, parallelOut)
 	}

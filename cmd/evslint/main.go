@@ -1,0 +1,97 @@
+// Command evslint runs the repo's analyzer suite (see
+// internal/analysis/lint) over Go packages and reports invariant
+// violations. It exits 0 on a clean tree, 1 on diagnostics, 2 on
+// operational errors.
+//
+// Direct mode loads packages itself (dependencies resolved from
+// compiler export data via `go list -export`, the way go vet resolves
+// them — no network, no third-party code):
+//
+//	go run ./cmd/evslint ./...
+//	evslint -list              # print the analyzer registry
+//
+// Vettool mode speaks cmd/go's unitchecker protocol, so the suite also
+// runs under the standard vet driver (per-package, build-cached):
+//
+//	go build -o evslint ./cmd/evslint
+//	go vet -vettool=$PWD/evslint ./...
+//
+// In vettool mode cmd/go invokes the binary once with -V=full (for the
+// cache key) and then once per package with a *.cfg JSON file describing
+// the package's sources and the export data of its dependencies.
+//
+// Suppression: //lint:allow <analyzer> <reason> on the offending line or
+// the line above. Reasons are mandatory and unknown analyzer names are
+// themselves reported; see DESIGN.md §11 for the annotation vocabulary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	// cmd/go probes `evslint -flags` for the tool's analyzer flags (a
+	// JSON array of flag definitions); the suite exposes none.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Fprintln(stdout, "[]")
+		return 0
+	}
+	fs := flag.NewFlagSet("evslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		version = fs.String("V", "", "print version for the go command's tool cache (vettool protocol)")
+		list    = fs.Bool("list", false, "print the analyzer registry and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// `go vet -vettool` probes with -V=full before doing anything else;
+	// the reply becomes part of vet's cache key, so it must be stable.
+	if *version != "" {
+		fmt.Fprintf(stdout, "evslint version %s\n", toolVersion)
+		return 0
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitcheck(rest[0], stderr)
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Check(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "evslint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "evslint: %d violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// toolVersion feeds vet's cache key. Bump it when analyzer behaviour
+// changes, or stale "clean" verdicts will be replayed from the cache.
+const toolVersion = "2"

@@ -1,0 +1,119 @@
+// Vettool mode: the subset of cmd/go's unitchecker protocol evslint
+// needs. When go vet runs with -vettool=evslint it invokes the binary
+// once per package with the path of a JSON config file (suffix .cfg)
+// describing the package's sources and the compiler export data of its
+// dependency closure. The tool type-checks the unit, runs the suite,
+// writes the (empty — the suite is fact-free) .vetx output cmd/go
+// expects, prints diagnostics to stderr and exits non-zero on a
+// violation.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/lint"
+)
+
+// unitConfig mirrors the fields of cmd/go's vet config evslint consumes.
+type unitConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string, stderr io.Writer) int {
+	raw, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "evslint: %v\n", err)
+		return 2
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(stderr, "evslint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+
+	// cmd/go caches the .vetx facts file; it must exist even when the
+	// unit is skipped or clean (the suite produces no facts).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "evslint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// cmd/go hands vet the augmented test variant of a package — its
+	// sources plus in-package _test.go files, under an import path like
+	// "repro/x [repro/x.test]". The suite encodes production-path
+	// invariants, so the _test.go files are filtered out (Load does the
+	// same in direct mode) but the production sources are still checked;
+	// the import path is canonicalised so zone-scoped analyzers see it.
+	// External test packages (x_test) and generated test mains (x.test)
+	// contain only test code and are skipped whole.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	if strings.HasSuffix(importPath, ".test") || strings.HasSuffix(importPath, "_test") {
+		return 0
+	}
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := analysis.LoadFiles(importPath, files, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "evslint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Check([]*analysis.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(stderr, "evslint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

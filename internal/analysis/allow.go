@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression annotation recognised by the driver:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// It silences diagnostics of the named analyzer reported on the same
+// line as the comment, or on the line directly below a comment that
+// stands on its own line. The reason is part of the contract: an allow
+// without one is reported, as is an allow naming an analyzer that does
+// not exist.
+const allowPrefix = "lint:allow"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos      token.Pos
+	position token.Position
+	analyzer string
+	reason   string
+}
+
+// allowSet is every directive of one package.
+type allowSet struct {
+	// byLine maps filename:line to the directives in force on that line.
+	byLine map[string][]allowDirective
+	all    []allowDirective
+}
+
+func lineKey(filename string, line int) string {
+	return filename + ":" + itoa(line)
+}
+
+// itoa avoids pulling strconv into the hot diagnostic path for no
+// reason other than symmetry; lines are small positive numbers.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// collectAllows parses every //lint:allow directive in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	s := &allowSet{byLine: make(map[string][]allowDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				d := allowDirective{
+					pos:      c.Pos(),
+					position: fset.Position(c.Pos()),
+				}
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				s.all = append(s.all, d)
+				// The directive covers its own line and the next one,
+				// so it works both as a trailing comment and as a
+				// standalone comment above the offending statement.
+				k := lineKey(d.position.Filename, d.position.Line)
+				s.byLine[k] = append(s.byLine[k], d)
+				k = lineKey(d.position.Filename, d.position.Line+1)
+				s.byLine[k] = append(s.byLine[k], d)
+			}
+		}
+	}
+	return s
+}
+
+// suppresses reports whether a diagnostic of the named analyzer at the
+// given position is covered by a directive.
+func (s *allowSet) suppresses(analyzer string, pos token.Position) bool {
+	for _, d := range s.byLine[lineKey(pos.Filename, pos.Line)] {
+		if d.analyzer == analyzer && d.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// validate reports malformed directives: unknown analyzer names and
+// missing reasons. Both would otherwise be silent dead suppressions.
+func (s *allowSet) validate(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.all {
+		switch {
+		case d.analyzer == "":
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Position: d.position,
+				Analyzer: "allow",
+				Message:  "lint:allow directive names no analyzer (want //lint:allow <analyzer> <reason>)",
+			})
+		case !known[d.analyzer]:
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Position: d.position,
+				Analyzer: "allow",
+				Message:  "lint:allow names unknown analyzer " + quote(d.analyzer) + " (dead suppression)",
+			})
+		case d.reason == "":
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Position: d.position,
+				Analyzer: "allow",
+				Message:  "lint:allow " + d.analyzer + " carries no reason; write why the violation is acceptable",
+			})
+		}
+	}
+	return out
+}
+
+func quote(s string) string { return "\"" + s + "\"" }

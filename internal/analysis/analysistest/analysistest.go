@@ -1,0 +1,138 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// compares its diagnostics against expectations written in the fixture
+// source, in the style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	time.Now() // want "time.Now is nondeterministic"
+//
+// Every `// want "regexp"` comment must be matched by a diagnostic on
+// its line, and every diagnostic must be matched by a want — missing
+// and unexpected diagnostics both fail the test. A comment may carry
+// several quoted patterns when one line trips several rules.
+//
+// Fixtures are ordinary Go packages under testdata (invisible to
+// ./... builds) and may import standard-library and repro packages;
+// the import path the fixture is loaded under decides which zone-scoped
+// analyzers consider it in scope, so positive and negative zone cases
+// are both expressible. Diagnostics flow through the same driver as
+// cmd/evslint, so fixtures also exercise //lint:allow suppression
+// end to end.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the quoted patterns of a // want comment: either
+// backquoted (the conventional x/tools form, no escaping) or
+// double-quoted.
+var wantRe = regexp.MustCompile("`([^`]+)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture directory as a package with the given import
+// path and checks the analyzer's diagnostics against the fixture's
+// // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	RunAll(t, []*analysis.Analyzer{a}, dir, importPath)
+}
+
+// RunAll is Run over several analyzers at once: the whole suite's
+// diagnostics (suppression and allow-validation included) are matched
+// against the fixture's want comments. This is how cross-analyzer
+// interactions — a //lint:allow naming one analyzer while another fires
+// on the same line — are fixtured.
+func RunAll(t *testing.T, as []*analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.Check([]*analysis.Package{pkg}, as)
+	if err != nil {
+		t.Fatalf("running over %s: %v", dir, err)
+	}
+
+	expects := collectWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation that covers the
+// diagnostic and reports whether one existed.
+func claim(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Position.Filename || e.line != d.Position.Line {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{
+						file:    pos.Filename,
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MustZonePath builds an import path inside the deterministic zone for
+// fixtures of zone-scoped analyzers (any path under the zone package
+// works; the path need not exist on disk).
+func MustZonePath(sub string) string {
+	return fmt.Sprintf("repro/internal/%s", sub)
+}

@@ -1,0 +1,12 @@
+// Package fixture holds constructs the determinism analyzer forbids in
+// the deterministic zone; loaded under an out-of-zone import path it
+// must produce no diagnostics at all (the zone gate, not the rule set,
+// is under test).
+package fixture
+
+import "time"
+
+func wallClockIsFineOutsideTheZone() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,108 @@
+// Package fixture exercises the determinism analyzer: each flagged line
+// carries a want expectation; unflagged lines are the sanctioned
+// alternatives and must stay silent.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// clock stands in for the injected clock the zone is supposed to use.
+type clock func() time.Duration
+
+func wallClock(c clock) time.Duration {
+	t := time.Now()              // want `time.Now is nondeterministic`
+	_ = time.Since(t)            // want `time.Since is nondeterministic`
+	_ = time.Until(t)            // want `time.Until is nondeterministic`
+	time.Sleep(time.Millisecond) // want `time.Sleep is nondeterministic`
+	_ = time.After(time.Second)  // want `time.After is nondeterministic`
+	d := c()                     // the injected clock is the alternative; no diagnostic
+	return d
+}
+
+func timers() {
+	_ = time.NewTimer(time.Second)         // want `time.NewTimer is nondeterministic`
+	_ = time.NewTicker(time.Second)        // want `time.NewTicker is nondeterministic`
+	time.AfterFunc(time.Second, func() {}) // want `time.AfterFunc is nondeterministic`
+}
+
+// durationArithmetic shows that time the *type* is fine: only wall-clock
+// reads and timers are forbidden.
+func durationArithmetic(d time.Duration) time.Duration {
+	return d + 3*time.Millisecond
+}
+
+func globalRand() int {
+	n := rand.Intn(10)                 // want `global math/rand source`
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand source`
+	_ = rand.Float64()                 // want `global math/rand source`
+	return n
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // seeded generator: allowed
+	return rng.Intn(10)                   // method on *rand.Rand: allowed
+}
+
+func printDuringIteration(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `output call inside map iteration`
+	}
+}
+
+func sendDuringIteration(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+func unsortedAccumulation(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice keys accumulates map-ordered elements`
+	}
+	return keys
+}
+
+func sortedAccumulation(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: no diagnostic
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// freshCopyPerIteration deep-copies each value into a fresh slice and a
+// per-iteration local: neither append accumulates across iterations, so
+// map order does not escape.
+func freshCopyPerIteration(m map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(m))
+	for k, v := range m {
+		var buf []byte
+		buf = append(buf, v...)
+		out[k] = append([]byte(nil), buf...)
+	}
+	return out
+}
+
+// orderInsensitiveFold reduces over a map without emitting order: fine.
+func orderInsensitiveFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// allowedWithReason shows an annotated, documented exception.
+func allowedWithReason(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //lint:allow determinism fixture demonstrates a documented exception
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lint"
+)
+
+// TestRegistry: the suite is complete, uniquely named, and documented —
+// the names are the //lint:allow vocabulary.
+func TestRegistry(t *testing.T) {
+	as := lint.Analyzers()
+	want := []string{"determinism", "noalloc", "nopanic", "wireown", "lockheld"}
+	if len(as) != len(want) {
+		t.Fatalf("registry has %d analyzers, want %d", len(as), len(want))
+	}
+	seen := map[string]bool{}
+	for i, a := range as {
+		if a.Name != want[i] {
+			t.Errorf("registry[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// TestAllowSuppression runs the whole suite over the allow fixture: a
+// correctly targeted //lint:allow silences exactly its analyzer's
+// diagnostic on its line; everything unsuppressed still fires. The
+// fixture loads under a deterministic-zone import path so both the
+// determinism and noalloc analyzers are in scope.
+func TestAllowSuppression(t *testing.T) {
+	analysistest.RunAll(t, lint.Analyzers(), "testdata/allow", "repro/internal/sim/fixture")
+}
+
+// TestAllowValidation: malformed directives are themselves diagnostics
+// — an unknown analyzer name, a missing reason, and a missing name must
+// each be reported, and a reasonless allow must not suppress.
+func TestAllowValidation(t *testing.T) {
+	pkg, err := analysis.LoadDir("testdata/validate", "repro/internal/sim/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Check([]*analysis.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	find := func(analyzer, substr string) *analysis.Diagnostic {
+		t.Helper()
+		for i := range diags {
+			d := &diags[i]
+			if d.Analyzer == analyzer && strings.Contains(d.Message, substr) {
+				return d
+			}
+		}
+		t.Errorf("no %q diagnostic containing %q in:\n%s", analyzer, substr, render(diags))
+		return nil
+	}
+
+	// The three malformed directives are each reported, at the directive.
+	find("allow", `unknown analyzer "determinsm"`)
+	find("allow", "carries no reason")
+	find("allow", "names no analyzer")
+
+	// None of the malformed directives suppresses: all three time.Now
+	// calls still produce determinism diagnostics.
+	nows := 0
+	for _, d := range diags {
+		if d.Analyzer == "determinism" && strings.Contains(d.Message, "time.Now") {
+			nows++
+		}
+	}
+	if nows != 3 {
+		t.Errorf("got %d unsuppressed time.Now diagnostics, want 3 (malformed allows must not suppress):\n%s",
+			nows, render(diags))
+	}
+}
+
+func render(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

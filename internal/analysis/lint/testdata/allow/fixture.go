@@ -1,0 +1,52 @@
+// Package fixture exercises //lint:allow suppression end to end against
+// the full analyzer suite: a correctly targeted allow silences exactly
+// its analyzer's diagnostic on its line, while everything unsuppressed
+// still fires — including a different analyzer on the same line as a
+// suppressed one.
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+// unsuppressed: the baseline — diagnostics fire without an allow.
+func unsuppressed() time.Time {
+	return time.Now() // want `time.Now is nondeterministic`
+}
+
+// suppressedTrailing: an allow as a trailing comment covers its line.
+func suppressedTrailing() time.Time {
+	return time.Now() //lint:allow determinism fixture: measurement-only wall-clock read
+}
+
+// suppressedAbove: an allow on its own line covers the line below.
+func suppressedAbove() time.Time {
+	//lint:allow determinism fixture: measurement-only wall-clock read
+	return time.Now()
+}
+
+// wrongAnalyzer: an allow for analyzer A does not silence analyzer B on
+// the same line — suppression is per-analyzer, not per-line.
+//
+//evs:noalloc
+func wrongAnalyzer(id int) string {
+	//lint:allow determinism fixture: names the wrong analyzer
+	return fmt.Sprintf("p%02d", id) // want `fmt.Sprintf allocates`
+}
+
+// onlyNamedAnalyzer: on a line tripping two analyzers, one allow per
+// analyzer is required; the named one is silenced, the other fires.
+//
+//evs:noalloc
+func onlyNamedAnalyzer() string {
+	//lint:allow determinism fixture: measurement-only wall-clock read
+	return fmt.Sprintf("%d", time.Now().Unix()) // want `fmt.Sprintf allocates`
+}
+
+// outOfRange: an allow covers its own line and the next, nothing more.
+func outOfRange() time.Time {
+	//lint:allow determinism fixture: covers only the blank line below
+
+	return time.Now() // want `time.Now is nondeterministic`
+}

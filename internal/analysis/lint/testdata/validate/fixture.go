@@ -1,0 +1,30 @@
+// Package fixture holds malformed //lint:allow directives for the
+// validator tests: an unknown analyzer name, a missing reason, and a
+// missing analyzer. Each must produce an "allow" diagnostic — none may
+// rot into a silent dead suppression. (Expectations live in lint_test.go
+// rather than in want comments: the diagnostics are reported at the
+// directive comments themselves, and a comment cannot carry a second
+// comment.)
+package fixture
+
+import "time"
+
+// deadSuppression names an analyzer that does not exist; the typo would
+// otherwise suppress nothing forever while looking intentional.
+func deadSuppression() time.Time {
+	//lint:allow determinsm typo in the analyzer name
+	return time.Now()
+}
+
+// reasonless names a real analyzer but gives no justification; the
+// suppression does not take effect without one.
+func reasonless() time.Time {
+	//lint:allow determinism
+	return time.Now()
+}
+
+// nameless is an allow with no analyzer at all.
+func nameless() time.Time {
+	//lint:allow
+	return time.Now()
+}

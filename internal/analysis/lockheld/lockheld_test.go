@@ -1,0 +1,25 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockheld"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, lockheld.Analyzer, "testdata/fixture", "repro/live/fixture")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for _, p := range []string{"repro", "repro/live/fixture"} {
+		if !lockheld.AppliesTo(p) {
+			t.Errorf("AppliesTo(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"repro/internal/totem", "repro/cmd/evschaos", "other"} {
+		if lockheld.AppliesTo(p) {
+			t.Errorf("AppliesTo(%q) = true, want false", p)
+		}
+	}
+}

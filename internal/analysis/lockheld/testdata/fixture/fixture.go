@@ -1,0 +1,151 @@
+// Package fixture exercises the lockheld analyzer: blocking channel
+// operations and I/O inside mutex critical sections are flagged; the
+// hub's select-with-default lossy send and work done after Unlock stay
+// silent.
+package fixture
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+type envelope struct{ from string }
+
+// hub mirrors the live hub: a mutex guarding per-process inboxes.
+type hub struct {
+	mu    sync.Mutex
+	inbox map[string]chan envelope
+	wg    sync.WaitGroup
+}
+
+// blockingSend is the bug class: one full inbox stalls every process.
+func (h *hub) blockingSend(from string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, in := range h.inbox {
+		in <- envelope{from: from} // want `channel send blocks while holding h.mu`
+	}
+}
+
+// lossySend is the sanctioned idiom: select with default never blocks.
+func (h *hub) lossySend(from string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, in := range h.inbox {
+		select {
+		case in <- envelope{from: from}:
+		default: // medium is lossy; retransmission recovers
+		}
+	}
+}
+
+// blockingReceive waits on a channel under the lock.
+func (h *hub) blockingReceive(id string) envelope {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return <-h.inbox[id] // want `channel receive blocks while holding h.mu`
+}
+
+// selectNoDefault blocks as a whole even with several cases.
+func (h *hub) selectNoDefault(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select { // want `select without default blocks while holding h.mu`
+	case <-h.inbox[id]:
+	case <-time.After(time.Second):
+	}
+}
+
+// rangeChannel drains a channel under the lock.
+func (h *hub) rangeChannel(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for range h.inbox[id] { // want `range over channel blocks while holding h.mu`
+	}
+}
+
+// waitUnderLock joins goroutines that may themselves need the lock.
+func (h *hub) waitUnderLock() {
+	h.mu.Lock()
+	h.wg.Wait() // want `sync WaitGroup.Wait blocks while holding h.mu`
+	h.mu.Unlock()
+}
+
+// sleepUnderLock stalls the whole hub.
+func (h *hub) sleepUnderLock() {
+	h.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks while holding h.mu`
+	h.mu.Unlock()
+}
+
+// ioUnderLock performs network and file I/O inside the critical section.
+func (h *hub) ioUnderLock(addr, path string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ln, err := net.Listen("tcp", addr) // want `net.Listen performs I/O while holding h.mu`
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	_, err = os.Stat(path) // want `os.Stat performs I/O while holding h.mu`
+	return err
+}
+
+// accessorUnderLock reads pure accessors on net types inside the
+// critical section — no I/O, no diagnostic.
+func (h *hub) accessorUnderLock(ln net.Listener) string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return ln.Addr().String()
+}
+
+// unlockFirst does the blocking work outside the critical section: the
+// region model must see the Unlock.
+func (h *hub) unlockFirst(id string, out chan envelope) {
+	h.mu.Lock()
+	env := envelope{from: id}
+	h.mu.Unlock()
+	out <- env
+	time.Sleep(time.Millisecond)
+}
+
+// branchLock holds only within the branch that took it.
+func (h *hub) branchLock(cond bool, out chan envelope) {
+	if cond {
+		h.mu.Lock()
+		out <- envelope{} // want `channel send blocks while holding h.mu`
+		h.mu.Unlock()
+	}
+	out <- envelope{} // lock released in every path reaching here
+}
+
+// goroutineEscapes shows a function literal is not charged to this
+// region: it runs later, on its own stack, without the lock.
+func (h *hub) goroutineEscapes(out chan envelope) func() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return func() { out <- envelope{} }
+}
+
+// notAMutex: Lock/Unlock on a non-sync type opens no region.
+type fakeLock struct{}
+
+func (fakeLock) Lock()   {}
+func (fakeLock) Unlock() {}
+
+func notAMutex(out chan envelope) {
+	var l fakeLock
+	l.Lock()
+	out <- envelope{}
+	l.Unlock()
+}
+
+// allowedSetup documents a cold-path exception.
+func (h *hub) allowedSetup(addr string) (net.Listener, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	//lint:allow lockheld fixture: one-time setup on a cold path
+	return net.Listen("tcp", addr)
+}

@@ -1,0 +1,150 @@
+// Package noalloc enforces the zero-allocation contract of functions
+// annotated with the //evs:noalloc directive — the observability hot
+// paths (obs counter/gauge/histogram/trace updates) and the instrumented
+// sections of the totem/node data path, whose per-message cost budget is
+// pinned by the benchmark allocation gates in CI.
+//
+// The analyzer flags the construct classes that reliably allocate and
+// reliably sneak in during review:
+//
+//   - any fmt call (Sprintf and friends format into fresh strings, and
+//     their variadic ...any parameters box every argument)
+//   - string concatenation with + (unless constant-folded)
+//   - interface boxing: a concrete value assigned, passed, or returned
+//     as an interface value
+//   - function literals (closures capture by reference and escape)
+//
+// It is a construct-level check, not an escape analysis: it catches the
+// classes above at review time, while the obs benchmark gate
+// (TestDisabledPathAllocs / TestEnabledHotPathAllocs, the "Metrics
+// zero-alloc gate (cross-checked by evslint noalloc)" CI step) measures
+// the end-to-end truth at bench time. The two point at each other: a
+// bench-gate failure says "look for what the analyzer cannot see", an
+// analyzer failure says "this would have failed the gate".
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Directive marks a function as belonging to a zero-allocation hot
+// path, placed on its own line in the function's doc comment.
+const Directive = "evs:noalloc"
+
+// Analyzer is the zero-allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid allocating construct classes inside //evs:noalloc functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, Directive) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	sig, _ := pass.TypeOf(fd.Name).(*types.Signature)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(v.Pos(), "function literal allocates a closure in //evs:noalloc function %s", fd.Name.Name)
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, fd, v)
+		case *ast.BinaryExpr:
+			if v.Op == token.ADD && isNonConstString(pass, v) {
+				pass.Reportf(v.Pos(), "string concatenation allocates in //evs:noalloc function %s", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if v.Tok == token.ASSIGN {
+				for i, lhs := range v.Lhs {
+					if i < len(v.Rhs) {
+						checkConversion(pass, fd, pass.TypeOf(lhs), v.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if v.Type != nil {
+				dst := pass.TypeOf(v.Type)
+				for _, val := range v.Values {
+					checkConversion(pass, fd, dst, val)
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig != nil && len(v.Results) == sig.Results().Len() {
+				for i, res := range v.Results {
+					checkConversion(pass, fd, sig.Results().At(i).Type(), res)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags fmt calls and boxing at call arguments.
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if f := pass.CalleeFunc(call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates in //evs:noalloc function %s", f.Name(), fd.Name.Name)
+		return // the boxing of its arguments is subsumed
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return // conversion, not a call
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis != token.NoPos {
+		return // builtins; explicit slice... passes no new boxes
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var dst types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			dst = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			dst = sig.Params().At(i).Type()
+		}
+		checkConversion(pass, fd, dst, arg)
+	}
+}
+
+// checkConversion flags a concrete value converted to an interface.
+func checkConversion(pass *analysis.Pass, fd *ast.FuncDecl, dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil || types.IsInterface(tv.Type) {
+		return
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if tv.Value != nil {
+		return // constants box to compiler-laid-out static data
+	}
+	short := types.TypeString(tv.Type, func(p *types.Package) string { return p.Name() })
+	pass.Reportf(src.Pos(), "interface conversion boxes %s in //evs:noalloc function %s", short, fd.Name.Name)
+}
+
+func isNonConstString(pass *analysis.Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "testdata/fixture", "repro/internal/analysis/fixture")
+}

@@ -1,0 +1,77 @@
+// Package fixture exercises the noalloc analyzer. Only functions
+// carrying the //evs:noalloc directive are checked; everything else may
+// allocate freely.
+package fixture
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+type sink interface{ observe(v uint64) }
+
+type counter struct{ n atomic.Uint64 }
+
+func (c *counter) observe(v uint64) { c.n.Add(v) }
+
+// inc is a conforming hot-path function: branches, atomics, arithmetic,
+// fixed-size writes.
+//
+//evs:noalloc
+func inc(c *counter, v uint64) {
+	if c == nil {
+		return
+	}
+	c.n.Add(v)
+}
+
+// sprintfInHotPath trips the fmt rule.
+//
+//evs:noalloc
+func sprintfInHotPath(id int) string {
+	return fmt.Sprintf("p%02d", id) // want `fmt.Sprintf allocates`
+}
+
+// concatInHotPath trips the string-concatenation rule; the constant
+// fold below it must stay silent.
+//
+//evs:noalloc
+func concatInHotPath(name string) string {
+	const prefix = "evs_" + "totem_" // constant-folded: no diagnostic
+	return prefix + name             // want `string concatenation allocates`
+}
+
+// boxingInHotPath trips the interface-conversion rule in all three
+// positions: call argument, assignment, return.
+//
+//evs:noalloc
+func boxingInHotPath(c *counter, s sink, v uint64) interface{} {
+	use(v)     // want `interface conversion boxes uint64`
+	var x sink // declared interface
+	x = c      // want `interface conversion boxes \*fixture.counter`
+	x.observe(v)
+	s.observe(v) // interface method call on existing interface: no box
+	return v     // want `interface conversion boxes uint64`
+}
+
+func use(v interface{}) { _ = v }
+
+// closureInHotPath trips the closure rule.
+//
+//evs:noalloc
+func closureInHotPath(c *counter) func() {
+	return func() { c.n.Add(1) } // want `function literal allocates a closure`
+}
+
+// notAnnotated allocates at will: the directive opts functions in.
+func notAnnotated(id int) string {
+	f := func() string { return fmt.Sprintf("p%02d", id) }
+	return "x" + f()
+}
+
+// allowedBox documents a deliberate exception.
+//
+//evs:noalloc
+func allowedBox(v uint64) {
+	use(v) //lint:allow noalloc fixture demonstrates a documented exception
+}

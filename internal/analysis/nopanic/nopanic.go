@@ -1,0 +1,93 @@
+// Package nopanic enforces no-panic error propagation in the protocol
+// layers: a reproduction of a fault-tolerance paper must not itself fall
+// over on the errors it models. PR 1 replaced marshal panics with
+// propagated errors across apps/primary, yet internal/groups grew the
+// same panic again — proof that convention alone does not hold; this
+// analyzer holds it mechanically.
+//
+// Inside library packages (everything except cmd/ binaries, examples,
+// and test files, which the loader never feeds to analyzers) the
+// analyzer forbids:
+//
+//   - panic(...)
+//   - log.Fatal / log.Fatalf / log.Fatalln / log.Panic* (and the
+//     corresponding *log.Logger methods)
+//   - os.Exit
+//
+// Errors must propagate to the caller instead. Exemptions: init
+// functions (catalog construction that fails at process start, before
+// any protocol state exists, is an acceptable crash), and sites
+// carrying an explicit //lint:allow nopanic <reason>.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the no-panic checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "nopanic",
+	Doc:       "forbid panic/log.Fatal/os.Exit in protocol library packages; errors must propagate",
+	AppliesTo: AppliesTo,
+	Run:       run,
+}
+
+// AppliesTo covers every package of the module except the command-line
+// binaries and the runnable examples, whose top-level error handling
+// legitimately terminates the process.
+func AppliesTo(path string) bool {
+	if !analysis.PathHasPrefix(path, "repro") {
+		return false
+	}
+	return !analysis.PathHasPrefix(path, "repro/cmd") &&
+		!analysis.PathHasPrefix(path, "repro/examples")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue // init-time construction may crash the process
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if ok {
+					checkCall(pass, call)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.ObjectOf(id).(*types.Builtin); ok && b.Name() == "panic" {
+			pass.Reportf(call.Pos(), "panic in protocol package; propagate an error instead")
+			return
+		}
+	}
+	f := pass.CalleeFunc(call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	switch f.Pkg().Path() {
+	case "log":
+		if strings.HasPrefix(f.Name(), "Fatal") || strings.HasPrefix(f.Name(), "Panic") {
+			pass.Reportf(call.Pos(), "log.%s terminates the process from a protocol package; propagate an error instead", f.Name())
+		}
+	case "os":
+		if f.Name() == "Exit" && f.Type().(*types.Signature).Recv() == nil {
+			pass.Reportf(call.Pos(), "os.Exit terminates the process from a protocol package; propagate an error instead")
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nopanic"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, nopanic.Analyzer, "testdata/fixture", "repro/internal/groups/fixture")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for _, p := range []string{"repro", "repro/internal/groups", "repro/internal/totem"} {
+		if !nopanic.AppliesTo(p) {
+			t.Errorf("AppliesTo(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{"repro/cmd/evschaos", "repro/examples/chat", "other/module"} {
+		if nopanic.AppliesTo(p) {
+			t.Errorf("AppliesTo(%q) = true, want false", p)
+		}
+	}
+}

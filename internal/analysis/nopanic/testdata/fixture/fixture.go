@@ -1,0 +1,57 @@
+// Package fixture exercises the nopanic analyzer.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+type envelope struct {
+	Kind string `json:"kind"`
+}
+
+// encodePanics is the bug class the analyzer exists for: a marshal
+// failure taken down the whole process instead of the one operation.
+func encodePanics(e envelope) []byte {
+	b, err := json.Marshal(e)
+	if err != nil {
+		panic(fmt.Sprintf("marshal: %v", err)) // want `panic in protocol package`
+	}
+	return b
+}
+
+// encodePropagates is the required shape.
+func encodePropagates(e envelope) ([]byte, error) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("marshal: %w", err)
+	}
+	return b, nil
+}
+
+func fatals(err error) {
+	log.Fatalf("giving up: %v", err) // want `log.Fatalf terminates the process`
+	log.Panicln(err)                 // want `log.Panicln terminates the process`
+	os.Exit(1)                       // want `os.Exit terminates the process`
+}
+
+// catalog is built at init time; a malformed catalog may crash the
+// process before any protocol state exists.
+var catalog map[string]int
+
+func init() {
+	catalog = map[string]int{"a": 1}
+	if len(catalog) == 0 {
+		panic("empty catalog") // init functions are exempt
+	}
+}
+
+// mustSize documents a deliberately-kept invariant crash.
+func mustSize(n int) int {
+	if n < 0 {
+		panic("negative size") //lint:allow nopanic fixture demonstrates a documented exception
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+// Package fixture exercises the wireown analyzer: wire messages whose
+// slice fields alias caller- or state-owned memory are flagged at the
+// construction site, handlers retaining message slices are flagged at
+// the assignment, and fresh (copied) values stay silent.
+package fixture
+
+import (
+	"repro/internal/model"
+	"repro/internal/wire"
+)
+
+// ring is a stand-in protocol state machine.
+type ring struct {
+	cfg     model.Configuration
+	rtr     []uint64
+	held    []uint64
+	byProc  map[string]uint64
+	lastRtr []uint64
+}
+
+// aliasParam hands a caller's slice straight into a token.
+func aliasParam(r *ring, missing []uint64) wire.Token {
+	return wire.Token{
+		Ring: r.cfg.ID,
+		Rtr:  missing, // want `wire.Token field Rtr aliases caller-owned \(parameter missing\) memory`
+	}
+}
+
+// aliasReceiverState puts the ring's own mutable request list on the wire.
+func (r *ring) aliasReceiverState() wire.Token {
+	return wire.Token{
+		Ring: r.cfg.ID,
+		Rtr:  r.rtr, // want `wire.Token field Rtr aliases state-owned \(receiver r\) memory`
+	}
+}
+
+// aliasSubslice shows that reslicing does not change the owner.
+func (r *ring) batch(ds []wire.Data, max int) wire.DataBatch {
+	return wire.DataBatch{
+		Ring: r.cfg.ID,
+		Msgs: ds[:max:max], // want `wire.DataBatch field Msgs aliases caller-owned \(parameter ds\) memory`
+	}
+}
+
+// aliasByMutation constructs the message first and fills the field after.
+func (r *ring) aliasByMutation(missing []uint64) wire.Token {
+	t := wire.Token{Ring: r.cfg.ID}
+	t.Rtr = missing // want `wire.Token field Rtr aliases caller-owned \(parameter missing\) memory`
+	return t
+}
+
+// copies is the sanctioned shape: the message owns fresh storage.
+func (r *ring) copies(missing []uint64) wire.Token {
+	rtr := make([]uint64, len(missing))
+	copy(rtr, missing)
+	return wire.Token{Ring: r.cfg.ID, Rtr: rtr}
+}
+
+// callResult shows that freshly returned values are silent: the callee
+// built them for this message.
+func (r *ring) callResult() wire.Token {
+	return wire.Token{Ring: r.cfg.ID, Rtr: r.snapshotRtr()}
+}
+
+func (r *ring) snapshotRtr() []uint64 {
+	out := make([]uint64, len(r.rtr))
+	copy(out, r.rtr)
+	return out
+}
+
+// scalarFields shows that non-slice fields are never flagged: value
+// copies cannot alias.
+func scalarFields(r *ring, seq uint64) wire.Token {
+	return wire.Token{Ring: r.cfg.ID, Seq: seq, AruID: "p01"}
+}
+
+// retainToken stores a received token's request list into ring state.
+func (r *ring) retainToken(t wire.Token) {
+	r.lastRtr = t.Rtr // want `handler retains slice/map from wire.Token parameter t`
+}
+
+// retainViaPackageVar parks message memory in a package variable.
+var lastSeenRtr []uint64
+
+func observeToken(t wire.Token) {
+	lastSeenRtr = t.Rtr // want `handler retains slice/map from wire.Token parameter t`
+}
+
+// retainCopy is the sanctioned shape for handlers.
+func (r *ring) retainCopy(t wire.Token) {
+	r.lastRtr = append(r.lastRtr[:0], t.Rtr...)
+}
+
+// localUse shows that message slices may be read freely: only retention
+// into state is flagged.
+func (r *ring) localUse(t wire.Token) uint64 {
+	var sum uint64
+	reqs := t.Rtr // local alias dies with the call
+	for _, s := range reqs {
+		sum += s
+	}
+	return sum
+}
+
+// valueFlow shows whole-message copies are the normal flow.
+func (r *ring) valueFlow(t wire.Token) wire.Token {
+	u := t
+	u.Seq++
+	return u
+}
+
+// allowedHandoff documents an audited alias.
+func (r *ring) allowedHandoff(ds []wire.Data) wire.DataBatch {
+	//lint:allow wireown fixture: batch is broadcast and never touched again
+	return wire.DataBatch{Ring: r.cfg.ID, Msgs: ds}
+}

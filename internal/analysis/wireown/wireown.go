@@ -1,0 +1,227 @@
+// Package wireown enforces copy-ownership of wire message storage: a
+// wire.Message must not share backing arrays with memory its builder or
+// its receiver goes on mutating. The medium hands one message value to
+// every receiver of a broadcast without deep-copying (that is what makes
+// the batching path cheap), so the whole stack leans on a convention —
+// messages are immutable after handoff — that nothing used to check.
+// The deep-copy rules in the batching path were hand-audited; this
+// analyzer mechanises the audit at the sites where aliases are created.
+//
+// Two alias-creating shapes are flagged:
+//
+//   - construction: a composite literal (or field assignment) of a wire
+//     message type whose slice- or map-typed field is filled from an
+//     expression rooted at a function parameter or at receiver state.
+//     The caller (or the state machine) still holds that memory and may
+//     mutate it after the message is handed to the medium. Fresh values
+//     — call results, literals, make/append products — are silent.
+//
+//   - retention: a handler storing a slice/map reached through a wire
+//     message parameter into receiver state or a package variable. The
+//     message's arrays are shared with every other receiver of the same
+//     broadcast; retaining one without copying couples the processes.
+//
+// A site where the aliasing is deliberate and audited (the batch is
+// broadcast and never touched again, the log entry is immutable by
+// construction) carries //lint:allow wireown <reason> — the reason is
+// the audit.
+package wireown
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// WirePath is the import path of the wire message package.
+const WirePath = "repro/internal/wire"
+
+// Analyzer is the copy-ownership checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireown",
+	Doc:  "forbid wire messages aliasing caller- or state-owned slices/maps, and handlers retaining message slices",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// owned classifies the identifiers whose storage outlives the call in a
+// way the function does not control: parameters (caller-owned) and the
+// receiver (state-owned).
+type owned struct {
+	params map[types.Object]bool // includes the receiver
+	recv   types.Object          // nil for plain functions
+	// wireParams maps parameters whose type is a wire message (value or
+	// pointer) to that message type's name — the handler-retention rule's
+	// sources.
+	wireParams map[types.Object]string
+}
+
+func collectOwned(pass *analysis.Pass, fd *ast.FuncDecl) *owned {
+	o := &owned{params: map[types.Object]bool{}, wireParams: map[types.Object]string{}}
+	addField := func(fl *ast.Field, recv bool) {
+		for _, name := range fl.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			o.params[obj] = true
+			if recv {
+				o.recv = obj
+			}
+			if n := wireNamed(obj.Type()); n != "" {
+				o.wireParams[obj] = n
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, fl := range fd.Recv.List {
+			addField(fl, true)
+		}
+	}
+	for _, fl := range fd.Type.Params.List {
+		addField(fl, false)
+	}
+	return o
+}
+
+// wireNamed returns the type name if t (or its pointee) is a named type
+// declared in the wire package, else "".
+func wireNamed(t types.Type) string {
+	n := analysis.NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != WirePath {
+		return ""
+	}
+	return n.Obj().Name()
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	own := collectOwned(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CompositeLit:
+			checkConstruction(pass, own, v)
+		case *ast.AssignStmt:
+			checkAssign(pass, own, v)
+		}
+		return true
+	})
+}
+
+// checkConstruction flags slice/map fields of a wire composite literal
+// filled from parameter- or receiver-rooted memory.
+func checkConstruction(pass *analysis.Pass, own *owned, cl *ast.CompositeLit) {
+	name := wireNamed(pass.TypeOf(cl))
+	if name == "" {
+		return
+	}
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		field, ok := pass.ObjectOf(key).(*types.Var)
+		if !ok || !analysis.IsSliceOrMap(field.Type()) {
+			continue
+		}
+		reportAliased(pass, own, kv.Value, name, field.Name())
+	}
+}
+
+// checkAssign flags two shapes: writing owned memory into a slice/map
+// field of an existing wire message value (construction by mutation),
+// and storing a wire parameter's slice/map field into receiver state or
+// a package variable (retention).
+func checkAssign(pass *analysis.Pass, own *owned, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break // x, y := f() — call results are fresh
+		}
+		rhs := as.Rhs[i]
+
+		// Construction by mutation: msg.Field = <owned memory>.
+		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+			if name := wireNamed(pass.TypeOf(sel.X)); name != "" {
+				if t := pass.TypeOf(lhs); t != nil && analysis.IsSliceOrMap(t) {
+					reportAliased(pass, own, rhs, name, sel.Sel.Name)
+				}
+			}
+		}
+
+		// Retention: state = msg.Field where msg is a wire parameter.
+		t := pass.TypeOf(rhs)
+		if t == nil || !analysis.IsSliceOrMap(t) {
+			continue
+		}
+		src := analysis.RootIdent(rhs)
+		if src == nil {
+			continue
+		}
+		msgName, isWireParam := own.wireParams[pass.ObjectOf(src)]
+		if !isWireParam || ast.Unparen(rhs) == ast.Unparen(ast.Expr(src)) {
+			// The whole message (not a field of it) being copied around
+			// is the normal value-semantics flow.
+			continue
+		}
+		if retains(pass, own, lhs) {
+			pass.Reportf(as.Pos(),
+				"handler retains slice/map from wire.%s parameter %s; the backing array is shared with every receiver of the broadcast — copy it",
+				msgName, src.Name)
+		}
+	}
+}
+
+// reportAliased reports value if it is rooted at a parameter or at
+// receiver state.
+func reportAliased(pass *analysis.Pass, own *owned, value ast.Expr, msg, field string) {
+	root := analysis.RootIdent(value)
+	if root == nil {
+		return // call result, literal, make/append: freshly owned
+	}
+	obj := pass.ObjectOf(root)
+	if obj == nil || !own.params[obj] {
+		return
+	}
+	who := "caller-owned (parameter " + root.Name + ")"
+	if obj == own.recv {
+		who = "state-owned (receiver " + root.Name + ")"
+	}
+	pass.Reportf(value.Pos(),
+		"wire.%s field %s aliases %s memory; the message escapes to the medium uncopied — copy the slice/map or annotate the audited handoff",
+		msg, field, who)
+}
+
+// retains reports whether the assignment target outlives the call:
+// anything rooted at the receiver or at a package-level variable.
+func retains(pass *analysis.Pass, own *owned, lhs ast.Expr) bool {
+	root := analysis.RootIdent(lhs)
+	if root == nil {
+		return false
+	}
+	obj := pass.ObjectOf(root)
+	if obj == nil {
+		return false
+	}
+	if obj == own.recv {
+		return true
+	}
+	// Package-level variable: its scope is the package scope.
+	v, ok := obj.(*types.Var)
+	return ok && v.Parent() == pass.Pkg.Scope()
+}

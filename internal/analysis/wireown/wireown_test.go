@@ -1,0 +1,12 @@
+package wireown_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wireown"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, wireown.Analyzer, "testdata/fixture", "repro/internal/totem/fixture")
+}

@@ -110,8 +110,10 @@ func OrderingBench(size int, seed int64, window time.Duration) OrderingBenchRow 
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	//lint:allow determinism wall-clock measures benchmark runtime only; NsPerMsg is documented host-dependent and never feeds protocol state
 	start := time.Now()
 	row := Throughput(size, seed, window)
+	//lint:allow determinism wall-clock measures benchmark runtime only; NsPerMsg is documented host-dependent and never feeds protocol state
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)
 	out := OrderingBenchRow{

@@ -47,13 +47,15 @@ type Envelope struct {
 	Data   []byte   `json:"data,omitempty"`   // KindData
 }
 
-// Encode serialises an envelope.
-func Encode(e Envelope) []byte {
+// Encode serialises an envelope. Marshal failures are propagated, not
+// panicked: the group layer sits inside the protocol stack, and a bad
+// payload must surface as a dropped (counted) message, not a crash.
+func Encode(e Envelope) ([]byte, error) {
 	b, err := json.Marshal(e)
 	if err != nil {
-		panic(fmt.Sprintf("groups: marshal: %v", err))
+		return nil, fmt.Errorf("groups: marshal: %w", err)
 	}
-	return b
+	return b, nil
 }
 
 // Decode parses an envelope.
@@ -116,19 +118,19 @@ func New(self model.ProcessID) *Mux {
 
 // Join returns the payload to broadcast (safe) to subscribe this process
 // to a group. Idempotent at the table level.
-func (m *Mux) Join(group string) []byte {
+func (m *Mux) Join(group string) ([]byte, error) {
 	m.mine[group] = true
 	return Encode(Envelope{Kind: KindJoin, Group: group})
 }
 
 // Leave returns the payload to broadcast (safe) to unsubscribe.
-func (m *Mux) Leave(group string) []byte {
+func (m *Mux) Leave(group string) ([]byte, error) {
 	delete(m.mine, group)
 	return Encode(Envelope{Kind: KindLeave, Group: group})
 }
 
 // Send returns the payload to broadcast carrying data to a group.
-func (m *Mux) Send(group string, data []byte) []byte {
+func (m *Mux) Send(group string, data []byte) ([]byte, error) {
 	return Encode(Envelope{Kind: KindData, Group: group, Data: data})
 }
 
@@ -168,18 +170,24 @@ func (m *Mux) view(group string) ViewChange {
 // configuration it resets the table and returns the announcement payload
 // to broadcast (safe) plus view changes for this process's groups
 // (shrunken to what the table knows so far — the announcements that follow
-// will grow them back deterministically).
-func (m *Mux) OnConfig(cfg model.Configuration) ([]byte, []Event) {
+// will grow them back deterministically). An encode failure still resets
+// the table (the configuration change happened) but yields no
+// announcement.
+func (m *Mux) OnConfig(cfg model.Configuration) ([]byte, []Event, error) {
 	if cfg.ID.IsTransitional() {
-		return nil, nil
+		return nil, nil, nil
 	}
 	m.cfg = cfg
 	m.subs = make(map[string]map[model.ProcessID]bool)
 	var announce []byte
 	if len(m.mine) > 0 {
-		announce = Encode(Envelope{Kind: KindAnnounce, Groups: m.Groups()})
+		var err error
+		announce, err = Encode(Envelope{Kind: KindAnnounce, Groups: m.Groups()})
+		if err != nil {
+			return nil, nil, err
+		}
 	}
-	return announce, nil
+	return announce, nil, nil
 }
 
 // OnDeliver ingests a group-layer payload delivered by the transport (in

@@ -7,6 +7,15 @@ import (
 	"repro/internal/model"
 )
 
+// must unwraps an encoded payload; Envelope has no unmarshalable fields,
+// so an encode error in a test is a bug.
+func must(payload []byte, err error) []byte {
+	if err != nil {
+		panic(err)
+	}
+	return payload
+}
+
 func regCfg(seq uint64, members ...model.ProcessID) model.Configuration {
 	return model.Configuration{ID: model.RegularID(seq, members[0]), Members: model.NewProcessSet(members...)}
 }
@@ -44,7 +53,7 @@ func (b *bus) config(cfg model.Configuration) {
 	}
 	var anns []ann
 	for id, m := range b.muxes {
-		a, _ := m.OnConfig(cfg)
+		a, _, _ := m.OnConfig(cfg)
 		anns = append(anns, ann{id, a})
 	}
 	for _, a := range anns {
@@ -76,8 +85,8 @@ func lastView(evs []Event, group string) *ViewChange {
 func TestJoinCreatesConsistentViews(t *testing.T) {
 	b := newBus("a", "b", "c")
 	b.config(regCfg(1, "a", "b", "c"))
-	b.broadcast("a", b.muxes["a"].Join("chat"))
-	b.broadcast("b", b.muxes["b"].Join("chat"))
+	b.broadcast("a", must(b.muxes["a"].Join("chat")))
+	b.broadcast("b", must(b.muxes["b"].Join("chat")))
 
 	for _, id := range []model.ProcessID{"a", "b"} {
 		v := lastView(b.events[id], "chat")
@@ -94,9 +103,9 @@ func TestJoinCreatesConsistentViews(t *testing.T) {
 func TestDataOnlyToMembers(t *testing.T) {
 	b := newBus("a", "b", "c")
 	b.config(regCfg(1, "a", "b", "c"))
-	b.broadcast("a", b.muxes["a"].Join("chat"))
-	b.broadcast("b", b.muxes["b"].Join("chat"))
-	b.broadcast("a", b.muxes["a"].Send("chat", []byte("hi")))
+	b.broadcast("a", must(b.muxes["a"].Join("chat")))
+	b.broadcast("b", must(b.muxes["b"].Join("chat")))
+	b.broadcast("a", must(b.muxes["a"].Send("chat", []byte("hi"))))
 
 	for _, id := range []model.ProcessID{"a", "b"} {
 		ds := deliveries(b.events[id])
@@ -112,9 +121,9 @@ func TestDataOnlyToMembers(t *testing.T) {
 func TestLeaveShrinksView(t *testing.T) {
 	b := newBus("a", "b")
 	b.config(regCfg(1, "a", "b"))
-	b.broadcast("a", b.muxes["a"].Join("g"))
-	b.broadcast("b", b.muxes["b"].Join("g"))
-	b.broadcast("b", b.muxes["b"].Leave("g"))
+	b.broadcast("a", must(b.muxes["a"].Join("g")))
+	b.broadcast("b", must(b.muxes["b"].Join("g")))
+	b.broadcast("b", must(b.muxes["b"].Leave("g")))
 
 	v := lastView(b.events["a"], "g")
 	if v == nil || !v.Members.Equal(model.NewProcessSet("a")) {
@@ -124,7 +133,7 @@ func TestLeaveShrinksView(t *testing.T) {
 		t.Fatal("b should no longer be a member")
 	}
 	// Data no longer reaches b.
-	b.broadcast("a", b.muxes["a"].Send("g", []byte("x")))
+	b.broadcast("a", must(b.muxes["a"].Send("g", []byte("x"))))
 	if ds := deliveries(b.events["b"]); len(ds) != 0 {
 		t.Fatalf("left member received %+v", ds)
 	}
@@ -133,8 +142,8 @@ func TestLeaveShrinksView(t *testing.T) {
 func TestConfigChangeReannounces(t *testing.T) {
 	b := newBus("a", "b")
 	b.config(regCfg(1, "a", "b"))
-	b.broadcast("a", b.muxes["a"].Join("g"))
-	b.broadcast("b", b.muxes["b"].Join("g"))
+	b.broadcast("a", must(b.muxes["a"].Join("g")))
+	b.broadcast("b", must(b.muxes["b"].Join("g")))
 
 	// New configuration: table resets, announcements rebuild it.
 	b.config(regCfg(2, "a", "b"))
@@ -153,7 +162,7 @@ func TestPartitionShrinksGroupViews(t *testing.T) {
 	b := newBus("a", "b", "c")
 	b.config(regCfg(1, "a", "b", "c"))
 	for _, id := range []model.ProcessID{"a", "b", "c"} {
-		b.broadcast(id, b.muxes[id].Join("g"))
+		b.broadcast(id, must(b.muxes[id].Join("g")))
 	}
 	// a partitions away: the {b,c} side installs a new configuration;
 	// only b and c announce there.
@@ -183,9 +192,9 @@ func TestViewsIdenticalAcrossMembers(t *testing.T) {
 	b.config(regCfg(1, "a", "b", "c", "d"))
 	joins := []model.ProcessID{"a", "c", "d"}
 	for _, id := range joins {
-		b.broadcast(id, b.muxes[id].Join("g"))
+		b.broadcast(id, must(b.muxes[id].Join("g")))
 	}
-	b.broadcast("c", b.muxes["c"].Leave("g"))
+	b.broadcast("c", must(b.muxes["c"].Leave("g")))
 	want := model.NewProcessSet("a", "d")
 	for _, id := range []model.ProcessID{"a", "d"} {
 		v := lastView(b.events[id], "g")
@@ -201,7 +210,7 @@ func TestGarbageAndUnknownKind(t *testing.T) {
 	if evs := m.OnDeliver("a", []byte("{bad")); evs != nil {
 		t.Fatalf("garbage produced %v", evs)
 	}
-	if evs := m.OnDeliver("a", Encode(Envelope{Kind: "bogus"})); evs != nil {
+	if evs := m.OnDeliver("a", must(Encode(Envelope{Kind: "bogus"}))); evs != nil {
 		t.Fatalf("unknown kind produced %v", evs)
 	}
 	if _, err := Decode([]byte("{")); err == nil {
@@ -221,12 +230,12 @@ func TestGroupsSorted(t *testing.T) {
 
 func TestAnnounceOnlyWhenSubscribed(t *testing.T) {
 	m := New("a")
-	ann, _ := m.OnConfig(regCfg(1, "a"))
+	ann, _, _ := m.OnConfig(regCfg(1, "a"))
 	if ann != nil {
 		t.Fatal("no subscriptions: no announcement")
 	}
 	m.Join("g")
-	ann, _ = m.OnConfig(regCfg(2, "a"))
+	ann, _, _ = m.OnConfig(regCfg(2, "a"))
 	if ann == nil {
 		t.Fatal("subscribed process must announce on reconfiguration")
 	}

@@ -238,6 +238,8 @@ type histogram struct {
 
 // bucketIndex returns the bucket for value v: the smallest i with v < 2^i,
 // clamped to the unbounded last bucket.
+//
+//evs:noalloc
 func bucketIndex(v uint64) int {
 	i := bits.Len64(v)
 	if i > HistBuckets-1 {
@@ -246,6 +248,7 @@ func bucketIndex(v uint64) int {
 	return i
 }
 
+//evs:noalloc
 func (h *histogram) observe(v uint64) {
 	h.buckets[bucketIndex(v)].Add(1)
 	h.count.Add(1)
@@ -286,6 +289,8 @@ func (m *Metrics) Proc() string {
 }
 
 // Now returns the scope's current time (zero without a clock). Nil-safe.
+//
+//evs:noalloc
 func (m *Metrics) Now() time.Duration {
 	if m == nil || m.clock == nil {
 		return 0
@@ -294,6 +299,8 @@ func (m *Metrics) Now() time.Duration {
 }
 
 // Inc adds one to a counter. Nil-safe, allocation-free.
+//
+//evs:noalloc
 func (m *Metrics) Inc(c Counter) {
 	if m == nil {
 		return
@@ -302,6 +309,8 @@ func (m *Metrics) Inc(c Counter) {
 }
 
 // Add adds n to a counter. Nil-safe, allocation-free.
+//
+//evs:noalloc
 func (m *Metrics) Add(c Counter, n uint64) {
 	if m == nil {
 		return
@@ -318,6 +327,8 @@ func (m *Metrics) Counter(c Counter) uint64 {
 }
 
 // Set stores a gauge. Nil-safe, allocation-free.
+//
+//evs:noalloc
 func (m *Metrics) Set(g Gauge, v int64) {
 	if m == nil {
 		return
@@ -334,6 +345,8 @@ func (m *Metrics) Gauge(g Gauge) int64 {
 }
 
 // Observe records a histogram observation. Nil-safe, allocation-free.
+//
+//evs:noalloc
 func (m *Metrics) Observe(h Hist, v uint64) {
 	if m == nil {
 		return
@@ -343,6 +356,8 @@ func (m *Metrics) Observe(h Hist, v uint64) {
 
 // ObserveSince records the elapsed clock time since start, in
 // microseconds. Nil-safe.
+//
+//evs:noalloc
 func (m *Metrics) ObserveSince(h Hist, start time.Duration) {
 	if m == nil {
 		return

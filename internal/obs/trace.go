@@ -169,6 +169,8 @@ func (r *traceRing) init(depth int) {
 
 // Event records a protocol trace event and fans it out to the sinks.
 // Nil-safe; allocation-free (the ring slot is reused).
+//
+//evs:noalloc
 func (m *Metrics) Event(k Kind, a, b uint64) {
 	if m == nil {
 		return

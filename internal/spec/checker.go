@@ -92,6 +92,7 @@ func (c *Checker) CheckBasicDelivery() []Violation {
 	// and no process delivers it twice.
 	for m, sIdxs := range ix.sends {
 		if len(sIdxs) > 1 {
+			//lint:allow determinism violation order is canonicalised by sortViolations in CheckAll
 			out = append(out, Violation{
 				Spec:   "1.4",
 				Msg:    fmt.Sprintf("message %s sent %d times", m, len(sIdxs)),
@@ -114,6 +115,7 @@ func (c *Checker) CheckBasicDelivery() []Violation {
 			mine := ix.procDelivers[procMsg{p, m}]
 			k := sort.SearchInts(mine, d)
 			if k > 0 {
+				//lint:allow determinism violation order is canonicalised by sortViolations in CheckAll
 				out = append(out, Violation{
 					Spec:   "1.4",
 					Msg:    fmt.Sprintf("process %s delivered message %s twice", p, m),
@@ -130,6 +132,7 @@ func (c *Checker) CheckBasicDelivery() []Violation {
 		for _, d := range dIdxs {
 			de := ix.events[d]
 			if len(sIdxs) == 0 {
+				//lint:allow determinism violation order is canonicalised by sortViolations in CheckAll
 				out = append(out, Violation{
 					Spec:   "1.3",
 					Msg:    fmt.Sprintf("message %s delivered by %s but never sent", m, de.Proc),
@@ -176,6 +179,7 @@ func (c *Checker) CheckConfigChanges() []Violation {
 		for _, i := range idxs {
 			e := ix.events[i]
 			if prev, dup := seen[e.Proc]; dup {
+				//lint:allow determinism violation order is canonicalised by sortViolations in CheckAll
 				out = append(out, Violation{
 					Spec:   "2.1",
 					Msg:    fmt.Sprintf("process %s delivered configuration %s twice", e.Proc, cfg),
@@ -214,6 +218,7 @@ func (c *Checker) CheckConfigChanges() []Violation {
 				failed = false
 			case model.EventFail:
 				if e.Config != current {
+					//lint:allow determinism violation order is canonicalised by sortViolations in CheckAll
 					out = append(out, Violation{
 						Spec:   "2.2",
 						Msg:    fmt.Sprintf("process %s failed in %s while its configuration is %s", p, e.Config, current),
@@ -276,6 +281,7 @@ func (c *Checker) checkFinalAgreement() []Violation {
 				continue
 			}
 			if finals[q] != cfg {
+				//lint:allow determinism violation order is canonicalised by sortViolations in CheckAll
 				out = append(out, Violation{
 					Spec: "2.1",
 					Msg: fmt.Sprintf("process %s finished in %s but member %s finished in %s",
@@ -310,6 +316,7 @@ func (c *Checker) CheckSelfDelivery() []Violation {
 				continue
 			}
 			if !ix.deliveredIn(p, m, zone) {
+				//lint:allow determinism violation order is canonicalised by sortViolations in CheckAll
 				out = append(out, Violation{
 					Spec:   "3",
 					Msg:    fmt.Sprintf("process %s never delivered its own message %s sent in %s", p, m, se.Config),
@@ -481,11 +488,11 @@ func (c *Checker) CheckCausalDelivery() []Violation {
 	// Per configuration, the send events grouped by sending process, in
 	// history order (so local indices are ascending).
 	type cfgSends struct {
-		all    []int           // every send in the configuration, ascending
-		procs  []int32         // dense process ids with sends here
-		slot   map[int32]int   // dense process id -> index into procs/lists
-		lists  [][]int         // per slot: send event indices, ascending
-		locals [][]int32       // per slot: matching local indices, ascending
+		all    []int         // every send in the configuration, ascending
+		procs  []int32       // dense process ids with sends here
+		slot   map[int32]int // dense process id -> index into procs/lists
+		lists  [][]int       // per slot: send event indices, ascending
+		locals [][]int32     // per slot: matching local indices, ascending
 	}
 	byCfg := make(map[model.ConfigID]*cfgSends)
 	for i, e := range ix.events {

@@ -226,6 +226,7 @@ func (ix *index) buildTimestamps() {
 	n := len(ix.events)
 	procs := make([]model.ProcessID, 0, len(ix.byProc))
 	for p := range ix.byProc {
+		//lint:allow determinism NewUniverse sorts and dedupes the id set; accumulation order is irrelevant
 		procs = append(procs, p)
 	}
 	ix.uni = vclock.NewUniverse(procs)

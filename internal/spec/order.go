@@ -324,6 +324,7 @@ func (c *Checker) CheckSafeDelivery() []Violation {
 			if e.Config.IsRegular() {
 				for _, q := range members.Members() {
 					if !ix.installed(q, e.Config) {
+						//lint:allow determinism violation order is canonicalised by sortViolations in CheckAll
 						out = append(out, Violation{
 							Spec: "7.2",
 							Msg: fmt.Sprintf("%s delivered safe message %s in %s but member %s never installed it",
@@ -374,6 +375,7 @@ func (c *Checker) CheckPrimary() []Violation {
 	for cfg, idxs := range ix.confs {
 		for _, i := range idxs {
 			if ix.events[i].Primary {
+				//lint:allow determinism each prim[cfg] list fills from the slice-ordered idxs of one key; map order only permutes independent keys
 				prim[cfg] = append(prim[cfg], i)
 			}
 		}
@@ -382,6 +384,14 @@ func (c *Checker) CheckPrimary() []Violation {
 	for cfg := range prim {
 		ids = append(ids, cfg)
 	}
+	// Canonical enumeration order: the uniqueness pass below names the
+	// pair inside the violation message, so ids must not carry map order.
+	sort.Slice(ids, func(a, b int) bool {
+		if ids[a].Seq != ids[b].Seq {
+			return ids[a].Seq < ids[b].Seq
+		}
+		return ids[a].Rep < ids[b].Rep
+	})
 	// Order primaries: C before C' when some deliver_conf of C precedes
 	// some deliver_conf of C' in the closure (continuity's shared
 	// member supplies the path in conforming histories).

@@ -352,6 +352,8 @@ func (r *Ring) mergeClock(s vclock.Stamp) {
 
 // OnData ingests a received data message for this ring and returns any
 // messages that become deliverable, in total order.
+//
+//evs:noalloc
 func (r *Ring) OnData(d wire.Data) []wire.Data {
 	if d.Ring != r.cfg.ID || d.Seq == 0 {
 		return nil
@@ -364,6 +366,8 @@ func (r *Ring) OnData(d wire.Data) []wire.Data {
 
 // budget returns the effective per-visit sequencing budget and flow
 // window, shrinking the adaptive budget under retransmission pressure.
+//
+//evs:noalloc
 func (r *Ring) budget(pressure bool) (int, uint64) {
 	if !r.opts.Adaptive {
 		return r.opts.MaxPerToken, r.opts.Window
@@ -387,6 +391,8 @@ func (r *Ring) budget(pressure bool) (int, uint64) {
 }
 
 // growBudget raises the adaptive budget multiplicatively toward the cap.
+//
+//evs:noalloc
 func (r *Ring) growBudget() {
 	g := r.curMax + r.curMax/2
 	if g <= r.curMax {
@@ -405,6 +411,8 @@ func (r *Ring) growBudget() {
 // OnToken processes a token visit: it satisfies retransmission requests,
 // sequences pending messages, updates the aru and the safe watermark,
 // collects deliverable messages, and produces the token to forward.
+//
+//evs:noalloc
 func (r *Ring) OnToken(t wire.Token) TokenResult {
 	if t.Ring != r.cfg.ID || t.TokenID <= r.lastTokenID {
 		r.met.Inc(obs.CTokenStale)
@@ -526,6 +534,8 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 // watermark, stopping at a gap or at a safe-service message that is not yet
 // safe. A blocked safe message blocks everything behind it: delivery is in
 // total order.
+//
+//evs:noalloc
 func (r *Ring) collectDeliverable() []wire.Data {
 	var out []wire.Data
 	for r.present(r.deliveredUpTo + 1) {

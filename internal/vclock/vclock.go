@@ -325,6 +325,7 @@ func (s Stamp) String() string { return s.VC().String() }
 func NewStamp(v VC) Stamp {
 	ids := make([]model.ProcessID, 0, len(v))
 	for id := range v {
+		//lint:allow determinism NewUniverse sorts and dedupes the id set; accumulation order is irrelevant
 		ids = append(ids, id)
 	}
 	u := NewUniverse(ids)

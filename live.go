@@ -424,21 +424,29 @@ func (g *LiveGroup) MetricsHandler() http.Handler {
 // (":0" picks a free port) and returns the bound address. The server stops
 // when the group is closed. At most one metrics server per group.
 func (g *LiveGroup) ServeMetrics(addr string) (string, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
-		return "", fmt.Errorf("group is closed")
-	}
-	if g.metricsSrv != nil {
-		return "", fmt.Errorf("metrics server already running on %s", g.metricsSrv.Addr)
-	}
+	// Bind before taking the group lock: the listen syscall can stall
+	// (e.g. slow DNS for a hostname addr), and g.mu serializes the
+	// protocol hot path.
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("group is closed")
+	}
+	if g.metricsSrv != nil {
+		running := g.metricsSrv.Addr
+		g.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("metrics server already running on %s", running)
+	}
 	srv := &http.Server{Addr: ln.Addr().String(), Handler: g.MetricsHandler()}
 	g.metricsSrv = srv
 	g.wg.Add(1)
+	g.mu.Unlock()
 	go func() {
 		defer g.wg.Done()
 		_ = srv.Serve(ln)

@@ -29,6 +29,12 @@ type Topics struct {
 	g      *Group
 	mux    map[ProcessID]*groups.Mux
 	events map[ProcessID][]GroupEvent
+	// encodeErrors counts group-layer payloads that failed to serialise
+	// and were dropped instead of submitted — the group-layer analogue of
+	// Stats.PrimaryEncodeErrors. Structurally unreachable with the
+	// current Envelope (plain strings and bytes), but counted rather than
+	// panicked so a future envelope change cannot crash the simulation.
+	encodeErrors uint64
 }
 
 // ErrStarted reports an attempt to attach a layer to a simulation that has
@@ -66,33 +72,54 @@ func (o topicsObserver) OnDelivery(id ProcessID, d Delivery) {
 
 func (o topicsObserver) OnConfigChange(id ProcessID, c ConfigEvent) {
 	t := o.t
-	announce, evs := t.mux[id].OnConfig(c.Config)
+	announce, evs, err := t.mux[id].OnConfig(c.Config)
 	t.events[id] = append(t.events[id], evs...)
+	if err != nil {
+		t.encodeErrors++
+		return
+	}
 	if announce != nil {
 		_ = t.g.submit(id, announce, Safe)
 	}
 }
 
+// submitEncoded submits a group-layer payload unless encoding failed, in
+// which case the message is counted as dropped.
+func (t *Topics) submitEncoded(id ProcessID, payload []byte, err error) {
+	if err != nil {
+		t.encodeErrors++
+		return
+	}
+	_ = t.g.submit(id, payload, Safe)
+}
+
 // Join schedules a group subscription at virtual time at.
 func (t *Topics) Join(at time.Duration, id ProcessID, group string) {
 	t.g.At(at, func() {
-		t.g.submit(id, t.mux[id].Join(group), Safe)
+		payload, err := t.mux[id].Join(group)
+		t.submitEncoded(id, payload, err)
 	})
 }
 
 // Leave schedules a group unsubscription at virtual time at.
 func (t *Topics) Leave(at time.Duration, id ProcessID, group string) {
 	t.g.At(at, func() {
-		t.g.submit(id, t.mux[id].Leave(group), Safe)
+		payload, err := t.mux[id].Leave(group)
+		t.submitEncoded(id, payload, err)
 	})
 }
 
 // Send schedules a group-addressed message at virtual time at.
 func (t *Topics) Send(at time.Duration, id ProcessID, group string, data []byte) {
 	t.g.At(at, func() {
-		t.g.submit(id, t.mux[id].Send(group, data), Safe)
+		payload, err := t.mux[id].Send(group, data)
+		t.submitEncoded(id, payload, err)
 	})
 }
+
+// EncodeErrors reports how many group-layer payloads failed to serialise
+// and were dropped.
+func (t *Topics) EncodeErrors() uint64 { return t.encodeErrors }
 
 // Events returns the group-layer events observed at a process, in order.
 func (t *Topics) Events(id ProcessID) []GroupEvent { return t.events[id] }
