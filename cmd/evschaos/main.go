@@ -10,6 +10,8 @@
 //
 //	evschaos [-seeds N] [-seed S] [-procs P] [-duration D] [-settle D]
 //	         [-parallel W] [-minimize] [-save FILE] [-replay FILE]
+//	         [-stream] [-soak-seconds S] [-sends N] [-check-every N]
+//	         [-oracle-every K] [-bound B] [-report FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-v]
 //
 // Examples:
@@ -18,13 +20,20 @@
 //	evschaos -seeds 200 -parallel 8    # soak on 8 workers
 //	evschaos -seed 86 -minimize        # one seed, shrink any failure
 //	evschaos -replay repro.json        # re-execute a saved reproducer
+//	evschaos -stream -soak-seconds 90  # inline-certified convergence soak
 //
 // Executions are deterministic per seed, so -parallel changes only the
 // wall-clock time: per-seed results (and their printed order) are
 // identical to a serial run.
 //
+// -stream switches to the streaming soak (see stream.go): histories are
+// certified inline by the windowed checker instead of retained, each
+// seed's verdict includes the self-stabilization convergence judgment,
+// and the per-seed line reports the checker's peak retained window.
+//
 // The exit status is non-zero if any execution violated the
-// specifications (or a replayed reproducer still does).
+// specifications (or a replayed reproducer still does, or a streaming
+// seed failed to converge).
 package main
 
 import (
@@ -55,8 +64,33 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		verbose  = flag.Bool("v", false, "print every program before running it")
+
+		stream      = flag.Bool("stream", false, "certify inline with the streaming checker and judge convergence")
+		soakSeconds = flag.Int("soak-seconds", 0, "with -stream: run seeds serially until this wall-clock budget is spent")
+		sends       = flag.Int("sends", 0, "client submissions per seed (0 = default 16)")
+		healEvery   = flag.Duration("heal-every", 0, "insert a full heal boundary this often (bounds fault episodes, and with them checker memory, on long runs)")
+		checkEvery  = flag.Int("check-every", 4096, "with -stream: incremental certification cadence in events")
+		oracleEvery = flag.Int("oracle-every", 16, "with -stream: run the reference oracle on every k-th window")
+		bound       = flag.Int("bound", 8, "with -stream: post-fault configuration changes allowed before the run must be legal")
+		reportFile  = flag.String("report", "", "with -stream: write the convergence report to this file (written even on failure)")
 	)
 	flag.Parse()
+
+	if *stream {
+		if err := runStream(streamConfig{
+			seeds: *seeds, seed: *seed, procs: *procs,
+			duration: *duration, settle: *settle, sends: *sends,
+			healEvery:   *healEvery,
+			soakSeconds: *soakSeconds,
+			checkEvery:  *checkEvery, oracleEvery: *oracleEvery, bound: *bound,
+			report:  *reportFile,
+			verbose: *verbose,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(config{
 		seeds: *seeds, seed: *seed, procs: *procs,

@@ -1,0 +1,146 @@
+// Streaming-soak mode (-stream): instead of retaining each execution's
+// history and judging it post hoc, every seed runs through
+// chaos.RunStream — the cluster drops its history, the spec checker
+// certifies inline over a pruned window (sampling the reference oracle),
+// and the verdict includes the self-stabilization judgment: after the
+// last transient corruption the run must re-enter the legal-history set
+// within a bounded number of configuration changes.
+//
+// With -soak-seconds the seed range is open-ended: seeds run serially
+// from 1 until the wall-clock budget is spent (at least one always
+// runs). The per-seed line reports the peak checker memory (retained
+// events and bytes in the unpruned window) so a reader can confirm the
+// certified-event count grows while memory stays flat. -report writes
+// the full convergence report to a file — even when seeds fail — so CI
+// can upload it as an artifact.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// streamConfig collects the -stream mode knobs. Like config, tests
+// inject clock and out; main leaves them nil for wall clock and stdout.
+type streamConfig struct {
+	seeds       int
+	seed        int64
+	procs       int
+	duration    time.Duration
+	settle      time.Duration
+	sends       int
+	healEvery   time.Duration
+	soakSeconds int
+	checkEvery  int
+	oracleEvery int
+	bound       int
+	report      string
+	verbose     bool
+	clock       func() time.Duration
+	out         io.Writer
+}
+
+// runStream executes the streaming soak serially (determinism per seed
+// makes parallelism pointless for a wall-clock-budgeted mode: the set of
+// seeds run would depend on scheduling). It writes the report file even
+// on failure, then returns an error if any seed failed to converge.
+func runStream(cfg streamConfig) error {
+	out := cfg.out
+	if out == nil {
+		out = os.Stdout
+	}
+	clock := cfg.clock
+	if clock == nil {
+		start := time.Now()
+		clock = func() time.Duration { return time.Since(start) }
+	}
+	budget := time.Duration(cfg.soakSeconds) * time.Second
+	gen := chaos.GenConfig{
+		Procs: cfg.procs, Duration: cfg.duration, Settle: cfg.settle,
+		Sends: cfg.sends, HealEvery: cfg.healEvery,
+	}
+	sc := chaos.StreamConfig{
+		CheckEvery:  cfg.checkEvery,
+		OracleEvery: cfg.oracleEvery,
+		Bound:       cfg.bound,
+	}
+
+	var report strings.Builder
+	emit := func(format string, args ...any) {
+		line := fmt.Sprintf(format, args...)
+		fmt.Fprint(out, line)
+		report.WriteString(line)
+	}
+
+	emit("streaming soak: check-every=%d oracle-every=%d bound=%d budget=%s\n",
+		sc.CheckEvery, sc.OracleEvery, sc.Bound, budget)
+
+	var (
+		ran, failures, faulted int
+		totalEvents, totalCert uint64
+		peakEvents             int
+		peakBytes              uint64
+		epoch                  = clock()
+	)
+	for s := int64(1); ; s++ {
+		if cfg.seed != 0 {
+			s = cfg.seed
+		}
+		p := chaos.Generate(s, gen)
+		if cfg.verbose {
+			emit("%s\n", p)
+		}
+		res := chaos.RunStream(p, sc)
+		ran++
+		totalEvents += res.Events
+		totalCert += res.Stream.Certified
+		if res.Stream.PeakRetained > peakEvents {
+			peakEvents = res.Stream.PeakRetained
+		}
+		if res.Stream.PeakBytes > peakBytes {
+			peakBytes = res.Stream.PeakBytes
+		}
+		if res.LastFault > 0 {
+			faulted++
+		}
+		emit("seed %-4d %s\n", s, res)
+		if !res.Converged {
+			failures++
+			for _, v := range res.Violations {
+				emit("    violation: %s\n", v)
+			}
+			for _, d := range res.Disagreements {
+				emit("    disagreement: %s\n", d)
+			}
+		}
+		if cfg.seed != 0 {
+			break
+		}
+		if budget > 0 {
+			if clock()-epoch >= budget {
+				break
+			}
+		} else if s >= int64(cfg.seeds) {
+			break
+		}
+	}
+	emit("%d seed(s), %d not converged, %d with faults, %d events (%d certified inline), peak window %d events / %d bytes, %s\n",
+		ran, failures, faulted, totalEvents, totalCert, peakEvents, peakBytes,
+		(clock() - epoch).Round(time.Millisecond))
+
+	if cfg.report != "" {
+		if err := os.WriteFile(cfg.report, []byte(report.String()), 0o644); err != nil {
+			return fmt.Errorf("evschaos: write report: %w", err)
+		}
+		fmt.Fprintf(out, "wrote convergence report to %s\n", cfg.report)
+	}
+	if failures > 0 {
+		return fmt.Errorf("evschaos: %d of %d streaming seeds did not converge", failures, ran)
+	}
+	return nil
+}

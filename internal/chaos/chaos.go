@@ -55,6 +55,11 @@ const (
 	// OpDelaySpike adds Delay fixed latency plus Jitter reorder spread
 	// to every link (heal with OpHealLinks).
 	OpDelaySpike Op = "delay_spike"
+	// OpPerturb corrupts the in-memory state of the live process Proc
+	// between token visits (Mode selects the transient fault, N sizes
+	// it) — the self-stabilization fault model, as opposed to the
+	// crash-time storage corruption of OpCrash.
+	OpPerturb Op = "perturb"
 )
 
 // Event is one scheduled fault or traffic action.
@@ -110,6 +115,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s clear_drops", at)
 	case OpDelaySpike:
 		return fmt.Sprintf("%s delay_spike +%s jitter=%s", at, e.Delay, e.Jitter)
+	case OpPerturb:
+		return fmt.Sprintf("%s perturb %s mode=%s n=%d", at, e.Proc, e.Mode, e.N)
 	default:
 		return fmt.Sprintf("%s %s?", at, e.Op)
 	}
@@ -279,6 +286,10 @@ func apply(c *harness.Cluster, ids []model.ProcessID, p Program) {
 			c.ClearKindDrops(at)
 		case OpDelaySpike:
 			c.DelaySpike(at, e.Delay, e.Jitter)
+		case OpPerturb:
+			if valid[e.Proc] {
+				c.Perturb(at, e.Proc, e.Mode, e.N)
+			}
 		}
 	}
 	// Heal tail: whatever subset of events ran, the execution ends with

@@ -23,6 +23,16 @@ type GenConfig struct {
 	Faults int
 	// Sends is the number of client submissions (default 16).
 	Sends int
+	// HealEvery, when positive, inserts a full heal boundary (merge,
+	// heal links, clear drops, recover everyone) every HealEvery of
+	// virtual time. Faults then damage the system only in bounded
+	// episodes — the transient-fault shape the self-stabilization model
+	// assumes — which in turn bounds how long the streaming checker's
+	// configuration families stay open, and with them its retained
+	// window: without boundaries a single unlucky crash can hold
+	// families open for the rest of the run, growing the window with
+	// run length instead of protocol concurrency.
+	HealEvery time.Duration
 }
 
 // withDefaults fills unset fields; seed-dependent defaults come from rng.
@@ -89,16 +99,26 @@ func Generate(seed int64, cfg GenConfig) Program {
 	}
 	pick := func() model.ProcessID { return ids[rng.Intn(len(ids))] }
 	for i := 0; i < cfg.Faults; i++ {
-		switch rng.Intn(10) {
+		switch rng.Intn(11) {
 		case 0, 1: // crash, sometimes with storage corruption
 			id := pick()
 			e := Event{At: at(), Op: OpCrash, Proc: id}
-			switch rng.Intn(4) {
+			switch rng.Intn(8) {
 			case 0:
 				e.Mode = harness.CorruptTornWrite
 			case 1:
 				e.Mode = harness.CorruptLostSuffix
 				e.N = 1 + rng.Intn(4)
+			case 2:
+				e.Mode = harness.CorruptSeqWrap
+			case 3:
+				e.Mode = harness.CorruptRingSeqRegress
+			case 4:
+				e.Mode = harness.CorruptObligations
+				e.N = 1 + rng.Intn(3)
+			case 5:
+				e.Mode = harness.CorruptLogFlip
+				e.N = 1 + rng.Intn(3)
 			}
 			down = append(down, id)
 			p.Events = append(p.Events, e)
@@ -135,6 +155,33 @@ func Generate(seed int64, cfg GenConfig) Program {
 		case 9: // heal everything mid-run
 			p.Events = append(p.Events, Event{At: at(), Op: OpMerge})
 			p.Events = append(p.Events, Event{At: at(), Op: OpHealLinks})
+		case 10: // live in-memory perturbation (self-stabilization model)
+			e := Event{At: at(), Op: OpPerturb, Proc: pick()}
+			switch rng.Intn(3) {
+			case 0:
+				e.Mode = harness.CorruptSeqWrap
+			case 1:
+				e.Mode = harness.CorruptRingSeqRegress
+			case 2:
+				e.Mode = harness.CorruptObligations
+				e.N = 1 + rng.Intn(3)
+			}
+			p.Events = append(p.Events, e)
+		}
+	}
+
+	// Periodic heal boundaries (see GenConfig.HealEvery). Recovering an
+	// already-operational process is a no-op, so boundaries compose with
+	// whatever fault subset survives minimization.
+	if cfg.HealEvery > 0 {
+		for t := cfg.HealEvery; t < cfg.Duration; t += cfg.HealEvery {
+			p.Events = append(p.Events,
+				Event{At: t, Op: OpMerge},
+				Event{At: t, Op: OpHealLinks},
+				Event{At: t, Op: OpClearDrops})
+			for _, id := range ids {
+				p.Events = append(p.Events, Event{At: t, Op: OpRecover, Proc: id})
+			}
 		}
 	}
 

@@ -106,13 +106,16 @@ type Recovery struct {
 // New begins a recovery attempt. log is owned by the caller but mutated by
 // the recovery (rebroadcasts merge into it); state carries the caller's
 // receipt state for oldRing; obligations is the obligation set carried in
-// from stable storage or a previous interrupted attempt.
+// from stable storage or a previous interrupted attempt; seen is the
+// caller's highest-observed sender sequence per originator, copied into
+// the frozen exchange as counter-healing evidence for peers.
 func New(
 	self model.ProcessID,
 	newRing, oldRing model.Configuration,
 	state totem.State,
 	log map[uint64]wire.Data,
 	obligations model.ProcessSet,
+	seen map[model.ProcessID]uint64,
 ) *Recovery {
 	if log == nil {
 		log = make(map[uint64]wire.Data)
@@ -141,8 +144,46 @@ func New(
 		HighestSeen:   state.HighestSeen,
 		DeliveredUpTo: state.DeliveredUpTo,
 		Obligations:   obligations.Members(),
+		SeenSeqs:      seenSlice(seen),
 	}
 	return r
+}
+
+// seenSlice renders a seen-sequence map as the canonical sorted wire
+// form. The result is freshly allocated: the exchange must never alias
+// the caller's live map.
+func seenSlice(seen map[model.ProcessID]uint64) []wire.SeenSeq {
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]wire.SeenSeq, 0, len(seen))
+	for p, v := range seen {
+		out = append(out, wire.SeenSeq{Proc: p, Seq: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Proc < out[j].Proc })
+	return out
+}
+
+// SeenSeqs merges the highest-observed sender sequences across every
+// exchange received this attempt (including this process's own): the
+// counter-healing evidence of the self-stabilization fault model. The
+// caller adopts the per-originator maxima when the configuration is
+// installed.
+func (r *Recovery) SeenSeqs() map[model.ProcessID]uint64 {
+	out := make(map[model.ProcessID]uint64)
+	merge := func(ss []wire.SeenSeq) {
+		for _, s := range ss {
+			if s.Seq > out[s.Proc] {
+				out[s.Proc] = s.Seq
+			}
+		}
+	}
+	merge(r.frozen.SeenSeqs)
+	for _, e := range r.exchanges {
+		//lint:allow determinism per-entry max-merge; the result does not depend on iteration order
+		merge(e.SeenSeqs)
+	}
+	return out
 }
 
 // Obligations returns the current obligation set, persisted by the node if

@@ -108,10 +108,10 @@ func figure6World(t *testing.T) (*world, model.Configuration, model.Configuratio
 func TestTransitionalSetSplitsByOldRing(t *testing.T) {
 	w, oldRing, newRing := figure6World(t)
 	empty := model.NewProcessSet()
-	w.procs["q"] = New("q", newRing, oldRing, totem.State{}, nil, empty)
-	w.procs["r"] = New("r", newRing, oldRing, totem.State{}, nil, empty)
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["q"] = New("q", newRing, oldRing, totem.State{}, nil, empty, nil)
+	w.procs["r"] = New("r", newRing, oldRing, totem.State{}, nil, empty, nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	w.run()
 
 	if len(w.results) != 4 {
@@ -143,10 +143,10 @@ func TestRebroadcastFillsPeersGaps(t *testing.T) {
 	// q has 1,2; r has 1,3. Both should end with 1,2,3.
 	qlog := map[uint64]wire.Data{1: m1, 2: m2}
 	rlog := map[uint64]wire.Data{1: m1, 3: m3}
-	w.procs["q"] = New("q", newRing, oldRing, totem.State{MyAru: 2, HighestSeen: 3}, qlog, empty)
-	w.procs["r"] = New("r", newRing, oldRing, totem.State{MyAru: 1, Have: []uint64{3}, HighestSeen: 3}, rlog, empty)
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["q"] = New("q", newRing, oldRing, totem.State{MyAru: 2, HighestSeen: 3}, qlog, empty, nil)
+	w.procs["r"] = New("r", newRing, oldRing, totem.State{MyAru: 1, Have: []uint64{3}, HighestSeen: 3}, rlog, empty, nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	w.run()
 
 	for _, id := range []model.ProcessID{"q", "r"} {
@@ -168,10 +168,10 @@ func TestSafeMessageAckedByTransitionalPeerDeliveredInTransitional(t *testing.T)
 	qlog := map[uint64]wire.Data{1: n}
 	rlog := map[uint64]wire.Data{1: n}
 	st := totem.State{MyAru: 1, SafeBound: 0, HighestSeen: 1}
-	w.procs["q"] = New("q", newRing, oldRing, st, qlog, empty)
-	w.procs["r"] = New("r", newRing, oldRing, st, rlog, empty)
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["q"] = New("q", newRing, oldRing, st, qlog, empty, nil)
+	w.procs["r"] = New("r", newRing, oldRing, st, rlog, empty, nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	w.run()
 
 	for _, id := range []model.ProcessID{"q", "r"} {
@@ -190,10 +190,10 @@ func TestSafeMessageWithinSafeBoundDeliveredInOldRegular(t *testing.T) {
 	empty := model.NewProcessSet()
 	m := mkData("q", 1, 1, oldRing.ID, model.Safe)
 	st := totem.State{MyAru: 1, SafeBound: 1, HighestSeen: 1}
-	w.procs["q"] = New("q", newRing, oldRing, st, map[uint64]wire.Data{1: m}, empty)
-	w.procs["r"] = New("r", newRing, oldRing, st, map[uint64]wire.Data{1: m}, empty)
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["q"] = New("q", newRing, oldRing, st, map[uint64]wire.Data{1: m}, empty, nil)
+	w.procs["r"] = New("r", newRing, oldRing, st, map[uint64]wire.Data{1: m}, empty, nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	w.run()
 
 	for _, id := range []model.ProcessID{"q", "r"} {
@@ -211,10 +211,10 @@ func TestSafeBoundLearnedFromPeerExchange(t *testing.T) {
 	w, oldRing, newRing := figure6World(t)
 	empty := model.NewProcessSet()
 	m := mkData("q", 1, 1, oldRing.ID, model.Safe)
-	w.procs["q"] = New("q", newRing, oldRing, totem.State{MyAru: 1, SafeBound: 0, HighestSeen: 1}, map[uint64]wire.Data{1: m}, empty)
-	w.procs["r"] = New("r", newRing, oldRing, totem.State{MyAru: 1, SafeBound: 1, HighestSeen: 1}, map[uint64]wire.Data{1: m}, empty)
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["q"] = New("q", newRing, oldRing, totem.State{MyAru: 1, SafeBound: 0, HighestSeen: 1}, map[uint64]wire.Data{1: m}, empty, nil)
+	w.procs["r"] = New("r", newRing, oldRing, totem.State{MyAru: 1, SafeBound: 1, HighestSeen: 1}, map[uint64]wire.Data{1: m}, empty, nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	w.run()
 
 	for _, id := range []model.ProcessID{"q", "r"} {
@@ -236,10 +236,10 @@ func TestHoleDiscardsFollowersExceptObligations(t *testing.T) {
 	m4 := mkData("q", 2, 4, oldRing.ID, model.Agreed)
 	log := map[uint64]wire.Data{1: m1, 3: m3, 4: m4}
 	st := totem.State{MyAru: 1, Have: []uint64{3, 4}, HighestSeen: 4}
-	w.procs["q"] = New("q", newRing, oldRing, st, cloneLog(log), empty)
-	w.procs["r"] = New("r", newRing, oldRing, st, cloneLog(log), empty)
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["q"] = New("q", newRing, oldRing, st, cloneLog(log), empty, nil)
+	w.procs["r"] = New("r", newRing, oldRing, st, cloneLog(log), empty, nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	w.run()
 
 	for _, id := range []model.ProcessID{"q", "r"} {
@@ -266,10 +266,10 @@ func TestObligationSenderSurvivesHole(t *testing.T) {
 	log := map[uint64]wire.Data{1: m1, 3: m3}
 	st := totem.State{MyAru: 1, Have: []uint64{3}, HighestSeen: 3}
 	obl := model.NewProcessSet("p")
-	w.procs["q"] = New("q", newRing, oldRing, st, cloneLog(log), obl)
-	w.procs["r"] = New("r", newRing, oldRing, st, cloneLog(log), obl)
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, model.NewProcessSet())
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, model.NewProcessSet())
+	w.procs["q"] = New("q", newRing, oldRing, st, cloneLog(log), obl, nil)
+	w.procs["r"] = New("r", newRing, oldRing, st, cloneLog(log), obl, nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, model.NewProcessSet(), nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, model.NewProcessSet(), nil)
 	w.run()
 
 	for _, id := range []model.ProcessID{"q", "r"} {
@@ -283,10 +283,10 @@ func TestObligationSenderSurvivesHole(t *testing.T) {
 func TestObligationsExtendWithTransitionalMembers(t *testing.T) {
 	w, oldRing, newRing := figure6World(t)
 	empty := model.NewProcessSet()
-	w.procs["q"] = New("q", newRing, oldRing, totem.State{}, nil, empty)
-	w.procs["r"] = New("r", newRing, oldRing, totem.State{}, nil, model.NewProcessSet("x"))
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["q"] = New("q", newRing, oldRing, totem.State{}, nil, empty, nil)
+	w.procs["r"] = New("r", newRing, oldRing, totem.State{}, nil, model.NewProcessSet("x"), nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	w.run()
 
 	// Step 5.c: q's obligations should include the transitional members
@@ -314,10 +314,10 @@ func TestFailureAtomicityIdenticalResults(t *testing.T) {
 	// q delivered up to 4 (observed safe bound 4); r only up to 1.
 	qlog := cloneLog(msgs)
 	rlog := map[uint64]wire.Data{1: msgs[1], 2: msgs[2], 3: msgs[3], 5: msgs[5]}
-	w.procs["q"] = New("q", newRing, oldRing, totem.State{MyAru: 6, SafeBound: 4, DeliveredUpTo: 4, HighestSeen: 6}, qlog, empty)
-	w.procs["r"] = New("r", newRing, oldRing, totem.State{MyAru: 3, Have: []uint64{5}, SafeBound: 2, DeliveredUpTo: 1, HighestSeen: 6}, rlog, empty)
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["q"] = New("q", newRing, oldRing, totem.State{MyAru: 6, SafeBound: 4, DeliveredUpTo: 4, HighestSeen: 6}, qlog, empty, nil)
+	w.procs["r"] = New("r", newRing, oldRing, totem.State{MyAru: 3, Have: []uint64{5}, SafeBound: 2, DeliveredUpTo: 1, HighestSeen: 6}, rlog, empty, nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	w.run()
 
 	q, r := w.results["q"], w.results["r"]
@@ -337,8 +337,8 @@ func TestFreshProcessesFinishWithNoDeliveries(t *testing.T) {
 	w := newWorld(t)
 	newRing := model.Configuration{ID: model.RegularID(1, "a"), Members: model.NewProcessSet("a", "b")}
 	empty := model.NewProcessSet()
-	w.procs["a"] = New("a", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["b"] = New("b", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["a"] = New("a", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["b"] = New("b", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	w.run()
 	for _, id := range []model.ProcessID{"a", "b"} {
 		res, ok := w.results[id]
@@ -355,10 +355,10 @@ func TestRetryMasksMessageLoss(t *testing.T) {
 	w, oldRing, newRing := figure6World(t)
 	empty := model.NewProcessSet()
 	m1 := mkData("q", 1, 1, oldRing.ID, model.Agreed)
-	w.procs["q"] = New("q", newRing, oldRing, totem.State{MyAru: 1, HighestSeen: 1}, map[uint64]wire.Data{1: m1}, empty)
-	w.procs["r"] = New("r", newRing, oldRing, totem.State{HighestSeen: 1}, nil, empty)
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["q"] = New("q", newRing, oldRing, totem.State{MyAru: 1, HighestSeen: 1}, map[uint64]wire.Data{1: m1}, empty, nil)
+	w.procs["r"] = New("r", newRing, oldRing, totem.State{HighestSeen: 1}, nil, empty, nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	// Lose everything q sends the first time through.
 	lost := map[string]bool{}
 	w.cut = func(from, to model.ProcessID) bool {
@@ -446,10 +446,10 @@ func TestStragglerOutsideNeededSetDropped(t *testing.T) {
 	empty := model.NewProcessSet()
 	m1 := mkData("q", 1, 1, oldRing.ID, model.Agreed)
 	st := totem.State{MyAru: 1, HighestSeen: 1}
-	w.procs["q"] = New("q", newRing, oldRing, st, map[uint64]wire.Data{1: m1}, empty)
-	w.procs["r"] = New("r", newRing, oldRing, st, map[uint64]wire.Data{1: m1}, empty)
-	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty)
-	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty)
+	w.procs["q"] = New("q", newRing, oldRing, st, map[uint64]wire.Data{1: m1}, empty, nil)
+	w.procs["r"] = New("r", newRing, oldRing, st, map[uint64]wire.Data{1: m1}, empty, nil)
+	w.procs["s"] = New("s", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
+	w.procs["t"] = New("t", newRing, model.Configuration{}, totem.State{}, nil, empty, nil)
 	w.run()
 	// A straggler with seq 7 (nobody claimed it) arrives at q after the
 	// plan: it must be dropped, not delivered.

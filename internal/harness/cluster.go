@@ -32,6 +32,15 @@ type Options struct {
 	Net *netsim.Config
 	// Node overrides protocol timing (defaults to node.DefaultConfig).
 	Node *node.Config
+	// Stream, when set, attaches an inline specification checker: every
+	// traced event is fed to it as it happens, certifying the run
+	// incrementally instead of post-hoc (see spec.Stream).
+	Stream *spec.StreamOptions
+	// DropHistory stops the cluster from retaining the full event
+	// history. Only meaningful with Stream set — it is what makes
+	// arbitrarily long soaks memory-bounded. Check cannot be used on a
+	// cluster that drops its history; use the stream's verdict instead.
+	DropHistory bool
 }
 
 // Cluster is a deterministic in-memory EVS deployment.
@@ -39,6 +48,10 @@ type Cluster struct {
 	Sched   *sim.Scheduler
 	Net     *netsim.Network
 	History *spec.History
+
+	stream      *spec.Stream
+	dropHistory bool
+	eventCount  uint64
 
 	ids     []model.ProcessID
 	nodes   map[model.ProcessID]*node.Node
@@ -108,7 +121,13 @@ func (e *env) DeliverConfig(cc node.ConfigChange) {
 }
 
 func (e *env) Trace(ev model.Event) {
-	e.c.History.Append(ev)
+	e.c.eventCount++
+	if e.c.stream != nil {
+		e.c.stream.Add(ev)
+	}
+	if !e.c.dropHistory {
+		e.c.History.Append(ev)
+	}
 }
 
 // New builds a cluster; processes boot at time zero.
@@ -134,15 +153,19 @@ func New(opts Options) *Cluster {
 	}
 
 	c := &Cluster{
-		Sched:   &sim.Scheduler{},
-		History: &spec.History{},
-		ids:     ids,
+		Sched:       &sim.Scheduler{},
+		History:     &spec.History{},
+		dropHistory: opts.DropHistory,
+		ids:         ids,
 		nodes:   make(map[model.ProcessID]*node.Node, len(ids)),
 		stores:  make(map[model.ProcessID]*stable.Store, len(ids)),
 		envs:    make(map[model.ProcessID]*env, len(ids)),
 		deliver: make(map[model.ProcessID][]node.Delivery, len(ids)),
 		configs: make(map[model.ProcessID][]model.Configuration, len(ids)),
 		metrics: make(map[model.ProcessID]*obs.Metrics, len(ids)),
+	}
+	if opts.Stream != nil {
+		c.stream = spec.NewStream(*opts.Stream)
 	}
 	clock := func() time.Duration { return c.Sched.Now() }
 	c.Net = netsim.New(c.Sched, netCfg)
@@ -171,6 +194,14 @@ func New(opts Options) *Cluster {
 	}
 	return c
 }
+
+// Stream returns the inline checker attached via Options.Stream, or nil.
+func (c *Cluster) Stream() *spec.Stream { return c.stream }
+
+// EventCount returns the number of events traced so far, maintained
+// even when the history itself is dropped (DropHistory): it is the
+// global event index streaming violations anchor to.
+func (c *Cluster) EventCount() uint64 { return c.eventCount }
 
 // IDs returns the process identifiers.
 func (c *Cluster) IDs() []model.ProcessID {

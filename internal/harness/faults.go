@@ -25,6 +25,16 @@ type Stats struct {
 	Backlogged uint64
 	// Corruptions counts stable-storage faults injected at crash time.
 	Corruptions uint64
+	// Per-mode materialization counters for the self-stabilization
+	// fault model: a scheduled fault only counts when it actually
+	// changed state (the soak asserts every mode materializes).
+	SeqWraps        uint64
+	RingRegressions uint64
+	ObligationPoisons uint64
+	LogFlips        uint64
+	// Perturbations counts live in-memory faults applied to running
+	// nodes between token visits (as opposed to crash-time faults).
+	Perturbations uint64
 }
 
 // Stats returns a copy of the activity counters.
@@ -43,6 +53,20 @@ const (
 	// CorruptLostSuffix destroys unflushed tail records above the
 	// known-safe watermark.
 	CorruptLostSuffix
+	// CorruptSeqWrap wraps the sender sequence counter back to half
+	// its value (transient counter corruption; healed from SeenSeqs
+	// observation evidence).
+	CorruptSeqWrap
+	// CorruptRingSeqRegress regresses the configuration freshness
+	// counter (healed from installed-configuration evidence and peers'
+	// joins).
+	CorruptRingSeqRegress
+	// CorruptObligations plants ghost processes in the obligation set
+	// (rejected at recovery start).
+	CorruptObligations
+	// CorruptLogFlip flips bits in the newest stored log entries
+	// (detected by checksums at load; gaps re-requested from peers).
+	CorruptLogFlip
 )
 
 // String names the corruption mode.
@@ -54,6 +78,14 @@ func (m Corruption) String() string {
 		return "torn_write"
 	case CorruptLostSuffix:
 		return "lost_suffix"
+	case CorruptSeqWrap:
+		return "seq_wrap"
+	case CorruptRingSeqRegress:
+		return "ring_seq_regress"
+	case CorruptObligations:
+		return "poison_obligations"
+	case CorruptLogFlip:
+		return "log_bit_flip"
 	default:
 		return "corruption(?)"
 	}
@@ -75,6 +107,60 @@ func (c *Cluster) CrashCorrupt(t time.Duration, id model.ProcessID, mode Corrupt
 			if c.stores[id].LoseLogSuffix(n) > 0 {
 				c.stats.Corruptions++
 			}
+		case CorruptSeqWrap:
+			if c.stores[id].WrapSenderSeq() {
+				c.stats.Corruptions++
+				c.stats.SeqWraps++
+			}
+		case CorruptRingSeqRegress:
+			if c.stores[id].RegressRingSeq() {
+				c.stats.Corruptions++
+				c.stats.RingRegressions++
+			}
+		case CorruptObligations:
+			if c.stores[id].PoisonObligations(n) > 0 {
+				c.stats.Corruptions++
+				c.stats.ObligationPoisons++
+			}
+		case CorruptLogFlip:
+			if c.stores[id].FlipLogBits(n) > 0 {
+				c.stats.Corruptions++
+				c.stats.LogFlips++
+			}
+		}
+	})
+}
+
+// Perturb schedules an in-memory corruption of a live node at time t:
+// the transient faults of the self-stabilization model, applied between
+// token visits rather than at crash time. mode selects the fault
+// (CorruptSeqWrap, CorruptRingSeqRegress or CorruptObligations; the
+// storage-only modes are no-ops here) and n sizes an obligation poison.
+// A perturbation of a down process is a no-op; only faults that
+// actually changed state are counted.
+func (c *Cluster) Perturb(t time.Duration, id model.ProcessID, mode Corruption, n int) {
+	c.At(t, func() {
+		node := c.nodes[id]
+		hit := false
+		switch mode {
+		case CorruptSeqWrap:
+			if node.PerturbSenderSeq() {
+				c.stats.SeqWraps++
+				hit = true
+			}
+		case CorruptRingSeqRegress:
+			if node.PerturbRingSeq() {
+				c.stats.RingRegressions++
+				hit = true
+			}
+		case CorruptObligations:
+			if node.PerturbObligations(n) {
+				c.stats.ObligationPoisons++
+				hit = true
+			}
+		}
+		if hit {
+			c.stats.Perturbations++
 		}
 	})
 }

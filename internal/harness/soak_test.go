@@ -2,17 +2,42 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 )
 
+// soakSeeds returns the soak seed count from CHAOS_SOAK — the single
+// environment gate for every long battery in the repo (this package and
+// internal/chaos share it; see internal/chaos/chaos_test.go). Unset
+// means def; def <= 0 marks the soak opt-in and skips the test. A
+// malformed value fails loudly instead of silently running nothing.
+func soakSeeds(t *testing.T, def int) int {
+	t.Helper()
+	raw := os.Getenv("CHAOS_SOAK")
+	if raw == "" {
+		if def <= 0 {
+			t.Skip("set CHAOS_SOAK=<seeds> to run this soak")
+		}
+		return def
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n <= 0 {
+		t.Fatalf("CHAOS_SOAK=%q: want a positive integer seed count", raw)
+	}
+	return n
+}
+
 // TestSoakAdversarial is the long-running conformance soak: many seeds,
-// more processes, longer horizons, heavier churn. Skipped with -short.
+// more processes, longer horizons, heavier churn. Skipped with -short;
+// CHAOS_SOAK widens the seed sweep beyond the default 20.
 func TestSoakAdversarial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
-	for seed := int64(100); seed < 120; seed++ {
+	n := soakSeeds(t, 20)
+	for seed := int64(100); seed < 100+int64(n); seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
@@ -22,12 +47,14 @@ func TestSoakAdversarial(t *testing.T) {
 }
 
 // TestSoakLossyAdversarial layers packet loss and duplication on top of the
-// adversarial schedule. Skipped with -short.
+// adversarial schedule. Skipped with -short; CHAOS_SOAK widens the seed
+// sweep beyond the default 8.
 func TestSoakLossyAdversarial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test")
 	}
-	for seed := int64(200); seed < 208; seed++ {
+	n := soakSeeds(t, 8)
+	for seed := int64(200); seed < 200+int64(n); seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()

@@ -143,6 +143,19 @@ func (m *Protocol) Attempt() uint64 { return m.attempt }
 // the node.
 func (m *Protocol) MaxRingSeq() uint64 { return m.maxRingSeq }
 
+// CorruptMaxRingSeq is a chaos fault surface: it regresses the live
+// freshness counter to half its value, simulating transient in-memory
+// corruption between token visits. The checkConsensus clamp and peers'
+// join adoption must heal it before the next configuration identifier
+// is minted. It reports whether anything changed.
+func (m *Protocol) CorruptMaxRingSeq() bool {
+	if m.maxRingSeq == 0 {
+		return false
+	}
+	m.maxRingSeq /= 2
+	return true
+}
+
 // Proposed returns the ring currently proposed (Commit phase).
 func (m *Protocol) Proposed() model.Configuration { return m.proposed }
 
@@ -329,6 +342,15 @@ func (m *Protocol) checkConsensus() []Action {
 	}
 	m.isRep = true
 	m.met.Inc(obs.CMemCommits)
+	// Self-stabilization guard: a transiently regressed freshness
+	// counter must never mint a configuration identifier at or below
+	// one this process already installed — the installed configuration
+	// is participation evidence that lower-bounds the counter. Peers'
+	// joins heal the multi-process case (OnJoin adopts their maxima).
+	if cur := m.current.ID.Seq; m.maxRingSeq < cur {
+		m.maxRingSeq = cur
+		m.met.Inc(obs.CRingSeqHeals)
+	}
 	m.maxRingSeq++
 	m.proposed = model.Configuration{
 		ID:      model.RegularID(m.maxRingSeq, rep),

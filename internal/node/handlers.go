@@ -104,6 +104,7 @@ func (n *Node) maybeForeign(from model.ProcessID, ring model.ConfigID) {
 
 // onData routes a data message by ring.
 func (n *Node) onData(from model.ProcessID, d wire.Data) {
+	n.noteSeen(d.ID)
 	switch {
 	case n.mode == Operational && n.ring != nil && d.Ring == n.ringCfg.ID:
 		before := n.ring.Len()
@@ -422,7 +423,20 @@ func (n *Node) startRecovery(ring model.Configuration) {
 	n.recDone = false
 	n.env.CancelTimer(TimerJoin)
 	n.env.CancelTimer(TimerCommit)
-	n.rec = evs.New(n.id, ring, n.ringCfg, n.recoveryState(), n.oldLog, n.obligations)
+	// Obligation validation: obligations only ever name processes of the
+	// old or proposed configuration or observed originators (Section 3,
+	// Step 5.c builds them from transitional sets and their carried
+	// obligations; an obligation can only bind us to messages we hold,
+	// and holding a message implies having observed its originator). A
+	// poisoned set — ghosts planted by transient corruption — is
+	// rejected here, with the rejection counted and propagated rather
+	// than trusted or panicked over.
+	if dropped := n.validateObligations(ring); dropped > 0 {
+		for i := 0; i < dropped; i++ {
+			n.met.Inc(obs.CStateRejects)
+		}
+	}
+	n.rec = evs.New(n.id, ring, n.ringCfg, n.recoveryState(), n.oldLog, n.obligations, n.seenSeqs)
 	n.applyRecActions(n.rec.Start())
 	if n.mode == Recovering {
 		n.env.SetTimer(TimerRecoveryRetry, n.cfg.RecoveryRetry)
@@ -437,6 +451,30 @@ func (n *Node) startRecovery(ring model.Configuration) {
 		}
 		n.OnMessage(b.from, b.msg)
 	}
+}
+
+// validateObligations filters the obligation set against the universe of
+// processes this node can legitimately owe anything to: members of the
+// old and proposed configurations plus every originator it has observed
+// messages from. It returns the number of ghosts rejected.
+func (n *Node) validateObligations(ring model.Configuration) int {
+	before := n.obligations.Size()
+	if before == 0 {
+		return 0
+	}
+	universe := n.ringCfg.Members.Union(ring.Members)
+	kept := make([]model.ProcessID, 0, before)
+	for _, p := range n.obligations.Members() {
+		_, observed := n.seenSeqs[p]
+		if observed || universe.Contains(p) {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == before {
+		return 0
+	}
+	n.obligations = model.NewProcessSet(kept...)
+	return before - len(kept)
 }
 
 // recoveryState derives the exchange state from the carried log and
@@ -532,6 +570,24 @@ func (n *Node) finishRecovery(res evs.Result) {
 		n.env.DeliverConfig(ConfigChange{Config: res.Transitional})
 		// 6.d: transitional deliveries.
 		n.deliverAll(res.Trans, res.Transitional)
+	}
+
+	// Adopt the attempt's merged counter-observation evidence: peers'
+	// exchanged SeenSeqs heal a transiently wrapped sender counter that
+	// local evidence alone could not (defense in depth — on conforming
+	// runs local evidence already dominates).
+	for p, v := range n.rec.SeenSeqs() {
+		//lint:allow determinism per-entry max-merge; the result does not depend on iteration order
+		if n.seenSeqs == nil {
+			n.seenSeqs = make(map[model.ProcessID]uint64)
+		}
+		if v > n.seenSeqs[p] {
+			n.seenSeqs[p] = v
+		}
+	}
+	if seen := n.seenSeqs[n.id]; seen > n.senderSeq {
+		n.senderSeq = seen
+		n.met.Inc(obs.CSeqHeals)
 	}
 
 	// 6.e: install the new regular configuration; obligations are

@@ -12,6 +12,7 @@ package node
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/evs"
@@ -169,6 +170,12 @@ type Node struct {
 	obligations  model.ProcessSet
 	pending      []totem.Pending
 	senderSeq    uint64
+	// seenSeqs is the highest sender sequence observed per originator
+	// (including self): redundant evidence that heals a transiently
+	// wrapped senderSeq, locally at Submit/Start and from peers'
+	// exchanges at configuration installation (Specification 1.4
+	// forbids reusing a message identifier).
+	seenSeqs     map[model.ProcessID]uint64
 	buffered     []bufferedMsg
 	preBuffer    []bufferedMsg // proposed-ring messages received before Install
 	lastToken    *wire.Token
@@ -224,9 +231,26 @@ func (n *Node) CurrentConfig() model.Configuration { return n.ringCfg }
 
 // Start boots the process: it loads stable storage (a recovering process
 // resumes its identity and obligations) and begins gathering a membership.
+// The load is integrity-checked: corrupted log entries are rejected with
+// propagated errors (the recovery machinery re-requests the gaps), and
+// regressed counters are healed from redundant evidence before any of
+// them can mint a duplicate identifier.
 func (n *Node) Start() {
-	rec := n.store.Load()
+	rec, loadErrs := n.store.LoadChecked()
+	for range loadErrs {
+		n.met.Inc(obs.CStateRejects)
+	}
 	n.senderSeq = rec.SenderSeq
+	n.seenSeqs = rec.SeenSeqs
+	if n.seenSeqs == nil {
+		n.seenSeqs = make(map[model.ProcessID]uint64)
+	}
+	if seen := n.seenSeqs[n.id]; seen > n.senderSeq {
+		// The persisted sender counter regressed below our own recorded
+		// observations of it: a transient wrap. Heal from the evidence.
+		n.senderSeq = seen
+		n.met.Inc(obs.CSeqHeals)
+	}
 	n.ringCfg = rec.LastRegular
 	n.oldLog = rec.Log
 	if n.oldLog == nil {
@@ -263,7 +287,18 @@ func (n *Node) Submit(payload []byte, svc model.Service) error {
 		n.met.Inc(obs.CSubmitBacklog)
 		return ErrBacklog
 	}
+	if seen := n.seenSeqs[n.id]; seen > n.senderSeq {
+		// A live perturbation wrapped the counter since the last send;
+		// heal from the observation record before minting an identifier
+		// (Specification 1.4).
+		n.senderSeq = seen
+		n.met.Inc(obs.CSeqHeals)
+	}
 	n.senderSeq++
+	if n.seenSeqs == nil {
+		n.seenSeqs = make(map[model.ProcessID]uint64)
+	}
+	n.seenSeqs[n.id] = n.senderSeq
 	p := totem.Pending{
 		ID:      model.MessageID{Sender: n.id, SenderSeq: n.senderSeq},
 		Service: svc,
@@ -310,6 +345,7 @@ func (n *Node) Crash() {
 	n.pending = nil
 	n.buffered = nil
 	n.lastToken = nil
+	n.seenSeqs = nil
 	n.cancelAllTimers()
 }
 
@@ -361,7 +397,61 @@ func (n *Node) persist() {
 		SafeBound:     st.SafeBound,
 		HighestSeen:   st.HighestSeen,
 		Obligations:   obligations,
+		SeenSeqs:      n.seenSeqs,
 	})
+}
+
+// noteSeen records observation evidence for an originator's sender
+// sequence counter (the healing source for transient counter wraps).
+func (n *Node) noteSeen(id model.MessageID) {
+	if n.seenSeqs == nil {
+		n.seenSeqs = make(map[model.ProcessID]uint64)
+	}
+	if id.SenderSeq > n.seenSeqs[id.Sender] {
+		n.seenSeqs[id.Sender] = id.SenderSeq
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Live perturbation surface (self-stabilization fault model).
+//
+// The chaos harness calls these between token visits to corrupt the
+// volatile state of a running node — the transient faults of the
+// Practically-Self-Stabilizing Virtual Synchrony model, as opposed to
+// the crash-time stable-storage faults. Each reports whether state
+// actually changed, so the harness can count materialized faults.
+
+// PerturbSenderSeq wraps the live sender sequence counter to half its
+// value. The Submit-time heal must restore it from seenSeqs before the
+// next identifier is minted.
+func (n *Node) PerturbSenderSeq() bool {
+	if n.mode == Down || n.senderSeq == 0 {
+		return false
+	}
+	n.senderSeq /= 2
+	return true
+}
+
+// PerturbObligations plants k ghost processes in the live obligation
+// set. Recovery-start validation must reject them.
+func (n *Node) PerturbObligations(k int) bool {
+	if n.mode == Down || k <= 0 {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		n.obligations = n.obligations.Add(model.ProcessID(fmt.Sprintf("ghost-%d", i+1)))
+	}
+	return true
+}
+
+// PerturbRingSeq regresses the live membership freshness counter to
+// half its value. The consensus-time clamp and peer join adoption must
+// heal it.
+func (n *Node) PerturbRingSeq() bool {
+	if n.mode == Down || n.mem == nil {
+		return false
+	}
+	return n.mem.CorruptMaxRingSeq()
 }
 
 // persistLog persists one received message before it is acknowledged, so a

@@ -105,6 +105,18 @@ const (
 	CMemJoinTimeouts
 	CMemFailuresDeclared
 
+	// Self-stabilization (transient state corruption healing).
+
+	// CSeqHeals counts sender sequence counters healed from SeenSeqs
+	// observation evidence (local or exchanged); CRingSeqHeals counts
+	// configuration freshness counters clamped back up from installed
+	// evidence; CStateRejects counts corrupted stable-state elements
+	// rejected at load or recovery start (checksum-failed log entries,
+	// ghost obligations).
+	CSeqHeals
+	CRingSeqHeals
+	CStateRejects
+
 	// Network (cluster-scoped: the simulated medium).
 
 	// CNetBroadcasts counts broadcast sends; CNetDelivered counts packet
@@ -148,6 +160,9 @@ var counterNames = [numCounters]string{
 	CMemInstalls:           "membership_installs_total",
 	CMemJoinTimeouts:       "membership_join_timeouts_total",
 	CMemFailuresDeclared:   "membership_failures_declared_total",
+	CSeqHeals:              "node_seq_heals_total",
+	CRingSeqHeals:          "node_ringseq_heals_total",
+	CStateRejects:          "node_state_rejects_total",
 	CNetBroadcasts:         "net_broadcasts_total",
 	CNetDelivered:          "net_packets_delivered_total",
 	CNetDropped:            "net_packets_dropped_total",

@@ -1,0 +1,185 @@
+package spec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/spec"
+	"repro/internal/spec/refcheck"
+)
+
+// feed pushes a history through a fresh stream and returns it.
+func feed(events []model.Event, opts spec.StreamOptions) *spec.Stream {
+	s := spec.NewStream(opts)
+	for _, e := range events {
+		s.Add(e)
+	}
+	return s
+}
+
+// TestStreamConformingBounded: on a conforming history the stream
+// certifies everything violation-free while pruning keeps the retained
+// window far below the ingested total — the memory-boundedness claim the
+// soak rests on.
+func TestStreamConformingBounded(t *testing.T) {
+	events := fullDeliveryHistory(4, 5000) // ~25k events, one configuration
+	s := feed(events, spec.StreamOptions{CheckEvery: 512})
+	if vs := s.Finish(spec.Options{Settled: true}); len(vs) != 0 {
+		t.Fatalf("conforming history flagged: %v", vs)
+	}
+	st := s.Stats()
+	if st.Ingested != uint64(len(events)) {
+		t.Fatalf("ingested %d, want %d", st.Ingested, len(events))
+	}
+	if st.Certified != st.Ingested {
+		t.Fatalf("certified prefix %d does not cover the %d ingested events", st.Certified, st.Ingested)
+	}
+	if st.Pruned == 0 {
+		t.Fatal("nothing was pruned on a 25k-event conforming run")
+	}
+	// The window must stay bounded by protocol concurrency (messages in
+	// flight within a certification interval), not by run length.
+	if st.PeakRetained > 4*512 {
+		t.Fatalf("peak retained window %d events; pruning is not bounding memory (ingested %d)",
+			st.PeakRetained, st.Ingested)
+	}
+	if st.PeakBytes == 0 || st.PeakBytes < uint64(st.PeakRetained) {
+		t.Fatalf("implausible PeakBytes %d for PeakRetained %d", st.PeakBytes, st.PeakRetained)
+	}
+}
+
+// TestStreamSingleCertificationMatchesBatch: with CheckEvery larger than
+// the history, Finish is one batch certification — the stream must agree
+// with the batch checker violation-for-violation on arbitrary histories,
+// settled and unsettled. The comparison is as sets of rendered
+// violations: the stream deduplicates by rendering, and the batch
+// checker can legitimately emit two identical violations (duplicate
+// sends produce duplicate causal edges).
+func TestStreamSingleCertificationMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 120; trial++ {
+		events := randomHistory(rng)
+		for _, settled := range []bool{false, true} {
+			opts := spec.Options{Settled: settled}
+			want := spec.NewChecker(events, opts).CheckAll()
+			s := feed(events, spec.StreamOptions{CheckEvery: len(events) + 1})
+			got := s.Finish(opts)
+			diffViolationSets(t, "stream single-window", got, want)
+			if t.Failed() {
+				t.Logf("trial %d settled=%v events: %+v", trial, settled, events)
+				return
+			}
+		}
+	}
+}
+
+// diffViolationSets compares violations as sets of rendered strings.
+func diffViolationSets(t *testing.T, label string, got, want []spec.Violation) {
+	t.Helper()
+	gs, ws := make(map[string]bool), make(map[string]bool)
+	for _, v := range got {
+		gs[v.String()] = true
+	}
+	for _, v := range want {
+		ws[v.String()] = true
+	}
+	for k := range gs {
+		if !ws[k] {
+			t.Errorf("%s: stream-only violation: %s", label, k)
+		}
+	}
+	for k := range ws {
+		if !gs[k] {
+			t.Errorf("%s: batch-only violation: %s", label, k)
+		}
+	}
+}
+
+// TestStreamWindowedOracleAgrees: on aggressively pruned random
+// histories, every sampled certification window must produce identical
+// verdicts from the fast checker and the reference bitset checker — the
+// inline differential oracle the soak runs.
+func TestStreamWindowedOracleAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		windows := 0
+		oracle := func(window []model.Event, opts spec.Options, fast []spec.Violation) {
+			windows++
+			ref := refcheck.CheckAll(window, opts)
+			diffViolations(t, "oracle window", fast, ref)
+		}
+		events := randomHistory(rng)
+		s := feed(events, spec.StreamOptions{CheckEvery: 8, OracleEvery: 1, Oracle: oracle})
+		s.Finish(spec.Options{Settled: true})
+		if t.Failed() {
+			t.Logf("trial %d events: %+v", trial, events)
+			return
+		}
+		if windows == 0 {
+			t.Fatal("oracle never sampled a window")
+		}
+		if got := s.Stats().OracleWindows; got != uint64(windows) {
+			t.Fatalf("stats report %d oracle windows, callback saw %d", got, windows)
+		}
+	}
+}
+
+// TestStreamAnchorsAreGlobal: a violation detected after earlier events
+// were pruned must anchor to global history indices, not window-local
+// ones. A duplicate delivery appended after a long pruned run reports
+// (under the documented class conversion) as a delivery without a send,
+// anchored exactly at its global position.
+func TestStreamAnchorsAreGlobal(t *testing.T) {
+	events := fullDeliveryHistory(4, 2000)
+	dup := events[5] // the first message's first delivery
+	if dup.Type != model.EventDeliver {
+		t.Fatalf("test setup: event 5 is %v, want a delivery", dup.Type)
+	}
+	events = append(events, dup)
+	s := feed(events, spec.StreamOptions{CheckEvery: 256})
+	vs := s.Finish(spec.Options{Settled: true})
+	if len(vs) == 0 {
+		t.Fatal("duplicate delivery of a pruned message went undetected")
+	}
+	want := len(events) - 1
+	found := false
+	for _, v := range vs {
+		for _, g := range v.Events {
+			if g == want {
+				found = true
+			}
+			if g < 0 || g >= len(events) {
+				t.Fatalf("violation anchored outside the history: %v (len %d)", v, len(events))
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no violation anchored at the duplicate's global index %d: %v", want, vs)
+	}
+}
+
+// TestStreamDedupAcrossWindows: a violation visible in several
+// certification windows is reported once.
+func TestStreamDedupAcrossWindows(t *testing.T) {
+	events := fullDeliveryHistory(3, 40)
+	dup := events[4]
+	if dup.Type != model.EventDeliver {
+		t.Fatalf("test setup: event 4 is %v, want a delivery", dup.Type)
+	}
+	events = append(events, dup)
+	// Tiny windows: the duplicate is re-detected by every subsequent
+	// certification until its supporting events age out.
+	s := feed(events, spec.StreamOptions{CheckEvery: 16})
+	vs := s.Finish(spec.Options{Settled: true})
+	seen := make(map[string]int)
+	for _, v := range vs {
+		seen[v.String()]++
+		if seen[v.String()] > 1 {
+			t.Fatalf("violation reported twice: %s", v)
+		}
+	}
+	if len(vs) == 0 {
+		t.Fatal("duplicate delivery went undetected")
+	}
+}

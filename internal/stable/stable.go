@@ -14,6 +14,7 @@
 package stable
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/model"
@@ -52,6 +53,16 @@ type Record struct {
 	Log map[uint64]wire.Data
 	// Obligations is the obligation set (Section 3, Steps 1 and 5.c).
 	Obligations model.ProcessSet
+	// SeenSeqs records the highest sender sequence number this process
+	// has observed per originator, including itself. It is redundant
+	// observation evidence for the self-stabilization fault model: a
+	// transient corruption that wraps SenderSeq is healed from
+	// SeenSeqs[self] (and from peers' SeenSeqs exchanged during
+	// recovery), because reusing a message identifier violates
+	// Specification 1.4. A fault that destroys the counter *and* every
+	// observation of it — local and remote — is indistinguishable from
+	// Byzantine storage, which the protocol does not claim to survive.
+	SeenSeqs map[model.ProcessID]uint64
 	// LastPrimary is the most recent primary component this process
 	// installed or learned of, with its sequence for recency.
 	LastPrimary model.Configuration
@@ -76,8 +87,20 @@ func (r Record) clone() Record {
 			out.Log[k] = c
 		}
 	}
+	out.SeenSeqs = cloneSeen(r.SeenSeqs)
 	// model.ProcessSet and model.Configuration are immutable by
 	// convention; sharing is safe.
+	return out
+}
+
+func cloneSeen(m map[model.ProcessID]uint64) map[model.ProcessID]uint64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[model.ProcessID]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
 	return out
 }
 
@@ -92,6 +115,39 @@ type Store struct {
 	lastPut      uint64
 	lastPutValid bool
 	corruptions  uint64
+	// sums holds a per-entry checksum computed at write time, the
+	// device-level integrity metadata real storage keeps per block. It
+	// lives in the Store, not the Record, so in-place bit rot of an
+	// entry (FlipLogBits) is detectable at the next LoadChecked.
+	sums map[uint64]uint64
+}
+
+// checksum is FNV-1a over the fields of a log entry the delivery and
+// recovery paths interpret: the message identity, ring position,
+// service level and payload.
+func checksum(d wire.Data) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	for i := 0; i < len(d.ID.Sender); i++ {
+		h ^= uint64(d.ID.Sender[i])
+		h *= prime
+	}
+	mix(d.ID.SenderSeq)
+	mix(d.Seq)
+	mix(d.Ring.Seq)
+	mix(uint64(d.Service))
+	for _, b := range d.Payload {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
 }
 
 // Load returns a deep copy of the persisted record.
@@ -101,6 +157,13 @@ func (s *Store) Load() Record { return s.rec.clone() }
 // atomically (simulating an atomic disk commit).
 func (s *Store) Save(r Record) {
 	s.rec = r.clone()
+	s.sums = nil
+	if len(s.rec.Log) > 0 {
+		s.sums = make(map[uint64]uint64, len(s.rec.Log))
+		for seq, d := range s.rec.Log {
+			s.sums[seq] = checksum(d)
+		}
+	}
 	s.writes++
 }
 
@@ -120,6 +183,9 @@ func (s *Store) SetScalars(r Record) {
 	s.rec.Log = log
 	s.rec.LastPrimary = lp
 	s.rec.PrimaryAttempt = pa
+	// SeenSeqs is the one mutable-map scalar; copy it so the caller's
+	// live map never aliases persisted state.
+	s.rec.SeenSeqs = cloneSeen(r.SeenSeqs)
 	s.writes++
 }
 
@@ -134,6 +200,10 @@ func (s *Store) PutLog(d wire.Data) {
 	}
 	c.VC = d.VC.Clone()
 	s.rec.Log[d.Seq] = c
+	if s.sums == nil {
+		s.sums = make(map[uint64]uint64)
+	}
+	s.sums[d.Seq] = checksum(c)
 	s.lastPut = d.Seq
 	s.lastPutValid = true
 	s.writes++
@@ -143,6 +213,7 @@ func (s *Store) PutLog(d wire.Data) {
 // empty log).
 func (s *Store) ClearLog() {
 	s.rec.Log = nil
+	s.sums = nil
 	s.lastPutValid = false
 	s.writes++
 }
@@ -183,6 +254,7 @@ func (s *Store) TearLastWrite() bool {
 		return false
 	}
 	delete(s.rec.Log, s.lastPut)
+	delete(s.sums, s.lastPut)
 	s.lastPutValid = false
 	s.corruptions++
 	return true
@@ -207,6 +279,7 @@ func (s *Store) LoseLogSuffix(n int) int {
 	}
 	for _, seq := range seqs[:n] {
 		delete(s.rec.Log, seq)
+		delete(s.sums, seq)
 		if s.lastPutValid && s.lastPut == seq {
 			s.lastPutValid = false
 		}
@@ -220,3 +293,131 @@ func (s *Store) LoseLogSuffix(n int) int {
 // Corruptions returns the number of injected corruption operations that
 // destroyed at least one record.
 func (s *Store) Corruptions() uint64 { return s.corruptions }
+
+// ---------------------------------------------------------------------------
+// Transient state corruption (self-stabilization fault model).
+//
+// The Practically-Self-Stabilizing Virtual Synchrony line of work asks a
+// harder question than crash consistency: does the stack return to legal
+// executions after *arbitrary transient corruption* of its state? These
+// faults perturb counters and sets rather than destroy log records. Each
+// is paired with redundant evidence the recovery path heals from:
+//
+//   - WrapSenderSeq regresses the sender counter; healed from
+//     SeenSeqs[self] and from peers' SeenSeqs (Specification 1.4 evidence).
+//   - RegressRingSeq regresses the configuration freshness counter;
+//     healed from LastRegular (an installed configuration's sequence is a
+//     lower bound the process itself participated in) and from peers'
+//     join messages.
+//   - PoisonObligations plants ghost processes in the obligation set;
+//     rejected at recovery start by intersecting with the known process
+//     universe (obligations only ever name members of the old or new
+//     configuration, Section 3 Step 5.c).
+//   - FlipLogBits rots stored log entries in place; detected by the
+//     write-time checksums and dropped by LoadChecked, leaving gaps the
+//     recovery retransmission machinery re-requests. Unlike the crash
+//     faults above, rot may touch entries at or below SafeBound: those
+//     faults destroy records *silently*, so damaging acknowledged-safe
+//     state would be Byzantine, while rot is *detected* — a dropped safe
+//     entry is certified universally received (that is what the
+//     watermark means), so it is re-requestable from any peer and needed
+//     for retransmission by none.
+
+// WrapSenderSeq wraps the persisted sender sequence counter back to half
+// its value, simulating a transient counter corruption. It reports
+// whether anything changed.
+func (s *Store) WrapSenderSeq() bool {
+	if s.rec.SenderSeq == 0 {
+		return false
+	}
+	s.rec.SenderSeq /= 2
+	s.corruptions++
+	return true
+}
+
+// RegressRingSeq regresses the persisted MaxRingSeq freshness counter to
+// half its value. It reports whether anything changed.
+func (s *Store) RegressRingSeq() bool {
+	if s.rec.MaxRingSeq == 0 {
+		return false
+	}
+	s.rec.MaxRingSeq /= 2
+	s.corruptions++
+	return true
+}
+
+// PoisonObligations plants n ghost process identifiers in the persisted
+// obligation set and returns how many were added.
+func (s *Store) PoisonObligations(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		s.rec.Obligations = s.rec.Obligations.Add(model.ProcessID(fmt.Sprintf("ghost-%d", i+1)))
+	}
+	s.corruptions++
+	return n
+}
+
+// FlipLogBits flips one bit in up to n stored log entries (highest
+// sequence numbers first, with no watermark restriction — see the fault
+// model comment above), simulating in-place media rot. The write-time
+// checksums are deliberately left stale so LoadChecked detects the
+// damage. Returns the number of entries corrupted.
+func (s *Store) FlipLogBits(n int) int {
+	if n <= 0 || len(s.rec.Log) == 0 {
+		return 0
+	}
+	seqs := make([]uint64, 0, len(s.rec.Log))
+	for seq := range s.rec.Log {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	if n > len(seqs) {
+		n = len(seqs)
+	}
+	for _, seq := range seqs[:n] {
+		d := s.rec.Log[seq]
+		if len(d.Payload) > 0 {
+			d.Payload[0] ^= 0x80
+		} else {
+			d.ID.SenderSeq ^= 1
+		}
+		s.rec.Log[seq] = d
+	}
+	if n > 0 {
+		s.corruptions++
+	}
+	return n
+}
+
+// LoadChecked returns a deep copy of the persisted record after
+// integrity validation, together with one error per rejected or healed
+// element. Log entries whose checksum no longer matches are dropped
+// (the resulting gaps are re-requested by the recovery retransmission
+// machinery), and a MaxRingSeq below the process's own last installed
+// configuration is clamped back up. Corrupted state is thus rejected
+// with propagated errors, never trusted and never fatal.
+func (s *Store) LoadChecked() (Record, []error) {
+	rec := s.rec.clone()
+	var errs []error
+	if len(rec.Log) > 0 {
+		bad := make([]uint64, 0)
+		for seq, d := range rec.Log {
+			want, ok := s.sums[seq]
+			if !ok || checksum(d) != want {
+				bad = append(bad, seq)
+			}
+		}
+		sort.Slice(bad, func(i, j int) bool { return bad[i] < bad[j] })
+		for _, seq := range bad {
+			delete(rec.Log, seq)
+			errs = append(errs, fmt.Errorf("stable: log entry seq=%d failed checksum; dropped", seq))
+		}
+	}
+	if last := rec.LastRegular.ID.Seq; rec.MaxRingSeq < last {
+		errs = append(errs, fmt.Errorf("stable: MaxRingSeq=%d below last installed configuration seq=%d; healed", rec.MaxRingSeq, last))
+		rec.MaxRingSeq = last
+	}
+	return rec, errs
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/stable"
 	"repro/internal/wire"
 )
 
@@ -535,4 +536,73 @@ func TestRandomLossConvergesToSameOrder(t *testing.T) {
 			t.Fatalf("%s order differs from a", id)
 		}
 	}
+}
+
+// TestRestoreAfterBitRotRequestsDroppedEntries is the end-to-end
+// stable→totem regression for in-place log corruption: a bit-flipped
+// entry in the middle of the persisted log is rejected by the store's
+// checksums at LoadChecked, leaving a hole *below* the received
+// watermark. Restore must regenerate the gap range, the next token must
+// re-request exactly the dropped sequence number, and delivery must stay
+// in order — everything below the hole delivers, nothing above it does
+// until the retransmission arrives.
+func TestRestoreAfterBitRotRequestsDroppedEntries(t *testing.T) {
+	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p", "q")}
+	mk := func(seq uint64) wire.Data {
+		return wire.Data{
+			ID:      model.MessageID{Sender: "q", SenderSeq: seq},
+			Ring:    cfg.ID, Seq: seq, Service: model.Agreed,
+			Payload: []byte{byte(seq)},
+		}
+	}
+	st := &stable.Store{}
+	for seq := uint64(1); seq <= 4; seq++ {
+		st.PutLog(mk(seq))
+	}
+	// Rot the highest entry written so far (seq 4), then keep appending:
+	// the damage ends up mid-log, below the eventual watermark.
+	if n := st.FlipLogBits(1); n != 1 {
+		t.Fatalf("FlipLogBits corrupted %d entries, want 1", n)
+	}
+	for seq := uint64(5); seq <= 8; seq++ {
+		st.PutLog(mk(seq))
+	}
+
+	rec, errs := st.LoadChecked()
+	if len(errs) != 1 {
+		t.Fatalf("LoadChecked errors = %v, want exactly one rejection", errs)
+	}
+	if _, ok := rec.Log[4]; ok {
+		t.Fatal("rotted entry seq 4 survived LoadChecked")
+	}
+	if len(rec.Log) != 7 {
+		t.Fatalf("cleaned log holds %d entries, want 7", len(rec.Log))
+	}
+
+	// The process had delivered up to 1 before the crash; the hole at 4
+	// is below the highest-seen watermark 8.
+	r := New("p", cfg, DefaultOptions())
+	r.Restore(rec.Log, 1, 1, 8)
+	res := r.OnToken(wire.Token{Ring: cfg.ID, TokenID: 1, Seq: 8, Aru: 1, AruID: "q"})
+	if fmt.Sprint(res.Forward.Rtr) != "[4]" {
+		t.Fatalf("token.Rtr = %v, want [4]", res.Forward.Rtr)
+	}
+	// Agreed delivery halts at the hole: 2 and 3 deliver, 5..8 must not.
+	if got := seqsOf(res.Deliveries); fmt.Sprint(got) != "[2 3]" {
+		t.Fatalf("deliveries after restore = %v, want [2 3]", got)
+	}
+	// The retransmission arrives: delivery resumes in order, no skips.
+	delivered := seqsOf(r.OnData(mk(4)))
+	if fmt.Sprint(delivered) != "[4 5 6 7 8]" {
+		t.Fatalf("deliveries after retransmission = %v, want [4 5 6 7 8]", delivered)
+	}
+}
+
+// seqsOf projects data messages onto their ring sequence numbers.
+func seqsOf(ds []wire.Data) []uint64 {
+	out := make([]uint64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Seq
+	}
+	return out
 }

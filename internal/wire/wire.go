@@ -208,6 +208,19 @@ type Exchange struct {
 	// DeliveredUpTo is the sender's delivery watermark in OldRing.
 	DeliveredUpTo uint64
 	Obligations   []model.ProcessID
+	// SeenSeqs is the sender's record of the highest sender sequence
+	// number it has observed per originator — redundant counter
+	// evidence exchanged so a peer whose sender counter suffered a
+	// transient wrap can heal it during recovery (Specification 1.4:
+	// message identifiers are never reused). Sorted by Proc; freshly
+	// built by the sender, never aliasing its live state.
+	SeenSeqs []SeenSeq
+}
+
+// SeenSeq is one (originator, highest observed sender sequence) pair.
+type SeenSeq struct {
+	Proc model.ProcessID
+	Seq  uint64
 }
 
 func (Exchange) isWire() {}
