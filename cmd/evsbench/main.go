@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	evs "repro"
@@ -31,19 +33,39 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	t1Only := flag.Bool("t1", false, "run only the T1 ordering section")
+	procsFlag := flag.String("procs", "", "comma-separated group sizes for the T1 sweep (overrides the defaults)")
 	orderingJSON := flag.String("ordering-json", "", "write T1 ordering metrics to this JSON file (empty disables)")
 	metricsJSON := flag.String("metrics-json", "", "run a 16-process scenario and write its observability snapshot to this JSON file (empty disables)")
 	flag.Parse()
-	var err error
-	if *metricsJSON != "" {
-		err = runMetrics(*seed, *metricsJSON)
-	} else {
-		err = run(*seed, *quick, *t1Only, *orderingJSON)
+	sizes, err := parseProcs(*procsFlag)
+	if err == nil {
+		if *metricsJSON != "" {
+			err = runMetrics(*seed, *metricsJSON)
+		} else {
+			err = run(*seed, *quick, *t1Only, *orderingJSON, sizes)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// parseProcs parses the -procs override: a comma-separated list of group
+// sizes. Empty means "use the built-in sweep".
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("-procs: bad group size %q (want integers >= 2)", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // budgetPoint is one sample of a process's flow-control budget trajectory,
@@ -124,14 +146,14 @@ func runT1(seed int64, sizes []int, window time.Duration, jsonPath string) error
 	fmt.Println("T1     ordering throughput vs group size (safe service)")
 	fmt.Println("-------------------------------------------------------------")
 	rep := orderingReport{Seed: seed, WindowSeconds: window.Seconds()}
-	fmt.Printf("%8s %12s %12s %10s %12s %12s %12s\n",
-		"procs", "msgs/s", "rotations", "pkts/msg", "ns/msg", "B/msg", "allocs/msg")
+	fmt.Printf("%8s %12s %12s %10s %12s %12s %12s %10s\n",
+		"procs", "msgs/s", "rotations", "pkts/msg", "ns/msg", "B/msg", "allocs/msg", "peak evq")
 	for _, n := range sizes {
 		r := experiments.OrderingBench(n, seed, window)
 		rep.Rows = append(rep.Rows, r)
-		fmt.Printf("%8d %12.0f %12d %10.2f %12.0f %12.0f %12.2f\n",
+		fmt.Printf("%8d %12.0f %12d %10.2f %12.0f %12.0f %12.2f %10d\n",
 			r.GroupSize, r.MsgsPerSec, r.TokenRotations, r.PacketsPerMsg,
-			r.NsPerMsg, r.BytesPerMsg, r.AllocsPerMsg)
+			r.NsPerMsg, r.BytesPerMsg, r.AllocsPerMsg, r.PeakPending)
 	}
 	fmt.Println()
 	if jsonPath != "" {
@@ -147,12 +169,15 @@ func runT1(seed int64, sizes []int, window time.Duration, jsonPath string) error
 	return nil
 }
 
-func run(seed int64, quick, t1Only bool, orderingJSON string) error {
-	sizes := []int{2, 3, 5, 8, 12, 16}
+func run(seed int64, quick, t1Only bool, orderingJSON string, procs []int) error {
+	sizes := []int{2, 3, 5, 8, 12, 16, 24, 32}
 	window := time.Second
 	if quick {
 		sizes = []int{2, 3, 5}
 		window = 300 * time.Millisecond
+	}
+	if len(procs) > 0 {
+		sizes = procs
 	}
 	if t1Only {
 		return runT1(seed, sizes, window, orderingJSON)
@@ -211,7 +236,13 @@ func run(seed int64, quick, t1Only bool, orderingJSON string) error {
 	fmt.Println("T1b    safe vs agreed delivery latency (unloaded)")
 	fmt.Println("-------------------------------------------------------------")
 	fmt.Printf("%8s %12s %12s %14s\n", "procs", "agreed ms", "safe ms", "safe/agreed")
-	for _, n := range sizes {
+	latSizes := sizes
+	if !quick {
+		// The latency series retains full delivery histories; cap it at
+		// the pre-sweep sizes rather than the extended T1 list.
+		latSizes = []int{2, 3, 5, 8, 12, 16}
+	}
+	for _, n := range latSizes {
 		r := experiments.Latency(n, seed, 20)
 		fmt.Printf("%8d %12.3f %12.3f %14.2f\n", r.GroupSize, r.AgreedMs, r.SafeMs, r.SafeOverAgreed)
 	}

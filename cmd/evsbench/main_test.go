@@ -11,7 +11,7 @@ func TestQuickReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("report generation")
 	}
-	if err := run(1, true, false, ""); err != nil {
+	if err := run(1, true, false, "", nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -22,7 +22,7 @@ func TestT1OnlyWritesOrderingJSON(t *testing.T) {
 		t.Skip("report generation")
 	}
 	path := t.TempDir() + "/BENCH_ordering.json"
-	if err := run(1, true, true, path); err != nil {
+	if err := run(1, true, true, path, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path); err != nil {

@@ -45,6 +45,13 @@ type Options struct {
 	EnableVS bool
 	// Node overrides protocol timing.
 	Node *node.Config
+	// DiscardHistory turns the group into a pure measurement rig for
+	// saturating benchmarks: neither the formal-model event history nor
+	// per-process delivery slices are retained, so memory stays O(1) per
+	// message. Deliveries returns nil; use DeliveryCount. History, Check,
+	// and the latency experiments need the retained data and must not set
+	// this.
+	DiscardHistory bool
 }
 
 // Group is a deterministic in-memory EVS cluster with optional primary
@@ -57,17 +64,24 @@ type Group struct {
 	prim    map[ProcessID]*primary.Protocol
 	filters map[ProcessID]*vsfilter.Filter
 
-	deliveries map[ProcessID][]Delivery
-	confs      map[ProcessID][]ConfigEvent
-	primaryEvs map[ProcessID][]PrimaryEvent
-	vsEvents   map[ProcessID][]VSEvent
-	vsTrace    []vsfilter.TraceEvent
-	crashed    map[ProcessID]bool
-	stats      GroupStats
+	deliveries    map[ProcessID][]Delivery
+	deliveryCount map[ProcessID]uint64
+	confs         map[ProcessID][]ConfigEvent
+	primaryEvs    map[ProcessID][]PrimaryEvent
+	vsEvents      map[ProcessID][]VSEvent
+	vsTrace       []vsfilter.TraceEvent
+	crashed       map[ProcessID]bool
+	stats         GroupStats
 
 	// observers receive application-level events as they happen, in
 	// registration order (AddObserver).
 	observers []Observer
+
+	// wrapArena amortises the per-submission envelope allocation: tagged
+	// payload buffers are carved from chunks instead of allocated one
+	// append each. Carved buffers are never reused, so handing them to
+	// the node (which retains them until sequenced) is safe.
+	wrapArena []byte
 
 	// OnDelivery and OnConfigChange observe application-level events as
 	// they happen.
@@ -102,21 +116,24 @@ func NewGroup(opts Options) *Group {
 	netCfg.DropRate, netCfg.DupRate = opts.DropRate, opts.DupRate
 
 	g := &Group{
-		ids:        ids,
-		opts:       opts,
-		prim:       make(map[ProcessID]*primary.Protocol),
-		filters:    make(map[ProcessID]*vsfilter.Filter),
-		deliveries: make(map[ProcessID][]Delivery),
-		confs:      make(map[ProcessID][]ConfigEvent),
-		primaryEvs: make(map[ProcessID][]PrimaryEvent),
-		vsEvents:   make(map[ProcessID][]VSEvent),
-		crashed:    make(map[ProcessID]bool),
+		ids:           ids,
+		opts:          opts,
+		prim:          make(map[ProcessID]*primary.Protocol),
+		filters:       make(map[ProcessID]*vsfilter.Filter),
+		deliveries:    make(map[ProcessID][]Delivery),
+		deliveryCount: make(map[ProcessID]uint64),
+		confs:         make(map[ProcessID][]ConfigEvent),
+		primaryEvs:    make(map[ProcessID][]PrimaryEvent),
+		vsEvents:      make(map[ProcessID][]VSEvent),
+		crashed:       make(map[ProcessID]bool),
 	}
 	g.cluster = harness.New(harness.Options{
-		IDs:  ids,
-		Seed: opts.Seed,
-		Net:  &netCfg,
-		Node: opts.Node,
+		IDs:            ids,
+		Seed:           opts.Seed,
+		Net:            &netCfg,
+		Node:           opts.Node,
+		DropHistory:    opts.DiscardHistory,
+		DropDeliveries: opts.DiscardHistory,
 	})
 	universe := model.NewProcessSet(ids...)
 	for _, id := range ids {
@@ -199,7 +216,7 @@ func (g *Group) submit(id ProcessID, payload []byte, svc Service) error {
 		g.stats.Rejected++
 		return ErrDown
 	}
-	wrapped := append([]byte{tagApp}, payload...)
+	wrapped := g.wrapApp(payload)
 	if err := g.cluster.Node(id).Submit(wrapped, svc); err != nil {
 		if errors.Is(err, node.ErrBacklog) {
 			g.stats.Backlogged++
@@ -220,6 +237,27 @@ func (g *Group) submit(id ProcessID, payload []byte, svc Service) error {
 		})
 	}
 	return nil
+}
+
+// wrapApp prefixes the payload with the application envelope tag, carving
+// the buffer from the group's chunked arena (one allocation per chunk, not
+// per submission).
+//
+//evs:noalloc
+func (g *Group) wrapApp(payload []byte) []byte {
+	n := len(payload) + 1
+	if len(g.wrapArena) < n {
+		grow := 16 << 10
+		if grow < n {
+			grow = n
+		}
+		g.wrapArena = make([]byte, grow)
+	}
+	w := g.wrapArena[:n:n]
+	g.wrapArena = g.wrapArena[n:]
+	w[0] = tagApp
+	copy(w[1:], payload)
+	return w
 }
 
 // Partition schedules a network partition at virtual time t; processes not
@@ -309,6 +347,10 @@ func (g *Group) onDeliver(id model.ProcessID, d node.Delivery) {
 		}
 		g.applyPrimaryActions(id, p.OnMessage(m))
 	case tagApp:
+		g.deliveryCount[id]++
+		if g.opts.DiscardHistory && g.OnDelivery == nil && len(g.observers) == 0 && g.filters[id] == nil {
+			return
+		}
 		del := Delivery{
 			Msg:     d.Msg,
 			Payload: body,
@@ -316,7 +358,9 @@ func (g *Group) onDeliver(id model.ProcessID, d node.Delivery) {
 			Config:  d.Config,
 			Time:    g.Now(),
 		}
-		g.deliveries[id] = append(g.deliveries[id], del)
+		if !g.opts.DiscardHistory {
+			g.deliveries[id] = append(g.deliveries[id], del)
+		}
 		if g.OnDelivery != nil {
 			g.OnDelivery(id, del)
 		}
@@ -418,8 +462,18 @@ func (g *Group) applyVSOutputs(id model.ProcessID, outs []vsfilter.Output) {
 	}
 }
 
-// Deliveries returns the EVS-layer deliveries at a process.
+// Deliveries returns the EVS-layer deliveries at a process. Nil when the
+// group was built with DiscardHistory; use DeliveryCount there.
 func (g *Group) Deliveries(id ProcessID) []Delivery { return g.deliveries[id] }
+
+// DeliveryCount returns the number of application deliveries at a process,
+// maintained even when DiscardHistory drops the delivery slices.
+func (g *Group) DeliveryCount(id ProcessID) uint64 { return g.deliveryCount[id] }
+
+// PeakPending returns the high-water mark of the scheduler's event queue
+// over the whole run — the simulator-side memory footprint a benchmark row
+// reports alongside its throughput.
+func (g *Group) PeakPending() int { return g.cluster.Sched.PeakPending() }
 
 // ConfigEvents returns the configuration changes delivered at a process.
 func (g *Group) ConfigEvents(id ProcessID) []ConfigEvent { return g.confs[id] }

@@ -136,8 +136,27 @@ func checkConversion(pass *analysis.Pass, fd *ast.FuncDecl, dst types.Type, src 
 	if tv.Value != nil {
 		return // constants box to compiler-laid-out static data
 	}
+	if isPointerShaped(tv.Type) {
+		return // fits the interface data word directly; boxing copies the
+		// pointer, it does not allocate
+	}
 	short := types.TypeString(tv.Type, func(p *types.Package) string { return p.Name() })
 	pass.Reportf(src.Pos(), "interface conversion boxes %s in //evs:noalloc function %s", short, fd.Name.Name)
+}
+
+// isPointerShaped reports whether values of t occupy exactly one pointer
+// word: pointers, channels, maps, funcs (named, not literals — literals
+// are flagged separately as closures) and unsafe.Pointer. The runtime
+// stores such values directly in the interface data word, so converting
+// them to an interface never allocates.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
 }
 
 func isNonConstString(pass *analysis.Pass, e *ast.BinaryExpr) bool {

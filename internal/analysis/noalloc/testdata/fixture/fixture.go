@@ -48,13 +48,29 @@ func concatInHotPath(name string) string {
 func boxingInHotPath(c *counter, s sink, v uint64) interface{} {
 	use(v)     // want `interface conversion boxes uint64`
 	var x sink // declared interface
-	x = c      // want `interface conversion boxes \*fixture.counter`
+	x = c      // pointer-shaped: fills the interface word, no allocation
 	x.observe(v)
 	s.observe(v) // interface method call on existing interface: no box
 	return v     // want `interface conversion boxes uint64`
 }
 
 func use(v interface{}) { _ = v }
+
+type big struct{ a, b, c uint64 }
+
+// pointerShapedBoxes stays silent: pointers, maps, channels and named
+// funcs occupy exactly one pointer word, so converting them to an
+// interface copies the pointer rather than allocating. A multi-word
+// struct still trips the rule.
+//
+//evs:noalloc
+func pointerShapedBoxes(c *counter, m map[string]int, ch chan int, f func(), b big) {
+	use(c)
+	use(m)
+	use(ch)
+	use(f)
+	use(b) // want `interface conversion boxes fixture.big`
+}
 
 // closureInHotPath trips the closure rule.
 //

@@ -12,14 +12,14 @@ import (
 // ring is a stand-in protocol state machine.
 type ring struct {
 	cfg     model.Configuration
-	rtr     []uint64
+	rtr     []wire.SeqRange
 	held    []uint64
 	byProc  map[string]uint64
-	lastRtr []uint64
+	lastRtr []wire.SeqRange
 }
 
 // aliasParam hands a caller's slice straight into a token.
-func aliasParam(r *ring, missing []uint64) wire.Token {
+func aliasParam(r *ring, missing []wire.SeqRange) wire.Token {
 	return wire.Token{
 		Ring: r.cfg.ID,
 		Rtr:  missing, // want `wire.Token field Rtr aliases caller-owned \(parameter missing\) memory`
@@ -43,15 +43,15 @@ func (r *ring) batch(ds []wire.Data, max int) wire.DataBatch {
 }
 
 // aliasByMutation constructs the message first and fills the field after.
-func (r *ring) aliasByMutation(missing []uint64) wire.Token {
+func (r *ring) aliasByMutation(missing []wire.SeqRange) wire.Token {
 	t := wire.Token{Ring: r.cfg.ID}
 	t.Rtr = missing // want `wire.Token field Rtr aliases caller-owned \(parameter missing\) memory`
 	return t
 }
 
 // copies is the sanctioned shape: the message owns fresh storage.
-func (r *ring) copies(missing []uint64) wire.Token {
-	rtr := make([]uint64, len(missing))
+func (r *ring) copies(missing []wire.SeqRange) wire.Token {
+	rtr := make([]wire.SeqRange, len(missing))
 	copy(rtr, missing)
 	return wire.Token{Ring: r.cfg.ID, Rtr: rtr}
 }
@@ -62,8 +62,8 @@ func (r *ring) callResult() wire.Token {
 	return wire.Token{Ring: r.cfg.ID, Rtr: r.snapshotRtr()}
 }
 
-func (r *ring) snapshotRtr() []uint64 {
-	out := make([]uint64, len(r.rtr))
+func (r *ring) snapshotRtr() []wire.SeqRange {
+	out := make([]wire.SeqRange, len(r.rtr))
 	copy(out, r.rtr)
 	return out
 }
@@ -80,7 +80,7 @@ func (r *ring) retainToken(t wire.Token) {
 }
 
 // retainViaPackageVar parks message memory in a package variable.
-var lastSeenRtr []uint64
+var lastSeenRtr []wire.SeqRange
 
 func observeToken(t wire.Token) {
 	lastSeenRtr = t.Rtr // want `handler retains slice/map from wire.Token parameter t`
@@ -97,7 +97,7 @@ func (r *ring) localUse(t wire.Token) uint64 {
 	var sum uint64
 	reqs := t.Rtr // local alias dies with the call
 	for _, s := range reqs {
-		sum += s
+		sum += s.Count()
 	}
 	return sum
 }

@@ -87,7 +87,13 @@ type Recovery struct {
 	deliveredUpTo uint64
 	safeBound     uint64
 	highestSeen   uint64
-	obligations   model.ProcessSet
+	// trimmed is the old ring's discarded log prefix: sequence numbers at
+	// or below it were delivered locally and certified safe (received by
+	// every old-ring member), so this process holds them in the formal
+	// sense without the log being able to produce them. Receipt claims
+	// and the Step 5 completion check treat the prefix as present.
+	trimmed     uint64
+	obligations model.ProcessSet
 
 	frozen    wire.Exchange // this process's exchange, fixed per attempt
 	exchanges map[model.ProcessID]wire.Exchange
@@ -128,6 +134,7 @@ func New(
 		deliveredUpTo: state.DeliveredUpTo,
 		safeBound:     state.SafeBound,
 		highestSeen:   state.HighestSeen,
+		trimmed:       state.Trimmed,
 		obligations:   obligations,
 		exchanges:     make(map[model.ProcessID]wire.Exchange),
 		done:          make(map[model.ProcessID]bool),
@@ -199,10 +206,13 @@ func (r *Recovery) State() totem.State {
 	return st
 }
 
-// currentState derives the receipt watermarks from the log.
+// currentState derives the receipt watermarks from the log. The contiguity
+// probe starts at the trimmed prefix, which is held by certificate rather
+// than by the log.
 func (r *Recovery) currentState() totem.State {
 	var st totem.State
-	st.MyAru = contiguousFrom(r.log, 0)
+	st.Trimmed = r.trimmed
+	st.MyAru = contiguousFrom(r.log, r.trimmed)
 	for seq := range r.log {
 		if seq > st.MyAru {
 			st.Have = append(st.Have, seq)
@@ -222,6 +232,7 @@ func (r *Recovery) Watermarks() totem.State {
 		SafeBound:     r.safeBound,
 		HighestSeen:   r.highestSeen,
 		DeliveredUpTo: r.deliveredUpTo,
+		Trimmed:       r.trimmed,
 	}
 }
 
@@ -287,7 +298,7 @@ func (r *Recovery) OnData(d wire.Data) []Action {
 
 // admit merges one data message into the log if the plan allows it.
 func (r *Recovery) admit(d wire.Data) {
-	if !r.needed[d.Seq] {
+	if !r.needed[d.Seq] || d.Seq <= r.trimmed {
 		return
 	}
 	if _, ok := r.log[d.Seq]; ok {
@@ -483,11 +494,16 @@ func holdsSeq(e wire.Exchange, seq uint64) bool {
 }
 
 // holdsAllNeeded reports whether this process holds every needed message.
+// The trimmed prefix counts as held: it was delivered locally and certified
+// received by every old-ring member before being discarded.
 func (r *Recovery) holdsAllNeeded() bool {
 	if !r.planned {
 		return false
 	}
 	for seq := range r.needed {
+		if seq <= r.trimmed {
+			continue
+		}
 		if _, ok := r.log[seq]; !ok {
 			return false
 		}
@@ -530,8 +546,13 @@ func (r *Recovery) computeResult() Result {
 	}
 
 	// 6.b: regular deliveries, from this process's own watermark up to
-	// the common stopping point.
+	// the common stopping point. The watermark is at or above the
+	// trimmed prefix by construction (trimming never outruns delivery);
+	// the clamp guards against regressed persisted state.
 	seq := r.deliveredUpTo
+	if seq < r.trimmed {
+		seq = r.trimmed
+	}
 	for {
 		d, ok := r.log[seq+1]
 		if !ok || !r.needed[seq+1] {

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// orderingAllocBudget is the pinned per-delivery allocation budget for
+// the loaded 16-process steady state. The measured value after the
+// arena/pool work is ~0.02 allocs per delivery (amortised chunk refills
+// and packet headers); the seed implementation paid ~18. The budget sits
+// an order of magnitude above the measured value so host jitter cannot
+// flake it, and two orders below the seed so any per-message allocation
+// sneaking back into the submit→order→deliver path (one alloc/msg ⇒
+// ~1.0 here) trips the gate immediately.
+const orderingAllocBudget = 0.25
+
+// TestOrderingAllocBudget16 is the dynamic half of the zero-alloc
+// enforcement pair (the "Ordering alloc gate (16 procs)" CI step): the
+// //evs:noalloc analyzer run by the "Invariant lint" step proves the
+// annotated functions avoid allocating construct classes, and this gate
+// measures the end-to-end truth the analyzer cannot see. A failure here
+// with a clean lint means an unannotated function on the hot path
+// regressed — profile with -sample_index=alloc_objects, fix, and extend
+// the //evs:noalloc coverage to it.
+func TestOrderingAllocBudget16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loaded steady-state measurement")
+	}
+	row := OrderingBench(16, 1, 300*time.Millisecond)
+	if row.Delivered == 0 {
+		t.Fatal("no deliveries in measurement window")
+	}
+	t.Logf("16 procs: %.0f msgs/s, %.3f allocs/delivery (budget %.2f), %.0f B/delivery",
+		row.MsgsPerSec, row.AllocsPerMsg, orderingAllocBudget, row.BytesPerMsg)
+	if row.AllocsPerMsg > orderingAllocBudget {
+		t.Errorf("allocs per delivery %.3f exceeds pinned budget %.2f",
+			row.AllocsPerMsg, orderingAllocBudget)
+	}
+}

@@ -37,10 +37,17 @@ type Options struct {
 	// incrementally instead of post-hoc (see spec.Stream).
 	Stream *spec.StreamOptions
 	// DropHistory stops the cluster from retaining the full event
-	// history. Only meaningful with Stream set — it is what makes
-	// arbitrarily long soaks memory-bounded. Check cannot be used on a
-	// cluster that drops its history; use the stream's verdict instead.
+	// history. With Stream set it is what makes arbitrarily long soaks
+	// memory-bounded; without Stream it turns the run into a pure
+	// measurement (benchmarks that only read counters). Check cannot be
+	// used on a cluster that drops its history; use the stream's verdict
+	// (or metrics) instead.
 	DropHistory bool
+	// DropDeliveries stops the cluster from retaining per-process delivery
+	// slices. OnDeliver still fires for every delivery, and DeliveryCount
+	// keeps an exact count, so saturating benchmarks stay O(1) in memory
+	// per message. Deliveries returns nil for every process when set.
+	DropDeliveries bool
 }
 
 // Cluster is a deterministic in-memory EVS deployment.
@@ -49,19 +56,21 @@ type Cluster struct {
 	Net     *netsim.Network
 	History *spec.History
 
-	stream      *spec.Stream
-	dropHistory bool
-	eventCount  uint64
+	stream         *spec.Stream
+	dropHistory    bool
+	dropDeliveries bool
+	eventCount     uint64
 
-	ids     []model.ProcessID
-	nodes   map[model.ProcessID]*node.Node
-	stores  map[model.ProcessID]*stable.Store
-	envs    map[model.ProcessID]*env
-	deliver map[model.ProcessID][]node.Delivery
-	configs map[model.ProcessID][]model.Configuration
-	metrics map[model.ProcessID]*obs.Metrics
-	netMet  *obs.Metrics
-	stats   Stats
+	ids          []model.ProcessID
+	nodes        map[model.ProcessID]*node.Node
+	stores       map[model.ProcessID]*stable.Store
+	envs         map[model.ProcessID]*env
+	deliver      map[model.ProcessID][]node.Delivery
+	deliverCount map[model.ProcessID]uint64
+	configs      map[model.ProcessID][]model.Configuration
+	metrics      map[model.ProcessID]*obs.Metrics
+	netMet       *obs.Metrics
+	stats        Stats
 	// dropKinds holds the active message-class loss rules, consulted by
 	// the netsim filter installed on first use (see faults.go).
 	dropKinds map[dropKey]map[string]bool
@@ -78,10 +87,13 @@ type Cluster struct {
 type env struct {
 	c      *Cluster
 	id     model.ProcessID
-	timers map[node.TimerKind]*sim.Entry
+	timers map[node.TimerKind]sim.Timer
 }
 
-var _ node.Env = (*env)(nil)
+var (
+	_ node.Env     = (*env)(nil)
+	_ sim.OpTarget = (*env)(nil)
+)
 
 func (e *env) Broadcast(msg wire.Message) {
 	if e.c.OnWire != nil {
@@ -91,12 +103,13 @@ func (e *env) Broadcast(msg wire.Message) {
 }
 
 func (e *env) SetTimer(kind node.TimerKind, d time.Duration) {
-	if t, ok := e.timers[kind]; ok {
-		t.Cancel()
-	}
-	e.timers[kind] = e.c.Sched.After(d, func(time.Duration) {
-		e.c.nodes[e.id].OnTimer(kind)
-	})
+	e.timers[kind].Cancel()
+	e.timers[kind] = e.c.Sched.AfterOp(d, sim.Op{Target: e, Kind: uint8(kind)})
+}
+
+// RunOp fires a timer event scheduled by SetTimer (closure-free hot path).
+func (e *env) RunOp(op sim.Op, _ time.Duration) {
+	e.c.nodes[e.id].OnTimer(node.TimerKind(op.Kind))
 }
 
 func (e *env) CancelTimer(kind node.TimerKind) {
@@ -107,7 +120,10 @@ func (e *env) CancelTimer(kind node.TimerKind) {
 }
 
 func (e *env) Deliver(d node.Delivery) {
-	e.c.deliver[e.id] = append(e.c.deliver[e.id], d)
+	e.c.deliverCount[e.id]++
+	if !e.c.dropDeliveries {
+		e.c.deliver[e.id] = append(e.c.deliver[e.id], d)
+	}
 	if e.c.OnDeliver != nil {
 		e.c.OnDeliver(e.id, d)
 	}
@@ -153,16 +169,18 @@ func New(opts Options) *Cluster {
 	}
 
 	c := &Cluster{
-		Sched:       &sim.Scheduler{},
-		History:     &spec.History{},
-		dropHistory: opts.DropHistory,
-		ids:         ids,
-		nodes:   make(map[model.ProcessID]*node.Node, len(ids)),
-		stores:  make(map[model.ProcessID]*stable.Store, len(ids)),
-		envs:    make(map[model.ProcessID]*env, len(ids)),
-		deliver: make(map[model.ProcessID][]node.Delivery, len(ids)),
-		configs: make(map[model.ProcessID][]model.Configuration, len(ids)),
-		metrics: make(map[model.ProcessID]*obs.Metrics, len(ids)),
+		Sched:          &sim.Scheduler{},
+		History:        &spec.History{},
+		dropHistory:    opts.DropHistory,
+		dropDeliveries: opts.DropDeliveries,
+		ids:            ids,
+		nodes:          make(map[model.ProcessID]*node.Node, len(ids)),
+		stores:         make(map[model.ProcessID]*stable.Store, len(ids)),
+		envs:           make(map[model.ProcessID]*env, len(ids)),
+		deliver:        make(map[model.ProcessID][]node.Delivery, len(ids)),
+		deliverCount:   make(map[model.ProcessID]uint64, len(ids)),
+		configs:        make(map[model.ProcessID][]model.Configuration, len(ids)),
+		metrics:        make(map[model.ProcessID]*obs.Metrics, len(ids)),
 	}
 	if opts.Stream != nil {
 		c.stream = spec.NewStream(*opts.Stream)
@@ -173,7 +191,7 @@ func New(opts Options) *Cluster {
 	c.Net.SetMetrics(c.netMet)
 	for _, id := range ids {
 		id := id
-		e := &env{c: c, id: id, timers: make(map[node.TimerKind]*sim.Entry)}
+		e := &env{c: c, id: id, timers: make(map[node.TimerKind]sim.Timer)}
 		c.envs[id] = e
 		c.stores[id] = &stable.Store{}
 		c.nodes[id] = node.New(id, nodeCfg, e, c.stores[id])
@@ -217,9 +235,15 @@ func (c *Cluster) Node(id model.ProcessID) *node.Node { return c.nodes[id] }
 func (c *Cluster) Store(id model.ProcessID) *stable.Store { return c.stores[id] }
 
 // Deliveries returns the messages delivered to a process's application, in
-// order.
+// order. Nil for every process when DropDeliveries is set.
 func (c *Cluster) Deliveries(id model.ProcessID) []node.Delivery {
 	return c.deliver[id]
+}
+
+// DeliveryCount returns the number of application deliveries to a process,
+// maintained even when the delivery slices are dropped (DropDeliveries).
+func (c *Cluster) DeliveryCount(id model.ProcessID) uint64 {
+	return c.deliverCount[id]
 }
 
 // Configs returns the configuration changes delivered to a process's

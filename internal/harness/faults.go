@@ -28,10 +28,10 @@ type Stats struct {
 	// Per-mode materialization counters for the self-stabilization
 	// fault model: a scheduled fault only counts when it actually
 	// changed state (the soak asserts every mode materializes).
-	SeqWraps        uint64
-	RingRegressions uint64
+	SeqWraps          uint64
+	RingRegressions   uint64
 	ObligationPoisons uint64
-	LogFlips        uint64
+	LogFlips          uint64
 	// Perturbations counts live in-memory faults applied to running
 	// nodes between token visits (as opposed to crash-time faults).
 	Perturbations uint64

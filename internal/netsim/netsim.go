@@ -299,6 +299,8 @@ func (n *Network) ruleFor(from, to model.ProcessID) LinkRule {
 // Broadcast sends payload from the given process to every process in its
 // component, including itself. Self-delivery is reliable (loopback); other
 // receivers are subject to loss, duplication and delay.
+//
+//evs:noalloc
 func (n *Network) Broadcast(from model.ProcessID, payload any) {
 	if n.down[from] {
 		return
@@ -349,6 +351,8 @@ func (n *Network) transmit(from, to model.ProcessID, payload any, loopback bool)
 
 // transmitLink applies link rules, filters, and loss to a send whose
 // partition/down reachability has already been established by the caller.
+//
+//evs:noalloc
 func (n *Network) transmitLink(from, to model.ProcessID, payload any, loopback bool) {
 	var rule LinkRule
 	if !loopback {
@@ -385,20 +389,38 @@ func (n *Network) transmitLink(from, to model.ProcessID, payload any, loopback b
 		if rule.Jitter > 0 {
 			d += time.Duration(n.rng.Int63n(int64(rule.Jitter)))
 		}
-		n.sched.After(d, func(now time.Duration) {
-			n.deliver(from, to, payload, now)
+		// The in-flight packet is a typed event in the scheduler's entry
+		// pool — no closure, no envelope allocation. The send-time rule
+		// was consumed above (Drop/Delay/Jitter are send-time decisions);
+		// only Block and partition state are re-read live at delivery.
+		n.sched.AfterOp(d, sim.Op{
+			Target: n, Kind: opDeliver,
+			A: string(from), B: string(to), Msg: payload,
 		})
 	}
 }
 
+// opDeliver is the Network's only typed event kind: one packet copy
+// arriving at one receiver.
+const opDeliver = 1
+
+// RunOp dispatches a scheduled packet delivery.
+//
+//evs:noalloc
+func (n *Network) RunOp(op sim.Op, now time.Duration) {
+	n.deliver(model.ProcessID(op.A), model.ProcessID(op.B), op.Msg, now)
+}
+
 // deliver hands a packet to the receiver if connectivity still holds.
+//
+//evs:noalloc
 func (n *Network) deliver(from, to model.ProcessID, payload any, now time.Duration) {
 	if from != to && (n.component[from] != n.component[to] || n.down[from]) {
 		n.stats.Cut++
 		n.met.Inc(obs.CNetCut)
 		return
 	}
-	if from != to && n.ruleFor(from, to).Block {
+	if from != to && n.blocked(from, to) {
 		// A one-way cut installed while the packet was in flight
 		// behaves like a partition: the packet is lost at delivery.
 		n.stats.Blocked++
@@ -416,6 +438,22 @@ func (n *Network) deliver(from, to model.ProcessID, payload any, now time.Durati
 	n.stats.Delivered++
 	n.met.Inc(obs.CNetDelivered)
 	h(from, payload, now)
+}
+
+// blocked reports whether any matching rule currently blocks the directed
+// link. Unlike ruleFor it folds nothing: Drop/Delay/Jitter were already
+// applied from the send-time rule, so delivery pays at most four map probes
+// — and none at all on a rule-free network.
+//
+//evs:noalloc
+func (n *Network) blocked(from, to model.ProcessID) bool {
+	if len(n.rules) == 0 {
+		return false
+	}
+	return n.rules[link{from, to}].Block ||
+		n.rules[link{from, Wildcard}].Block ||
+		n.rules[link{Wildcard, to}].Block ||
+		n.rules[link{Wildcard, Wildcard}].Block
 }
 
 // delay draws a packet latency from the configured range.

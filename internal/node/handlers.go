@@ -24,7 +24,14 @@ func (n *Node) OnMessage(from model.ProcessID, msg wire.Message) {
 		n.onData(from, m)
 	case wire.DataBatch:
 		// A batch is pure transport packing: each element is processed
-		// exactly as if it had arrived in its own packet.
+		// exactly as if it had arrived in its own packet. The
+		// operational same-ring case — the hot path — ingests the whole
+		// batch in one pass: one delivery scan, one log write and one
+		// scalar persist per packet instead of one per message.
+		if n.mode == Operational && n.ring != nil && m.Ring == n.ringCfg.ID {
+			n.onDataBatch(m)
+			return
+		}
 		for _, d := range m.Msgs {
 			if n.mode == Down {
 				return
@@ -102,6 +109,26 @@ func (n *Node) maybeForeign(from model.ProcessID, ring model.ConfigID) {
 	}
 }
 
+// onDataBatch ingests an operational same-ring data batch in one pass.
+// Semantically identical to routing each element through onData — the same
+// messages are stored, persisted and delivered in the same total order —
+// but the per-packet cost is flat: receipt bookkeeping per element, then
+// one delivery collection, one batched log write and one scalar persist.
+//
+//evs:noalloc
+func (n *Node) onDataBatch(m wire.DataBatch) {
+	for _, d := range m.Msgs {
+		n.noteSeen(d.ID)
+	}
+	deliveries, fresh := n.ring.OnDataBatch(m.Msgs)
+	if len(fresh) == 0 {
+		return
+	}
+	n.persistLogBatch(fresh)
+	n.deliverAll(deliveries, n.ringCfg)
+	n.persist()
+}
+
 // onData routes a data message by ring.
 func (n *Node) onData(from model.ProcessID, d wire.Data) {
 	n.noteSeen(d.ID)
@@ -132,8 +159,10 @@ func (n *Node) onData(from model.ProcessID, d wire.Data) {
 		}
 	case n.mode == Gathering && d.Ring == n.ringCfg.ID:
 		// Straggler while reconfiguring: merge into the carried log
-		// (deliveries resume via the recovery algorithm).
-		if _, ok := n.oldLog[d.Seq]; !ok && d.Seq > 0 {
+		// (deliveries resume via the recovery algorithm). Sequence
+		// numbers inside the trimmed prefix were already delivered and
+		// certified safe; re-storing them would be dead weight.
+		if _, ok := n.oldLog[d.Seq]; !ok && d.Seq > n.oldState.Trimmed {
 			d.Retrans = false
 			n.oldLog[d.Seq] = d
 			if d.Seq > n.oldState.HighestSeen {
@@ -181,6 +210,8 @@ func (n *Node) successorOf(p model.ProcessID, members model.ProcessSet) model.Pr
 }
 
 // processToken runs a token visit through the ordering protocol.
+//
+//evs:noalloc
 func (n *Node) processToken(t wire.Token) {
 	res := n.ring.OnToken(t)
 	if !res.Accepted {
@@ -198,14 +229,14 @@ func (n *Node) processToken(t wire.Token) {
 			Service: d.Service,
 		})
 	}
-	for _, d := range res.Sent {
-		n.persistLog(d)
+	if len(res.Sent) > 0 {
+		n.persistLogBatch(res.Sent)
 	}
 	n.broadcastData(res.Broadcasts)
 	n.deliverAll(res.Deliveries, n.ringCfg)
 	n.met.Set(obs.GPendingDepth, int64(n.PendingDepth()))
 	fwd := res.Forward
-	n.env.Broadcast(fwd)
+	n.env.Broadcast(fwd) //lint:allow noalloc the medium API takes wire.Message; one boxed token per visit is the audited cost
 	n.lastToken = &fwd
 	n.retransLeft = n.cfg.TokenRetransMax
 	n.env.SetTimer(TimerTokenRetrans, n.cfg.TokenRetrans)
@@ -218,6 +249,12 @@ func (n *Node) processToken(t wire.Token) {
 // carries one packet per visit instead of one per message. A lone message
 // travels unbatched.
 //
+// The input slice is the ring's per-visit scratch buffer, reused on the
+// next token visit, while the medium retains each packet until its
+// (delayed) delivery: every batch therefore carries a fresh copy of its
+// window — one allocation per packet, amortised over up to MaxBatch
+// messages, and the only way the handoff is sound.
+//
 //evs:noalloc
 func (n *Node) broadcastData(ds []wire.Data) {
 	max := n.cfg.MaxBatch
@@ -229,27 +266,27 @@ func (n *Node) broadcastData(ds []wire.Data) {
 		}
 		return
 	}
-	for len(ds) > max {
-		//lint:allow wireown audited handoff: the batch subslice is capped and never mutated after Broadcast; the medium treats messages as immutable
-		n.env.Broadcast(wire.DataBatch{Ring: n.ringCfg.ID, Msgs: ds[:max:max]}) //lint:allow noalloc the medium API takes wire.Message; one boxed packet header per visit is the audited cost
+	for len(ds) > 0 {
+		k := len(ds)
+		if k > max {
+			k = max
+		}
+		if k == 1 && len(ds) == 1 {
+			n.env.Broadcast(ds[0]) //lint:allow noalloc the medium API takes wire.Message; one boxed packet header per visit is the audited cost
+		} else {
+			msgs := make([]wire.Data, k) //lint:allow noalloc one fresh slice per packet (≤MaxBatch messages): the medium retains the batch past the visit, so the scratch buffer must not be handed off
+			copy(msgs, ds[:k])
+			n.env.Broadcast(wire.DataBatch{Ring: n.ringCfg.ID, Msgs: msgs}) //lint:allow noalloc the medium API takes wire.Message; one boxed packet header per visit is the audited cost
+		}
 		n.met.Inc(obs.CBatchesSent)
-		n.met.Observe(obs.HBatchFill, uint64(max))
-		ds = ds[max:]
+		n.met.Observe(obs.HBatchFill, uint64(k))
+		ds = ds[k:]
 	}
-	switch len(ds) {
-	case 0:
-		return
-	case 1:
-		n.env.Broadcast(ds[0]) //lint:allow noalloc the medium API takes wire.Message; one boxed packet header per visit is the audited cost
-	default:
-		//lint:allow wireown audited handoff: the tail slice is not retained by the sender after Broadcast; the medium treats messages as immutable
-		n.env.Broadcast(wire.DataBatch{Ring: n.ringCfg.ID, Msgs: ds}) //lint:allow noalloc the medium API takes wire.Message; one boxed packet header per visit is the audited cost
-	}
-	n.met.Inc(obs.CBatchesSent)
-	n.met.Observe(obs.HBatchFill, uint64(len(ds)))
 }
 
 // deliverAll delivers ordered messages to the application and the trace.
+//
+//evs:noalloc
 func (n *Node) deliverAll(ds []wire.Data, cfg model.Configuration) {
 	for _, d := range ds {
 		n.env.Trace(model.Event{
@@ -481,14 +518,17 @@ func (n *Node) validateObligations(ring model.Configuration) int {
 // watermarks.
 func (n *Node) recoveryState() totem.State {
 	st := n.oldState
-	// Recompute receipt watermarks from the merged log.
+	// Recompute receipt watermarks from the merged log. The contiguity
+	// probe starts at the trimmed prefix: entries at or below it were
+	// discarded as safe-and-delivered, not lost, so the receipt claim
+	// must still cover them.
 	derived := totem.State{}
 	for seq := range n.oldLog {
 		if seq > derived.HighestSeen {
 			derived.HighestSeen = seq
 		}
 	}
-	st.MyAru = 0
+	st.MyAru = st.Trimmed
 	for {
 		if _, ok := n.oldLog[st.MyAru+1]; !ok {
 			break

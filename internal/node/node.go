@@ -165,11 +165,11 @@ type Node struct {
 
 	// Old-configuration state carried between operational mode and
 	// recovery attempts.
-	oldLog       map[uint64]wire.Data
-	oldState     totem.State
-	obligations  model.ProcessSet
-	pending      []totem.Pending
-	senderSeq    uint64
+	oldLog      map[uint64]wire.Data
+	oldState    totem.State
+	obligations model.ProcessSet
+	pending     []totem.Pending
+	senderSeq   uint64
 	// seenSeqs is the highest sender sequence observed per originator
 	// (including self): redundant evidence that heals a transiently
 	// wrapped senderSeq, locally at Submit/Start and from peers'
@@ -260,6 +260,7 @@ func (n *Node) Start() {
 		DeliveredUpTo: rec.DeliveredUpTo,
 		SafeBound:     rec.SafeBound,
 		HighestSeen:   rec.HighestSeen,
+		Trimmed:       rec.TrimmedUpTo,
 	}
 	n.obligations = rec.Obligations
 	n.mem = membership.New(n.id, rec.JoinAttempt, rec.MaxRingSeq)
@@ -279,6 +280,8 @@ func (n *Node) Start() {
 // Submit queues an application message for sending with the given service.
 // Messages submitted while no regular configuration is installed are
 // buffered and sent — in the formal model's sense — once one is.
+//
+//evs:noalloc
 func (n *Node) Submit(payload []byte, svc model.Service) error {
 	if n.mode == Down {
 		return ErrDown
@@ -374,6 +377,8 @@ func (n *Node) cancelAllTimers() {
 // the obligation set. Message-log persistence is incremental (persistLog)
 // and full snapshots happen only at configuration boundaries
 // (persistSnapshot), so the per-event cost is independent of log size.
+//
+//evs:noalloc
 func (n *Node) persist() {
 	var st totem.State
 	switch {
@@ -396,6 +401,7 @@ func (n *Node) persist() {
 		DeliveredUpTo: st.DeliveredUpTo,
 		SafeBound:     st.SafeBound,
 		HighestSeen:   st.HighestSeen,
+		TrimmedUpTo:   st.Trimmed,
 		Obligations:   obligations,
 		SeenSeqs:      n.seenSeqs,
 	})
@@ -403,6 +409,8 @@ func (n *Node) persist() {
 
 // noteSeen records observation evidence for an originator's sender
 // sequence counter (the healing source for transient counter wraps).
+//
+//evs:noalloc
 func (n *Node) noteSeen(id model.MessageID) {
 	if n.seenSeqs == nil {
 		n.seenSeqs = make(map[model.ProcessID]uint64)
@@ -456,8 +464,18 @@ func (n *Node) PerturbRingSeq() bool {
 
 // persistLog persists one received message before it is acknowledged, so a
 // recovered process can still rebroadcast and deliver what it acknowledged.
+//
+//evs:noalloc
 func (n *Node) persistLog(d wire.Data) {
 	n.store.PutLog(d)
+}
+
+// persistLogBatch persists every message of one packet or token visit as a
+// single stable-storage write.
+//
+//evs:noalloc
+func (n *Node) persistLogBatch(ds []wire.Data) {
+	n.store.PutLogBatch(ds)
 }
 
 // persistSnapshot rewrites the whole log (configuration boundaries).

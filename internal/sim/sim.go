@@ -5,10 +5,19 @@
 // virtual clock and fires callbacks in a deterministic order (time, then
 // insertion order), so that every execution — including adversarial
 // partition/crash schedules — replays exactly from a seed.
+//
+// The event store is pooled: entries live in a flat slice threaded with a
+// free list and are addressed by index, so steady-state scheduling performs
+// no heap allocation. Hot callers avoid even the closure allocation by
+// scheduling a typed Op (a small value dispatched through an OpTarget)
+// instead of a Callback. Ordering is kept by a 4-ary index heap keyed on
+// (time, insertion sequence); a bucketed calendar queue was considered for
+// the constant-delay common case, but after pooling, Push/Pop no longer
+// register in the ordering-path profile (see DESIGN.md §13), so the simpler
+// structure stands.
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -16,31 +25,71 @@ import (
 // at which it fires.
 type Callback func(now time.Duration)
 
-// Entry is a handle to a scheduled event that can be cancelled.
-type Entry struct {
-	at       time.Duration
-	seq      uint64
-	fn       Callback
-	canceled bool
-	index    int // heap index, -1 when popped
+// OpTarget executes typed events. Implementations switch on Op.Kind; kinds
+// are private to each target, so distinct targets may reuse the same values.
+type OpTarget interface {
+	RunOp(op Op, now time.Duration)
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled entry is a no-op.
-func (e *Entry) Cancel() {
-	if e != nil {
-		e.canceled = true
+// Op is a typed event payload: a closure-free alternative to Callback for
+// hot paths. Target must be pointer-shaped (a pointer receiver) so that
+// storing it in the entry pool does not allocate. A and B carry small
+// operands (e.g. link endpoints); Msg carries the payload, if any.
+type Op struct {
+	Target OpTarget
+	Kind   uint8
+	A, B   string
+	Msg    any
+}
+
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// valid and cancels nothing. Timers are values: copying one copies the
+// handle, not the event.
+type Timer struct {
+	s   *Scheduler
+	idx int32
+	gen uint32
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired,
+// already-cancelled or zero Timer is a no-op.
+func (t Timer) Cancel() {
+	if t.s == nil || int(t.idx) >= len(t.s.events) {
+		return
 	}
+	e := &t.s.events[t.idx]
+	if e.gen != t.gen || e.canceled {
+		return
+	}
+	e.canceled = true
+	e.fn = nil
+	e.op = Op{}
+	t.s.size--
+}
+
+// event is one pooled entry. A fired or cancelled entry returns to the free
+// list with its generation bumped, invalidating outstanding Timers.
+type event struct {
+	at       time.Duration
+	seq      uint64
+	gen      uint32
+	canceled bool
+	fn       Callback
+	op       Op
+	next     int32 // free-list link
 }
 
 // Scheduler is a virtual-time event queue. The zero value is ready to use
 // with the clock at zero.
 type Scheduler struct {
-	now  time.Duration
-	h    entryHeap
-	seq  uint64
-	ran  uint64
-	size int
+	now    time.Duration
+	events []event
+	free   int32 // free-list head + 1; 0 means empty
+	heap   []int32
+	seq    uint64
+	ran    uint64
+	size   int
+	peak   int
 }
 
 // Now returns the current virtual time.
@@ -53,39 +102,106 @@ func (s *Scheduler) Fired() uint64 { return s.ran }
 // Pending returns the number of scheduled, uncancelled events.
 func (s *Scheduler) Pending() int { return s.size }
 
+// PeakPending returns the high-water mark of Pending over the scheduler's
+// lifetime: the event-population blowup detector for benchmarks.
+func (s *Scheduler) PeakPending() int { return s.peak }
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // runs at the current time (never rewinds the clock).
-func (s *Scheduler) At(t time.Duration, fn Callback) *Entry {
-	if t < s.now {
-		t = s.now
-	}
-	e := &Entry{at: t, seq: s.seq, fn: fn}
-	s.seq++
-	s.size++
-	heap.Push(&s.h, e)
-	return e
+func (s *Scheduler) At(t time.Duration, fn Callback) Timer {
+	return s.schedule(t, fn, Op{})
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d time.Duration, fn Callback) *Entry {
-	return s.At(s.now+d, fn)
+func (s *Scheduler) After(d time.Duration, fn Callback) Timer {
+	return s.schedule(s.now+d, fn, Op{})
+}
+
+// AtOp schedules a typed event at absolute virtual time t.
+//
+//evs:noalloc
+func (s *Scheduler) AtOp(t time.Duration, op Op) Timer {
+	return s.schedule(t, nil, op)
+}
+
+// AfterOp schedules a typed event d after the current virtual time.
+//
+//evs:noalloc
+func (s *Scheduler) AfterOp(d time.Duration, op Op) Timer {
+	return s.schedule(s.now+d, nil, op)
+}
+
+// schedule pools an entry and pushes it on the index heap.
+//
+//evs:noalloc
+func (s *Scheduler) schedule(t time.Duration, fn Callback, op Op) Timer {
+	if t < s.now {
+		t = s.now
+	}
+	idx := s.alloc()
+	e := &s.events[idx]
+	e.at = t
+	e.seq = s.seq
+	e.canceled = false
+	e.fn = fn
+	e.op = op
+	s.seq++
+	s.size++
+	if s.size > s.peak {
+		s.peak = s.size
+	}
+	s.push(idx)
+	return Timer{s: s, idx: idx, gen: e.gen}
+}
+
+// alloc takes an entry off the free list, growing the pool only when empty.
+//
+//evs:noalloc
+func (s *Scheduler) alloc() int32 {
+	if s.free != 0 {
+		idx := s.free - 1
+		s.free = s.events[idx].next
+		return idx
+	}
+	s.events = append(s.events, event{})
+	return int32(len(s.events) - 1)
+}
+
+// release returns a popped entry to the free list, dropping payload
+// references and invalidating outstanding Timers.
+//
+//evs:noalloc
+func (s *Scheduler) release(idx int32) {
+	e := &s.events[idx]
+	e.gen++
+	e.fn = nil
+	e.op = Op{}
+	e.next = s.free
+	s.free = idx + 1
 }
 
 // Step fires the next event, advancing the clock to its time. It returns
 // false when no events remain.
+//
+//evs:noalloc
 func (s *Scheduler) Step() bool {
-	for len(s.h) > 0 {
-		e, ok := heap.Pop(&s.h).(*Entry)
-		if !ok {
-			return false
-		}
+	for len(s.heap) > 0 {
+		idx := s.popMin()
+		e := &s.events[idx]
 		if e.canceled {
+			s.release(idx)
 			continue
 		}
+		at, fn, op := e.at, e.fn, e.op
+		s.release(idx)
 		s.size--
-		s.now = e.at
+		s.now = at
 		s.ran++
-		e.fn(s.now)
+		if fn != nil {
+			fn(at)
+		} else {
+			op.Target.RunOp(op, at)
+		}
 		return true
 	}
 	return false
@@ -95,8 +211,8 @@ func (s *Scheduler) Step() bool {
 // sets the clock to t. Events scheduled exactly at t do fire.
 func (s *Scheduler) RunUntil(t time.Duration) {
 	for {
-		e := s.peek()
-		if e == nil || e.at > t {
+		at, ok := s.peekAt()
+		if !ok || at > t {
 			break
 		}
 		s.Step()
@@ -111,11 +227,11 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 // quiesced) and false if the horizon cut the run short.
 func (s *Scheduler) RunUntilIdle(horizon time.Duration) bool {
 	for {
-		e := s.peek()
-		if e == nil {
+		at, ok := s.peekAt()
+		if !ok {
 			return true
 		}
-		if e.at > horizon {
+		if at > horizon {
 			s.now = horizon
 			return false
 		}
@@ -123,51 +239,87 @@ func (s *Scheduler) RunUntilIdle(horizon time.Duration) bool {
 	}
 }
 
-// peek returns the next uncancelled entry without firing it.
-func (s *Scheduler) peek() *Entry {
-	for len(s.h) > 0 {
-		if e := s.h[0]; e.canceled {
-			heap.Pop(&s.h)
+// peekAt returns the next uncancelled event's time without firing it,
+// discarding cancelled entries as it goes.
+//
+//evs:noalloc
+func (s *Scheduler) peekAt() (time.Duration, bool) {
+	for len(s.heap) > 0 {
+		idx := s.heap[0]
+		e := &s.events[idx]
+		if e.canceled {
+			s.popMin()
+			s.release(idx)
 			continue
 		}
-		return s.h[0]
+		return e.at, true
 	}
-	return nil
+	return 0, false
 }
 
-// entryHeap orders entries by (time, insertion sequence).
-type entryHeap []*Entry
-
-func (h entryHeap) Len() int { return len(h) }
-
-func (h entryHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders entries by (time, insertion sequence): the determinism
+// contract of the whole simulator.
+//
+//evs:noalloc
+func (s *Scheduler) less(a, b int32) bool {
+	ea, eb := &s.events[a], &s.events[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
 	}
-	return h[i].seq < h[j].seq
+	return ea.seq < eb.seq
 }
 
-func (h entryHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *entryHeap) Push(x any) {
-	e, ok := x.(*Entry)
-	if !ok {
-		return
+// push appends idx and restores the 4-ary heap invariant upward.
+//
+//evs:noalloc
+func (s *Scheduler) push(idx int32) {
+	s.heap = append(s.heap, idx)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !s.less(idx, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		i = p
 	}
-	e.index = len(*h)
-	*h = append(*h, e)
+	s.heap[i] = idx
 }
 
-func (h *entryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// popMin removes and returns the least entry's index.
+//
+//evs:noalloc
+func (s *Scheduler) popMin() int32 {
+	min := s.heap[0]
+	n := len(s.heap) - 1
+	last := s.heap[n]
+	s.heap = s.heap[:n]
+	if n == 0 {
+		return min
+	}
+	// Sift last down from the root.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s.less(s.heap[j], s.heap[m]) {
+				m = j
+			}
+		}
+		if !s.less(s.heap[m], last) {
+			break
+		}
+		s.heap[i] = s.heap[m]
+		i = m
+	}
+	s.heap[i] = last
+	return min
 }

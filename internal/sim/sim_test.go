@@ -65,10 +65,19 @@ func TestCancel(t *testing.T) {
 	if s.Fired() != 0 {
 		t.Fatalf("Fired() = %d, want 0", s.Fired())
 	}
-	// Cancelling again (and cancelling nil) must be safe.
+	// Cancelling again (and cancelling a zero handle) must be safe.
 	e.Cancel()
-	var nilEntry *Entry
-	nilEntry.Cancel()
+	var zero Timer
+	zero.Cancel()
+	// A handle must not cancel a later event that reuses the pooled slot.
+	refired := false
+	s.At(2*time.Millisecond, func(time.Duration) { refired = true })
+	e.Cancel()
+	for s.Step() {
+	}
+	if !refired {
+		t.Fatal("stale handle cancelled a reused pool slot")
+	}
 }
 
 func TestSchedulingInPastClampsToNow(t *testing.T) {

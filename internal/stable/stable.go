@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/vclock"
 	"repro/internal/wire"
 )
 
@@ -51,6 +52,13 @@ type Record struct {
 	// persisted before acknowledging receipt so that a recovered
 	// process can still rebroadcast and deliver what it acknowledged.
 	Log map[uint64]wire.Data
+	// TrimmedUpTo is the discarded log prefix within LastRegular:
+	// sequence numbers at or below it were delivered locally and
+	// certified safe (received by every member), mirroring the ring's
+	// in-memory trim so the persisted log stays bounded by the
+	// flow-control window rather than the run length. It only advances
+	// within a configuration; ClearLog resets it.
+	TrimmedUpTo uint64
 	// Obligations is the obligation set (Section 3, Steps 1 and 5.c).
 	Obligations model.ProcessSet
 	// SeenSeqs records the highest sender sequence number this process
@@ -120,6 +128,59 @@ type Store struct {
 	// lives in the Store, not the Record, so in-place bit rot of an
 	// entry (FlipLogBits) is detectable at the next LoadChecked.
 	sums map[uint64]uint64
+	// seen is the store-owned copy of Record.SeenSeqs maintained by
+	// SetScalars: merging into it in place keeps the hot-path write free
+	// of a map clone while still never aliasing the caller's live map.
+	seen map[model.ProcessID]uint64
+	// log is the device-internal log representation. wire.Data is larger
+	// than the runtime's inline map-element limit, so a
+	// map[uint64]wire.Data insert heap-allocates an indirect element per
+	// message; storing 8-byte pointers into arena-carved entries keeps
+	// PutLog allocation-free in steady state. Record.Log remains the
+	// snapshot type: Load materialises it, Save ingests it.
+	log map[uint64]*wire.Data
+	// payArena, vcArena and entryArena amortise the deep copies PutLog
+	// makes at the simulated disk boundary: payload bytes, vector-clock
+	// counters and log-entry structs are carved from chunked arenas (one
+	// allocation per chunk) instead of one allocation each per message.
+	payArena   []byte
+	vcArena    vclock.Dense
+	entryArena []wire.Data
+}
+
+// arenaChunk sizes the persistence arenas (bytes for payloads, counters
+// for clocks); entryArenaChunk is the entry-struct arena granularity.
+const (
+	arenaChunk      = 16 << 10
+	entryArenaChunk = 128
+)
+
+// newEntry carves one log-entry struct from the entry arena.
+func (s *Store) newEntry() *wire.Data {
+	if len(s.entryArena) == 0 {
+		s.entryArena = make([]wire.Data, entryArenaChunk)
+	}
+	e := &s.entryArena[0]
+	s.entryArena = s.entryArena[1:]
+	return e
+}
+
+// logSnapshot deep-copies the internal log into the Record.Log snapshot
+// form (cold path: Load/LoadChecked only).
+func (s *Store) logSnapshot() map[uint64]wire.Data {
+	if s.log == nil {
+		return nil
+	}
+	out := make(map[uint64]wire.Data, len(s.log))
+	for k, v := range s.log {
+		c := *v
+		if v.Payload != nil {
+			c.Payload = append([]byte(nil), v.Payload...)
+		}
+		c.VC = v.VC.Clone()
+		out[k] = c
+	}
+	return out
 }
 
 // checksum is FNV-1a over the fields of a log entry the delivery and
@@ -151,18 +212,29 @@ func checksum(d wire.Data) uint64 {
 }
 
 // Load returns a deep copy of the persisted record.
-func (s *Store) Load() Record { return s.rec.clone() }
+func (s *Store) Load() Record {
+	out := s.rec.clone()
+	out.Log = s.logSnapshot()
+	return out
+}
 
 // Save persists a deep copy of the record, replacing the previous contents
 // atomically (simulating an atomic disk commit).
 func (s *Store) Save(r Record) {
 	s.rec = r.clone()
+	s.log = nil
 	s.sums = nil
+	s.seen = nil
 	if len(s.rec.Log) > 0 {
+		s.log = make(map[uint64]*wire.Data, len(s.rec.Log))
 		s.sums = make(map[uint64]uint64, len(s.rec.Log))
 		for seq, d := range s.rec.Log {
+			e := s.newEntry()
+			*e = d
+			s.log[seq] = e
 			s.sums[seq] = checksum(d)
 		}
+		s.rec.Log = nil
 	}
 	s.writes++
 }
@@ -174,47 +246,138 @@ func (s *Store) Writes() uint64 { return s.writes }
 // SetScalars persists every field of r except the message log and the
 // primary-component records (Log, LastPrimary, PrimaryAttempt are left as
 // stored). It is the hot-path persistence operation: cost independent of
-// the log size.
+// the log size, and free of allocations in steady state (the one mutable
+// map scalar, SeenSeqs, is merged into a store-owned map in place).
+// A TrimmedUpTo that advanced past the stored watermark discards the
+// corresponding log prefix, mirroring the ring's in-memory trim.
+//
+//evs:noalloc
 func (s *Store) SetScalars(r Record) {
-	log := s.rec.Log
 	lp := s.rec.LastPrimary
 	pa := s.rec.PrimaryAttempt
+	trimmed := s.rec.TrimmedUpTo
 	s.rec = r
-	s.rec.Log = log
+	// The internal log (s.log) is untouched; the record's snapshot field
+	// stays unmaterialised.
+	s.rec.Log = nil
 	s.rec.LastPrimary = lp
 	s.rec.PrimaryAttempt = pa
-	// SeenSeqs is the one mutable-map scalar; copy it so the caller's
-	// live map never aliases persisted state.
-	s.rec.SeenSeqs = cloneSeen(r.SeenSeqs)
+	// SeenSeqs must never alias the caller's live map (disk boundary);
+	// rebuild the store-owned copy rather than allocating a fresh clone.
+	if s.seen == nil && len(r.SeenSeqs) > 0 {
+		s.seen = make(map[model.ProcessID]uint64, len(r.SeenSeqs))
+	}
+	for k := range s.seen {
+		delete(s.seen, k)
+	}
+	for k, v := range r.SeenSeqs {
+		s.seen[k] = v
+	}
+	s.rec.SeenSeqs = s.seen
+	switch {
+	case r.TrimmedUpTo < trimmed:
+		// The watermark is monotone within a configuration; lower
+		// inputs (e.g. scalars persisted mid-recovery, which carry no
+		// trim knowledge) keep the stored value.
+		s.rec.TrimmedUpTo = trimmed
+	case r.TrimmedUpTo > trimmed:
+		s.dropLogPrefix(r.TrimmedUpTo)
+	}
 	s.writes++
 }
 
-// PutLog persists one received message (deep-copied once).
-func (s *Store) PutLog(d wire.Data) {
-	if s.rec.Log == nil {
-		s.rec.Log = make(map[uint64]wire.Data)
+// dropLogPrefix deletes persisted log entries at or below upTo.
+func (s *Store) dropLogPrefix(upTo uint64) {
+	for seq := range s.log {
+		if seq <= upTo {
+			delete(s.log, seq)
+			delete(s.sums, seq)
+			if s.lastPutValid && s.lastPut == seq {
+				s.lastPutValid = false
+			}
+		}
+	}
+	s.rec.TrimmedUpTo = upTo
+}
+
+// putOne writes one log entry, deep-copying it across the disk boundary
+// (payload bytes and clock counters are carved from the store's arenas:
+// the make calls below refill a chunk, amortised over many entries).
+//
+//evs:noalloc
+func (s *Store) putOne(d wire.Data) {
+	if d.Seq <= s.rec.TrimmedUpTo {
+		return
+	}
+	if s.log == nil {
+		s.log = make(map[uint64]*wire.Data)
 	}
 	c := d
 	if d.Payload != nil {
-		c.Payload = append([]byte(nil), d.Payload...)
+		n := len(d.Payload)
+		if len(s.payArena) < n {
+			grow := arenaChunk
+			if grow < n {
+				grow = n
+			}
+			s.payArena = make([]byte, grow)
+		}
+		c.Payload = s.payArena[:n:n] //lint:allow wireown the copy INTO the store: the arena-backed entry stays behind the disk boundary (Load/logSnapshot deep-copy it back out), it is never broadcast
+		s.payArena = s.payArena[n:]
+		copy(c.Payload, d.Payload)
 	}
-	c.VC = d.VC.Clone()
-	s.rec.Log[d.Seq] = c
+	if d.VC.U != nil {
+		n := len(d.VC.D)
+		if len(s.vcArena) < n {
+			grow := arenaChunk
+			if grow < n {
+				grow = n
+			}
+			s.vcArena = make(vclock.Dense, grow)
+		}
+		cd := s.vcArena[:n:n]
+		s.vcArena = s.vcArena[n:]
+		copy(cd, d.VC.D)
+		c.VC = vclock.Stamp{U: d.VC.U, D: cd}
+	}
+	e := s.newEntry()
+	*e = c
+	s.log[d.Seq] = e
 	if s.sums == nil {
 		s.sums = make(map[uint64]uint64)
 	}
 	s.sums[d.Seq] = checksum(c)
 	s.lastPut = d.Seq
 	s.lastPutValid = true
+}
+
+// PutLog persists one received message (deep-copied once).
+//
+//evs:noalloc
+func (s *Store) PutLog(d wire.Data) {
+	s.putOne(d)
+	s.writes++
+}
+
+// PutLogBatch persists every message of one received packet or token visit
+// as a single write: the per-message persistence cost of a batch is one
+// deep copy, not one I/O commit each.
+//
+//evs:noalloc
+func (s *Store) PutLogBatch(ds []wire.Data) {
+	for _, d := range ds {
+		s.putOne(d)
+	}
 	s.writes++
 }
 
 // ClearLog drops the persisted message log (a new configuration starts an
-// empty log).
+// empty log and an untrimmed prefix).
 func (s *Store) ClearLog() {
-	s.rec.Log = nil
+	s.log = nil
 	s.sums = nil
 	s.lastPutValid = false
+	s.rec.TrimmedUpTo = 0
 	s.writes++
 }
 
@@ -244,16 +407,16 @@ func (s *Store) ClearLog() {
 // be durable (at or below SafeBound) or no tearable record exists. It
 // reports whether a record was destroyed.
 func (s *Store) TearLastWrite() bool {
-	if !s.lastPutValid || s.rec.Log == nil {
+	if !s.lastPutValid || s.log == nil {
 		return false
 	}
 	if s.lastPut <= s.rec.SafeBound {
 		return false
 	}
-	if _, ok := s.rec.Log[s.lastPut]; !ok {
+	if _, ok := s.log[s.lastPut]; !ok {
 		return false
 	}
-	delete(s.rec.Log, s.lastPut)
+	delete(s.log, s.lastPut)
 	delete(s.sums, s.lastPut)
 	s.lastPutValid = false
 	s.corruptions++
@@ -264,11 +427,11 @@ func (s *Store) TearLastWrite() bool {
 // the SafeBound watermark, simulating unflushed tail pages lost in a
 // crash. It returns the number of records destroyed.
 func (s *Store) LoseLogSuffix(n int) int {
-	if n <= 0 || len(s.rec.Log) == 0 {
+	if n <= 0 || len(s.log) == 0 {
 		return 0
 	}
-	seqs := make([]uint64, 0, len(s.rec.Log))
-	for seq := range s.rec.Log {
+	seqs := make([]uint64, 0, len(s.log))
+	for seq := range s.log {
 		if seq > s.rec.SafeBound {
 			seqs = append(seqs, seq)
 		}
@@ -278,7 +441,7 @@ func (s *Store) LoseLogSuffix(n int) int {
 		n = len(seqs)
 	}
 	for _, seq := range seqs[:n] {
-		delete(s.rec.Log, seq)
+		delete(s.log, seq)
 		delete(s.sums, seq)
 		if s.lastPutValid && s.lastPut == seq {
 			s.lastPutValid = false
@@ -365,11 +528,11 @@ func (s *Store) PoisonObligations(n int) int {
 // checksums are deliberately left stale so LoadChecked detects the
 // damage. Returns the number of entries corrupted.
 func (s *Store) FlipLogBits(n int) int {
-	if n <= 0 || len(s.rec.Log) == 0 {
+	if n <= 0 || len(s.log) == 0 {
 		return 0
 	}
-	seqs := make([]uint64, 0, len(s.rec.Log))
-	for seq := range s.rec.Log {
+	seqs := make([]uint64, 0, len(s.log))
+	for seq := range s.log {
 		seqs = append(seqs, seq)
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
@@ -377,13 +540,12 @@ func (s *Store) FlipLogBits(n int) int {
 		n = len(seqs)
 	}
 	for _, seq := range seqs[:n] {
-		d := s.rec.Log[seq]
+		d := s.log[seq]
 		if len(d.Payload) > 0 {
 			d.Payload[0] ^= 0x80
 		} else {
 			d.ID.SenderSeq ^= 1
 		}
-		s.rec.Log[seq] = d
 	}
 	if n > 0 {
 		s.corruptions++
@@ -400,6 +562,7 @@ func (s *Store) FlipLogBits(n int) int {
 // with propagated errors, never trusted and never fatal.
 func (s *Store) LoadChecked() (Record, []error) {
 	rec := s.rec.clone()
+	rec.Log = s.logSnapshot()
 	var errs []error
 	if len(rec.Log) > 0 {
 		bad := make([]uint64, 0)

@@ -68,6 +68,12 @@ type Pending struct {
 }
 
 // TokenResult is everything a token visit produces.
+//
+// The Broadcasts, Sent and Deliveries slices are per-ring scratch buffers,
+// valid only until the next call into the Ring: a caller that hands them to
+// anything outliving the visit (an asynchronous transport, a retained
+// trace) must copy them first. The wire.Data elements themselves are
+// immutable and may be aliased freely.
 type TokenResult struct {
 	// Accepted is false when the token was stale or for another ring;
 	// nothing else is set in that case.
@@ -99,13 +105,19 @@ type Ring struct {
 	cfg  model.Configuration
 	opts Options
 
-	// log[i] holds the message with sequence number i+1; a zero Seq
-	// marks an entry not yet received. Sequence numbers are assigned
-	// contiguously from 1 by the token, so the log is dense and never
-	// trimmed: recovery (Step 5.a) may need to rebroadcast any message
-	// down to a merging peer's safe bound.
-	log    []wire.Data
-	stored int
+	// log[i] holds the message with sequence number trimmedUpTo+i+1; a
+	// zero Seq marks an entry not yet received. Sequence numbers are
+	// assigned contiguously from 1 by the token, so the log is dense.
+	// The prefix at or below both the two-visit safe bound and the
+	// delivery watermark is trimmed away (see maybeTrim): safety
+	// certifies every member received it, so no operational
+	// retransmission and no recovery rebroadcast (Step 5.a) can ever
+	// name it — a merging peer's receipt watermark is at or above this
+	// ring's safe bound by the same certificate. Live memory is thereby
+	// bounded by the flow-control window, not the run length.
+	log         []wire.Data
+	trimmedUpTo uint64
+	stored      int
 	// gaps lists the missing sequence numbers in (myAru, highestSeen]
 	// as sorted, disjoint, non-empty ranges.
 	gaps          []seqRange
@@ -133,6 +145,14 @@ type Ring struct {
 	arena   []int32
 
 	curMax int // adaptive per-visit sequencing budget
+
+	// Scratch buffers backing TokenResult and collectDeliverable: reused
+	// across token visits so a steady-state visit allocates nothing.
+	// Contents are valid until the next call into the Ring.
+	bcastScratch   []wire.Data
+	sentScratch    []wire.Data
+	deliverScratch []wire.Data
+	freshScratch   []wire.Data
 
 	// met is the process's observability scope (nil disables: every obs
 	// call is a nil-safe no-op costing one branch and zero allocations).
@@ -214,9 +234,10 @@ func (r *Ring) TakePending() []Pending {
 }
 
 // present reports whether the message with the given sequence number is in
-// the log.
+// the log (trimmed entries are no longer present).
 func (r *Ring) present(seq uint64) bool {
-	return seq > 0 && seq <= uint64(len(r.log)) && r.log[seq-1].Seq != 0
+	return seq > r.trimmedUpTo && seq-r.trimmedUpTo <= uint64(len(r.log)) &&
+		r.log[seq-r.trimmedUpTo-1].Seq != 0
 }
 
 // get returns the logged message with the given sequence number.
@@ -224,22 +245,79 @@ func (r *Ring) get(seq uint64) (wire.Data, bool) {
 	if !r.present(seq) {
 		return wire.Data{}, false
 	}
-	return r.log[seq-1], true
+	return r.log[seq-r.trimmedUpTo-1], true
 }
 
 // growLog extends the log slice to cover sequence number seq.
 func (r *Ring) growLog(seq uint64) {
-	if seq <= uint64(cap(r.log)) {
-		r.log = r.log[:seq]
+	n := seq - r.trimmedUpTo
+	if n <= uint64(cap(r.log)) {
+		r.log = r.log[:n]
 		return
 	}
 	newCap := 2 * cap(r.log)
-	if uint64(newCap) < seq {
-		newCap = int(seq)
+	if uint64(newCap) < n {
+		newCap = int(n)
 	}
-	grown := make([]wire.Data, seq, newCap)
+	grown := make([]wire.Data, n, newCap)
 	copy(grown, r.log)
 	r.log = grown
+}
+
+// trimChunk is the laziness threshold of maybeTrim: entries are discarded
+// in batches so small test rings keep their full logs and the steady-state
+// cost is an amortised copy, not per-visit work.
+const trimChunk = 1024
+
+// retainCushion is how far the trim bound stays behind the certified
+// safe-and-delivered watermark: twice the flow-control window. The safe
+// certificate proves every member *received* the prefix, but a member that
+// crashes may have *delivered* less — its delivery watermark lags the
+// certified bound by at most the in-flight window plus one rotation of
+// assignments, both bounded by the flow-control window. Keeping two
+// windows' worth of entries below the bound therefore guarantees that any
+// entry a recovering member could still need to deliver (even one it lost
+// to detected storage rot) survives at its peers.
+func (r *Ring) retainCushion() uint64 {
+	win := r.opts.Window
+	if r.opts.Adaptive {
+		if grown := 2 * uint64(r.cfg.Members.Size()) * uint64(r.opts.AdaptiveMax); grown > win {
+			win = grown
+		}
+	}
+	return 2 * win
+}
+
+// maybeTrim discards the log prefix that can never be needed again:
+// sequence numbers a retention cushion below both the two-visit safe bound
+// (certified received by every ring member, so neither an operational
+// retransmission nor a recovery rebroadcast can name them — every member's
+// own receipt watermark is at or above the bound) and the delivery
+// watermark (never re-delivered locally). The retained window is compacted
+// to the front of the same backing array, so steady state holds a
+// flow-window of entries regardless of how long the ring runs.
+func (r *Ring) maybeTrim() {
+	bound := r.safeBound
+	if r.deliveredUpTo < bound {
+		bound = r.deliveredUpTo
+	}
+	if cushion := r.retainCushion(); bound > cushion {
+		bound -= cushion
+	} else {
+		return
+	}
+	if bound <= r.trimmedUpTo || bound-r.trimmedUpTo < trimChunk {
+		return
+	}
+	k := bound - r.trimmedUpTo
+	n := copy(r.log, r.log[k:])
+	tail := r.log[n:]
+	for i := range tail {
+		tail[i] = wire.Data{} // release payload/clock references
+	}
+	r.log = r.log[:n]
+	r.stored -= int(k) // the trimmed prefix is below myAru: fully present
+	r.trimmedUpTo = bound
 }
 
 // noteAssigned records that every sequence number up to h has been
@@ -293,7 +371,7 @@ func (r *Ring) advanceAru() {
 // and watermarks. It reports whether the message was new.
 func (r *Ring) store(d wire.Data) bool {
 	seq := d.Seq
-	if r.present(seq) {
+	if seq <= r.trimmedUpTo || r.present(seq) {
 		return false
 	}
 	switch {
@@ -305,10 +383,10 @@ func (r *Ring) store(d wire.Data) bool {
 	default:
 		r.fillGap(seq)
 	}
-	if seq > uint64(len(r.log)) {
+	if seq-r.trimmedUpTo > uint64(len(r.log)) {
 		r.growLog(seq)
 	}
-	r.log[seq-1] = d
+	r.log[seq-r.trimmedUpTo-1] = d
 	r.stored++
 	r.advanceAru()
 	return true
@@ -351,7 +429,8 @@ func (r *Ring) mergeClock(s vclock.Stamp) {
 }
 
 // OnData ingests a received data message for this ring and returns any
-// messages that become deliverable, in total order.
+// messages that become deliverable, in total order. The returned slice is
+// per-ring scratch, valid until the next call into the Ring.
 //
 //evs:noalloc
 func (r *Ring) OnData(d wire.Data) []wire.Data {
@@ -362,6 +441,31 @@ func (r *Ring) OnData(d wire.Data) []wire.Data {
 		return nil
 	}
 	return r.collectDeliverable()
+}
+
+// OnDataBatch ingests every element of a received batch in one pass and
+// returns the messages that became deliverable, in total order, plus the
+// elements that were new to the log (the caller persists exactly those):
+// one delivery scan and one persistence write per packet instead of one per
+// message. Both returned slices are per-ring scratch, valid until the next
+// call into the Ring.
+//
+//evs:noalloc
+func (r *Ring) OnDataBatch(ds []wire.Data) (deliveries, fresh []wire.Data) {
+	fresh = r.freshScratch[:0]
+	for _, d := range ds {
+		if d.Ring != r.cfg.ID || d.Seq == 0 {
+			continue
+		}
+		if r.store(d) {
+			fresh = append(fresh, d)
+		}
+	}
+	r.freshScratch = fresh
+	if len(fresh) == 0 {
+		return nil, nil
+	}
+	return r.collectDeliverable(), fresh
 }
 
 // budget returns the effective per-visit sequencing budget and flow
@@ -420,7 +524,11 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 	}
 	r.lastTokenID = t.TokenID
 	r.met.Inc(obs.CTokenRotations)
-	res := TokenResult{Accepted: true}
+	res := TokenResult{
+		Accepted:   true,
+		Broadcasts: r.bcastScratch[:0],
+		Sent:       r.sentScratch[:0],
+	}
 
 	r.noteAssigned(t.Seq)
 
@@ -430,7 +538,7 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 	// the same instant on independently delayed packets — so only
 	// messages missing (here or at a requester) two visits after
 	// assignment count as lost.
-	pressure := (len(t.Rtr) > 0 && t.Rtr[0] <= r.prevPrevHigh) ||
+	pressure := (len(t.Rtr) > 0 && t.Rtr[0].Lo <= r.prevPrevHigh) ||
 		(len(r.gaps) > 0 && r.gaps[0].lo <= r.prevPrevHigh)
 	maxPer, win := r.budget(pressure)
 	r.met.Observe(obs.HBudgetPerVisit, uint64(maxPer))
@@ -440,11 +548,13 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 	// Retransmit requested messages this process holds. Requests it
 	// cannot satisfy name messages it is itself missing (they are ≤
 	// token.Seq, so they are in the gap list) and are re-issued below.
-	for _, seq := range t.Rtr {
-		if d, ok := r.get(seq); ok {
-			d.Retrans = true
-			res.Broadcasts = append(res.Broadcasts, d)
-			r.met.Inc(obs.CRetransServed)
+	for _, g := range t.Rtr {
+		for seq := g.Lo; seq <= g.Hi; seq++ {
+			if d, ok := r.get(seq); ok {
+				d.Retrans = true
+				res.Broadcasts = append(res.Broadcasts, d)
+				r.met.Inc(obs.CRetransServed)
+			}
 		}
 	}
 
@@ -472,20 +582,18 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 	}
 
 	// Request retransmission of messages this process is missing: the
-	// gap list expands to exactly the sorted request list (it subsumes
-	// any unsatisfied incoming requests), so no per-sequence probing and
-	// no sort is needed.
+	// gap list is exactly the sorted, disjoint request-range list (it
+	// subsumes any unsatisfied incoming requests), so the wire form is a
+	// straight copy — a visit with a large hole costs two words, not one
+	// per missing message. The copy is fresh because the token outlives
+	// the visit on the wire (wireown: no aliasing of ring state).
 	t.Rtr = nil
 	if len(r.gaps) > 0 {
+		rtr := make([]wire.SeqRange, len(r.gaps))
 		n := uint64(0)
-		for _, g := range r.gaps {
+		for i, g := range r.gaps {
+			rtr[i] = wire.SeqRange{Lo: g.lo, Hi: g.hi}
 			n += g.hi - g.lo + 1
-		}
-		rtr := make([]uint64, 0, n)
-		for _, g := range r.gaps {
-			for seq := g.lo; seq <= g.hi; seq++ {
-				rtr = append(rtr, seq)
-			}
 		}
 		t.Rtr = rtr
 		r.met.Add(obs.CRetransRequested, n)
@@ -527,19 +635,23 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 	r.prevPrevHigh = r.prevHigh
 	r.prevHigh = r.highestSeen
 	res.Forward = t
+	r.bcastScratch = res.Broadcasts
+	r.sentScratch = res.Sent
+	r.maybeTrim()
 	return res
 }
 
 // collectDeliverable returns, in order, received messages past the delivery
 // watermark, stopping at a gap or at a safe-service message that is not yet
 // safe. A blocked safe message blocks everything behind it: delivery is in
-// total order.
+// total order. The returned slice is per-ring scratch, valid until the next
+// call into the Ring.
 //
 //evs:noalloc
 func (r *Ring) collectDeliverable() []wire.Data {
-	var out []wire.Data
+	out := r.deliverScratch[:0]
 	for r.present(r.deliveredUpTo + 1) {
-		d := r.log[r.deliveredUpTo]
+		d := r.log[r.deliveredUpTo-r.trimmedUpTo]
 		if d.Service == model.Safe && d.Seq > r.safeBound {
 			break
 		}
@@ -548,6 +660,7 @@ func (r *Ring) collectDeliverable() []wire.Data {
 		out = append(out, d)
 	}
 	r.met.Add(obs.CMsgsDelivered, uint64(len(out)))
+	r.deliverScratch = out
 	return out
 }
 
@@ -559,23 +672,33 @@ type State struct {
 	SafeBound     uint64
 	HighestSeen   uint64
 	DeliveredUpTo uint64
+	// Trimmed is the discarded log prefix: sequence numbers at or below
+	// it were delivered locally and certified safe (received by every
+	// member), so the recovery algorithm treats them as held without
+	// requiring the log to produce them.
+	Trimmed uint64
 }
 
-// Snapshot returns the ring's exchange state.
+// Snapshot returns the ring's exchange state. Have is derived from the
+// complement of the gap list within (myAru, highestSeen] — the gap list is
+// exactly the missing set, so the received numbers are the runs between
+// consecutive gaps — costing O(gaps + |Have|) rather than a presence probe
+// per sequence number in the range.
 func (r *Ring) Snapshot() State {
 	var have []uint64
-	for seq := r.myAru + 1; seq <= r.highestSeen; seq++ {
-		if r.present(seq) {
+	for i, g := range r.gaps {
+		lo := g.hi + 1
+		hi := r.highestSeen
+		if i+1 < len(r.gaps) {
+			hi = r.gaps[i+1].lo - 1
+		}
+		for seq := lo; seq <= hi; seq++ {
 			have = append(have, seq)
 		}
 	}
-	return State{
-		MyAru:         r.myAru,
-		Have:          have,
-		SafeBound:     r.safeBound,
-		HighestSeen:   r.highestSeen,
-		DeliveredUpTo: r.deliveredUpTo,
-	}
+	st := r.Watermarks()
+	st.Have = have
+	return st
 }
 
 // Watermarks returns the receipt and delivery watermarks without scanning
@@ -586,11 +709,16 @@ func (r *Ring) Watermarks() State {
 		SafeBound:     r.safeBound,
 		HighestSeen:   r.highestSeen,
 		DeliveredUpTo: r.deliveredUpTo,
+		Trimmed:       r.trimmedUpTo,
 	}
 }
 
-// Len returns the number of messages in the receive log.
+// Len returns the number of messages in the receive log (trimmed entries
+// excluded).
 func (r *Ring) Len() int { return r.stored }
+
+// Trimmed returns the discarded log prefix watermark.
+func (r *Ring) Trimmed() uint64 { return r.trimmedUpTo }
 
 // Messages materialises the receive log as a map keyed by sequence number
 // (the representation the recovery algorithm exchanges and merges). The
@@ -615,11 +743,24 @@ func (r *Ring) SafeBound() uint64 { return r.safeBound }
 func (r *Ring) VC() vclock.VC { return r.uni.ToVC(r.vc) }
 
 // Restore seeds the ring with state recovered from stable storage: the
-// message log, delivery watermark and safe bound of a configuration this
-// process was a member of before failing. Sequence numbers the process
-// knows were assigned but whose messages it lacks become gaps, re-requested
-// at the next token visit.
-func (r *Ring) Restore(log map[uint64]wire.Data, deliveredUpTo, safeBound, highestSeen uint64) {
+// message log, delivery watermark, safe bound and trimmed prefix of a
+// configuration this process was a member of before failing. Sequence
+// numbers the process knows were assigned but whose messages it lacks
+// become gaps, re-requested at the next token visit; numbers at or below
+// trimmed were discarded as safe-and-delivered and are neither stored nor
+// treated as missing.
+func (r *Ring) Restore(log map[uint64]wire.Data, deliveredUpTo, safeBound, highestSeen, trimmed uint64) {
+	if trimmed > 0 {
+		r.trimmedUpTo = trimmed
+		r.myAru = trimmed
+		r.highestSeen = trimmed
+		if deliveredUpTo < trimmed {
+			// Trimming never outruns delivery; a lower persisted
+			// watermark is storage damage. Delivery cannot resume
+			// below the trimmed prefix, so clamp instead of stalling.
+			deliveredUpTo = trimmed
+		}
+	}
 	for _, d := range log {
 		if d.Seq == 0 {
 			continue

@@ -313,7 +313,7 @@ func TestRestoreSeedsState(t *testing.T) {
 		1: {ID: model.MessageID{Sender: "q", SenderSeq: 1}, Ring: cfg.ID, Seq: 1, Service: model.Agreed},
 		2: {ID: model.MessageID{Sender: "q", SenderSeq: 2}, Ring: cfg.ID, Seq: 2, Service: model.Agreed},
 	}
-	r.Restore(log, 1, 1, 2)
+	r.Restore(log, 1, 1, 2, 0)
 	st := r.Snapshot()
 	if st.MyAru != 2 || st.DeliveredUpTo != 1 || st.SafeBound != 1 || st.HighestSeen != 2 {
 		t.Fatalf("restored snapshot %+v", st)
@@ -425,8 +425,8 @@ func TestTokenRtrListsExactlyTheGaps(t *testing.T) {
 	h.submit("p", 5, model.Agreed)
 	h.rotate()
 	// The token has completed q's visit: its requests are q's gaps.
-	if fmt.Sprint(h.token.Rtr) != "[2 4]" {
-		t.Fatalf("token.Rtr = %v, want [2 4]", h.token.Rtr)
+	if fmt.Sprint(h.token.Rtr) != "[{2 2} {4 4}]" {
+		t.Fatalf("token.Rtr = %v, want [{2 2} {4 4}]", h.token.Rtr)
 	}
 }
 
@@ -450,8 +450,8 @@ func TestTokenVisitMixesRetransmissionsAndFreshSends(t *testing.T) {
 	}
 	// q never receives the data, only the token: it requests 1 and 2.
 	res = q.OnToken(res.Forward)
-	if fmt.Sprint(res.Forward.Rtr) != "[1 2]" {
-		t.Fatalf("q requested %v, want [1 2]", res.Forward.Rtr)
+	if fmt.Sprint(res.Forward.Rtr) != "[{1 2}]" {
+		t.Fatalf("q requested %v, want [{1 2}]", res.Forward.Rtr)
 	}
 	sub(p, 2)
 	res = p.OnToken(res.Forward)
@@ -475,7 +475,7 @@ func TestRestoreWithGapsRequestsMissingTail(t *testing.T) {
 	mk := func(seq uint64) wire.Data {
 		return wire.Data{ID: model.MessageID{Sender: "q", SenderSeq: seq}, Ring: cfg.ID, Seq: seq, Service: model.Agreed}
 	}
-	r.Restore(map[uint64]wire.Data{1: mk(1), 3: mk(3), 6: mk(6)}, 1, 1, 7)
+	r.Restore(map[uint64]wire.Data{1: mk(1), 3: mk(3), 6: mk(6)}, 1, 1, 7, 0)
 	st := r.Snapshot()
 	if st.MyAru != 1 || st.HighestSeen != 7 {
 		t.Fatalf("restored snapshot %+v", st)
@@ -484,8 +484,8 @@ func TestRestoreWithGapsRequestsMissingTail(t *testing.T) {
 		t.Fatalf("Have = %v, want [3 6]", st.Have)
 	}
 	res := r.OnToken(wire.Token{Ring: cfg.ID, TokenID: 1, Seq: 7, Aru: 1, AruID: "q"})
-	if fmt.Sprint(res.Forward.Rtr) != "[2 4 5 7]" {
-		t.Fatalf("token.Rtr = %v, want [2 4 5 7]", res.Forward.Rtr)
+	if fmt.Sprint(res.Forward.Rtr) != "[{2 2} {4 5} {7 7}]" {
+		t.Fatalf("token.Rtr = %v, want [{2 2} {4 5} {7 7}]", res.Forward.Rtr)
 	}
 }
 
@@ -550,8 +550,8 @@ func TestRestoreAfterBitRotRequestsDroppedEntries(t *testing.T) {
 	cfg := model.Configuration{ID: model.RegularID(1, "p"), Members: model.NewProcessSet("p", "q")}
 	mk := func(seq uint64) wire.Data {
 		return wire.Data{
-			ID:      model.MessageID{Sender: "q", SenderSeq: seq},
-			Ring:    cfg.ID, Seq: seq, Service: model.Agreed,
+			ID:   model.MessageID{Sender: "q", SenderSeq: seq},
+			Ring: cfg.ID, Seq: seq, Service: model.Agreed,
 			Payload: []byte{byte(seq)},
 		}
 	}
@@ -582,10 +582,10 @@ func TestRestoreAfterBitRotRequestsDroppedEntries(t *testing.T) {
 	// The process had delivered up to 1 before the crash; the hole at 4
 	// is below the highest-seen watermark 8.
 	r := New("p", cfg, DefaultOptions())
-	r.Restore(rec.Log, 1, 1, 8)
+	r.Restore(rec.Log, 1, 1, 8, 0)
 	res := r.OnToken(wire.Token{Ring: cfg.ID, TokenID: 1, Seq: 8, Aru: 1, AruID: "q"})
-	if fmt.Sprint(res.Forward.Rtr) != "[4]" {
-		t.Fatalf("token.Rtr = %v, want [4]", res.Forward.Rtr)
+	if fmt.Sprint(res.Forward.Rtr) != "[{4 4}]" {
+		t.Fatalf("token.Rtr = %v, want [{4 4}]", res.Forward.Rtr)
 	}
 	// Agreed delivery halts at the hole: 2 and 3 deliver, 5..8 must not.
 	if got := seqsOf(res.Deliveries); fmt.Sprint(got) != "[2 3]" {

@@ -80,6 +80,16 @@ func (b DataBatch) String() string {
 	return fmt.Sprintf("data_batch(%s n=%d seq=%d..%d)", b.Ring, len(b.Msgs), lo, hi)
 }
 
+// SeqRange is a closed range [Lo, Hi] of sequence numbers. Token
+// retransmission requests travel as ranges: a receive log missing a
+// contiguous run of n messages costs two words on the wire instead of n.
+type SeqRange struct {
+	Lo, Hi uint64
+}
+
+// Count returns the number of sequence numbers in the range.
+func (r SeqRange) Count() uint64 { return r.Hi - r.Lo + 1 }
+
 // Token is the circulating token of the single-ring total ordering protocol.
 // Seq is the highest sequence number assigned to any message broadcast on
 // the ring; Aru ("all received up to") is the lowest contiguous-receipt
@@ -93,7 +103,10 @@ type Token struct {
 	Seq     uint64
 	Aru     uint64
 	AruID   model.ProcessID
-	Rtr     []uint64 // retransmission requests (missing sequence numbers)
+	// Rtr carries retransmission requests as sorted, disjoint, non-empty
+	// ranges of missing sequence numbers (mirroring the requester's
+	// internal gap list).
+	Rtr []SeqRange
 }
 
 func (Token) isWire() {}
@@ -101,9 +114,19 @@ func (Token) isWire() {}
 // Kind returns "token".
 func (Token) Kind() string { return "token" }
 
+// RtrCount returns the number of sequence numbers requested for
+// retransmission.
+func (t Token) RtrCount() uint64 {
+	var n uint64
+	for _, g := range t.Rtr {
+		n += g.Count()
+	}
+	return n
+}
+
 // String renders the token for traces.
 func (t Token) String() string {
-	return fmt.Sprintf("token(%s id=%d seq=%d aru=%d rtr=%d)", t.Ring, t.TokenID, t.Seq, t.Aru, len(t.Rtr))
+	return fmt.Sprintf("token(%s id=%d seq=%d aru=%d rtr=%d)", t.Ring, t.TokenID, t.Seq, t.Aru, t.RtrCount())
 }
 
 // Join is broadcast by a process in the Gather state of the membership

@@ -31,7 +31,7 @@ func TestStrings(t *testing.T) {
 	}{
 		{Data{ID: model.MessageID{Sender: "p", SenderSeq: 1}, Ring: ring, Seq: 7, Service: model.Safe}, "data(p:1 seq=7 safe reg(3@p))"},
 		{Data{ID: model.MessageID{Sender: "p", SenderSeq: 1}, Ring: ring, Seq: 7, Service: model.Agreed, Retrans: true}, "retrans"},
-		{Token{Ring: ring, TokenID: 4, Seq: 9, Aru: 8, Rtr: []uint64{5}}, "token(reg(3@p) id=4 seq=9 aru=8 rtr=1)"},
+		{Token{Ring: ring, TokenID: 4, Seq: 9, Aru: 8, Rtr: []SeqRange{{Lo: 5, Hi: 5}}}, "token(reg(3@p) id=4 seq=9 aru=8 rtr=1)"},
 		{Join{Sender: "p", Attempt: 2}, "att=2"},
 		{Commit{NewRing: ring, Attempt: 1}, "commit("},
 		{CommitAck{Ring: ring, Sender: "q"}, "from q"},
