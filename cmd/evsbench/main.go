@@ -5,6 +5,7 @@
 // Usage:
 //
 //	evsbench [-seed N] [-quick] [-t1] [-ordering-json FILE] [-metrics-json FILE]
+//	evsbench -groups [-quick] [-groups-json FILE]
 //
 // -t1 runs only the ordering-throughput section (used by CI as a smoke
 // benchmark). -ordering-json additionally writes the T1 series with
@@ -13,6 +14,10 @@
 // partition/merge) and writes the cluster's full observability snapshot —
 // token rotations, retransmissions, batch fill, budget trajectory — as JSON,
 // skipping the report sections.
+// -groups runs only the lightweight-group scale benchmark (G1): the
+// 10k-group / 100k-client cluster scenario plus the binary-vs-JSON layer
+// replay rig; -groups-json writes the report (BENCH_groups.json), and
+// -quick shrinks it to CI smoke size.
 package main
 
 import (
@@ -36,10 +41,14 @@ func main() {
 	procsFlag := flag.String("procs", "", "comma-separated group sizes for the T1 sweep (overrides the defaults)")
 	orderingJSON := flag.String("ordering-json", "", "write T1 ordering metrics to this JSON file (empty disables)")
 	metricsJSON := flag.String("metrics-json", "", "run a 16-process scenario and write its observability snapshot to this JSON file (empty disables)")
+	groupsOnly := flag.Bool("groups", false, "run only the G1 lightweight-group scale benchmark")
+	groupsJSON := flag.String("groups-json", "", "write the G1 groups benchmark report to this JSON file (empty disables)")
 	flag.Parse()
 	sizes, err := parseProcs(*procsFlag)
 	if err == nil {
-		if *metricsJSON != "" {
+		if *groupsOnly {
+			err = runGroups(*seed, *quick, *groupsJSON)
+		} else if *metricsJSON != "" {
 			err = runMetrics(*seed, *metricsJSON)
 		} else {
 			err = run(*seed, *quick, *t1Only, *orderingJSON, sizes)
@@ -132,6 +141,47 @@ func runMetrics(seed int64, jsonPath string) error {
 	fmt.Printf("  retrans served:    %d\n", tot.Counters["totem_retrans_served_total"])
 	fmt.Printf("  budget samples:    %d\n", len(rep.BudgetTrajectory))
 	fmt.Printf("=> wrote %s\n", jsonPath)
+	return nil
+}
+
+// runGroups runs the G1 lightweight-group scale benchmark and prints its
+// headline numbers; jsonPath (if set) receives the full report.
+func runGroups(seed int64, quick bool, jsonPath string) error {
+	cfg := experiments.GroupsConfig(quick)
+	cfg.Seed = seed
+	fmt.Println("G1     lightweight groups at scale (interned routing, binary envelopes)")
+	fmt.Println("-------------------------------------------------------------")
+	fmt.Printf("  cluster: %d procs, %d groups, %d clients, %.0fms window\n",
+		cfg.Procs, cfg.Groups, cfg.Clients, cfg.Window.Seconds()*1000)
+	rep, err := experiments.GroupsBench(cfg)
+	if err != nil {
+		return err
+	}
+	c := rep.Cluster
+	fmt.Printf("  ordered group msgs/s (virtual): %.0f\n", c.GroupMsgsPerSec)
+	fmt.Printf("  member deliveries: %d   client deliveries: %d   filtered: %d (%.0f%%)\n",
+		c.MemberDeliveries, c.ClientDeliveries, c.Filtered, 100*c.FilteredShare)
+	fmt.Printf("  ns/group-delivery: %.0f   B/group-delivery: %.0f   allocs/group-delivery: %.3f\n",
+		c.NsPerGroupDelivery, c.BytesPerGroupDelivery, c.AllocsPerGroupDelivery)
+	fmt.Println()
+	fmt.Printf("%8s %14s %14s %12s %16s %14s\n",
+		"codec", "layer msgs/s", "ns/delivery", "allocs/dlv", "ns/filter-drop", "allocs/drop")
+	for _, l := range rep.Layer {
+		fmt.Printf("%8s %14.0f %14.1f %12.3f %16.1f %14.3f\n",
+			l.Codec, l.LayerMsgsPerSec, l.NsPerDelivery, l.AllocsPerDelivery,
+			l.NsPerFilteredDrop, l.AllocsPerFilteredDrop)
+	}
+	fmt.Printf("=> group-layer speedup vs JSON baseline: %.1fx\n", rep.SpeedupVsJSON)
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("=> wrote %s\n", jsonPath)
+	}
 	return nil
 }
 

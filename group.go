@@ -9,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/netsim"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/primary"
 	"repro/internal/spec"
 	"repro/internal/stable"
@@ -485,6 +486,10 @@ func (g *Group) ConfigChanges(id ProcessID) []ConfigEvent { return g.confs[id] }
 // Metrics freezes every process's observability scope, plus the "net"
 // medium scope, into one cluster snapshot.
 func (g *Group) Metrics() ClusterMetrics { return g.cluster.MetricsSnapshot() }
+
+// procMetrics returns one process's live metric scope, so attached
+// layers (Topics) can count into the same catalog the transport uses.
+func (g *Group) procMetrics(id ProcessID) *obs.Metrics { return g.cluster.Metrics(id) }
 
 // ObsEvents returns the merged protocol trace: every scope's retained
 // events in one time-ordered stream (budget trajectory, gather causes,

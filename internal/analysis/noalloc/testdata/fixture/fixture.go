@@ -4,6 +4,7 @@
 package fixture
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync/atomic"
 )
@@ -90,4 +91,32 @@ func notAnnotated(id int) string {
 //evs:noalloc
 func allowedBox(v uint64) {
 	use(v) //lint:allow noalloc fixture demonstrates a documented exception
+}
+
+// Group-layer codec shapes: the binary envelope hot path appends a kind
+// byte and varints into a caller-provided buffer — branches, appends,
+// and fixed-size arithmetic only — and stays silent.
+//
+//evs:noalloc
+func appendHeader(dst []byte, kind byte, gid uint64) []byte {
+	dst = append(dst, kind)
+	return binary.AppendUvarint(dst, gid)
+}
+
+// lookupBytes relies on the compiler's map-index string-conversion
+// elision: m[string(b)] never materialises the string, so the interned
+// routing lookup is allocation-free and silent here.
+//
+//evs:noalloc
+func lookupBytes(m map[string]uint32, b []byte) (uint32, bool) {
+	id, ok := m[string(b)]
+	return id, ok
+}
+
+// debugPeek trips the fmt rule the way a tempting envelope dump in the
+// header-peek fast path would.
+//
+//evs:noalloc
+func debugPeek(kind byte, gid uint64) string {
+	return fmt.Sprintf("kind=%d gid=%d", kind, gid) // want `fmt.Sprintf allocates`
 }

@@ -5,6 +5,7 @@
 package fixture
 
 import (
+	"repro/internal/groups"
 	"repro/internal/model"
 	"repro/internal/wire"
 )
@@ -113,4 +114,42 @@ func (r *ring) valueFlow(t wire.Token) wire.Token {
 func (r *ring) allowedHandoff(ds []wire.Data) wire.DataBatch {
 	//lint:allow wireown fixture: batch is broadcast and never touched again
 	return wire.DataBatch{Ring: r.cfg.ID, Msgs: ds}
+}
+
+// Group-layer envelopes carry the same convention as wire messages:
+// Envelope.Data views payload memory, and group payloads are handed to
+// every member of the configuration, so aliasing caller memory into one
+// is flagged unless the handoff is audited.
+type router struct {
+	lastData []byte
+}
+
+func buildEnvelope(gid uint32, payload []byte) groups.Envelope {
+	return groups.Envelope{
+		Kind:    groups.KindData,
+		GroupID: groups.GroupID(gid),
+		Data:    payload, // want `groups.Envelope field Data aliases caller-owned \(parameter payload\) memory`
+	}
+}
+
+// retainEnvelope stores a received envelope's data view into state.
+func (r *router) retainEnvelope(e groups.Envelope) {
+	r.lastData = e.Data // want `handler retains slice/map from groups.Envelope parameter e`
+}
+
+// decodeView is the audited decode shape: the envelope views the
+// delivered payload's tail, which is immutable after handoff.
+func decodeView(payload []byte) groups.Envelope {
+	//lint:allow wireown fixture: decode output views the immutable delivered payload
+	return groups.Envelope{Kind: groups.KindData, Data: payload}
+}
+
+// muxState shows that the group layer's state machines are not message
+// types: their internal aliasing is their own business.
+type muxState struct {
+	names []string
+}
+
+func (s *muxState) grow(name string) {
+	s.names = append(s.names, name)
 }

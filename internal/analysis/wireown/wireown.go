@@ -34,8 +34,23 @@ import (
 	"repro/internal/analysis"
 )
 
-// WirePath is the import path of the wire message package.
-const WirePath = "repro/internal/wire"
+// wirePaths are the packages whose message types carry the copy-ownership
+// convention, each with a filter selecting the types that actually cross
+// a process boundary. Everything in internal/wire is a message; in
+// internal/groups only the envelopes and the values handed to every
+// member (deliveries, views, the structures riding inside envelopes)
+// carry the convention — the Mux and SymbolTable are per-process state
+// machines whose internal aliasing is their own business.
+var wirePaths = map[string]func(name string) bool{
+	"repro/internal/wire": func(string) bool { return true },
+	"repro/internal/groups": func(name string) bool {
+		switch name {
+		case "Envelope", "LegacyEnvelope", "Deliver", "ViewChange", "ClientSub", "ClientOp":
+			return true
+		}
+		return false
+	},
+}
 
 // Analyzer is the copy-ownership checker.
 var Analyzer = &analysis.Analyzer{
@@ -97,14 +112,19 @@ func collectOwned(pass *analysis.Pass, fd *ast.FuncDecl) *owned {
 	return o
 }
 
-// wireNamed returns the type name if t (or its pointee) is a named type
-// declared in the wire package, else "".
+// wireNamed returns the package-qualified type name ("wire.Token",
+// "groups.Envelope") if t (or its pointee) is a named type declared in
+// one of the policed message packages, else "".
 func wireNamed(t types.Type) string {
 	n := analysis.NamedOf(t)
-	if n == nil || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != WirePath {
+	if n == nil || n.Obj().Pkg() == nil {
 		return ""
 	}
-	return n.Obj().Name()
+	filter := wirePaths[n.Obj().Pkg().Path()]
+	if filter == nil || !filter(n.Obj().Name()) {
+		return ""
+	}
+	return n.Obj().Pkg().Name() + "." + n.Obj().Name()
 }
 
 func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
@@ -181,7 +201,7 @@ func checkAssign(pass *analysis.Pass, own *owned, as *ast.AssignStmt) {
 		}
 		if retains(pass, own, lhs) {
 			pass.Reportf(as.Pos(),
-				"handler retains slice/map from wire.%s parameter %s; the backing array is shared with every receiver of the broadcast — copy it",
+				"handler retains slice/map from %s parameter %s; the backing array is shared with every receiver of the broadcast — copy it",
 				msgName, src.Name)
 		}
 	}
@@ -203,7 +223,7 @@ func reportAliased(pass *analysis.Pass, own *owned, value ast.Expr, msg, field s
 		who = "state-owned (receiver " + root.Name + ")"
 	}
 	pass.Reportf(value.Pos(),
-		"wire.%s field %s aliases %s memory; the message escapes to the medium uncopied — copy the slice/map or annotate the audited handoff",
+		"%s field %s aliases %s memory; the message escapes to the medium uncopied — copy the slice/map or annotate the audited handoff",
 		msg, field, who)
 }
 

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// groupsAllocBudget is the pinned allocation budget per group-layer
+// member delivery in the loaded cluster scenario — the acceptance bound
+// of the lightweight-group work ("allocs/group-delivery at members is a
+// small constant (≤ 2)"). The measured value is ~0.04 (amortised arena
+// chunk refills plus the transport's own amortised costs underneath);
+// the budget sits far above that so host jitter cannot flake it, while
+// one stray per-delivery allocation in the decode→filter→fan-out path
+// (≥1.0 here) still trips the gate immediately.
+const groupsAllocBudget = 2.0
+
+// TestGroupsAllocBudget is the dynamic half of the group-layer
+// zero-alloc enforcement pair (the "Groups alloc gate" CI step): the
+// //evs:noalloc analyzer run by the "Invariant lint" step proves the
+// annotated encode/peek/deliver functions avoid allocating construct
+// classes, and this gate measures the end-to-end truth the analyzer
+// cannot see — a mid-sized cluster scenario with clients, filtering,
+// and Zipf traffic, charged per member delivery.
+func TestGroupsAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loaded steady-state measurement")
+	}
+	cfg := GroupsBenchConfig{
+		Procs: 8, Groups: 500, Clients: 5000, Seed: 1,
+		Window: 150 * time.Millisecond, BatchOps: 256, ZipfS: 1.2, LayerMsgs: 0,
+	}
+	row, err := GroupsCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.MemberDeliveries == 0 {
+		t.Fatal("no group deliveries in measurement window")
+	}
+	if row.Filtered == 0 {
+		t.Fatal("scenario produced no filtered drops; the gate must cover the fast path")
+	}
+	t.Logf("%d procs, %d groups, %d clients: %.0f group msgs/s, %.3f allocs/group-delivery (budget %.2f), %.0f B/group-delivery, %.0f%% filtered",
+		row.Procs, row.Groups, row.Clients, row.GroupMsgsPerSec,
+		row.AllocsPerGroupDelivery, groupsAllocBudget, row.BytesPerGroupDelivery, 100*row.FilteredShare)
+	if row.AllocsPerGroupDelivery > groupsAllocBudget {
+		t.Errorf("allocs per group delivery %.3f exceeds pinned budget %.2f",
+			row.AllocsPerGroupDelivery, groupsAllocBudget)
+	}
+}

@@ -1,0 +1,485 @@
+// Binary envelope codec for the group layer.
+//
+// The seed implementation carried every group-layer payload as JSON: a
+// marshal per send and a full unmarshal at *every* process for *every*
+// message, member or not. At Spread scale (thousands of groups, 100k+
+// client endpoints over one daemon ring) that decode is the dominant
+// per-message cost. This codec replaces it with a flat binary layout in
+// the internal/wire style: a kind byte, varint-coded integers, and the
+// data payload as the untouched tail of the buffer — so a receiver can
+// route (or drop) a data message after reading a handful of header
+// bytes, without decoding, copying, or allocating.
+//
+// Layouts (all integers unsigned varints):
+//
+//	join           k=1 | len(name) name
+//	leave          k=2 | len(name) name
+//	announce       k=3 | nNames (len name)* | nClients (client nNames (len name)*)*
+//	data           k=4 | gid | body...
+//	dataName       k=5 | len(name) name | body...
+//	clientOps      k=6 | nOps (op client len(name) name)*
+//	clientData     k=7 | client gid | body...
+//	clientDataName k=8 | client len(name) name | body...
+//
+// Data messages normally carry a dense interned GroupID (see
+// SymbolTable); the *Name variants exist for the rare send to a group
+// whose name has not yet been interned at the sender — resolution then
+// happens at delivery time, where the total order guarantees every
+// process resolves identically.
+//
+// Decoding is strict and total: truncated or corrupt input yields an
+// error, never a panic (the nopanic analyzer polices this package), and
+// never an allocation proportional to a length field that the input
+// cannot back.
+package groups
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind tags group-layer payloads (byte 0 of every envelope).
+type Kind byte
+
+const (
+	// KindJoin subscribes the sending process to a group.
+	KindJoin Kind = 1
+	// KindLeave unsubscribes the sending process.
+	KindLeave Kind = 2
+	// KindAnnounce re-declares the sender's full subscription state —
+	// its own groups and its local clients' groups — sent on
+	// configuration changes.
+	KindAnnounce Kind = 3
+	// KindData is an application message addressed to an interned group.
+	KindData Kind = 4
+	// KindDataName is an application message addressed to a group by
+	// name (the sender had not interned it yet).
+	KindDataName Kind = 5
+	// KindClientOps is a batch of client join/leave operations: the
+	// daemon-style aggregation that lets one ordered message subscribe
+	// hundreds of client endpoints.
+	KindClientOps Kind = 6
+	// KindClientData is an application message sent by a client
+	// endpoint to an interned group.
+	KindClientData Kind = 7
+	// KindClientDataName is KindClientData with the group by name.
+	KindClientDataName Kind = 8
+
+	kindMax = KindClientDataName
+)
+
+// String renders the kind for traces and errors.
+func (k Kind) String() string {
+	switch k {
+	case KindJoin:
+		return "join"
+	case KindLeave:
+		return "leave"
+	case KindAnnounce:
+		return "announce"
+	case KindData:
+		return "data"
+	case KindDataName:
+		return "data_name"
+	case KindClientOps:
+		return "client_ops"
+	case KindClientData:
+		return "client_data"
+	case KindClientDataName:
+		return "client_data_name"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// GroupID is a dense interned group identifier, valid within one
+// configuration epoch (see SymbolTable).
+type GroupID uint32
+
+// ClientID identifies a lightweight client endpoint on its host
+// process. IDs are chosen by the host's application and should be
+// small dense integers (they index the host's client table); 0 is
+// reserved to mean "the process itself" in Deliver events.
+type ClientID uint32
+
+// MaxNameLen bounds group names on the wire: long names are an
+// application bug, and the bound keeps decode allocations proportional
+// to honest input.
+const MaxNameLen = 4096
+
+// ClientOp is one client subscription change inside a KindClientOps
+// batch.
+type ClientOp struct {
+	// Leave is false for a join, true for a leave.
+	Leave bool
+	// Client is the client endpoint on the sending host.
+	Client ClientID
+	// Group is the group name.
+	Group string
+}
+
+// ClientSub is one client's subscription list inside a KindAnnounce.
+type ClientSub struct {
+	Client ClientID
+	Groups []string
+}
+
+// Envelope is the decoded form of a group-layer payload. Only the
+// fields relevant to Kind are set. For data kinds, Data aliases the
+// input buffer (the payload tail is never copied).
+type Envelope struct {
+	Kind Kind
+	// Group is the group name (join, leave, dataName, clientDataName).
+	Group string
+	// GroupID is the interned group (data, clientData).
+	GroupID GroupID
+	// Client is the sending or subscribing client endpoint
+	// (clientData, clientDataName).
+	Client ClientID
+	// Groups are the sender's own subscriptions (announce).
+	Groups []string
+	// ClientSubs are the sender's clients' subscriptions (announce).
+	ClientSubs []ClientSub
+	// Ops is the operation batch (clientOps).
+	Ops []ClientOp
+	// Data is the application payload (data kinds); a view into the
+	// input buffer.
+	Data []byte
+}
+
+// Codec errors.
+var (
+	// ErrTruncated reports input that ends inside a field.
+	ErrTruncated = errors.New("groups: truncated envelope")
+	// ErrCorrupt reports input that decodes to an impossible value
+	// (unknown kind, oversized name, count the input cannot back).
+	ErrCorrupt = errors.New("groups: corrupt envelope")
+	// ErrNameTooLong reports an encode of a name beyond MaxNameLen.
+	ErrNameTooLong = errors.New("groups: group name exceeds MaxNameLen")
+)
+
+// appendUvarint appends v as an unsigned varint.
+//
+//evs:noalloc
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// takeUvarint decodes a varint from b, returning the value, the rest of
+// the buffer, and false on truncation or a varint longer than 10 bytes.
+//
+//evs:noalloc
+func takeUvarint(b []byte) (uint64, []byte, bool) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, false
+	}
+	return v, b[n:], true
+}
+
+// takeName decodes a length-prefixed name, enforcing MaxNameLen.
+func takeName(b []byte) (string, []byte, error) {
+	n, rest, ok := takeUvarint(b)
+	if !ok {
+		return "", nil, ErrTruncated
+	}
+	if n > MaxNameLen {
+		return "", nil, fmt.Errorf("%w: name length %d", ErrCorrupt, n)
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, ErrTruncated
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// appendName appends a length-prefixed name.
+func appendName(b []byte, name string) ([]byte, error) {
+	if len(name) > MaxNameLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrNameTooLong, len(name))
+	}
+	b = appendUvarint(b, uint64(len(name)))
+	return append(b, name...), nil
+}
+
+// Encode serialises an envelope. Failures (oversized names, an unknown
+// kind) are propagated, not panicked: the group layer sits inside the
+// protocol stack, and a bad payload must surface as a dropped (counted)
+// message, not a crash.
+func Encode(e Envelope) ([]byte, error) {
+	b := make([]byte, 1, 16+len(e.Group)+len(e.Data))
+	b[0] = byte(e.Kind)
+	var err error
+	switch e.Kind {
+	case KindJoin, KindLeave:
+		if b, err = appendName(b, e.Group); err != nil {
+			return nil, err
+		}
+	case KindAnnounce:
+		b = appendUvarint(b, uint64(len(e.Groups)))
+		for _, g := range e.Groups {
+			if b, err = appendName(b, g); err != nil {
+				return nil, err
+			}
+		}
+		b = appendUvarint(b, uint64(len(e.ClientSubs)))
+		for _, cs := range e.ClientSubs {
+			b = appendUvarint(b, uint64(cs.Client))
+			b = appendUvarint(b, uint64(len(cs.Groups)))
+			for _, g := range cs.Groups {
+				if b, err = appendName(b, g); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case KindData:
+		b = appendUvarint(b, uint64(e.GroupID))
+		b = append(b, e.Data...)
+	case KindDataName:
+		if b, err = appendName(b, e.Group); err != nil {
+			return nil, err
+		}
+		b = append(b, e.Data...)
+	case KindClientOps:
+		b = appendUvarint(b, uint64(len(e.Ops)))
+		for _, op := range e.Ops {
+			if op.Leave {
+				b = append(b, 2)
+			} else {
+				b = append(b, 1)
+			}
+			b = appendUvarint(b, uint64(op.Client))
+			if b, err = appendName(b, op.Group); err != nil {
+				return nil, err
+			}
+		}
+	case KindClientData:
+		b = appendUvarint(b, uint64(e.Client))
+		b = appendUvarint(b, uint64(e.GroupID))
+		b = append(b, e.Data...)
+	case KindClientDataName:
+		b = appendUvarint(b, uint64(e.Client))
+		if b, err = appendName(b, e.Group); err != nil {
+			return nil, err
+		}
+		b = append(b, e.Data...)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, byte(e.Kind))
+	}
+	return b, nil
+}
+
+// takeID decodes a varint bounded to 32 bits (GroupID / ClientID).
+func takeID(b []byte) (uint32, []byte, error) {
+	v, rest, ok := takeUvarint(b)
+	if !ok {
+		return 0, nil, ErrTruncated
+	}
+	if v > 0xffffffff {
+		return 0, nil, fmt.Errorf("%w: id %d overflows 32 bits", ErrCorrupt, v)
+	}
+	return uint32(v), rest, nil
+}
+
+// Decode parses an envelope. Control kinds must consume the input
+// exactly; data kinds treat the tail as the application payload, which
+// the returned Envelope aliases rather than copies.
+func Decode(b []byte) (Envelope, error) {
+	if len(b) == 0 {
+		return Envelope{}, ErrTruncated
+	}
+	e := Envelope{Kind: Kind(b[0])}
+	rest := b[1:]
+	var err error
+	switch e.Kind {
+	case KindJoin, KindLeave:
+		if e.Group, rest, err = takeName(rest); err != nil {
+			return Envelope{}, err
+		}
+	case KindAnnounce:
+		if e.Groups, rest, err = takeNames(rest); err != nil {
+			return Envelope{}, err
+		}
+		n, r, ok := takeUvarint(rest)
+		if !ok {
+			return Envelope{}, ErrTruncated
+		}
+		rest = r
+		// Each client entry needs at least 2 bytes (client id + count).
+		if n > uint64(len(rest))/2+1 {
+			return Envelope{}, fmt.Errorf("%w: %d client entries in %d bytes", ErrCorrupt, n, len(rest))
+		}
+		for i := uint64(0); i < n; i++ {
+			var cs ClientSub
+			var id uint32
+			if id, rest, err = takeID(rest); err != nil {
+				return Envelope{}, err
+			}
+			cs.Client = ClientID(id)
+			if cs.Groups, rest, err = takeNames(rest); err != nil {
+				return Envelope{}, err
+			}
+			e.ClientSubs = append(e.ClientSubs, cs)
+		}
+	case KindData:
+		var id uint32
+		if id, rest, err = takeID(rest); err != nil {
+			return Envelope{}, err
+		}
+		e.GroupID = GroupID(id)
+		//lint:allow wireown decode output views the delivered payload tail; receivers treat delivered messages as immutable
+		e.Data = rest
+		return e, nil
+	case KindDataName:
+		if e.Group, rest, err = takeName(rest); err != nil {
+			return Envelope{}, err
+		}
+		//lint:allow wireown decode output views the delivered payload tail; receivers treat delivered messages as immutable
+		e.Data = rest
+		return e, nil
+	case KindClientOps:
+		n, r, ok := takeUvarint(rest)
+		if !ok {
+			return Envelope{}, ErrTruncated
+		}
+		rest = r
+		// Each op needs at least 3 bytes (op + client + name length).
+		if n > uint64(len(rest))/3+1 {
+			return Envelope{}, fmt.Errorf("%w: %d ops in %d bytes", ErrCorrupt, n, len(rest))
+		}
+		for i := uint64(0); i < n; i++ {
+			var op ClientOp
+			if len(rest) == 0 {
+				return Envelope{}, ErrTruncated
+			}
+			switch rest[0] {
+			case 1:
+				op.Leave = false
+			case 2:
+				op.Leave = true
+			default:
+				return Envelope{}, fmt.Errorf("%w: client op %d", ErrCorrupt, rest[0])
+			}
+			rest = rest[1:]
+			var id uint32
+			if id, rest, err = takeID(rest); err != nil {
+				return Envelope{}, err
+			}
+			op.Client = ClientID(id)
+			if op.Group, rest, err = takeName(rest); err != nil {
+				return Envelope{}, err
+			}
+			e.Ops = append(e.Ops, op)
+		}
+	case KindClientData:
+		var id uint32
+		if id, rest, err = takeID(rest); err != nil {
+			return Envelope{}, err
+		}
+		e.Client = ClientID(id)
+		if id, rest, err = takeID(rest); err != nil {
+			return Envelope{}, err
+		}
+		e.GroupID = GroupID(id)
+		//lint:allow wireown decode output views the delivered payload tail; receivers treat delivered messages as immutable
+		e.Data = rest
+		return e, nil
+	case KindClientDataName:
+		var id uint32
+		if id, rest, err = takeID(rest); err != nil {
+			return Envelope{}, err
+		}
+		e.Client = ClientID(id)
+		if e.Group, rest, err = takeName(rest); err != nil {
+			return Envelope{}, err
+		}
+		//lint:allow wireown decode output views the delivered payload tail; receivers treat delivered messages as immutable
+		e.Data = rest
+		return e, nil
+	default:
+		return Envelope{}, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, b[0])
+	}
+	if len(rest) != 0 {
+		return Envelope{}, fmt.Errorf("%w: %d trailing bytes after %s", ErrCorrupt, len(rest), e.Kind)
+	}
+	return e, nil
+}
+
+// takeNames decodes a count-prefixed name list.
+func takeNames(b []byte) ([]string, []byte, error) {
+	n, rest, ok := takeUvarint(b)
+	if !ok {
+		return nil, nil, ErrTruncated
+	}
+	// Each name needs at least its length byte.
+	if n > uint64(len(rest))+1 {
+		return nil, nil, fmt.Errorf("%w: %d names in %d bytes", ErrCorrupt, n, len(rest))
+	}
+	var out []string
+	var err error
+	for i := uint64(0); i < n; i++ {
+		var name string
+		if name, rest, err = takeName(rest); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, name)
+	}
+	return out, rest, nil
+}
+
+// peekData reads the fixed header of a KindData / KindClientData
+// payload without touching the body: the membership-filtered fast path.
+// Returns ok=false for any other kind or a malformed header.
+//
+//evs:noalloc
+func peekData(b []byte) (client ClientID, gid GroupID, body []byte, ok bool) {
+	if len(b) == 0 {
+		return 0, 0, nil, false
+	}
+	rest := b[1:]
+	if Kind(b[0]) == KindClientData {
+		v, r, ok := takeUvarint(rest)
+		if !ok || v > 0xffffffff {
+			return 0, 0, nil, false
+		}
+		client, rest = ClientID(v), r
+	} else if Kind(b[0]) != KindData {
+		return 0, 0, nil, false
+	}
+	v, r, ok2 := takeUvarint(rest)
+	if !ok2 || v > 0xffffffff {
+		return 0, 0, nil, false
+	}
+	return client, GroupID(v), r, true
+}
+
+// appendData encodes a data message into dst (arena-carved by the
+// caller): the send-side hot path.
+//
+//evs:noalloc
+func appendData(dst []byte, client ClientID, gid GroupID, data []byte) []byte {
+	if client != 0 {
+		dst = append(dst, byte(KindClientData))
+		dst = appendUvarint(dst, uint64(client))
+	} else {
+		dst = append(dst, byte(KindData))
+	}
+	dst = appendUvarint(dst, uint64(gid))
+	return append(dst, data...)
+}
+
+// appendDataName encodes a data-by-name message into dst.
+func appendDataName(dst []byte, client ClientID, name string, data []byte) ([]byte, error) {
+	if len(name) > MaxNameLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrNameTooLong, len(name))
+	}
+	if client != 0 {
+		dst = append(dst, byte(KindClientDataName))
+		dst = appendUvarint(dst, uint64(client))
+	} else {
+		dst = append(dst, byte(KindDataName))
+	}
+	dst = appendUvarint(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	return append(dst, data...), nil
+}

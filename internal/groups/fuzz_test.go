@@ -1,0 +1,206 @@
+package groups
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// FuzzEnvelopeRoundTrip drives the binary codec with arbitrary bytes:
+// whatever decodes must re-encode and decode back to the same
+// envelope, the header peek must agree with the full decode on data
+// messages, and nothing may panic (the nopanic analyzer polices the
+// package; this exercises the claim).
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	seed := []Envelope{
+		{Kind: KindJoin, Group: "chat"},
+		{Kind: KindLeave, Group: ""},
+		{Kind: KindAnnounce, Groups: []string{"a", "b"}, ClientSubs: []ClientSub{{Client: 7, Groups: []string{"a"}}}},
+		{Kind: KindData, GroupID: 3, Data: []byte("payload")},
+		{Kind: KindDataName, Group: "late", Data: []byte("x")},
+		{Kind: KindClientOps, Ops: []ClientOp{{Client: 1, Group: "g"}, {Leave: true, Client: 2, Group: "h"}}},
+		{Kind: KindClientData, Client: 9, GroupID: 0, Data: nil},
+		{Kind: KindClientDataName, Client: 1, Group: "n", Data: []byte("y")},
+	}
+	for _, e := range seed {
+		b, err := Encode(e)
+		if err != nil {
+			f.Fatalf("seed encode %+v: %v", e, err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindAnnounce), 0xff, 0xff, 0xff, 0xff, 0x0f})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return // corrupt input must error, and did
+		}
+		b2, err := Encode(env)
+		if err != nil {
+			t.Fatalf("decoded envelope %+v failed to re-encode: %v", env, err)
+		}
+		env2, err := Decode(b2)
+		if err != nil {
+			t.Fatalf("re-encoded envelope failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(env, env2) {
+			t.Fatalf("round trip diverged:\n%+v\n%+v", env, env2)
+		}
+		switch env.Kind {
+		case KindData, KindClientData:
+			client, gid, body, ok := peekData(data)
+			if !ok || client != env.Client || gid != env.GroupID {
+				t.Fatalf("peek (%d,%d,%v) disagrees with decode %+v", client, gid, ok, env)
+			}
+			if string(body) != string(env.Data) {
+				t.Fatalf("peek body %q != decoded %q", body, env.Data)
+			}
+		default:
+			// The peek must refuse non-data kinds: the fast path may
+			// never swallow a control message.
+			if _, _, _, ok := peekData(data); ok {
+				t.Fatalf("peek accepted control kind %v", env.Kind)
+			}
+		}
+	})
+}
+
+// TestSymbolTablesIdenticalUnderPartitions is the differential check
+// the replicated symbol table rests on: run a seeded random workload —
+// joins, leaves, client batches, by-name sends, and repeated partition
+// and merge reconfigurations — and require that within every component,
+// every member's interned table is byte-identical after every step.
+// (Different components legitimately diverge; each is its own total
+// order. The next merge resets and reconverges them.)
+func TestSymbolTablesIdenticalUnderPartitions(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			testSymbolChaos(t, seed)
+		})
+	}
+}
+
+func testSymbolChaos(t *testing.T, seed int64) {
+	procs := []model.ProcessID{"a", "b", "c", "d", "e", "f"}
+	rng := rand.New(rand.NewSource(seed))
+	muxes := make(map[model.ProcessID]*Mux, len(procs))
+	for _, p := range procs {
+		muxes[p] = New(p)
+	}
+	cfgSeq := uint64(0)
+
+	// components is the current partition of the process set.
+	var components [][]model.ProcessID
+
+	installComponent := func(comp []model.ProcessID) {
+		cfgSeq++
+		cfg := model.Configuration{ID: model.RegularID(cfgSeq, comp[0]), Members: model.NewProcessSet(comp...)}
+		type ann struct {
+			p model.ProcessID
+			b []byte
+		}
+		var anns []ann
+		for _, p := range comp {
+			a, _, err := muxes[p].OnConfig(cfg)
+			if err != nil {
+				t.Fatalf("OnConfig at %s: %v", p, err)
+			}
+			if a != nil {
+				anns = append(anns, ann{p, a})
+			}
+		}
+		for _, a := range anns {
+			for _, q := range comp {
+				muxes[q].OnDeliver(a.p, a.b)
+			}
+		}
+	}
+
+	repartition := func() {
+		shuffled := append([]model.ProcessID(nil), procs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		k := 1 + rng.Intn(3)
+		components = components[:0]
+		for i := 0; i < k; i++ {
+			lo, hi := i*len(shuffled)/k, (i+1)*len(shuffled)/k
+			if lo == hi {
+				continue
+			}
+			comp := shuffled[lo:hi]
+			components = append(components, comp)
+			installComponent(comp)
+		}
+	}
+
+	checkComponents := func(step int) {
+		for _, comp := range components {
+			want := muxes[comp[0]].Symbols().Canonical()
+			for _, p := range comp[1:] {
+				got := muxes[p].Symbols().Canonical()
+				if string(got) != string(want) {
+					t.Fatalf("step %d: symbol tables diverged inside component %v:\n%s: %x\n%s: %x",
+						step, comp, comp[0], want, p, got)
+				}
+			}
+		}
+	}
+
+	repartition()
+	names := []string{"g0", "g1", "g2", "g3", "g4", "g5", "g6", "g7"}
+	for step := 0; step < 600; step++ {
+		comp := components[rng.Intn(len(components))]
+		p := comp[rng.Intn(len(comp))]
+		m := muxes[p]
+		var payload []byte
+		var err error
+		switch rng.Intn(6) {
+		case 0:
+			payload, err = m.Join(names[rng.Intn(len(names))])
+		case 1:
+			payload, err = m.Leave(names[rng.Intn(len(names))])
+		case 2:
+			payload, err = m.Send(names[rng.Intn(len(names))], []byte("d"))
+		case 3:
+			payload, err = m.ClientJoin(ClientID(1+rng.Intn(9)), names[rng.Intn(len(names))])
+		case 4:
+			ops := make([]ClientOp, 0, 3)
+			for i := 0; i < 3; i++ {
+				ops = append(ops, ClientOp{
+					Leave:  rng.Intn(3) == 0,
+					Client: ClientID(1 + rng.Intn(9)),
+					Group:  names[rng.Intn(len(names))],
+				})
+			}
+			payload, _, err = m.ClientOpsPayload(ops)
+		case 5:
+			repartition()
+			checkComponents(step)
+			continue
+		}
+		if err != nil {
+			t.Fatalf("step %d op at %s: %v", step, p, err)
+		}
+		if payload != nil {
+			for _, q := range comp {
+				muxes[q].OnDeliver(p, payload)
+			}
+		}
+		checkComponents(step)
+	}
+	// Final merge: one component again; all six tables reconverge.
+	components = [][]model.ProcessID{procs}
+	installComponent(procs)
+	checkComponents(-1)
+	want := muxes[procs[0]].Symbols().Fingerprint()
+	for _, p := range procs[1:] {
+		if got := muxes[p].Symbols().Fingerprint(); got != want {
+			t.Fatalf("post-merge fingerprint at %s: %x != %x", p, got, want)
+		}
+	}
+}

@@ -2,70 +2,46 @@
 // virtual synchrony transport — the "process group paradigm" the paper's
 // introduction names as the natural addressing mechanism for multicast
 // communication, and the way deployed EVS systems (Spread's lightweight
-// groups) expose the service.
+// groups) expose the service at scale.
 //
-// A process joins and leaves named groups; data messages are addressed to
-// a group and delivered only to its members. Group membership views are
-// derived deterministically from the totally ordered stream: subscription
-// changes ride safe messages, so every member of a configuration applies
-// them in the same order and derives identical views; at a configuration
-// change, each process re-announces its own subscriptions in the new
-// configuration, which rebuilds the table consistently after partitions
-// and merges (a component only ever sees announcements from processes it
-// can reach — group views shrink and grow with the configuration, exactly
-// like the transport's own membership).
+// A process joins and leaves named groups; data messages are addressed
+// to a group and delivered only to its members. Group membership views
+// are derived deterministically from the totally ordered stream:
+// subscription changes ride safe messages, so every member of a
+// configuration applies them in the same order and derives identical
+// views; at a configuration change, each process re-announces its own
+// subscriptions in the new configuration, which rebuilds the table
+// consistently after partitions and merges (a component only ever sees
+// announcements from processes it can reach — group views shrink and
+// grow with the configuration, exactly like the transport's own
+// membership).
+//
+// Three structural decisions make the layer scale to thousands of
+// groups and 100k+ client endpoints on a small ring:
+//
+//   - Binary envelopes (codec.go): a kind byte, varint IDs, payload as
+//     the untouched buffer tail. The old JSON envelope cost a full
+//     unmarshal at every process for every message.
+//   - Interned routing (symtab.go): group names become dense GroupIDs
+//     assigned identically at every process from the total order, so
+//     the data path indexes a slice instead of hashing strings, and a
+//     non-member drops a message after peeking a few header bytes —
+//     no decode, no allocation (the membership-filtered fast path).
+//   - Lightweight clients: many client endpoints multiplex over one
+//     ring member, Spread-style. Client join/leave/send are ordered
+//     group events (batchable: one safe message can carry hundreds of
+//     subscription ops), per-group member views track the *hosts*,
+//     and each host fans a delivery out to its local subscribed
+//     clients' queues.
 package groups
 
 import (
-	"encoding/json"
-	"fmt"
+	"errors"
 	"sort"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
-
-// Kind tags group-layer payloads.
-type Kind string
-
-const (
-	// KindJoin subscribes the sender to a group.
-	KindJoin Kind = "join"
-	// KindLeave unsubscribes the sender.
-	KindLeave Kind = "leave"
-	// KindAnnounce re-declares the sender's full subscription set (sent
-	// on configuration changes).
-	KindAnnounce Kind = "announce"
-	// KindData is an application message addressed to a group.
-	KindData Kind = "data"
-)
-
-// Envelope is the group-layer wire format, carried as an EVS payload.
-type Envelope struct {
-	Kind   Kind     `json:"kind"`
-	Group  string   `json:"group,omitempty"`
-	Groups []string `json:"groups,omitempty"` // KindAnnounce
-	Data   []byte   `json:"data,omitempty"`   // KindData
-}
-
-// Encode serialises an envelope. Marshal failures are propagated, not
-// panicked: the group layer sits inside the protocol stack, and a bad
-// payload must surface as a dropped (counted) message, not a crash.
-func Encode(e Envelope) ([]byte, error) {
-	b, err := json.Marshal(e)
-	if err != nil {
-		return nil, fmt.Errorf("groups: marshal: %w", err)
-	}
-	return b, nil
-}
-
-// Decode parses an envelope.
-func Decode(b []byte) (Envelope, error) {
-	var e Envelope
-	if err := json.Unmarshal(b, &e); err != nil {
-		return Envelope{}, fmt.Errorf("groups: unmarshal: %w", err)
-	}
-	return e, nil
-}
 
 // Event is the sealed union of group-layer outputs.
 type Event interface{ isEvent() }
@@ -75,10 +51,17 @@ type Event interface{ isEvent() }
 // from the safe total order).
 type ViewChange struct {
 	Group string
-	// Members are the subscribed processes reachable in the current
-	// configuration.
+	// Members are the subscribed host processes reachable in the
+	// current configuration (a host counts whether it subscribed in its
+	// own right or on behalf of local clients).
 	Members model.ProcessSet
-	// Config is the transport configuration the view derives from.
+	// Clients is the total number of client subscriptions to the group
+	// across all hosts (0 for purely process-level groups).
+	Clients int
+	// Config is the transport configuration the view derives from. For
+	// views emitted by a transitional configuration's prune this is the
+	// transitional ID: the shrunken view the paper's transitional
+	// configuration exists to report.
 	Config model.ConfigID
 }
 
@@ -86,38 +69,146 @@ func (ViewChange) isEvent() {}
 
 // Deliver is a group-addressed message delivery (only at members).
 type Deliver struct {
-	Group   string
-	Sender  model.ProcessID
+	Group string
+	// ID is the group's interned ID in the current epoch.
+	ID GroupID
+	// Sender is the host process that sequenced the message.
+	Sender model.ProcessID
+	// Client is the sending client endpoint on that host (0 when the
+	// process itself sent).
+	Client ClientID
+	// Payload views the delivered message's tail; receivers must treat
+	// it as immutable.
 	Payload []byte
 }
 
 func (Deliver) isEvent() {}
 
-// Mux is the per-process group multiplexer: a deterministic state machine
-// over the process's EVS delivery stream.
+// Sink receives data deliveries on the hot path. Deliver is passed by
+// value, so a counting sink costs no allocation; retaining sinks copy
+// what they keep.
+type Sink interface {
+	OnGroupData(d Deliver)
+}
+
+// groupState is one group's routing state, indexed by GroupID.
+type groupState struct {
+	name string
+	// procSubs marks hosts subscribed in their own right.
+	procSubs map[model.ProcessID]bool
+	// clientRefs counts client subscriptions per host.
+	clientRefs map[model.ProcessID]int
+	// members is the sorted union of the above, maintained
+	// incrementally (the old implementation rebuilt it with an
+	// allocate-and-filter pass on every change).
+	members []model.ProcessID
+	// clients is the total client subscription count across hosts.
+	clients int
+	// localClients are this host's subscribed client endpoints, in
+	// subscription (total) order.
+	localClients []ClientID
+	// selfWant caches whether this process delivers the group's data:
+	// procSubs[self] plus len(localClients). The data fast path tests
+	// only this.
+	selfWant int
+}
+
+// active reports whether host p belongs in members.
+func (g *groupState) active(p model.ProcessID) bool {
+	return g.procSubs[p] || g.clientRefs[p] > 0
+}
+
+// insertMember adds p to the sorted member list (idempotent).
+func (g *groupState) insertMember(p model.ProcessID) {
+	i := sort.Search(len(g.members), func(i int) bool { return g.members[i] >= p })
+	if i < len(g.members) && g.members[i] == p {
+		return
+	}
+	g.members = append(g.members, "")
+	copy(g.members[i+1:], g.members[i:])
+	g.members[i] = p
+}
+
+// removeMember removes p from the sorted member list (idempotent).
+func (g *groupState) removeMember(p model.ProcessID) {
+	i := sort.Search(len(g.members), func(i int) bool { return g.members[i] >= p })
+	if i >= len(g.members) || g.members[i] != p {
+		return
+	}
+	g.members = append(g.members[:i], g.members[i+1:]...)
+}
+
+// clientState is one local client endpoint.
+type clientState struct {
+	// subs is the client's subscription intent by group name (survives
+	// configuration changes; re-announced on install).
+	subs map[string]bool
+	// delivered counts data deliveries fanned out to this client.
+	delivered uint64
+	// queue is the client's delivery queue (only when the Mux retains
+	// queues; high-volume rigs count instead).
+	queue []Deliver
+}
+
+// Mux is the per-process group multiplexer: a deterministic state
+// machine over the process's EVS delivery stream.
 type Mux struct {
 	self model.ProcessID
-	// mine is this process's own subscription set (survives
-	// configuration changes; the application's intent).
-	mine map[string]bool
-	// subs is the replicated subscription table for the current
-	// configuration: group -> subscribers heard from.
-	subs map[string]map[model.ProcessID]bool
-	// cfg is the current regular configuration.
+	// cfg is the current transport configuration (regular or
+	// transitional).
 	cfg model.Configuration
+	// mine is this process's own subscription intent (survives
+	// configuration changes).
+	mine map[string]bool
+	// syms and groups are the epoch's replicated interning state:
+	// groups[id] is the state for syms.Name(id).
+	syms   *SymbolTable
+	groups []groupState
+	// clients are this host's registered client endpoints.
+	clients map[ClientID]*clientState
+	// sink receives data deliveries (nil: deliveries only count).
+	sink Sink
+	// retainQueues enables per-client delivery queues.
+	retainQueues bool
+	// met is the optional per-process metric scope (nil-safe).
+	met *obs.Metrics
+
+	// arena amortises data-envelope encoding, chunk-carved like the
+	// transport's own payload wrapping.
+	arena []byte
+
+	delivered       uint64 // member data deliveries at this process
+	clientDelivered uint64 // fan-out deliveries into client endpoints
+	filtered        uint64 // header-peek drops (no decode)
+	malformed       uint64 // undecodable payloads
 }
 
 // New creates a multiplexer.
 func New(self model.ProcessID) *Mux {
 	return &Mux{
-		self: self,
-		mine: make(map[string]bool),
-		subs: make(map[string]map[model.ProcessID]bool),
+		self:    self,
+		mine:    make(map[string]bool),
+		syms:    newSymbolTable(),
+		clients: make(map[ClientID]*clientState),
 	}
 }
 
-// Join returns the payload to broadcast (safe) to subscribe this process
-// to a group. Idempotent at the table level.
+// SetSink installs the data-delivery sink.
+func (m *Mux) SetSink(s Sink) { m.sink = s }
+
+// SetMetrics attaches a metric scope (nil disables).
+func (m *Mux) SetMetrics(met *obs.Metrics) { m.met = met }
+
+// RetainQueues enables per-client delivery queues (off by default:
+// the 100k-client bench counts deliveries instead of accumulating
+// them).
+func (m *Mux) RetainQueues(on bool) { m.retainQueues = on }
+
+// ErrClientZero rejects client ID 0, reserved for the process itself.
+var ErrClientZero = errors.New("groups: client id 0 is reserved")
+
+// Join returns the payload to broadcast (safe) to subscribe this
+// process to a group. Idempotent at the table level.
 func (m *Mux) Join(group string) ([]byte, error) {
 	m.mine[group] = true
 	return Encode(Envelope{Kind: KindJoin, Group: group})
@@ -129,12 +220,120 @@ func (m *Mux) Leave(group string) ([]byte, error) {
 	return Encode(Envelope{Kind: KindLeave, Group: group})
 }
 
-// Send returns the payload to broadcast carrying data to a group.
-func (m *Mux) Send(group string, data []byte) ([]byte, error) {
-	return Encode(Envelope{Kind: KindData, Group: group, Data: data})
+// ClientJoin registers a local client endpoint's subscription and
+// returns the payload to broadcast, or nil if the client is already
+// subscribed: deduplication happens at the source, so remote reference
+// counts can never drift from duplicate submissions.
+func (m *Mux) ClientJoin(client ClientID, group string) ([]byte, error) {
+	if client == 0 {
+		return nil, ErrClientZero
+	}
+	cs := m.client(client)
+	if cs.subs[group] {
+		return nil, nil
+	}
+	cs.subs[group] = true
+	return Encode(Envelope{Kind: KindClientOps, Ops: []ClientOp{{Client: client, Group: group}}})
 }
 
-// Member reports whether this process currently belongs to the group.
+// ClientLeave unregisters a local client subscription, returning nil if
+// the client was not subscribed.
+func (m *Mux) ClientLeave(client ClientID, group string) ([]byte, error) {
+	if client == 0 {
+		return nil, ErrClientZero
+	}
+	cs := m.client(client)
+	if !cs.subs[group] {
+		return nil, nil
+	}
+	delete(cs.subs, group)
+	return Encode(Envelope{Kind: KindClientOps, Ops: []ClientOp{{Leave: true, Client: client, Group: group}}})
+}
+
+// ClientOpsPayload batches client subscription ops into one safe
+// message — the daemon-style aggregation that joins hundreds of clients
+// per ordered event. Ops already matching local intent are skipped;
+// the returned count is the number actually encoded (0 yields a nil
+// payload).
+func (m *Mux) ClientOpsPayload(ops []ClientOp) ([]byte, int, error) {
+	kept := make([]ClientOp, 0, len(ops))
+	for _, op := range ops {
+		if op.Client == 0 {
+			return nil, 0, ErrClientZero
+		}
+		cs := m.client(op.Client)
+		if op.Leave {
+			if !cs.subs[op.Group] {
+				continue
+			}
+			delete(cs.subs, op.Group)
+		} else {
+			if cs.subs[op.Group] {
+				continue
+			}
+			cs.subs[op.Group] = true
+		}
+		kept = append(kept, op)
+	}
+	if len(kept) == 0 {
+		return nil, 0, nil
+	}
+	b, err := Encode(Envelope{Kind: KindClientOps, Ops: kept})
+	if err != nil {
+		return nil, 0, err
+	}
+	return b, len(kept), nil
+}
+
+// Send returns the payload to broadcast carrying data to a group. If
+// the name is interned in this epoch the envelope carries the dense
+// GroupID (arena-carved, allocation-free); otherwise it falls back to
+// a by-name envelope — interning locally would diverge from the total
+// order, so resolution waits for delivery, where every process resolves
+// identically.
+func (m *Mux) Send(group string, data []byte) ([]byte, error) {
+	return m.sendAs(0, group, data)
+}
+
+// ClientSend is Send on behalf of a local client endpoint.
+func (m *Mux) ClientSend(client ClientID, group string, data []byte) ([]byte, error) {
+	if client == 0 {
+		return nil, ErrClientZero
+	}
+	return m.sendAs(client, group, data)
+}
+
+func (m *Mux) sendAs(client ClientID, group string, data []byte) ([]byte, error) {
+	if gid, ok := m.syms.lookup(group); ok {
+		return m.SendTo(client, gid, data), nil
+	}
+	return appendDataName(nil, client, group, data)
+}
+
+// arenaChunk sizes the encode arena carve, matching the transport's
+// payload-wrapping arena.
+const arenaChunk = 16 << 10
+
+// SendTo encodes a data envelope to an interned group, carving from
+// the Mux arena: the send-side hot path (a bogus GroupID is filtered
+// at every receiver, so no validation is needed here).
+//
+//evs:noalloc
+func (m *Mux) SendTo(client ClientID, gid GroupID, data []byte) []byte {
+	need := len(data) + 12 // kind + 2 maximal varints + slack
+	if cap(m.arena)-len(m.arena) < need {
+		size := arenaChunk
+		if need > size {
+			size = need
+		}
+		m.arena = make([]byte, 0, size)
+	}
+	n := len(m.arena)
+	m.arena = appendData(m.arena, client, gid, data)
+	return m.arena[n:len(m.arena):len(m.arena)]
+}
+
+// Member reports whether this process currently intends membership.
 func (m *Mux) Member(group string) bool { return m.mine[group] }
 
 // Groups returns this process's subscriptions, sorted.
@@ -147,110 +346,445 @@ func (m *Mux) Groups() []string {
 	return out
 }
 
-// View returns the current view of a group.
-func (m *Mux) View(group string) ViewChange {
-	return m.view(group)
+// Resolve returns the group's interned ID in the current epoch.
+func (m *Mux) Resolve(group string) (GroupID, bool) {
+	return m.syms.lookup(group)
 }
 
-func (m *Mux) view(group string) ViewChange {
-	var ids []model.ProcessID
-	for p := range m.subs[group] {
-		if m.cfg.Members.Contains(p) {
-			ids = append(ids, p)
-		}
+// Symbols exposes the epoch's symbol table (for fingerprint
+// comparison across processes; do not mutate).
+func (m *Mux) Symbols() *SymbolTable { return m.syms }
+
+// Delivered returns member data deliveries at this process.
+func (m *Mux) Delivered() uint64 { return m.delivered }
+
+// ClientDelivered returns fan-out deliveries into local clients.
+func (m *Mux) ClientDelivered() uint64 { return m.clientDelivered }
+
+// Filtered returns header-peek drops (messages never decoded).
+func (m *Mux) Filtered() uint64 { return m.filtered }
+
+// Malformed returns undecodable payload drops.
+func (m *Mux) Malformed() uint64 { return m.malformed }
+
+// ClientDeliveredFor returns one client's delivery count.
+func (m *Mux) ClientDeliveredFor(client ClientID) uint64 {
+	if cs, ok := m.clients[client]; ok {
+		return cs.delivered
 	}
+	return 0
+}
+
+// ClientQueue returns a client's retained delivery queue (nil unless
+// RetainQueues is on).
+func (m *Mux) ClientQueue(client ClientID) []Deliver {
+	if cs, ok := m.clients[client]; ok {
+		return cs.queue
+	}
+	return nil
+}
+
+// View returns the current view of a group.
+func (m *Mux) View(group string) ViewChange {
+	if gid, ok := m.syms.lookup(group); ok {
+		return m.viewOf(gid)
+	}
+	return ViewChange{Group: group, Members: model.NewProcessSet(), Config: m.cfg.ID}
+}
+
+func (m *Mux) viewOf(gid GroupID) ViewChange {
+	g := &m.groups[gid]
 	return ViewChange{
-		Group:   group,
-		Members: model.NewProcessSet(ids...),
+		Group:   g.name,
+		Members: model.NewProcessSet(g.members...),
+		Clients: g.clients,
 		Config:  m.cfg.ID,
 	}
 }
 
-// OnConfig ingests a transport configuration change. For a regular
-// configuration it resets the table and returns the announcement payload
-// to broadcast (safe) plus view changes for this process's groups
-// (shrunken to what the table knows so far — the announcements that follow
-// will grow them back deterministically). An encode failure still resets
-// the table (the configuration change happened) but yields no
-// announcement.
+// client lazily creates a client endpoint record.
+func (m *Mux) client(id ClientID) *clientState {
+	cs := m.clients[id]
+	if cs == nil {
+		cs = &clientState{subs: make(map[string]bool)}
+		m.clients[id] = cs
+	}
+	return cs
+}
+
+// internGroup interns a name, keeping the routing table parallel to
+// the symbol table.
+func (m *Mux) internGroup(name string) GroupID {
+	id, fresh := m.syms.intern(name)
+	if fresh {
+		m.groups = append(m.groups, groupState{name: m.syms.Name(id)})
+	}
+	return id
+}
+
+// wants reports whether this process cares about a group's view:
+// its own intent, or local client subscribers.
+func (m *Mux) wants(g *groupState) bool {
+	return m.mine[g.name] || len(g.localClients) > 0
+}
+
+// OnConfig ingests a transport configuration change.
+//
+// A transitional configuration prunes each group's members to the
+// processes still reachable and emits the shrunken views — the
+// group-level analogue of the transitional configuration itself. The
+// symbol table is retained: the transitional configuration exists to
+// deliver the old configuration's remaining messages, whose GroupIDs
+// were assigned under the old table.
+//
+// A regular configuration resets the epoch (symbol table and routing
+// state) and returns the announcement payload to broadcast (safe);
+// views are then rebuilt deterministically by the announcements that
+// follow, growing from empty exactly like the subscription table. An
+// encode failure still resets (the configuration change happened) but
+// yields no announcement.
 func (m *Mux) OnConfig(cfg model.Configuration) ([]byte, []Event, error) {
 	if cfg.ID.IsTransitional() {
-		return nil, nil, nil
+		m.cfg = cfg
+		return nil, m.pruneToConfig(), nil
 	}
 	m.cfg = cfg
-	m.subs = make(map[string]map[model.ProcessID]bool)
-	var announce []byte
-	if len(m.mine) > 0 {
-		var err error
-		announce, err = Encode(Envelope{Kind: KindAnnounce, Groups: m.Groups()})
-		if err != nil {
-			return nil, nil, err
-		}
+	m.syms.reset()
+	m.groups = m.groups[:0]
+	announce, err := m.announcePayload()
+	if err != nil {
+		return nil, nil, err
 	}
 	return announce, nil, nil
 }
 
-// OnDeliver ingests a group-layer payload delivered by the transport (in
-// total order) and returns the resulting events at this process.
+// pruneToConfig drops hosts no longer in the configuration from every
+// group, emitting shrunken views for groups this process cares about.
+func (m *Mux) pruneToConfig() []Event {
+	var out []Event
+	for gid := range m.groups {
+		g := &m.groups[gid]
+		changed := false
+		// Hold the index on removal: removeMember shifts in place.
+		for i := 0; i < len(g.members); {
+			p := g.members[i]
+			if m.cfg.Members.Contains(p) {
+				i++
+				continue
+			}
+			if g.procSubs[p] {
+				delete(g.procSubs, p)
+			}
+			if n := g.clientRefs[p]; n > 0 {
+				g.clients -= n
+				delete(g.clientRefs, p)
+			}
+			g.removeMember(p)
+			changed = true
+		}
+		if changed && m.wants(g) {
+			out = append(out, m.viewOf(GroupID(gid)))
+		}
+	}
+	return out
+}
+
+// announcePayload encodes this process's full subscription state —
+// its own intent plus every local client's — deterministically sorted.
+func (m *Mux) announcePayload() ([]byte, error) {
+	var subs []ClientSub
+	ids := make([]ClientID, 0, len(m.clients))
+	for id, cs := range m.clients {
+		if len(cs.subs) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cs := m.clients[id]
+		gs := make([]string, 0, len(cs.subs))
+		for g := range cs.subs {
+			gs = append(gs, g)
+		}
+		sort.Strings(gs)
+		subs = append(subs, ClientSub{Client: id, Groups: gs})
+	}
+	if len(m.mine) == 0 && len(subs) == 0 {
+		return nil, nil
+	}
+	return Encode(Envelope{Kind: KindAnnounce, Groups: m.Groups(), ClientSubs: subs})
+}
+
+// OnDeliver ingests a group-layer payload delivered by the transport
+// (in total order) and returns the resulting control events at this
+// process. Data deliveries do not return events: they go to the Sink
+// and the client queues (boxing every delivery into an Event would put
+// an allocation back on the hot path).
 func (m *Mux) OnDeliver(sender model.ProcessID, payload []byte) []Event {
+	if len(payload) == 0 {
+		m.malformed++
+		return nil
+	}
+	switch Kind(payload[0]) {
+	case KindData, KindClientData:
+		m.onData(sender, payload)
+		return nil
+	}
 	env, err := Decode(payload)
 	if err != nil {
+		m.malformed++
 		return nil
 	}
 	switch env.Kind {
 	case KindJoin:
-		return m.subscribe(sender, env.Group)
+		return m.subscribeProc(sender, env.Group)
 	case KindLeave:
-		return m.unsubscribe(sender, env.Group)
+		return m.unsubscribeProc(sender, env.Group)
 	case KindAnnounce:
-		var out []Event
-		for _, g := range env.Groups {
-			out = append(out, m.subscribe(sender, g)...)
-		}
-		return out
-	case KindData:
-		if !m.mine[env.Group] {
-			return nil
-		}
-		return []Event{Deliver{Group: env.Group, Sender: sender, Payload: env.Data}}
+		return m.applyAnnounce(sender, env)
+	case KindClientOps:
+		return m.applyClientOps(sender, env.Ops)
+	case KindDataName, KindClientDataName:
+		m.onDataName(sender, env)
+		return nil
 	default:
+		m.malformed++
 		return nil
 	}
 }
 
-// subscribe records a subscription and emits a view change if the visible
-// membership changed and this process cares about the group.
-func (m *Mux) subscribe(p model.ProcessID, group string) []Event {
-	if m.subs[group] == nil {
-		m.subs[group] = make(map[model.ProcessID]bool)
+// onData is the data hot path: peek the fixed header, index the dense
+// routing table, and drop without decoding when this process has no
+// subscriber — the membership-filtered fast path that turns
+// per-message cost at non-members from O(decode) into O(1).
+//
+//evs:noalloc
+func (m *Mux) onData(sender model.ProcessID, payload []byte) {
+	client, gid, body, ok := peekData(payload)
+	if !ok {
+		m.malformed++
+		return
 	}
-	if m.subs[group][p] {
-		return nil
+	if int(gid) >= len(m.groups) || m.groups[gid].selfWant == 0 {
+		m.filtered++
+		m.met.Inc(obs.CGroupsFiltered)
+		return
 	}
-	m.subs[group][p] = true
-	if !m.mine[group] && p != m.self {
-		return nil
+	g := &m.groups[gid]
+	m.deliverData(g, gid, sender, client, body)
+}
+
+// deliverData fans one member delivery out to the sink and local
+// client queues.
+//
+//evs:noalloc
+func (m *Mux) deliverData(g *groupState, gid GroupID, sender model.ProcessID, client ClientID, body []byte) {
+	m.delivered++
+	//lint:allow wireown delivery views the ordered payload's data tail, immutable after handoff; receivers copy before retaining
+	d := Deliver{Group: g.name, ID: gid, Sender: sender, Client: client, Payload: body}
+	if m.sink != nil {
+		m.sink.OnGroupData(d)
 	}
+	for _, c := range g.localClients {
+		cs := m.clients[c]
+		if cs == nil {
+			continue
+		}
+		cs.delivered++
+		m.clientDelivered++
+		if m.retainQueues {
+			cs.queue = append(cs.queue, d)
+		}
+	}
+}
+
+// onDataName handles the by-name fallback: the name is interned here,
+// in delivery order, so every process assigns the same ID even when
+// the group was previously unknown.
+func (m *Mux) onDataName(sender model.ProcessID, env Envelope) {
+	gid := m.internGroup(env.Group)
+	g := &m.groups[gid]
+	if g.selfWant == 0 {
+		m.filtered++
+		m.met.Inc(obs.CGroupsFiltered)
+		return
+	}
+	m.deliverData(g, gid, sender, env.Client, env.Data)
+}
+
+// subscribeProc records a process-level subscription and emits a view
+// change if the visible membership changed and this process cares.
+func (m *Mux) subscribeProc(p model.ProcessID, group string) []Event {
+	gid := m.internGroup(group)
+	g := &m.groups[gid]
 	if !m.cfg.Members.Contains(p) {
+		// A straggler from a departed process (deliverable in the
+		// transitional configuration): the name is interned — that must
+		// match at every process — but the host is unreachable and the
+		// next regular install resets the table anyway.
 		return nil
 	}
-	return []Event{m.view(group)}
+	if g.procSubs == nil {
+		g.procSubs = make(map[model.ProcessID]bool)
+	}
+	if g.procSubs[p] {
+		return nil
+	}
+	wasActive := g.active(p)
+	g.procSubs[p] = true
+	if !wasActive {
+		g.insertMember(p)
+	}
+	if p == m.self {
+		g.selfWant++
+	}
+	if !m.wants(g) && p != m.self {
+		return nil
+	}
+	return []Event{m.viewOf(gid)}
 }
 
-// unsubscribe removes a subscription, emitting a view change likewise.
-func (m *Mux) unsubscribe(p model.ProcessID, group string) []Event {
-	if m.subs[group] == nil || !m.subs[group][p] {
+// unsubscribeProc removes a process-level subscription likewise.
+func (m *Mux) unsubscribeProc(p model.ProcessID, group string) []Event {
+	gid := m.internGroup(group)
+	g := &m.groups[gid]
+	if !g.procSubs[p] {
 		return nil
 	}
-	delete(m.subs[group], p)
+	delete(g.procSubs, p)
 	if p == m.self {
 		delete(m.mine, group)
+		g.selfWant--
 	}
-	if !m.mine[group] && p != m.self {
-		return nil
+	if !g.active(p) {
+		g.removeMember(p)
 	}
 	if !m.cfg.Members.Contains(p) {
 		return nil
 	}
-	return []Event{m.view(group)}
+	if !m.wants(g) && p != m.self {
+		return nil
+	}
+	return []Event{m.viewOf(gid)}
+}
+
+// applyAnnounce folds a host's announced subscription state into the
+// epoch's table: its own groups as process subscriptions, its clients'
+// groups as client references. View events coalesce to one per touched
+// group.
+func (m *Mux) applyAnnounce(sender model.ProcessID, env Envelope) []Event {
+	var out []Event
+	for _, g := range env.Groups {
+		out = append(out, m.subscribeProc(sender, g)...)
+	}
+	ops := make([]ClientOp, 0, len(env.ClientSubs))
+	for _, cs := range env.ClientSubs {
+		for _, g := range cs.Groups {
+			ops = append(ops, ClientOp{Client: cs.Client, Group: g})
+		}
+	}
+	out = append(out, m.applyClientOps(sender, ops)...)
+	return out
+}
+
+// applyClientOps folds a batch of client subscription changes into the
+// table. Views coalesce: one event per touched group per batch, in
+// first-touch order (a 512-op join batch emits 512 table updates but
+// at most a handful of view events).
+func (m *Mux) applyClientOps(sender model.ProcessID, ops []ClientOp) []Event {
+	var touched []GroupID
+	for _, op := range ops {
+		gid := m.internGroup(op.Group)
+		if op.Client == 0 {
+			continue
+		}
+		if !m.cfg.Members.Contains(sender) {
+			continue
+		}
+		g := &m.groups[gid]
+		changed := false
+		if op.Leave {
+			changed = m.clientLeaveAt(g, sender, op.Client)
+		} else {
+			changed = m.clientJoinAt(g, sender, op.Client, op.Group)
+		}
+		if !changed || (!m.wants(g) && sender != m.self) {
+			continue
+		}
+		seen := false
+		for _, t := range touched {
+			if t == gid {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			touched = append(touched, gid)
+		}
+	}
+	var out []Event
+	for _, gid := range touched {
+		out = append(out, m.viewOf(gid))
+	}
+	return out
+}
+
+// clientJoinAt applies one client join at host p.
+func (m *Mux) clientJoinAt(g *groupState, p model.ProcessID, client ClientID, group string) bool {
+	if p == m.self {
+		// Guard local duplicates structurally: localClients must list
+		// each endpoint once (remote duplicates are prevented at the
+		// source, where intent dedups before encoding).
+		for _, c := range g.localClients {
+			if c == client {
+				return false
+			}
+		}
+		g.localClients = append(g.localClients, client)
+		g.selfWant++
+		cs := m.client(client)
+		cs.subs[group] = true
+	}
+	wasActive := g.active(p)
+	if g.clientRefs == nil {
+		g.clientRefs = make(map[model.ProcessID]int)
+	}
+	g.clientRefs[p]++
+	g.clients++
+	if !wasActive {
+		g.insertMember(p)
+	}
+	return true
+}
+
+// clientLeaveAt applies one client leave at host p.
+func (m *Mux) clientLeaveAt(g *groupState, p model.ProcessID, client ClientID) bool {
+	if p == m.self {
+		found := false
+		for i, c := range g.localClients {
+			if c == client {
+				g.localClients = append(g.localClients[:i], g.localClients[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+		g.selfWant--
+		if cs, ok := m.clients[client]; ok {
+			delete(cs.subs, g.name)
+		}
+	}
+	if g.clientRefs[p] == 0 {
+		// A leave with no recorded join (stale straggler): ignore
+		// rather than let the count go negative.
+		return false
+	}
+	g.clientRefs[p]--
+	g.clients--
+	if !g.active(p) {
+		g.removeMember(p)
+	}
+	return true
 }

@@ -2,13 +2,15 @@ package groups
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
-// must unwraps an encoded payload; Envelope has no unmarshalable fields,
-// so an encode error in a test is a bug.
+// must unwraps an encoded payload; an encode error on a well-formed
+// envelope in a test is a bug.
 func must(payload []byte, err error) []byte {
 	if err != nil {
 		panic(err)
@@ -20,10 +22,27 @@ func regCfg(seq uint64, members ...model.ProcessID) model.Configuration {
 	return model.Configuration{ID: model.RegularID(seq, members[0]), Members: model.NewProcessSet(members...)}
 }
 
-// bus replays a payload to every mux in total order.
+func transCfg(next, prev model.Configuration, members ...model.ProcessID) model.Configuration {
+	return model.Configuration{ID: model.TransitionalID(next.ID, prev.ID), Members: model.NewProcessSet(members...)}
+}
+
+// bus replays a payload to every mux in total order. Data deliveries
+// arrive through each mux's sink and are folded into the same event
+// stream control events use, so tests see one ordered record per
+// process.
 type bus struct {
 	muxes  map[model.ProcessID]*Mux
 	events map[model.ProcessID][]Event
+}
+
+// busSink routes one mux's data deliveries into the bus record.
+type busSink struct {
+	b  *bus
+	id model.ProcessID
+}
+
+func (s busSink) OnGroupData(d Deliver) {
+	s.b.events[s.id] = append(s.b.events[s.id], d)
 }
 
 func newBus(ids ...model.ProcessID) *bus {
@@ -32,7 +51,24 @@ func newBus(ids ...model.ProcessID) *bus {
 		events: make(map[model.ProcessID][]Event),
 	}
 	for _, id := range ids {
-		b.muxes[id] = New(id)
+		m := New(id)
+		m.SetSink(busSink{b, id})
+		b.muxes[id] = m
+	}
+	return b
+}
+
+// newBusFrom carves a sub-bus reusing a subset of muxes (simulating the
+// component that retains those processes after a partition).
+func newBusFrom(old *bus, ids ...model.ProcessID) *bus {
+	b := &bus{
+		muxes:  make(map[model.ProcessID]*Mux),
+		events: make(map[model.ProcessID][]Event),
+	}
+	for _, id := range ids {
+		m := old.muxes[id]
+		m.SetSink(busSink{b, id})
+		b.muxes[id] = m
 	}
 	return b
 }
@@ -53,7 +89,8 @@ func (b *bus) config(cfg model.Configuration) {
 	}
 	var anns []ann
 	for id, m := range b.muxes {
-		a, _, _ := m.OnConfig(cfg)
+		a, evs, _ := m.OnConfig(cfg)
+		b.events[id] = append(b.events[id], evs...)
 		anns = append(anns, ann{id, a})
 	}
 	for _, a := range anns {
@@ -112,9 +149,19 @@ func TestDataOnlyToMembers(t *testing.T) {
 		if len(ds) != 1 || string(ds[0].Payload) != "hi" || ds[0].Group != "chat" {
 			t.Fatalf("%s deliveries %+v", id, ds)
 		}
+		if ds[0].Sender != "a" || ds[0].Client != 0 {
+			t.Fatalf("%s delivery sender/client %+v", id, ds[0])
+		}
 	}
 	if ds := deliveries(b.events["c"]); len(ds) != 0 {
 		t.Fatalf("non-member c received %+v", ds)
+	}
+	// The non-member dropped via the header peek, without decoding.
+	if f := b.muxes["c"].Filtered(); f != 1 {
+		t.Fatalf("c filtered %d, want 1", f)
+	}
+	if f := b.muxes["a"].Filtered(); f != 0 {
+		t.Fatalf("member a filtered %d, want 0", f)
 	}
 }
 
@@ -158,6 +205,36 @@ func TestConfigChangeReannounces(t *testing.T) {
 	}
 }
 
+func TestTransitionalConfigEmitsShrunkenViews(t *testing.T) {
+	b := newBus("a", "b", "c")
+	old := regCfg(1, "a", "b", "c")
+	b.config(old)
+	for _, id := range []model.ProcessID{"a", "b", "c"} {
+		b.broadcast(id, must(b.muxes[id].Join("g")))
+	}
+	// c partitions away: the {a,b} side sees the transitional
+	// configuration and the group view shrinks with it, before the new
+	// regular configuration installs.
+	next := regCfg(2, "a", "b")
+	ab := newBusFrom(b, "a", "b")
+	ab.config(transCfg(next, old, "a", "b"))
+	for _, id := range []model.ProcessID{"a", "b"} {
+		v := lastView(ab.events[id], "g")
+		if v == nil || !v.Members.Equal(model.NewProcessSet("a", "b")) {
+			t.Fatalf("%s transitional view %+v, want {a,b}", id, v)
+		}
+		if !v.Config.IsTransitional() {
+			t.Fatalf("%s shrunken view tagged %v, want transitional", id, v.Config)
+		}
+	}
+	// Old-epoch GroupIDs stay valid: a straggler data message from the
+	// old configuration still delivers in the transitional one.
+	ab.broadcast("a", must(ab.muxes["a"].Send("g", []byte("remainder"))))
+	if ds := deliveries(ab.events["b"]); len(ds) != 1 || string(ds[0].Payload) != "remainder" {
+		t.Fatalf("transitional remainder deliveries %+v", deliveries(ab.events["b"]))
+	}
+}
+
 func TestPartitionShrinksGroupViews(t *testing.T) {
 	b := newBus("a", "b", "c")
 	b.config(regCfg(1, "a", "b", "c"))
@@ -172,19 +249,6 @@ func TestPartitionShrinksGroupViews(t *testing.T) {
 	if v == nil || !v.Members.Equal(model.NewProcessSet("b", "c")) {
 		t.Fatalf("partitioned view %+v, want {b,c}", v)
 	}
-}
-
-// newBusFrom carves a sub-bus reusing a subset of muxes (simulating the
-// component that retains b and c).
-func newBusFrom(old *bus, ids ...model.ProcessID) *bus {
-	b := &bus{
-		muxes:  make(map[model.ProcessID]*Mux),
-		events: make(map[model.ProcessID][]Event),
-	}
-	for _, id := range ids {
-		b.muxes[id] = old.muxes[id]
-	}
-	return b
 }
 
 func TestViewsIdenticalAcrossMembers(t *testing.T) {
@@ -204,17 +268,177 @@ func TestViewsIdenticalAcrossMembers(t *testing.T) {
 	}
 }
 
+func TestSendBeforeInternFallsBackToName(t *testing.T) {
+	b := newBus("a", "b")
+	b.config(regCfg(1, "a", "b"))
+	// Nobody has joined "fresh": Send cannot resolve an ID and must fall
+	// back to the by-name envelope (interning locally would diverge from
+	// the total order).
+	payload := must(b.muxes["a"].Send("fresh", []byte("early")))
+	if Kind(payload[0]) != KindDataName {
+		t.Fatalf("unresolved send kind %v, want dataName", Kind(payload[0]))
+	}
+	b.broadcast("a", payload)
+	// No member yet: nobody delivers, but every process interned the
+	// name identically from the delivered message.
+	for _, id := range []model.ProcessID{"a", "b"} {
+		if ds := deliveries(b.events[id]); len(ds) != 0 {
+			t.Fatalf("%s delivered %+v before any join", id, ds)
+		}
+		if _, ok := b.muxes[id].Resolve("fresh"); !ok {
+			t.Fatalf("%s did not intern the name from the data message", id)
+		}
+	}
+	if fa, fb := b.muxes["a"].Symbols().Fingerprint(), b.muxes["b"].Symbols().Fingerprint(); fa != fb {
+		t.Fatalf("symbol tables diverged: %x vs %x", fa, fb)
+	}
+	// After the join delivers, the same name resolves and data flows as
+	// a dense-ID envelope.
+	b.broadcast("b", must(b.muxes["b"].Join("fresh")))
+	payload = must(b.muxes["a"].Send("fresh", []byte("later")))
+	if Kind(payload[0]) != KindData {
+		t.Fatalf("resolved send kind %v, want data", Kind(payload[0]))
+	}
+	b.broadcast("a", payload)
+	if ds := deliveries(b.events["b"]); len(ds) != 1 || string(ds[0].Payload) != "later" {
+		t.Fatalf("b deliveries %+v", deliveries(b.events["b"]))
+	}
+}
+
+func TestClientMultiplexing(t *testing.T) {
+	b := newBus("a", "b")
+	b.config(regCfg(1, "a", "b"))
+	for _, m := range b.muxes {
+		m.RetainQueues(true)
+	}
+	// Clients 1 and 2 live on a; client 3 on b. All subscribe to "m".
+	b.broadcast("a", must(b.muxes["a"].ClientJoin(1, "m")))
+	b.broadcast("a", must(b.muxes["a"].ClientJoin(2, "m")))
+	b.broadcast("b", must(b.muxes["b"].ClientJoin(3, "m")))
+
+	v := lastView(b.events["a"], "m")
+	if v == nil || !v.Members.Equal(model.NewProcessSet("a", "b")) || v.Clients != 3 {
+		t.Fatalf("client view %+v, want hosts {a,b} clients 3", v)
+	}
+
+	// Client 3 sends; every subscribed client's queue receives it, and
+	// the delivery records the sending endpoint.
+	b.broadcast("b", must(b.muxes["b"].ClientSend(3, "m", []byte("hello"))))
+	for _, c := range []ClientID{1, 2} {
+		q := b.muxes["a"].ClientQueue(c)
+		if len(q) != 1 || string(q[0].Payload) != "hello" || q[0].Sender != "b" || q[0].Client != 3 {
+			t.Fatalf("client %d queue %+v", c, q)
+		}
+	}
+	if q := b.muxes["b"].ClientQueue(3); len(q) != 1 {
+		t.Fatalf("sender's own client queue %+v", q)
+	}
+	if n := b.muxes["a"].ClientDelivered(); n != 2 {
+		t.Fatalf("a client deliveries %d, want 2", n)
+	}
+
+	// Client 1 leaves: only client 2 receives the next message.
+	b.broadcast("a", must(b.muxes["a"].ClientLeave(1, "m")))
+	b.broadcast("b", must(b.muxes["b"].ClientSend(3, "m", []byte("again"))))
+	if n := b.muxes["a"].ClientDeliveredFor(1); n != 1 {
+		t.Fatalf("left client deliveries %d, want 1", n)
+	}
+	if n := b.muxes["a"].ClientDeliveredFor(2); n != 2 {
+		t.Fatalf("remaining client deliveries %d, want 2", n)
+	}
+	v = lastView(b.events["a"], "m")
+	if v == nil || v.Clients != 2 {
+		t.Fatalf("post-leave view %+v, want 2 clients", v)
+	}
+}
+
+func TestClientOpsBatchAndDedup(t *testing.T) {
+	m := New("a")
+	m.OnConfig(regCfg(1, "a"))
+	// A duplicate join is deduplicated at the source: no payload, no
+	// chance of remote refcount drift.
+	p1 := must(m.ClientJoin(7, "g"))
+	if p1 == nil {
+		t.Fatal("first client join must produce a payload")
+	}
+	if p, err := m.ClientJoin(7, "g"); err != nil || p != nil {
+		t.Fatalf("duplicate client join produced %v (%v)", p, err)
+	}
+	// Batches dedup the same way and report how many ops survived.
+	ops := []ClientOp{
+		{Client: 8, Group: "g"},
+		{Client: 8, Group: "g"}, // duplicate inside the batch
+		{Client: 9, Group: "h"},
+		{Client: 7, Group: "g"}, // already subscribed above
+	}
+	payload, n, err := m.ClientOpsPayload(ops)
+	if err != nil || n != 2 {
+		t.Fatalf("batch kept %d ops (%v), want 2", n, err)
+	}
+	env, err := Decode(payload)
+	if err != nil || len(env.Ops) != 2 {
+		t.Fatalf("batch decoded %+v (%v)", env, err)
+	}
+	// Client 0 is reserved.
+	if _, err := m.ClientJoin(0, "g"); err == nil {
+		t.Fatal("client 0 must be rejected")
+	}
+}
+
+func TestAnnounceCarriesClientSubscriptions(t *testing.T) {
+	b := newBus("a", "b")
+	b.config(regCfg(1, "a", "b"))
+	b.broadcast("a", must(b.muxes["a"].ClientJoin(4, "g")))
+	b.broadcast("b", must(b.muxes["b"].Join("g")))
+
+	// Reconfiguration: the client subscription survives through a's
+	// announce, rebuilding the same view in the new epoch.
+	b.config(regCfg(2, "a", "b"))
+	for _, id := range []model.ProcessID{"a", "b"} {
+		v := lastView(b.events[id], "g")
+		if v == nil || !v.Members.Equal(model.NewProcessSet("a", "b")) || v.Clients != 1 {
+			t.Fatalf("%s post-reconfig view %+v, want hosts {a,b} clients 1", id, v)
+		}
+	}
+	// And data still fans out to the client.
+	b.broadcast("b", must(b.muxes["b"].Send("g", []byte("x"))))
+	if n := b.muxes["a"].ClientDeliveredFor(4); n != 1 {
+		t.Fatalf("client deliveries after reconfig %d, want 1", n)
+	}
+}
+
+func TestFilteredDropObserved(t *testing.T) {
+	met := obs.New("c", nil)
+	m := New("c")
+	m.SetMetrics(met)
+	m.OnConfig(regCfg(1, "a", "c"))
+	// A data message for an unknown GroupID: dropped on the header peek.
+	m.OnDeliver("a", appendData(nil, 0, 42, []byte("x")))
+	if m.Filtered() != 1 {
+		t.Fatalf("filtered %d, want 1", m.Filtered())
+	}
+	if got := met.Counter(obs.CGroupsFiltered); got != 1 {
+		t.Fatalf("groups_filtered_total %d, want 1", got)
+	}
+}
+
 func TestGarbageAndUnknownKind(t *testing.T) {
 	m := New("a")
 	m.OnConfig(regCfg(1, "a"))
-	if evs := m.OnDeliver("a", []byte("{bad")); evs != nil {
+	if evs := m.OnDeliver("a", []byte{0xff, 0x01, 0x02}); evs != nil {
 		t.Fatalf("garbage produced %v", evs)
 	}
-	if evs := m.OnDeliver("a", must(Encode(Envelope{Kind: "bogus"}))); evs != nil {
-		t.Fatalf("unknown kind produced %v", evs)
+	if evs := m.OnDeliver("a", nil); evs != nil {
+		t.Fatalf("empty payload produced %v", evs)
 	}
-	if _, err := Decode([]byte("{")); err == nil {
-		t.Fatal("garbage must not decode")
+	if m.Malformed() != 2 {
+		t.Fatalf("malformed %d, want 2", m.Malformed())
+	}
+	if _, err := Decode([]byte{byte(KindJoin)}); err == nil {
+		t.Fatal("truncated join must not decode")
+	}
+	if _, err := Encode(Envelope{Kind: Kind(200)}); err == nil {
+		t.Fatal("unknown kind must not encode")
 	}
 }
 
@@ -244,3 +468,101 @@ func TestAnnounceOnlyWhenSubscribed(t *testing.T) {
 		t.Fatalf("announcement %+v (%v)", env, err)
 	}
 }
+
+// TestLegacyDifferential replays a seeded random process-level workload
+// through the rewritten Mux and the preserved JSON LegacyMux and
+// requires identical member views and deliveries: the rewrite changes
+// the wire format and the data structures, not the semantics.
+func TestLegacyDifferential(t *testing.T) {
+	procs := []model.ProcessID{"a", "b", "c", "d"}
+	groupsNames := []string{"g0", "g1", "g2"}
+	rng := rand.New(rand.NewSource(42))
+
+	muxes := make(map[model.ProcessID]*Mux)
+	legacy := make(map[model.ProcessID]*LegacyMux)
+	delivNew := make(map[model.ProcessID][]string)
+	delivOld := make(map[model.ProcessID][]string)
+	for _, p := range procs {
+		p := p
+		m := New(p)
+		m.SetSink(sinkFunc(func(d Deliver) {
+			delivNew[p] = append(delivNew[p], d.Group+"/"+string(d.Sender)+"/"+string(d.Payload))
+		}))
+		muxes[p] = m
+		legacy[p] = NewLegacy(p)
+	}
+
+	applyCfg := func(cfg model.Configuration) {
+		// Two phases, as the transport guarantees: the configuration
+		// change delivers at every process before any announce sent in
+		// the new configuration does.
+		annsN := make(map[model.ProcessID][]byte)
+		annsL := make(map[model.ProcessID][]byte)
+		for _, p := range procs {
+			annsN[p], _, _ = muxes[p].OnConfig(cfg)
+			annsL[p], _, _ = legacy[p].OnConfig(cfg)
+		}
+		for _, p := range procs {
+			for _, q := range procs {
+				if annsN[p] != nil {
+					muxes[q].OnDeliver(p, annsN[p])
+				}
+				if annsL[p] != nil {
+					for _, e := range legacy[q].OnDeliver(p, annsL[p]) {
+						if d, ok := e.(Deliver); ok {
+							delivOld[q] = append(delivOld[q], d.Group+"/"+string(d.Sender)+"/"+string(d.Payload))
+						}
+					}
+				}
+			}
+		}
+	}
+	broadcast := func(sender model.ProcessID, pn, pl []byte) {
+		for _, q := range procs {
+			if pn != nil {
+				muxes[q].OnDeliver(sender, pn)
+			}
+			if pl != nil {
+				for _, e := range legacy[q].OnDeliver(sender, pl) {
+					if d, ok := e.(Deliver); ok {
+						delivOld[q] = append(delivOld[q], d.Group+"/"+string(d.Sender)+"/"+string(d.Payload))
+					}
+				}
+			}
+		}
+	}
+
+	applyCfg(regCfg(1, procs...))
+	for step := 0; step < 400; step++ {
+		p := procs[rng.Intn(len(procs))]
+		g := groupsNames[rng.Intn(len(groupsNames))]
+		switch rng.Intn(4) {
+		case 0:
+			broadcast(p, must(muxes[p].Join(g)), must(legacy[p].Join(g)))
+		case 1:
+			broadcast(p, must(muxes[p].Leave(g)), must(legacy[p].Leave(g)))
+		case 2:
+			data := []byte(fmt.Sprintf("m%d", step))
+			broadcast(p, must(muxes[p].Send(g, data)), must(legacy[p].Send(g, data)))
+		case 3:
+			applyCfg(regCfg(uint64(step+2), procs...))
+		}
+	}
+
+	for _, p := range procs {
+		if fmt.Sprint(delivNew[p]) != fmt.Sprint(delivOld[p]) {
+			t.Fatalf("%s deliveries diverged:\nnew %v\nold %v", p, delivNew[p], delivOld[p])
+		}
+		for _, g := range groupsNames {
+			vn, vo := muxes[p].View(g), legacy[p].View(g)
+			if !vn.Members.Equal(vo.Members) {
+				t.Fatalf("%s view of %s diverged: new %v old %v", p, g, vn.Members, vo.Members)
+			}
+		}
+	}
+}
+
+// sinkFunc adapts a function to the Sink interface.
+type sinkFunc func(Deliver)
+
+func (f sinkFunc) OnGroupData(d Deliver) { f(d) }

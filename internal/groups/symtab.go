@@ -1,0 +1,111 @@
+// Replicated group-name interning.
+//
+// Group names are strings chosen by applications; the routing fast
+// path wants dense integers. A SymbolTable maps between the two. The
+// table is *replicated state*: every process builds it exclusively
+// from name-carrying messages in the safe total order (joins, leaves,
+// announces, client ops, data-by-name), interning each previously
+// unseen name as the next dense GroupID. Because every process
+// observes the same messages in the same order, every process assigns
+// the same GroupID to the same name — without any coordination beyond
+// the total order the ring already provides.
+//
+// IDs are scoped to one configuration epoch. On a regular
+// configuration install the table resets and is rebuilt from the
+// announces that follow; during a transitional configuration the table
+// is retained, because the transitional configuration exists precisely
+// to deliver the old configuration's remaining messages — whose
+// GroupIDs were assigned under the old table — before the new regular
+// configuration installs (EVS delivery guarantees, PAPER.md §4).
+//
+// The sender-side corollary: a process must never intern locally at
+// submission time (its submission order is not the total order).
+// Mux.Send falls back to a by-name envelope until the name's join has
+// come back around in the total order.
+package groups
+
+import "hash/fnv"
+
+// SymbolTable interns group names into dense GroupIDs, driven by the
+// delivered total order.
+type SymbolTable struct {
+	ids   map[string]GroupID
+	names []string
+}
+
+// newSymbolTable returns an empty table.
+func newSymbolTable() *SymbolTable {
+	return &SymbolTable{ids: make(map[string]GroupID)}
+}
+
+// intern returns the GroupID for name, allocating the next dense ID on
+// first sight. fresh reports whether this call allocated.
+func (t *SymbolTable) intern(name string) (id GroupID, fresh bool) {
+	if id, ok := t.ids[name]; ok {
+		return id, false
+	}
+	id = GroupID(len(t.names))
+	t.ids[name] = id
+	t.names = append(t.names, name)
+	return id, true
+}
+
+// lookup returns the GroupID for name without interning.
+//
+//evs:noalloc
+func (t *SymbolTable) lookup(name string) (GroupID, bool) {
+	id, ok := t.ids[name]
+	return id, ok
+}
+
+// lookupBytes is lookup keyed by a byte view (the compiler elides the
+// string conversion inside a map index, so this does not allocate).
+//
+//evs:noalloc
+func (t *SymbolTable) lookupBytes(name []byte) (GroupID, bool) {
+	id, ok := t.ids[string(name)]
+	return id, ok
+}
+
+// Name returns the interned name for id, or "" if out of range.
+//
+//evs:noalloc
+func (t *SymbolTable) Name(id GroupID) string {
+	if int(id) >= len(t.names) {
+		return ""
+	}
+	return t.names[id]
+}
+
+// Len returns the number of interned names.
+func (t *SymbolTable) Len() int { return len(t.names) }
+
+// reset drops all assignments (regular configuration install).
+func (t *SymbolTable) reset() {
+	t.ids = make(map[string]GroupID)
+	t.names = t.names[:0]
+}
+
+// Canonical serialises the table in ID order: byte-identical across
+// processes exactly when the tables agree. Differential tests compare
+// these across the cluster after chaos partitions and merges.
+func (t *SymbolTable) Canonical() []byte {
+	n := 0
+	for _, name := range t.names {
+		n += len(name) + 11
+	}
+	out := make([]byte, 0, n)
+	for id, name := range t.names {
+		out = appendUvarint(out, uint64(id))
+		out = appendUvarint(out, uint64(len(name)))
+		out = append(out, name...)
+	}
+	return out
+}
+
+// Fingerprint hashes Canonical for cheap cross-process comparison.
+func (t *SymbolTable) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write(t.Canonical())
+	return h.Sum64()
+}

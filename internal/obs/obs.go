@@ -128,6 +128,17 @@ const (
 	CNetCut
 	CNetDuplicated
 
+	// Group layer (lightweight process groups over the ring).
+
+	// CGroupsFiltered counts group data messages dropped at this process
+	// by the membership-filtered fast path: the header peek said no local
+	// subscriber, so the payload was never decoded.
+	CGroupsFiltered
+	// CGroupsEncodeErrors counts group-layer payloads that failed to
+	// encode at submission (oversized names, unknown kinds); the message
+	// is dropped and counted, never panicked.
+	CGroupsEncodeErrors
+
 	numCounters
 )
 
@@ -168,6 +179,8 @@ var counterNames = [numCounters]string{
 	CNetDropped:            "net_packets_dropped_total",
 	CNetCut:                "net_packets_cut_total",
 	CNetDuplicated:         "net_packets_duplicated_total",
+	CGroupsFiltered:        "groups_filtered_total",
+	CGroupsEncodeErrors:    "groups_encode_errors_total",
 }
 
 // CounterName returns the catalog name of a counter.

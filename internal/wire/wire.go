@@ -3,6 +3,14 @@
 // ordering protocol, the join/commit/install messages of the membership
 // algorithm, and the exchange/done messages of the EVS recovery algorithm
 // (Step 3 and Step 5 of Section 3 of the paper).
+//
+// Messages are immutable after handoff: the medium hands one message
+// value to every receiver of a broadcast without deep-copying, so a
+// message must not share backing arrays with memory its builder or a
+// receiver goes on mutating. The wireown analyzer mechanises that
+// convention here and for the group layer's binary envelopes
+// (internal/groups), which ride inside Data payloads under the same
+// discipline.
 package wire
 
 import (
