@@ -148,12 +148,13 @@ func (o taggingObserver) OnConfigChange(id ProcessID, c ConfigEvent) {
 }
 
 // TestMultiObserverRegistrationOrder: every registered observer sees every
-// event, in registration order, and the deprecated function fields fire
-// before any observer.
+// event, in registration order.
 func TestMultiObserverRegistrationOrder(t *testing.T) {
 	g := NewGroup(Options{NumProcesses: 2, Seed: 3})
 	var log []string
-	g.OnDelivery = func(id ProcessID, d Delivery) { log = append(log, "field:del") }
+	g.AddObserver(ObserverFuncs{
+		Delivery: func(id ProcessID, d Delivery) { log = append(log, "field:del") },
+	})
 	g.AddObserver(taggingObserver{"a", &log})
 	g.AddObserver(taggingObserver{"b", &log})
 	g.AddObserver(taggingObserver{"c", &log})

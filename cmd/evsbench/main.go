@@ -6,6 +6,7 @@
 //
 //	evsbench [-seed N] [-quick] [-t1] [-ordering-json FILE] [-metrics-json FILE]
 //	evsbench -groups [-quick] [-groups-json FILE]
+//	evsbench -wire [-quick] [-wire-json FILE]
 //
 // -t1 runs only the ordering-throughput section (used by CI as a smoke
 // benchmark). -ordering-json additionally writes the T1 series with
@@ -18,6 +19,10 @@
 // 10k-group / 100k-client cluster scenario plus the binary-vs-JSON layer
 // replay rig; -groups-json writes the report (BENCH_groups.json), and
 // -quick shrinks it to CI smoke size.
+// -wire runs only the wire codec benchmark (W1): per-kind encode/decode
+// ns/op and allocs/op of the flat binary codec the real transports use,
+// with the zero-alloc gate on the Data hot path; -wire-json writes the
+// report (BENCH_wire.json).
 package main
 
 import (
@@ -43,10 +48,14 @@ func main() {
 	metricsJSON := flag.String("metrics-json", "", "run a 16-process scenario and write its observability snapshot to this JSON file (empty disables)")
 	groupsOnly := flag.Bool("groups", false, "run only the G1 lightweight-group scale benchmark")
 	groupsJSON := flag.String("groups-json", "", "write the G1 groups benchmark report to this JSON file (empty disables)")
+	wireOnly := flag.Bool("wire", false, "run only the W1 wire codec benchmark")
+	wireJSON := flag.String("wire-json", "", "write the W1 wire codec report to this JSON file (empty disables)")
 	flag.Parse()
 	sizes, err := parseProcs(*procsFlag)
 	if err == nil {
-		if *groupsOnly {
+		if *wireOnly {
+			err = runWire(*quick, *wireJSON)
+		} else if *groupsOnly {
 			err = runGroups(*seed, *quick, *groupsJSON)
 		} else if *metricsJSON != "" {
 			err = runMetrics(*seed, *metricsJSON)
@@ -182,6 +191,45 @@ func runGroups(seed int64, quick bool, jsonPath string) error {
 		}
 		fmt.Printf("=> wrote %s\n", jsonPath)
 	}
+	return nil
+}
+
+// runWire runs the W1 wire codec benchmark: per-kind encode/decode
+// ns/op and allocs/op of the flat binary codec, then the alloc gate on
+// the Data hot path. A gate failure is the command's failure — CI uses
+// this as the dynamic half of the wire zero-alloc enforcement pair
+// (the evslint noalloc pass is the static half).
+func runWire(quick bool, jsonPath string) error {
+	iters := 200000
+	if quick {
+		iters = 20000
+	}
+	fmt.Println("W1     wire codec: flat binary encode/decode per message kind")
+	fmt.Println("-------------------------------------------------------------")
+	rep, err := experiments.WireBench(iters)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%14s %8s %12s %12s %12s %12s\n",
+		"kind", "bytes", "enc ns/op", "enc allocs", "dec ns/op", "dec allocs")
+	for _, r := range rep.Rows {
+		fmt.Printf("%14s %8d %12.1f %12.3f %12.1f %12.3f\n",
+			r.Kind, r.Bytes, r.EncodeNsOp, r.EncodeAllocs, r.DecodeNsOp, r.DecodeAllocs)
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("=> wrote %s\n", jsonPath)
+	}
+	if err := experiments.WireAllocGate(rep); err != nil {
+		return err
+	}
+	fmt.Println("=> wire alloc gate: data encode/decode at zero allocations per op")
 	return nil
 }
 

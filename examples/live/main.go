@@ -23,8 +23,14 @@ func main() {
 }
 
 func run() error {
-	g := evs.NewLiveGroup(4, nil)
-	defer g.Close()
+	// The uniform constructor with the live runtime; partition and merge
+	// control stays on the concrete *evs.LiveGroup.
+	c, err := evs.New(evs.WithRuntime(evs.RuntimeLive), evs.WithNumProcesses(4))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	g := c.(*evs.LiveGroup)
 
 	start := time.Now()
 	if !g.WaitOperational(5 * time.Second) {

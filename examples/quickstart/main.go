@@ -22,8 +22,17 @@ func main() {
 
 func run() error {
 	// Five processes on a simulated broadcast LAN, deterministic from
-	// the seed.
-	g := evs.NewGroup(evs.Options{NumProcesses: 5, Seed: 42})
+	// the seed. evs.New picks the runtime — the simulator by default;
+	// evs.WithRuntime(evs.RuntimeLive) or evs.RuntimeUDP would run the
+	// identical application over goroutines or real sockets. Scenario
+	// control (virtual-time sends, partitions) lives on the concrete
+	// simulator type, so assert to *evs.Group.
+	c, err := evs.New(evs.WithNumProcesses(5), evs.WithSeed(42))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	g := c.(*evs.Group)
 	ids := g.IDs()
 
 	// Observers see application events as they happen; any number can be

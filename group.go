@@ -35,6 +35,14 @@ type Options struct {
 	Seed int64
 	// DropRate and DupRate configure network loss and duplication.
 	DropRate, DupRate float64
+	// Codec routes every simulated packet through the wire binary codec
+	// (encode at send, decode per receiver) exactly as the real
+	// transports do; with the fault rates zero the execution is
+	// bit-identical to a run without it. CorruptRate and TruncateRate
+	// then flip a bit in, or cut short, individual receivers' encoded
+	// frames; rejected frames are counted and dropped, never panicking.
+	Codec                     bool
+	CorruptRate, TruncateRate float64
 	// MinDelay and MaxDelay bound packet latency; zero values select a
 	// LAN-like default profile.
 	MinDelay, MaxDelay time.Duration
@@ -83,16 +91,6 @@ type Group struct {
 	// append each. Carved buffers are never reused, so handing them to
 	// the node (which retains them until sequenced) is safe.
 	wrapArena []byte
-
-	// OnDelivery and OnConfigChange observe application-level events as
-	// they happen.
-	//
-	// Deprecated: assignable function fields force layers to chain each
-	// other fragilely (each must remember to call the previous value).
-	// Register with AddObserver instead; these fields remain as shims and
-	// fire before any registered observer.
-	OnDelivery     func(id ProcessID, d Delivery)
-	OnConfigChange func(id ProcessID, c ConfigEvent)
 }
 
 // NewGroup creates a group; processes boot at virtual time zero.
@@ -115,6 +113,8 @@ func NewGroup(opts Options) *Group {
 		netCfg.MinDelay, netCfg.MaxDelay = opts.MinDelay, opts.MaxDelay
 	}
 	netCfg.DropRate, netCfg.DupRate = opts.DropRate, opts.DupRate
+	netCfg.Codec = opts.Codec
+	netCfg.CorruptRate, netCfg.TruncateRate = opts.CorruptRate, opts.TruncateRate
 
 	g := &Group{
 		ids:           ids,
@@ -315,9 +315,6 @@ func (g *Group) Recover(t time.Duration, id ProcessID) {
 func (g *Group) onConfig(id model.ProcessID, cc node.ConfigChange) {
 	ce := ConfigEvent{Config: cc.Config, Time: g.Now()}
 	g.confs[id] = append(g.confs[id], ce)
-	if g.OnConfigChange != nil {
-		g.OnConfigChange(id, ce)
-	}
 	for _, o := range g.observers {
 		o.OnConfigChange(id, ce)
 	}
@@ -349,7 +346,7 @@ func (g *Group) onDeliver(id model.ProcessID, d node.Delivery) {
 		g.applyPrimaryActions(id, p.OnMessage(m))
 	case tagApp:
 		g.deliveryCount[id]++
-		if g.opts.DiscardHistory && g.OnDelivery == nil && len(g.observers) == 0 && g.filters[id] == nil {
+		if g.opts.DiscardHistory && len(g.observers) == 0 && g.filters[id] == nil {
 			return
 		}
 		del := Delivery{
@@ -361,9 +358,6 @@ func (g *Group) onDeliver(id model.ProcessID, d node.Delivery) {
 		}
 		if !g.opts.DiscardHistory {
 			g.deliveries[id] = append(g.deliveries[id], del)
-		}
-		if g.OnDelivery != nil {
-			g.OnDelivery(id, del)
 		}
 		for _, o := range g.observers {
 			o.OnDelivery(id, del)

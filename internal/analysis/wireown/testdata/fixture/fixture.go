@@ -116,6 +116,44 @@ func (r *ring) allowedHandoff(ds []wire.Data) wire.DataBatch {
 	return wire.DataBatch{Ring: r.cfg.ID, Msgs: ds}
 }
 
+// The binary codec sharpens the ownership convention on wire.Data: an
+// encoded frame views the message's Payload at encode time, and a
+// decoded message's Payload views the received datagram's bytes. Both
+// directions are safe only because messages own fresh storage and
+// handlers never retain message memory — the rules below.
+
+// aliasPayload puts caller-owned bytes on the wire.
+func aliasPayload(r *ring, seq uint64, body []byte) wire.Data {
+	return wire.Data{
+		Ring:    r.cfg.ID,
+		Seq:     seq,
+		Payload: body, // want `wire.Data field Payload aliases caller-owned \(parameter body\) memory`
+	}
+}
+
+// copyPayload is the sanctioned shape: the message owns its bytes, so
+// the encoder may view them and the sender may reuse body immediately.
+func copyPayload(r *ring, seq uint64, body []byte) wire.Data {
+	p := make([]byte, len(body))
+	copy(p, body)
+	return wire.Data{Ring: r.cfg.ID, Seq: seq, Payload: p}
+}
+
+// retainDecoded stores a received (decoded) message's payload view into
+// state; the view aliases the datagram buffer, which the transport will
+// reuse, so retention without a copy is flagged.
+func (r *ring) retainDecoded(d wire.Data) {
+	r.byProc[string(d.ID.Sender)] = d.Seq
+	lastPayload = d.Payload // want `handler retains slice/map from wire.Data parameter d`
+}
+
+var lastPayload []byte
+
+// retainDecodedCopy is the sanctioned handler shape for the decode side.
+func (r *ring) retainDecodedCopy(d wire.Data) {
+	lastPayload = append([]byte(nil), d.Payload...)
+}
+
 // Group-layer envelopes carry the same convention as wire messages:
 // Envelope.Data views payload memory, and group payloads are handed to
 // every member of the configuration, so aliasing caller memory into one

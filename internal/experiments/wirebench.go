@@ -1,0 +1,175 @@
+// Wire codec benchmark (W1): per-kind encode/decode cost of the flat
+// binary codec the real transports put on the wire. The report feeds
+// BENCH_wire.json; the data-path rows double as an allocation gate —
+// steady-state encode and decode of the Data hot path must stay at zero
+// allocations per operation, mirroring the static //evs:noalloc proof
+// and the TestWireDataCodecZeroAlloc dynamic check in internal/wire.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// WireBenchRow is one message kind's measured codec cost.
+type WireBenchRow struct {
+	Kind         string  `json:"kind"`
+	Bytes        int     `json:"bytes"` // encoded frame size
+	EncodeNsOp   float64 `json:"encode_ns_op"`
+	EncodeAllocs float64 `json:"encode_allocs_op"`
+	DecodeNsOp   float64 `json:"decode_ns_op"`
+	DecodeAllocs float64 `json:"decode_allocs_op"`
+}
+
+// WireBenchReport is the BENCH_wire.json document.
+type WireBenchReport struct {
+	Iters int            `json:"iters"`
+	Rows  []WireBenchRow `json:"rows"`
+}
+
+// wireBenchMessages returns one representatively-shaped message per wire
+// kind: payload sizes, batch widths and set sizes are the steady-state
+// shapes a loaded 8-process ring produces, so the per-kind costs are the
+// ones a deployment actually pays.
+func wireBenchMessages() []wire.Message {
+	ids := make([]model.ProcessID, 8)
+	for i := range ids {
+		ids[i] = model.ProcessID(fmt.Sprintf("p%02d", i+1))
+	}
+	u := vclock.NewUniverse(ids)
+	d := u.NewDense()
+	for i := range d {
+		d[i] = int32(40 + i)
+	}
+	stamp := vclock.Stamp{U: u, D: d}
+	ring := model.ConfigID{Kind: model.Regular, Seq: 17, Rep: ids[0], PrevSeq: 12, PrevRep: ids[3]}
+	payload := make([]byte, 128)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	data := wire.Data{
+		ID:      model.MessageID{Sender: ids[2], SenderSeq: 905},
+		Ring:    ring,
+		Seq:     4242,
+		Service: model.Agreed,
+		Payload: payload,
+		VC:      stamp,
+	}
+	batch := wire.DataBatch{Ring: ring, Msgs: make([]wire.Data, 16)}
+	for i := range batch.Msgs {
+		m := data
+		m.Seq = data.Seq + uint64(i)
+		m.ID.SenderSeq = data.ID.SenderSeq + uint64(i)
+		batch.Msgs[i] = m
+	}
+	return []wire.Message{
+		data,
+		batch,
+		wire.Token{Ring: ring, TokenID: 9001, Seq: 4257, Aru: 4240, AruID: ids[5],
+			Rtr: []wire.SeqRange{{Lo: 4241, Hi: 4243}, {Lo: 4250, Hi: 4250}}},
+		wire.Join{Sender: ids[1], Alive: ids[:6], Failed: ids[6:], MaxRingSeq: 4257, Attempt: 3},
+		wire.Commit{NewRing: ring, Members: ids, Attempt: 3},
+		wire.CommitAck{Ring: ring, Sender: ids[4], Attempt: 3},
+		wire.Install{NewRing: ring, Members: ids, Attempt: 3},
+		wire.Exchange{Ring: ring, Sender: ids[2], OldRing: ring, OldMembers: ids,
+			MyAru: 4240, Have: []uint64{4245, 4247}, SafeBound: 4238, HighestSeen: 4257,
+			DeliveredUpTo: 4240, Obligations: ids[:4],
+			SeenSeqs: []wire.SeenSeq{{Proc: ids[0], Seq: 900}, {Proc: ids[2], Seq: 905}}},
+		wire.RecoveryDone{Ring: ring, Sender: ids[7], OldRing: ring},
+	}
+}
+
+// benchOp times fn over iters runs and returns (ns/op, allocs/op).
+// Mallocs deltas need a single-goroutine steady state, which the bench
+// runner guarantees.
+func benchOp(iters int, fn func()) (float64, float64) {
+	fn() // warm caches, arenas, interning tables
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	//lint:allow determinism wall-clock measures benchmark runtime only; codec ns are documented host-dependent and never feed protocol state
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	//lint:allow determinism wall-clock measures benchmark runtime only; codec ns are documented host-dependent and never feed protocol state
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return float64(elapsed.Nanoseconds()) / float64(iters),
+		float64(m1.Mallocs-m0.Mallocs) / float64(iters)
+}
+
+// WireBench measures steady-state encode and decode cost for every wire
+// message kind. Encode appends into a reused buffer and decode reuses
+// one Decoder, exactly as the transports do, so the rows report the
+// amortised per-frame cost rather than cold-start arena growth.
+func WireBench(iters int) (WireBenchReport, error) {
+	rep := WireBenchReport{Iters: iters}
+	for _, msg := range wireBenchMessages() {
+		frame, err := wire.Encode(msg)
+		if err != nil {
+			return rep, fmt.Errorf("encode %s: %w", msg.Kind(), err)
+		}
+		buf := make([]byte, 0, 2*len(frame))
+		encNs, encAllocs := benchOp(iters, func() {
+			buf, err = wire.AppendMessage(buf[:0], msg)
+		})
+		if err != nil {
+			return rep, fmt.Errorf("append %s: %w", msg.Kind(), err)
+		}
+		dec := wire.NewDecoder()
+		var derr error
+		var decNs, decAllocs float64
+		if msg.Kind() == "data" {
+			// DecodeData into a reused struct is the codec's zero-alloc
+			// data path and the subject of the alloc gate; the generic
+			// Decode below boxes its result, an interface allocation
+			// that is not a codec cost.
+			var out wire.Data
+			decNs, decAllocs = benchOp(iters, func() {
+				derr = dec.DecodeData(frame, &out)
+			})
+		} else {
+			decNs, decAllocs = benchOp(iters, func() {
+				_, derr = dec.Decode(frame)
+			})
+		}
+		if derr != nil {
+			return rep, fmt.Errorf("decode %s: %w", msg.Kind(), derr)
+		}
+		rep.Rows = append(rep.Rows, WireBenchRow{
+			Kind:         msg.Kind(),
+			Bytes:        len(frame),
+			EncodeNsOp:   encNs,
+			EncodeAllocs: encAllocs,
+			DecodeNsOp:   decNs,
+			DecodeAllocs: decAllocs,
+		})
+	}
+	return rep, nil
+}
+
+// WireAllocGate enforces the zero-alloc contract on the hot rows of a
+// report: Data encode must not allocate at all, and Data decode must
+// amortise below a small epsilon (the decoder's arena refills at chunk
+// boundaries). Returns nil when the contract holds.
+func WireAllocGate(rep WireBenchReport) error {
+	for _, r := range rep.Rows {
+		if r.Kind != "data" {
+			continue
+		}
+		if r.EncodeAllocs > 0 {
+			return fmt.Errorf("wire alloc gate: data encode %.3f allocs/op, want 0", r.EncodeAllocs)
+		}
+		if r.DecodeAllocs > 0.05 {
+			return fmt.Errorf("wire alloc gate: data decode %.3f allocs/op, want ~0", r.DecodeAllocs)
+		}
+		return nil
+	}
+	return fmt.Errorf("wire alloc gate: no data row in report")
+}

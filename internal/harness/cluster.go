@@ -194,7 +194,7 @@ func New(opts Options) *Cluster {
 		e := &env{c: c, id: id, timers: make(map[node.TimerKind]sim.Timer)}
 		c.envs[id] = e
 		c.stores[id] = &stable.Store{}
-		c.nodes[id] = node.New(id, nodeCfg, e, c.stores[id])
+		c.nodes[id] = node.New(id, nodeCfg, e, e, c.stores[id])
 		c.metrics[id] = obs.New(string(id), clock)
 		c.nodes[id].SetMetrics(c.metrics[id])
 		c.Net.Register(id, func(from model.ProcessID, payload any, _ time.Duration) {

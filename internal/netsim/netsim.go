@@ -13,6 +13,7 @@
 package netsim
 
 import (
+	"hash/crc32"
 	"math/rand"
 	"sort"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Handler receives a packet at a registered process.
@@ -77,6 +79,24 @@ type Config struct {
 	DupRate float64
 	// Seed drives the deterministic RNG.
 	Seed int64
+
+	// Codec routes every packet through the wire binary codec exactly as
+	// the real transports (internal/transport) do: wire.Message payloads
+	// are encoded once at send time and decoded at each receiver. With
+	// both fault rates zero this changes no history — the codec consumes
+	// no RNG draws — so a differential run certifies the encoded path
+	// against the struct-handoff path.
+	Codec bool
+	// CorruptRate is the per-receiver probability (Codec mode only) that
+	// a non-loopback encoded frame has one bit flipped in transit;
+	// TruncateRate the probability it is cut short. Faulted frames fail
+	// the modeled link-layer checksum (or the decoder itself), are
+	// counted (Stats.DecodeErrors, wire_decode_errors_total) and
+	// dropped — corruption is loss, exactly as on a checksummed
+	// network; the protocol's retransmission machinery recovers, and
+	// nothing panics.
+	CorruptRate  float64
+	TruncateRate float64
 }
 
 // Default returns a LAN-like configuration: sub-millisecond delays, no loss.
@@ -98,6 +118,12 @@ type Stats struct {
 	Duplicated uint64
 	Filtered   uint64 // lost to the message filter
 	Blocked    uint64 // lost to a blocking link rule
+
+	// Codec-mode counters.
+	Corrupted    uint64 // frames bit-flipped in transit
+	Truncated    uint64 // frames cut short in transit
+	EncodeErrors uint64 // sends rejected by the wire codec
+	DecodeErrors uint64 // frames the receiver's decoder rejected (dropped)
 }
 
 // Network is the simulated medium. It is not safe for concurrent use; the
@@ -119,6 +145,21 @@ type Network struct {
 	// met is the cluster-level observability scope for the medium (nil
 	// disables); it mirrors the Stats counters into the metric catalog.
 	met *obs.Metrics
+
+	// dec decodes frames in Codec mode. One decoder for the whole
+	// medium: interning is deterministic and decoded messages are
+	// immutable, so receivers can share its arenas.
+	dec *wire.Decoder
+}
+
+// frame is an encoded packet in flight (Codec mode). sum is the
+// checksum computed over the bytes the sender put on the wire — the
+// simulator's stand-in for the UDP/link-layer checksum that makes real
+// networks discard corrupted datagrams rather than deliver them.
+// Transit faults mutate b but never sum, so the receiver detects them.
+type frame struct {
+	b   []byte
+	sum uint32
 }
 
 // clampRate forces a probability into [0,1]; NaN becomes 0.
@@ -146,6 +187,11 @@ func validate(cfg Config) Config {
 	}
 	cfg.DropRate = clampRate(cfg.DropRate)
 	cfg.DupRate = clampRate(cfg.DupRate)
+	cfg.CorruptRate = clampRate(cfg.CorruptRate)
+	cfg.TruncateRate = clampRate(cfg.TruncateRate)
+	if !cfg.Codec {
+		cfg.CorruptRate, cfg.TruncateRate = 0, 0
+	}
 	return cfg
 }
 
@@ -155,7 +201,12 @@ func validate(cfg Config) Config {
 // [0,1].
 func New(sched *sim.Scheduler, cfg Config) *Network {
 	cfg = validate(cfg)
+	var dec *wire.Decoder
+	if cfg.Codec {
+		dec = wire.NewDecoder()
+	}
 	return &Network{
+		dec:       dec,
 		sched:     sched,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		cfg:       cfg,
@@ -307,6 +358,16 @@ func (n *Network) Broadcast(from model.ProcessID, payload any) {
 	}
 	n.stats.Broadcasts++
 	n.met.Inc(obs.CNetBroadcasts)
+	if n.cfg.Codec {
+		var ok bool
+		// Encoded once, shared by every receiver — the real transports'
+		// economy, and sound for the same reason (frames in flight are
+		// never mutated; corruption copies first).
+		//lint:allow noalloc Codec is a diagnostic mode that pays for encoding; the default configuration never reaches this call
+		if payload, ok = n.encodeFrame(payload); !ok {
+			return
+		}
+	}
 	// The sender's component and down-map lookups are hoisted out of the
 	// per-receiver loop: with data batching one Broadcast often carries a
 	// whole token visit's worth of messages, so this loop is the
@@ -333,7 +394,55 @@ func (n *Network) Unicast(from, to model.ProcessID, payload any) {
 		return
 	}
 	n.stats.Unicasts++
+	if n.cfg.Codec {
+		var ok bool
+		if payload, ok = n.encodeFrame(payload); !ok {
+			return
+		}
+	}
 	n.transmit(from, to, payload, from == to)
+}
+
+// encodeFrame runs a payload through the wire codec (Codec mode).
+// Non-message payloads pass through untouched; unencodable messages are
+// counted and dropped. No RNG draws happen here — Codec mode with zero
+// fault rates replays the exact schedule of a run without it.
+func (n *Network) encodeFrame(payload any) (any, bool) {
+	msg, ok := payload.(wire.Message)
+	if !ok {
+		return payload, true
+	}
+	b, err := wire.Encode(msg)
+	if err != nil {
+		n.stats.EncodeErrors++
+		n.met.Inc(obs.CWireEncodeErrors)
+		return nil, false
+	}
+	return frame{b: b, sum: crc32.ChecksumIEEE(b)}, true
+}
+
+// faultFrame applies Codec-mode transit faults to one receiver's view of
+// a frame: a single flipped bit (on a private copy — the original is
+// shared with other receivers) or a truncation (a shorter view of the
+// shared bytes, no copy needed). Guarded by rate checks so the
+// fault-free configuration draws nothing from the RNG.
+func (n *Network) faultFrame(payload any) any {
+	fr, ok := payload.(frame)
+	if !ok || len(fr.b) == 0 {
+		return payload
+	}
+	if n.cfg.CorruptRate > 0 && n.rng.Float64() < n.cfg.CorruptRate {
+		b := make([]byte, len(fr.b))
+		copy(b, fr.b)
+		b[n.rng.Intn(len(b))] ^= 1 << uint(n.rng.Intn(8))
+		n.stats.Corrupted++
+		return frame{b: b, sum: fr.sum}
+	}
+	if n.cfg.TruncateRate > 0 && n.rng.Float64() < n.cfg.TruncateRate {
+		n.stats.Truncated++
+		return frame{b: fr.b[:n.rng.Intn(len(fr.b))], sum: fr.sum}
+	}
+	return payload
 }
 
 // transmit schedules the delivery of one packet copy (possibly two, on
@@ -377,6 +486,9 @@ func (n *Network) transmitLink(from, to model.ProcessID, payload any, loopback b
 			n.met.Inc(obs.CNetDropped)
 			return
 		}
+	}
+	if !loopback && (n.cfg.CorruptRate > 0 || n.cfg.TruncateRate > 0) {
+		payload = n.faultFrame(payload)
 	}
 	copies := 1
 	if !loopback && n.cfg.DupRate > 0 && n.rng.Float64() < n.cfg.DupRate {
@@ -434,6 +546,26 @@ func (n *Network) deliver(from, to model.ProcessID, payload any, now time.Durati
 	h, ok := n.handlers[to]
 	if !ok {
 		return
+	}
+	if fr, isFrame := payload.(frame); isFrame {
+		// The checksum gate models the network stack's own integrity
+		// check: a bit flip that happens to leave the frame decodable
+		// must still be discarded, or it would silently corrupt protocol
+		// state in a way no real deployment over UDP ever sees.
+		if crc32.ChecksumIEEE(fr.b) != fr.sum {
+			n.stats.DecodeErrors++
+			n.met.Inc(obs.CWireDecodeErrors)
+			return
+		}
+		msg, err := n.dec.Decode(fr.b)
+		if err != nil {
+			// A frame the codec rejects is the medium's loss, not the
+			// receiver's problem: counted, dropped, never panicked.
+			n.stats.DecodeErrors++
+			n.met.Inc(obs.CWireDecodeErrors)
+			return
+		}
+		payload = msg
 	}
 	n.stats.Delivered++
 	n.met.Inc(obs.CNetDelivered)

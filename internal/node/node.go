@@ -90,20 +90,60 @@ type ConfigChange struct {
 	Config model.Configuration
 }
 
-// Env is the node's environment, implemented by the harness.
-type Env interface {
-	// Broadcast transmits a message on the medium (received by every
-	// process in the sender's component, including the sender).
+// Transport is the medium half of the node's environment: how messages
+// leave the process. It is implemented by the deterministic simulator,
+// the in-process live hub, and the real network transports
+// (internal/transport), all interchangeably.
+type Transport interface {
+	// Broadcast transmits a message on the medium, to be received by
+	// every process in the sender's component, including the sender
+	// (self-delivery arrives back through OnMessage like any other
+	// receipt — the transport must not call into the node
+	// synchronously).
+	//
+	// Ownership contract: the message and everything it references
+	// (payloads, member lists, counter vectors) are immutable from the
+	// moment they are handed to Broadcast. The transport may hand the
+	// same value to many receivers, serialise it later from another
+	// goroutine, or both; neither the caller nor any receiver may
+	// mutate it. The wireown analyzer mechanises this convention at the
+	// sites where aliases are created.
 	Broadcast(msg wire.Message)
+}
+
+// Host is the local half of the node's environment: timers, application
+// delivery and trace recording. Unlike Transport implementations, a Host
+// is always process-local and its callbacks run on the node's event
+// path.
+type Host interface {
 	// SetTimer (re)arms a timer; CancelTimer disarms it.
 	SetTimer(kind TimerKind, d time.Duration)
 	CancelTimer(kind TimerKind)
-	// Deliver hands a message to the application.
+	// Deliver hands a message to the application. The Delivery's
+	// payload is immutable: it may alias a received wire message (and
+	// therefore a transport buffer) under the Transport ownership
+	// contract.
 	Deliver(d Delivery)
 	// DeliverConfig hands a configuration change to the application.
 	DeliverConfig(c ConfigChange)
 	// Trace records a formal-model event for the specification checker.
 	Trace(e model.Event)
+}
+
+// Env is the node's complete environment: one value implementing both
+// halves. Single-object harnesses (the simulator's env, a live process)
+// satisfy it directly; split deployments pass a Transport and a Host to
+// New separately.
+type Env interface {
+	Transport
+	Host
+}
+
+// composedEnv glues a Transport and a Host into one Env value for the
+// node's internal call sites.
+type composedEnv struct {
+	Transport
+	Host
 }
 
 // Config tunes the node's protocol timing.
@@ -153,7 +193,7 @@ type bufferedMsg struct {
 type Node struct {
 	id    model.ProcessID
 	cfg   Config
-	env   Env
+	env   composedEnv
 	store *stable.Store
 
 	mode    Mode
@@ -201,13 +241,15 @@ var ErrDown = errors.New("process is down")
 // submitter must back off instead of growing the queue without bound.
 var ErrBacklog = errors.New("send backlog full")
 
-// New creates a node. The store may contain a prior incarnation's state
+// New creates a node over a transport (the medium) and a host (timers,
+// delivery, tracing). Harnesses implementing both halves on one value
+// pass it twice. The store may contain a prior incarnation's state
 // (recovery with stable storage intact); Start consults it.
-func New(id model.ProcessID, cfg Config, env Env, store *stable.Store) *Node {
+func New(id model.ProcessID, cfg Config, tr Transport, host Host, store *stable.Store) *Node {
 	return &Node{
 		id:    id,
 		cfg:   cfg,
-		env:   env,
+		env:   composedEnv{Transport: tr, Host: host},
 		store: store,
 	}
 }

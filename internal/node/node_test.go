@@ -41,7 +41,7 @@ func (m *mockEnv) take() []wire.Message {
 func newNode(id model.ProcessID) (*Node, *mockEnv, *stable.Store) {
 	env := newMockEnv()
 	store := &stable.Store{}
-	n := New(id, DefaultConfig(), env, store)
+	n := New(id, DefaultConfig(), env, env, store)
 	return n, env, store
 }
 
@@ -302,7 +302,7 @@ func TestBroadcastDataChunksIntoBatches(t *testing.T) {
 	env := newMockEnv()
 	cfg := DefaultConfig()
 	cfg.MaxBatch = 2
-	n := New("p", cfg, env, &stable.Store{})
+	n := New("p", cfg, env, env, &stable.Store{})
 	ds := make([]wire.Data, 5)
 	for i := range ds {
 		ds[i] = wire.Data{Seq: uint64(i + 1)}
@@ -343,7 +343,7 @@ func TestBroadcastDataDisabledBatchingSendsSingles(t *testing.T) {
 	env := newMockEnv()
 	cfg := DefaultConfig()
 	cfg.MaxBatch = 1
-	n := New("p", cfg, env, &stable.Store{})
+	n := New("p", cfg, env, env, &stable.Store{})
 	n.broadcastData([]wire.Data{{Seq: 1}, {Seq: 2}, {Seq: 3}})
 	msgs := env.take()
 	if len(msgs) != 3 {
@@ -360,7 +360,7 @@ func TestSubmitBacklogBounded(t *testing.T) {
 	env := newMockEnv()
 	cfg := DefaultConfig()
 	cfg.MaxPending = 2
-	n := New("p", cfg, env, &stable.Store{})
+	n := New("p", cfg, env, env, &stable.Store{})
 	n.Start()
 	for i := 0; i < 2; i++ {
 		if err := n.Submit([]byte("x"), model.Safe); err != nil {

@@ -30,7 +30,7 @@ func newPairWorld(t *testing.T, ids ...model.ProcessID) *pairWorld {
 	for _, id := range ids {
 		env := newMockEnv()
 		w.envs[id] = env
-		w.nodes[id] = New(id, DefaultConfig(), env, &stable.Store{})
+		w.nodes[id] = New(id, DefaultConfig(), env, env, &stable.Store{})
 	}
 	return w
 }

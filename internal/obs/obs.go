@@ -139,6 +139,25 @@ const (
 	// is dropped and counted, never panicked.
 	CGroupsEncodeErrors
 
+	// Wire transport (real network media: UDP, TCP mesh; also the
+	// simulator's encoded-frame mode).
+
+	// CWirePacketsOut and CWirePacketsIn count frames handed to /
+	// received from the medium; CWireBytesOut and CWireBytesIn count
+	// their encoded sizes.
+	CWirePacketsOut
+	CWirePacketsIn
+	CWireBytesOut
+	CWireBytesIn
+	// CWireEncodeErrors and CWireDecodeErrors count codec failures at
+	// the transport boundary; the frame is dropped and counted, never
+	// panicked.
+	CWireEncodeErrors
+	CWireDecodeErrors
+	// CWireDrops counts frames the transport itself shed: oversize
+	// datagrams, full peer queues, sends after close.
+	CWireDrops
+
 	numCounters
 )
 
@@ -181,6 +200,13 @@ var counterNames = [numCounters]string{
 	CNetDuplicated:         "net_packets_duplicated_total",
 	CGroupsFiltered:        "groups_filtered_total",
 	CGroupsEncodeErrors:    "groups_encode_errors_total",
+	CWirePacketsOut:        "wire_packets_out_total",
+	CWirePacketsIn:         "wire_packets_in_total",
+	CWireBytesOut:          "wire_bytes_out_total",
+	CWireBytesIn:           "wire_bytes_in_total",
+	CWireEncodeErrors:      "wire_encode_errors_total",
+	CWireDecodeErrors:      "wire_decode_errors_total",
+	CWireDrops:             "wire_drops_total",
 }
 
 // CounterName returns the catalog name of a counter.

@@ -1,0 +1,338 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/vclock"
+)
+
+// mkStamp builds a stamp over the given members with the given counters.
+func mkStamp(ids []model.ProcessID, counters []int32) vclock.Stamp {
+	u := vclock.NewUniverse(ids)
+	d := u.NewDense()
+	copy(d, counters)
+	return vclock.Stamp{U: u, D: d}
+}
+
+var (
+	testRing  = model.RegularID(7, "p01")
+	testTrans = model.TransitionalID(model.RegularID(9, "p01"), model.RegularID(7, "p03"))
+)
+
+// sampleMessages covers every kind, with both populated and edge-shaped
+// values; it doubles as the fuzz seed corpus.
+func sampleMessages() []Message {
+	procs := []model.ProcessID{"p01", "p02", "p03"}
+	return []Message{
+		Data{
+			ID:      model.MessageID{Sender: "p02", SenderSeq: 41},
+			Ring:    testRing,
+			Seq:     129,
+			Service: model.Agreed,
+			Payload: []byte("hello world"),
+			VC:      mkStamp(procs, []int32{3, 41, 7}),
+		},
+		Data{
+			ID:      model.MessageID{Sender: "p01", SenderSeq: 1},
+			Ring:    testTrans,
+			Seq:     1,
+			Service: model.Safe,
+			Retrans: true,
+		},
+		Data{}, // zero message round-trips too
+		DataBatch{
+			Ring: testRing,
+			Msgs: []Data{
+				{
+					ID:      model.MessageID{Sender: "p01", SenderSeq: 9},
+					Ring:    testRing,
+					Seq:     10,
+					Service: model.Agreed,
+					Payload: []byte("a"),
+					VC:      mkStamp(procs, []int32{9, 0, 0}),
+				},
+				{
+					ID:      model.MessageID{Sender: "p03", SenderSeq: 2},
+					Ring:    testRing,
+					Seq:     11,
+					Service: model.Safe,
+					Retrans: true,
+					VC:      mkStamp(procs, []int32{9, 0, 2}),
+				},
+			},
+		},
+		DataBatch{Ring: testRing},
+		Token{
+			Ring:    testRing,
+			TokenID: 88,
+			Seq:     1029,
+			Aru:     1017,
+			AruID:   "p02",
+			Rtr:     []SeqRange{{Lo: 1018, Hi: 1020}, {Lo: 1025, Hi: 1025}},
+		},
+		Token{Ring: testRing, TokenID: 1},
+		Join{
+			Sender:     "p02",
+			Alive:      []model.ProcessID{"p01", "p02"},
+			Failed:     []model.ProcessID{"p03"},
+			MaxRingSeq: 12,
+			Attempt:    3,
+		},
+		Join{Sender: "p01"},
+		Commit{NewRing: model.RegularID(13, "p01"), Members: procs, Attempt: 4},
+		CommitAck{Ring: model.RegularID(13, "p01"), Sender: "p03", Attempt: 4},
+		Install{NewRing: model.RegularID(13, "p01"), Members: procs, Attempt: 4},
+		Exchange{
+			Ring:          model.RegularID(13, "p01"),
+			Sender:        "p02",
+			OldRing:       testRing,
+			OldMembers:    procs,
+			MyAru:         1017,
+			Have:          []uint64{1019, 1022},
+			SafeBound:     1011,
+			HighestSeen:   1029,
+			DeliveredUpTo: 1015,
+			Obligations:   []model.ProcessID{"p01", "p03"},
+			SeenSeqs:      []SeenSeq{{Proc: "p01", Seq: 40}, {Proc: "p02", Seq: 41}},
+		},
+		Exchange{Ring: model.RegularID(2, "p09"), Sender: "p09", OldRing: model.ConfigID{}},
+		RecoveryDone{Ring: model.RegularID(13, "p01"), Sender: "p01", OldRing: testRing},
+	}
+}
+
+// stampEqual compares stamps semantically: same member universe, same
+// counters (Universe pointers differ across decoders).
+func stampEqual(a, b vclock.Stamp) bool {
+	if a.IsZero() != b.IsZero() {
+		return false
+	}
+	if a.IsZero() {
+		return true
+	}
+	if a.U.Len() != b.U.Len() || len(a.D) != len(b.D) {
+		return false
+	}
+	for i := 0; i < a.U.Len(); i++ {
+		if a.U.ID(i) != b.U.ID(i) || a.D[i] != b.D[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dataEqual compares Data messages semantically (stamp by value,
+// payload by bytes).
+func dataEqual(a, b Data) bool {
+	return a.ID == b.ID && a.Ring == b.Ring && a.Seq == b.Seq &&
+		a.Service == b.Service && a.Retrans == b.Retrans &&
+		bytes.Equal(a.Payload, b.Payload) && stampEqual(a.VC, b.VC)
+}
+
+// messagesEqual compares any two wire messages semantically.
+func messagesEqual(a, b Message) bool {
+	switch av := a.(type) {
+	case Data:
+		bv, ok := b.(Data)
+		return ok && dataEqual(av, bv)
+	case DataBatch:
+		bv, ok := b.(DataBatch)
+		if !ok || av.Ring != bv.Ring || len(av.Msgs) != len(bv.Msgs) {
+			return false
+		}
+		for i := range av.Msgs {
+			if !dataEqual(av.Msgs[i], bv.Msgs[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, m := range sampleMessages() {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", m, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", m, err)
+		}
+		if !messagesEqual(m, got) {
+			t.Fatalf("round trip mismatch:\n sent %#v\n got  %#v", m, got)
+		}
+	}
+}
+
+func TestDecoderInternsAcrossMessages(t *testing.T) {
+	d := NewDecoder()
+	msg := sampleMessages()[0].(Data)
+	b, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m1, m2 Data
+	if err := d.DecodeData(b, &m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DecodeData(b, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if m1.VC.U != m2.VC.U {
+		t.Fatalf("universe not interned: %p vs %p", m1.VC.U, m2.VC.U)
+	}
+	if !dataEqual(m1, msg) || !dataEqual(m2, msg) {
+		t.Fatalf("interned decode mismatch")
+	}
+}
+
+func TestDecodeErrorsNotPanics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},            // zero kind
+		{42},           // unknown kind
+		{byte(FrameData)},
+		{byte(FrameToken), 1}, // truncated config
+		{byte(FrameJoin), 0, 0xff, 0xff, 0xff, 0xff, 0xff}, // huge count
+	}
+	for _, m := range sampleMessages() {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every truncation of every valid message must error cleanly
+		// or decode to something (prefix happens to be valid) — never
+		// panic.
+		for i := 0; i < len(b); i++ {
+			cases = append(cases, b[:i])
+		}
+		// And a few single-byte corruptions.
+		for i := 0; i < len(b); i += 3 {
+			c := append([]byte(nil), b...)
+			c[i] ^= 0x41
+			cases = append(cases, c)
+		}
+	}
+	d := NewDecoder()
+	for _, c := range cases {
+		if _, err := d.Decode(c); err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode %x: unexpected error class %v", c, err)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsOversized(t *testing.T) {
+	long := model.ProcessID(strings.Repeat("x", MaxProcIDLen+1))
+	cases := []Message{
+		Data{ID: model.MessageID{Sender: long}},
+		Token{AruID: long},
+		Join{Sender: "p", Alive: make([]model.ProcessID, MaxMembers+1)},
+		CommitAck{Ring: model.ConfigID{Kind: 9}},
+	}
+	for _, m := range cases {
+		if _, err := AppendMessage(nil, m); !errors.Is(err, ErrUnencodable) {
+			t.Fatalf("AppendMessage(%T) err = %v, want ErrUnencodable", m, err)
+		}
+	}
+}
+
+func TestDecodeRejectsNonCanonicalStamp(t *testing.T) {
+	// Hand-build a data message whose stamp members are out of order:
+	// decode must reject it rather than silently re-sorting (which would
+	// detach counters from their processes).
+	b := []byte{byte(FrameData)}
+	b = appendUvarint(b, 1)
+	b = append(b, 'p')
+	b = appendUvarint(b, 1)    // senderSeq
+	b = append(b, 0)           // zero ring
+	b = appendUvarint(b, 1)    // seq
+	b = appendUvarint(b, 1)    // service
+	b = append(b, 0)           // flags
+	b = appendUvarint(b, 2)    // stamp: 2 members
+	b = appendUvarint(b, 1)
+	b = append(b, 'q')
+	b = appendUvarint(b, 1)
+	b = append(b, 'p')         // q before p: not ascending
+	b = appendUvarint(b, 3)
+	b = appendUvarint(b, 4)
+	b = appendUvarint(b, 0) // payload
+	if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unsorted stamp: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	b, err := Encode(Token{Ring: testRing, TokenID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(b, 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestPayloadAliasesInput(t *testing.T) {
+	msg := Data{ID: model.MessageID{Sender: "p", SenderSeq: 1}, Payload: []byte("abcd")}
+	b, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Data
+	if err := NewDecoder().DecodeData(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payload) != 4 || &out.Payload[0] != &b[len(b)-4] {
+		t.Fatalf("payload was copied, want alias of the input tail")
+	}
+}
+
+func TestPeekKind(t *testing.T) {
+	for _, m := range sampleMessages() {
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k := PeekKind(b); k != FrameKind(b[0]) {
+			t.Fatalf("PeekKind = %d, want %d", k, b[0])
+		}
+	}
+	if PeekKind(nil) != 0 || PeekKind([]byte{99}) != 0 {
+		t.Fatalf("PeekKind on junk should be 0")
+	}
+}
+
+// TestWireDataCodecZeroAlloc is the noalloc gate for the Data hot path:
+// steady-state encode and decode of a Data message must not allocate
+// (the decoder's universe interning and dense arena amortise to zero;
+// AllocsPerRun averages out the rare arena chunk refill).
+func TestWireDataCodecZeroAlloc(t *testing.T) {
+	msg := sampleMessages()[0].(Data)
+	buf := make([]byte, 0, 256)
+	var err error
+	if allocs := testing.AllocsPerRun(2000, func() {
+		buf, err = AppendData(buf[:0], &msg)
+	}); err != nil || allocs > 0 {
+		t.Fatalf("encode: %v allocs/op (err %v), want 0", allocs, err)
+	}
+	b, err := Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder()
+	var out Data
+	if allocs := testing.AllocsPerRun(2000, func() {
+		err = d.DecodeData(b, &out)
+	}); err != nil || allocs > 0.05 {
+		t.Fatalf("decode: %v allocs/op (err %v), want ~0", allocs, err)
+	}
+}

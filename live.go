@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/spec"
 	"repro/internal/stable"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -80,7 +81,10 @@ type liveProc struct {
 	dead   bool // stops timer callbacks racing shutdown
 }
 
-var _ node.Env = (*liveProc)(nil)
+var (
+	_ node.Env            = (*liveProc)(nil)
+	_ transport.Transport = (*liveProc)(nil)
+)
 
 // NewLiveGroup starts n processes named p01..pNN. Call Close when done.
 func NewLiveGroup(n int, cfg *node.Config) *LiveGroup {
@@ -114,7 +118,7 @@ func NewLiveGroup(n int, cfg *node.Config) *LiveGroup {
 			g:      g,
 			id:     id,
 		}
-		p.node = node.New(id, nodeCfg, p, p.store)
+		p.node = node.New(id, nodeCfg, p, p, p.store)
 		g.metrics[id] = obs.New(string(id), clock)
 		p.node.SetMetrics(g.metrics[id])
 		g.procs[id] = p
@@ -144,9 +148,36 @@ func (p *liveProc) receive(in chan liveEnvelope, wg *sync.WaitGroup) {
 	}
 }
 
-// Broadcast implements node.Env over the hub.
+// Broadcast implements transport.Transport over the hub.
 func (p *liveProc) Broadcast(msg wire.Message) {
 	p.g.hub.broadcast(p.id, msg)
+}
+
+// Unicast implements transport.Transport: deliver to one peer of the
+// sender's component, subject to the same partition and down cuts as a
+// broadcast.
+func (p *liveProc) Unicast(to ProcessID, msg wire.Message) {
+	p.g.hub.unicast(p.id, to, msg)
+}
+
+// Peers implements transport.Transport: the sorted membership of the
+// sender's current hub component, including the sender.
+func (p *liveProc) Peers() []ProcessID {
+	return p.g.hub.peersOf(p.id)
+}
+
+// Close implements transport.Transport for one process: its timers stop
+// and its state machine goes silent. The group's inboxes and goroutines
+// are shared infrastructure and are torn down by LiveGroup.Close.
+func (p *liveProc) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dead = true
+	for k, t := range p.timers {
+		t.Stop()
+		delete(p.timers, k)
+	}
+	return nil
 }
 
 // SetTimer implements node.Env with wall-clock timers.
@@ -241,6 +272,46 @@ func (h *liveHub) broadcast(from ProcessID, msg wire.Message) {
 			h.met.Inc(obs.CNetDropped)
 		}
 	}
+}
+
+// unicast delivers a message to one process, honouring the partition map.
+func (h *liveHub) unicast(from, to ProcessID, msg wire.Message) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.down[from] {
+		return
+	}
+	in, ok := h.inbox[to]
+	if !ok || (h.down[to] && to != from) || h.component[to] != h.component[from] {
+		h.met.Inc(obs.CNetCut)
+		return
+	}
+	select {
+	case in <- liveEnvelope{from: from, msg: msg}:
+		h.met.Inc(obs.CNetDelivered)
+	default:
+		h.met.Inc(obs.CNetDropped)
+	}
+}
+
+// peersOf returns the sorted membership of a process's component.
+func (h *liveHub) peersOf(of ProcessID) []ProcessID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	comp := h.component[of]
+	out := make([]ProcessID, 0, len(h.component))
+	for id, c := range h.component {
+		if c == comp {
+			//lint:allow determinism the id set is sorted immediately below
+			out = append(out, id)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 // IDs returns the process identifiers.

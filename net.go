@@ -1,0 +1,329 @@
+package evs
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/model"
+	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/spec"
+)
+
+// NetGroup is an EVS cluster over real sockets: one daemon per process
+// (the same unit cmd/evsd deploys one-per-OS-process), all in this
+// process, talking UDP or TCP through the loopback interface. It is the
+// third runtime behind the Cluster interface — after the deterministic
+// simulator (Group) and the in-process hub (LiveGroup) — and the one
+// whose messages actually cross the kernel's network stack: every
+// broadcast is encoded by the wire codec, framed, and read back off a
+// socket.
+type NetGroup struct {
+	ids     []ProcessID
+	daemons map[ProcessID]*daemon.Daemon
+	start   time.Time
+
+	mu         sync.Mutex
+	deliveries map[ProcessID][]Delivery
+	confs      map[ProcessID][]ConfigEvent
+	trace      []timedNetEvent
+	observers  []Observer
+	killed     map[ProcessID]bool
+}
+
+type timedNetEvent struct {
+	t int64
+	e Event
+}
+
+var _ Cluster = (*NetGroup)(nil)
+
+// NewNetGroup starts n daemons named p01..pNN on loopback with the given
+// network ("udp" or "tcp"). nodeCfg overrides protocol timing (nil: the
+// deployment profile, daemon.DefaultNetConfig). Call Close when done.
+func NewNetGroup(n int, network string, nodeCfg *node.Config) (*NetGroup, error) {
+	if n <= 0 {
+		n = 3
+	}
+	var ids []ProcessID
+	for i := 0; i < n; i++ {
+		ids = append(ids, ProcessID(fmt.Sprintf("p%02d", i+1)))
+	}
+	addrs, err := reserveLoopback(ids, network)
+	if err != nil {
+		return nil, err
+	}
+	g := &NetGroup{
+		ids:        ids,
+		daemons:    make(map[ProcessID]*daemon.Daemon, n),
+		start:      time.Now(),
+		deliveries: make(map[ProcessID][]Delivery),
+		confs:      make(map[ProcessID][]ConfigEvent),
+		killed:     make(map[ProcessID]bool),
+	}
+	for _, id := range ids {
+		id := id
+		d, err := daemon.New(daemon.Config{
+			Self:    id,
+			Peers:   addrs,
+			Network: network,
+			Node:    nodeCfg,
+			OnDeliver: func(del node.Delivery) {
+				g.onDeliver(id, del)
+			},
+			OnConfig: func(c node.ConfigChange) {
+				g.onConfig(id, c)
+			},
+			TraceSink: func(t int64, e model.Event) {
+				g.onTrace(t, e)
+			},
+		})
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.daemons[id] = d
+	}
+	return g, nil
+}
+
+// reserveLoopback binds and releases a loopback port per process.
+func reserveLoopback(ids []ProcessID, network string) (map[model.ProcessID]string, error) {
+	addrs := make(map[model.ProcessID]string, len(ids))
+	for _, id := range ids {
+		switch network {
+		case "", "udp":
+			conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				return nil, fmt.Errorf("reserve udp port: %w", err)
+			}
+			addrs[id] = conn.LocalAddr().String()
+			conn.Close()
+		case "tcp":
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, fmt.Errorf("reserve tcp port: %w", err)
+			}
+			addrs[id] = ln.Addr().String()
+			ln.Close()
+		default:
+			return nil, fmt.Errorf("unknown network %q", network)
+		}
+	}
+	return addrs, nil
+}
+
+func (g *NetGroup) onDeliver(id ProcessID, d node.Delivery) {
+	payload := d.Payload
+	if len(payload) > 0 && payload[0] == tagApp {
+		payload = payload[1:]
+	}
+	del := Delivery{
+		Msg:     d.Msg,
+		Payload: payload,
+		Service: d.Service,
+		Config:  d.Config,
+		Time:    time.Since(g.start),
+	}
+	g.mu.Lock()
+	g.deliveries[id] = append(g.deliveries[id], del)
+	obsvs := g.observers
+	g.mu.Unlock()
+	for _, o := range obsvs {
+		o.OnDelivery(id, del)
+	}
+}
+
+func (g *NetGroup) onConfig(id ProcessID, c node.ConfigChange) {
+	ce := ConfigEvent{Config: c.Config, Time: time.Since(g.start)}
+	g.mu.Lock()
+	g.confs[id] = append(g.confs[id], ce)
+	obsvs := g.observers
+	g.mu.Unlock()
+	for _, o := range obsvs {
+		o.OnConfigChange(id, ce)
+	}
+}
+
+func (g *NetGroup) onTrace(t int64, e Event) {
+	g.mu.Lock()
+	g.trace = append(g.trace, timedNetEvent{t: t, e: e})
+	g.mu.Unlock()
+}
+
+// IDs returns the process identifiers.
+func (g *NetGroup) IDs() []ProcessID {
+	out := make([]ProcessID, len(g.ids))
+	copy(out, g.ids)
+	return out
+}
+
+// Submit originates an application message at a process.
+func (g *NetGroup) Submit(id ProcessID, payload []byte, svc Service) error {
+	d, ok := g.daemons[id]
+	if !ok {
+		return fmt.Errorf("unknown process %s", id)
+	}
+	wrapped := append([]byte{tagApp}, payload...)
+	return d.Submit(wrapped, svc)
+}
+
+// Deliveries returns a snapshot of the messages delivered at a process.
+func (g *NetGroup) Deliveries(id ProcessID) []Delivery {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Delivery, len(g.deliveries[id]))
+	copy(out, g.deliveries[id])
+	return out
+}
+
+// ConfigChanges returns a snapshot of the configuration changes
+// delivered at a process.
+func (g *NetGroup) ConfigChanges(id ProcessID) []ConfigEvent {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]ConfigEvent, len(g.confs[id]))
+	copy(out, g.confs[id])
+	return out
+}
+
+// History returns the formal-model trace so far, merged across the
+// daemons by wall-clock timestamp (the same interleaving -check builds
+// from per-process trace files).
+func (g *NetGroup) History() []Event {
+	g.mu.Lock()
+	evs := make([]timedNetEvent, len(g.trace))
+	copy(evs, g.trace)
+	g.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].t < evs[j].t })
+	out := make([]Event, len(evs))
+	for i, te := range evs {
+		out[i] = te.e
+	}
+	return out
+}
+
+// Check verifies the recorded execution against the EVS specifications.
+// Settledness is the caller's claim that traffic has stopped and the
+// ring was given time to drain.
+func (g *NetGroup) Check(settled bool) []Violation {
+	return spec.NewChecker(g.History(), spec.Options{Settled: settled}).CheckAll()
+}
+
+// Metrics freezes every daemon's observability scope into one snapshot.
+func (g *NetGroup) Metrics() ClusterMetrics {
+	scopes := make([]*obs.Metrics, 0, len(g.ids))
+	for _, id := range g.ids {
+		if d, ok := g.daemons[id]; ok {
+			scopes = append(scopes, d.Metrics())
+		}
+	}
+	return obs.Cluster(scopes...)
+}
+
+// AddObserver registers an application-event observer. Callbacks run on
+// daemon protocol goroutines: per-process order holds, cross-process
+// callbacks are concurrent, and the observer must synchronise its state.
+func (g *NetGroup) AddObserver(o Observer) {
+	if o == nil {
+		return
+	}
+	g.mu.Lock()
+	g.observers = append(g.observers, o)
+	g.mu.Unlock()
+}
+
+// Kill abruptly stops one daemon: its sockets close and it goes silent,
+// with no protocol goodbye and no Fail event — the in-process equivalent
+// of SIGKILL. The survivors detect the loss and reform.
+func (g *NetGroup) Kill(id ProcessID) error {
+	d, ok := g.daemons[id]
+	if !ok {
+		return fmt.Errorf("unknown process %s", id)
+	}
+	g.mu.Lock()
+	g.killed[id] = true
+	g.mu.Unlock()
+	return d.Close()
+}
+
+// WaitOperational blocks until every (non-killed) daemon is operational
+// with the same membership view, or the timeout elapses; reports success.
+func (g *NetGroup) WaitOperational(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if g.operationalTogether() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return g.operationalTogether()
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (g *NetGroup) operationalTogether() bool {
+	g.mu.Lock()
+	killed := make(map[ProcessID]bool, len(g.killed))
+	for id, k := range g.killed {
+		killed[id] = k
+	}
+	g.mu.Unlock()
+	var ref Status
+	first := true
+	for _, id := range g.ids {
+		if killed[id] {
+			continue
+		}
+		st := g.daemons[id].Status()
+		if st.Mode != "operational" {
+			return false
+		}
+		if first {
+			ref, first = st, false
+		} else if st.Config != ref.Config {
+			return false
+		}
+	}
+	return !first
+}
+
+// Status is re-exported from the daemon package for NetGroup users.
+type Status = daemon.Status
+
+// ProcStatus snapshots one daemon's protocol state.
+func (g *NetGroup) ProcStatus(id ProcessID) Status {
+	return g.daemons[id].Status()
+}
+
+// WaitDeliveries blocks until process id has delivered at least n
+// application messages or the timeout elapses; reports success.
+func (g *NetGroup) WaitDeliveries(id ProcessID, n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if len(g.Deliveries(id)) >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return len(g.Deliveries(id)) >= n
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Close stops every daemon. Idempotent.
+func (g *NetGroup) Close() error {
+	var first error
+	for _, id := range g.ids {
+		if d, ok := g.daemons[id]; ok {
+			if err := d.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
