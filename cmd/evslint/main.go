@@ -9,6 +9,7 @@
 //
 //	go run ./cmd/evslint ./...
 //	evslint -list              # print the analyzer registry
+//	evslint -allow-audit ./... # also report stale //lint:allow waivers
 //
 // Vettool mode speaks cmd/go's unitchecker protocol, so the suite also
 // runs under the standard vet driver (per-package, build-cached):
@@ -50,6 +51,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	var (
 		version = fs.String("V", "", "print version for the go command's tool cache (vettool protocol)")
 		list    = fs.Bool("list", false, "print the analyzer registry and exit")
+		audit   = fs.Bool("allow-audit", false, "also report well-formed //lint:allow directives that suppress no diagnostic (direct mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,7 +79,15 @@ func run(args []string, stdout, stderr *os.File) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := lint.Check(".", patterns...)
+	check := lint.Check
+	if *audit {
+		// The audit needs the whole suite's diagnostics before judging a
+		// waiver stale, so it only exists in direct mode — vet's
+		// per-package caching would replay "unused" verdicts for
+		// directives whose diagnostics were cached away.
+		check = lint.CheckAudit
+	}
+	diags, err := check(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "evslint: %v\n", err)
 		return 2
@@ -94,4 +104,6 @@ func run(args []string, stdout, stderr *os.File) int {
 
 // toolVersion feeds vet's cache key. Bump it when analyzer behaviour
 // changes, or stale "clean" verdicts will be replayed from the cache.
-const toolVersion = "2"
+// 3: SSA dataflow layer — arenaesc + golife added; wireown and lockheld
+// alias/blocking resolution now interprocedural.
+const toolVersion = "3"

@@ -23,13 +23,17 @@ type allowDirective struct {
 	position token.Position
 	analyzer string
 	reason   string
+	// used records that the directive suppressed at least one diagnostic
+	// in this run — the allow-audit signal. Directives are shared between
+	// their two covered lines, so the flag sticks whichever line fired.
+	used bool
 }
 
 // allowSet is every directive of one package.
 type allowSet struct {
 	// byLine maps filename:line to the directives in force on that line.
-	byLine map[string][]allowDirective
-	all    []allowDirective
+	byLine map[string][]*allowDirective
+	all    []*allowDirective
 }
 
 func lineKey(filename string, line int) string {
@@ -54,7 +58,7 @@ func itoa(n int) string {
 
 // collectAllows parses every //lint:allow directive in the files.
 func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
-	s := &allowSet{byLine: make(map[string][]allowDirective)}
+	s := &allowSet{byLine: make(map[string][]*allowDirective)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -68,7 +72,7 @@ func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
 					continue
 				}
 				fields := strings.Fields(rest)
-				d := allowDirective{
+				d := &allowDirective{
 					pos:      c.Pos(),
 					position: fset.Position(c.Pos()),
 				}
@@ -95,12 +99,37 @@ func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
 // suppresses reports whether a diagnostic of the named analyzer at the
 // given position is covered by a directive.
 func (s *allowSet) suppresses(analyzer string, pos token.Position) bool {
+	hit := false
 	for _, d := range s.byLine[lineKey(pos.Filename, pos.Line)] {
 		if d.analyzer == analyzer && d.reason != "" {
-			return true
+			d.used = true
+			hit = true
+			// Keep marking: stacked directives for the same analyzer on
+			// one line all covered the diagnostic.
 		}
 	}
-	return false
+	return hit
+}
+
+// stale reports well-formed directives that suppressed nothing in this
+// run: waivers whose violation has since been fixed (or whose analyzer
+// no longer covers the package) rot into misleading documentation, so
+// the audit digs them out. Malformed directives (no reason, unknown
+// analyzer) are validate()'s business, not stale's.
+func (s *allowSet) stale(known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.all {
+		if d.analyzer == "" || d.reason == "" || d.used || !known[d.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Position: d.position,
+			Analyzer: "allow",
+			Message:  "lint:allow " + d.analyzer + " suppresses no diagnostic; remove the stale waiver",
+		})
+	}
+	return out
 }
 
 // validate reports malformed directives: unknown analyzer names and

@@ -112,6 +112,20 @@ func (d Diagnostic) String() string {
 // runtime errors are returned after the diagnostics of the analyzers
 // that did succeed.
 func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return check(pkgs, analyzers, false)
+}
+
+// CheckAudit is Check plus the allow audit: every well-formed
+// //lint:allow directive that suppressed no diagnostic in this run is
+// itself reported, so stale waivers rot out of the tree instead of
+// lingering as misleading documentation. Run it with the full analyzer
+// registry — a directive is only fairly judged stale when its analyzer
+// actually ran.
+func CheckAudit(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return check(pkgs, analyzers, true)
+}
+
+func check(pkgs []*Package, analyzers []*Analyzer, audit bool) ([]Diagnostic, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -148,6 +162,9 @@ func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		// a directive naming an unknown analyzer, or carrying no reason,
 		// would otherwise rot into a silent dead suppression.
 		diags = append(diags, allows.validate(known)...)
+		if audit {
+			diags = append(diags, allows.stale(known)...)
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position

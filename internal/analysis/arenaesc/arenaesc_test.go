@@ -1,0 +1,12 @@
+package arenaesc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/arenaesc"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, arenaesc.Analyzer, "testdata/fixture", "repro/internal/stable/fixture")
+}

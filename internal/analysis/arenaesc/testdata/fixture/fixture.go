@@ -1,0 +1,140 @@
+// Package fixture exercises the arenaesc analyzer: memory carved by an
+// //evs:arena allocator must not outlive the arena's reset point via
+// return, package-level state, foreign-owner stores, channel sends or
+// goroutine capture — while owner-path stores, call-argument handoffs,
+// scalar loads and tagged machinery stay silent.
+package fixture
+
+import "repro/internal/wire"
+
+// store is a stand-in arena owner: carve cuts from arena, and the
+// reset point is whatever reuses arena's backing chunk.
+type store struct {
+	arena []byte
+	log   [][]byte
+	spare []byte
+}
+
+// carve cuts n bytes from the arena; the result is valid until the
+// chunk is reused.
+//
+//evs:arena
+func (s *store) carve(n int) []byte {
+	out := s.arena[:n:n]
+	s.arena = s.arena[n:]
+	return out
+}
+
+// carvePair is arena machinery layered on carve: tagged functions are
+// exempt inside their own bodies, including on their returns.
+//
+//evs:arena
+func (s *store) carvePair(n int) ([]byte, []byte) {
+	return s.carve(n), s.carve(n)
+}
+
+// escapes leaks carved memory to an untagged function's caller.
+func (s *store) escapes(n int) []byte {
+	return s.carve(n) // want `arena memory carved by s.carve escapes via return; copy out or tag this function //evs:arena`
+}
+
+// escapesViaLocal leaks the same way through a local binding.
+func (s *store) escapesViaLocal(n int) []byte {
+	chunk := s.carve(n)
+	return chunk // want `arena memory carved by s.carve escapes via return`
+}
+
+var lastChunk []byte
+
+// parks stores carved memory into package-level state, which outlives
+// every reset point by definition.
+func (s *store) parks(n int) {
+	lastChunk = s.carve(n) // want `arena memory carved by s.carve is stored into package-level lastChunk, outliving the arena's reset point`
+}
+
+// sink is some other long-lived structure, not the arena's owner.
+type sink struct {
+	buf []byte
+}
+
+// leaks stores carved memory into memory the arena owner does not
+// control: the sink keeps the slice after s.arena's chunk is reused.
+func (s *store) leaks(dst *sink, n int) {
+	dst.buf = s.carve(n) // want `arena memory carved by s.carve is stored into dst, which is not the arena's owner \(s\) and outlives its reset point`
+}
+
+// keeps stores carved memory back into the owner's own state: s.log
+// lives exactly as long as s.arena, so the lifetime domain is intact.
+func (s *store) keeps(n int) {
+	s.log[0] = s.carve(n)
+}
+
+// keepsField stores carved memory into another field of the owner.
+func (s *store) keepsField(n int) {
+	s.spare = s.carve(n)
+}
+
+// ships sends carved memory on a channel; the receiver races the
+// arena's reset point.
+func (s *store) ships(ch chan []byte, n int) {
+	ch <- s.carve(n) // want `arena memory carved by s.carve is sent on a channel, escaping the arena's reset point`
+}
+
+// races captures carved memory in a goroutine.
+func (s *store) races(n int) {
+	chunk := s.carve(n)
+	go func() { // want `arena memory carved by s.carve is captured by a goroutine racing the arena's reset point`
+		_ = chunk[0]
+	}()
+}
+
+// consume models a callee that only reads its argument.
+func consume(b []byte) int { return len(b) }
+
+// hands passes carved memory as a plain call argument: the call
+// returns before control can reach the arena's reset point.
+func (s *store) hands(n int) int {
+	return consume(s.carve(n))
+}
+
+// scalarOut loads a scalar out of carved memory; numerics cannot alias
+// the backing array, so nothing escapes.
+func (s *store) scalarOut(n int) byte {
+	return s.carve(n)[0]
+}
+
+// msg is a plain struct value used as local scratch.
+type msg struct {
+	payload []byte
+	seq     uint64
+}
+
+// localScratch writes carved memory into a field of a struct-typed
+// local VALUE: the store lands in the local's own copy, not in any
+// longer-lived container.
+func (s *store) localScratch(n int) int {
+	var m msg
+	m.payload = s.carve(n)
+	m.seq = 7
+	return len(m.payload) + int(m.seq)
+}
+
+var audited []byte
+
+// waived documents a deliberate park: the allow suppresses it.
+func (s *store) waived(n int) {
+	//lint:allow arenaesc fixture arena is built once and never reset, so the park cannot dangle
+	audited = s.carve(n)
+}
+
+var lastMsg wire.Message
+
+// parksDecoded exercises the cross-package registry: wire.Decoder.Decode
+// is an arena allocator by registration, not by visible tag.
+func parksDecoded(dec *wire.Decoder, b []byte) {
+	m, err := dec.Decode(b)
+	if err != nil {
+		return
+	}
+	lastMsg = m // want `arena memory carved by dec.Decode is stored into package-level lastMsg, outliving the arena's reset point`
+}

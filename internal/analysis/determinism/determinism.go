@@ -42,10 +42,14 @@ var Analyzer = &analysis.Analyzer{
 // zone lists the deterministic packages: everything executed under the
 // simulator or the checker, where a replayed seed must reproduce the
 // original execution exactly. experiments is included so its
-// measurement-only wall-clock reads stay explicitly annotated.
+// measurement-only wall-clock reads stay explicitly annotated, and so
+// are transport and daemon: they run against real time by nature, but
+// every wall-clock read there must be annotated with why it cannot leak
+// into protocol state the simulator would replay differently.
 var zone = []string{
 	"sim", "netsim", "totem", "node", "membership", "spec",
 	"chaos", "vclock", "wire", "stable", "causal", "experiments",
+	"transport", "daemon",
 }
 
 // InZone reports whether the import path is in the deterministic zone.

@@ -1,0 +1,29 @@
+package golife_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/golife"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, golife.Analyzer, "testdata/fixture", "repro/internal/transport/fixture")
+}
+
+func TestAppliesTo(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro":                           true,
+		"repro/live":                      true,
+		"repro/internal/transport":        true,
+		"repro/internal/transport/extra":  true,
+		"repro/internal/daemon":           true,
+		"repro/internal/totem":            false,
+		"repro/internal/sim":              false,
+		"repro/internal/transportmetrics": false,
+	} {
+		if got := golife.AppliesTo(path); got != want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package fixture exercises the golife analyzer: every goroutine needs
+// a shutdown path Close can drive — a WaitGroup.Done joined by a
+// package-level Wait, or a receive on a channel the package closes.
+// Joined and cancelled spawns stay silent, including through the
+// one-level call resolution and the *sync.WaitGroup parameter-binding
+// idiom; orphaned Done, unclosed channels and bare infinite loops are
+// flagged at the go statement.
+package fixture
+
+import "sync"
+
+// good joins one goroutine and cancels another; Close reaps both.
+type good struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	work chan int
+}
+
+func (g *good) start() {
+	g.wg.Add(1)
+	go g.run()
+	go g.loop()
+}
+
+// run is joined: its deferred Done pairs with Close's Wait.
+func (g *good) run() {
+	defer g.wg.Done()
+}
+
+// loop is cancelled: it selects on quit, which Close closes.
+func (g *good) loop() {
+	for {
+		select {
+		case <-g.quit:
+			return
+		case v := <-g.work:
+			_ = v
+		}
+	}
+}
+
+func (g *good) Close() {
+	close(g.quit)
+	g.wg.Wait()
+}
+
+// pool exercises the `go p.work(&p.wg)` parameter-binding idiom: the
+// WaitGroup reaches the body as a *sync.WaitGroup argument.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) start(n int) {
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.work(&p.wg)
+	}
+}
+
+func (p *pool) work(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func (p *pool) Close() {
+	p.wg.Wait()
+}
+
+// mesh exercises helper expansion: the spawned body reaches Done and
+// the cancel receive one call level down.
+type mesh struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func (m *mesh) start() {
+	m.wg.Add(1)
+	go m.outer()
+}
+
+func (m *mesh) outer() {
+	defer m.finish()
+	<-m.done
+}
+
+func (m *mesh) finish() {
+	m.wg.Done()
+}
+
+func (m *mesh) Close() {
+	close(m.done)
+	m.wg.Wait()
+}
+
+// leak spawns a goroutine with no shutdown path at all: no Done, no
+// channel to cancel it through.
+type leak struct {
+	n int
+}
+
+func (l *leak) start() {
+	go func() { // want `goroutine has no shutdown path: no WaitGroup.Done with a package-level Wait, and no receive on a channel the package closes; join or cancel it in Close`
+		for {
+			l.n++
+		}
+	}()
+}
+
+// orphan signals a WaitGroup nothing in the package Waits on: the Done
+// is dead evidence, so Close cannot join the goroutine.
+type orphan struct {
+	wg sync.WaitGroup
+}
+
+func (o *orphan) start() {
+	o.wg.Add(1)
+	go func() { // want `goroutine signals wg.Done but nothing in the package Waits on it, so Close cannot join it`
+		defer o.wg.Done()
+	}()
+}
+
+// unclosed waits on a channel nothing in the package ever closes, so
+// Close cannot make the goroutine observe shutdown.
+type unclosed struct {
+	stop chan struct{}
+}
+
+func (u *unclosed) start() {
+	go func() { // want `goroutine only waits on stop, which nothing in the package closes, so Close cannot cancel it`
+		<-u.stop
+	}()
+}
+
+// notifier documents a deliberate fire-and-forget: the allow
+// suppresses the finding.
+type notifier struct{}
+
+func (n *notifier) start(ch chan string) {
+	//lint:allow golife one-shot best-effort notifier; process exit reaps it
+	go func() {
+		for s := range ch {
+			_ = s
+		}
+	}()
+}

@@ -1,6 +1,6 @@
 // Package lint assembles the repo's analyzer suite: the registry every
 // driver runs (cmd/evslint directly, go vet through the vettool shim)
-// and the shared load-and-check entry point. The suite's five analyzers
+// and the shared load-and-check entry point. The suite's seven analyzers
 // each encode one invariant the repo's correctness story rests on:
 //
 //	determinism  no wall clock, global randomness, or order-leaking
@@ -10,8 +10,16 @@
 //	nopanic      no panic/log.Fatal/os.Exit in protocol packages
 //	wireown      no wire messages aliasing caller- or state-owned
 //	             slices; no handlers retaining message slices
-//	lockheld     no blocking channel operations or I/O while holding
-//	             a mutex in the live runtime
+//	lockheld     no blocking operations while holding a mutex in the
+//	             live runtime, transports and daemon (SSA-transitive)
+//	arenaesc     no //evs:arena-carved memory escaping its allocator's
+//	             reset point (returns, globals, cross-owner stores,
+//	             goroutine captures, channel sends)
+//	golife       every goroutine in the live runtime, transports and
+//	             daemon joined or cancellable by Close
+//
+// The last three ride the internal/analysis/ssa dataflow layer, which
+// resolves aliases through locals and same-package calls.
 //
 // Suppression is per-site and audited: //lint:allow <analyzer> <reason>
 // (see the analysis package). The registry is also the vocabulary the
@@ -21,7 +29,9 @@ package lint
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/arenaesc"
 	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/golife"
 	"repro/internal/analysis/lockheld"
 	"repro/internal/analysis/noalloc"
 	"repro/internal/analysis/nopanic"
@@ -36,6 +46,8 @@ func Analyzers() []*analysis.Analyzer {
 		nopanic.Analyzer,
 		wireown.Analyzer,
 		lockheld.Analyzer,
+		arenaesc.Analyzer,
+		golife.Analyzer,
 	}
 }
 
@@ -47,4 +59,14 @@ func Check(dir string, patterns ...string) ([]analysis.Diagnostic, error) {
 		return nil, err
 	}
 	return analysis.Check(pkgs, Analyzers())
+}
+
+// CheckAudit is Check plus the stale-waiver audit: it additionally
+// reports every well-formed //lint:allow that suppressed nothing.
+func CheckAudit(dir string, patterns ...string) ([]analysis.Diagnostic, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.CheckAudit(pkgs, Analyzers())
 }

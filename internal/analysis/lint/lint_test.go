@@ -13,7 +13,7 @@ import (
 // the names are the //lint:allow vocabulary.
 func TestRegistry(t *testing.T) {
 	as := lint.Analyzers()
-	want := []string{"determinism", "noalloc", "nopanic", "wireown", "lockheld"}
+	want := []string{"determinism", "noalloc", "nopanic", "wireown", "lockheld", "arenaesc", "golife"}
 	if len(as) != len(want) {
 		t.Fatalf("registry has %d analyzers, want %d", len(as), len(want))
 	}
@@ -85,6 +85,24 @@ func TestAllowValidation(t *testing.T) {
 	if nows != 3 {
 		t.Errorf("got %d unsuppressed time.Now diagnostics, want 3 (malformed allows must not suppress):\n%s",
 			nows, render(diags))
+	}
+}
+
+// TestTreeClean is the regression gate the analyzers exist for: the
+// whole repository, audited for stale waivers too, produces zero
+// diagnostics. A finding here means either a real contract violation
+// slipped in or an //lint:allow went stale — fix the code or the
+// waiver, never this test.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and checks every package in the module")
+	}
+	diags, err := lint.CheckAudit("../../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) > 0 {
+		t.Errorf("lint suite is not clean over the tree:\n%s", render(diags))
 	}
 }
 

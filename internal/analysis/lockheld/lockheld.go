@@ -20,11 +20,13 @@
 //
 // Lock tracking is lexical and per-function: a region begins at a
 // mu.Lock()/mu.RLock() statement and ends at the matching Unlock in the
-// same block (a deferred Unlock holds to function end). Helpers that
-// require "mu held" on entry are outside the model — the analyzer checks
-// the critical sections it can see, which is where the hub does its
-// work. Cold-path exceptions (one-time setup I/O under the group lock)
-// carry //lint:allow lockheld <reason>.
+// same block (a deferred Unlock holds to function end). Calls are
+// resolved through the internal/analysis/ssa layer's MayBlock summaries,
+// so a same-package helper that blocks — a channel send three calls
+// down, a wg.Wait inside a teardown helper — is flagged at the
+// under-lock call site, not just where the blocking statement sits.
+// Cold-path exceptions (one-time setup I/O under the group lock) carry
+// //lint:allow lockheld <reason>.
 package lockheld
 
 import (
@@ -36,30 +38,36 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/ssa"
 )
 
 // Analyzer is the blocking-under-lock checker.
 var Analyzer = &analysis.Analyzer{
 	Name:      "lockheld",
-	Doc:       "forbid blocking channel operations and I/O while holding a mutex in the live runtime",
+	Doc:       "forbid blocking channel operations and I/O while holding a mutex in the live runtime, transports and daemon",
 	AppliesTo: AppliesTo,
 	Run:       run,
 }
 
-// AppliesTo covers the root package (the live runtime) — fixtures load
-// under repro/live/....
+// AppliesTo covers the root package (the live runtime), the real
+// transports and the daemon — every package where goroutines contend on
+// mutexes around network fan-out. Fixtures load under repro/live/....
 func AppliesTo(path string) bool {
-	return path == "repro" || analysis.PathHasPrefix(path, "repro/live")
+	return path == "repro" ||
+		analysis.PathHasPrefix(path, "repro/live") ||
+		analysis.PathHasPrefix(path, "repro/internal/transport") ||
+		analysis.PathHasPrefix(path, "repro/internal/daemon")
 }
 
 func run(pass *analysis.Pass) error {
+	sp := ssa.Build(pass, nil)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			w := &walker{pass: pass}
+			w := &walker{pass: pass, sp: sp, self: pass.TypesInfo.Defs[fd.Name]}
 			w.block(fd.Body.List, map[string]bool{})
 			// Function literals are walked where they appear only when a
 			// lock is held at that point; a literal stored for later runs
@@ -72,6 +80,8 @@ func run(pass *analysis.Pass) error {
 
 type walker struct {
 	pass *analysis.Pass
+	sp   *ssa.Package
+	self types.Object // the function being walked, to skip self-recursion
 }
 
 // block walks one statement list, threading the set of held locks
@@ -178,53 +188,22 @@ func (w *walker) check(n ast.Node, held map[string]bool) {
 	})
 }
 
+// checkCall flags calls that may block: standard-library sleeps, waits
+// and I/O directly (ssa.BlockReason), and same-package helpers through
+// their MayBlock summaries — the SSA extension that sees a blocking
+// statement behind one or more call hops.
 func (w *walker) checkCall(call *ast.CallExpr, held map[string]bool) {
-	f := w.pass.CalleeFunc(call)
-	if f == nil || f.Pkg() == nil {
+	if r := ssa.BlockReason(w.pass, call); r != "" {
+		w.reportf(call.Pos(), held, "%s", r)
 		return
 	}
-	pkg, name := f.Pkg().Path(), f.Name()
-	sig := f.Type().(*types.Signature)
-	switch {
-	case pkg == "time" && name == "Sleep":
-		w.reportf(call.Pos(), held, "time.Sleep blocks")
-	case pkg == "sync" && name == "Wait" && sig.Recv() != nil:
-		w.reportf(call.Pos(), held, "sync %s.Wait blocks",
-			analysis.NamedOf(sig.Recv().Type()).Obj().Name())
-	case (pkg == "net" || pkg == "net/http") && !netPure[name]:
-		w.reportf(call.Pos(), held, "%s.%s performs I/O", lastSeg(pkg), name)
-	case pkg == "os" && sig.Recv() == nil && osIOFuncs[name]:
-		w.reportf(call.Pos(), held, "os.%s performs I/O", name)
-	case pkg == "os" && sig.Recv() != nil && osFileMethods[name]:
-		if n := analysis.NamedOf(sig.Recv().Type()); n != nil && n.Obj().Name() == "File" {
-			w.reportf(call.Pos(), held, "os.File.%s performs I/O", name)
-		}
+	f := w.pass.CalleeFunc(call)
+	if f == nil || (w.self != nil && types.Object(f) == w.self) {
+		return
 	}
-}
-
-// netPure are net/net-http names that neither block nor touch the
-// network: accessors (Addr, String), address arithmetic and parsing.
-// Everything else in those packages is presumed to perform I/O.
-var netPure = map[string]bool{
-	"Addr": true, "LocalAddr": true, "RemoteAddr": true, "String": true,
-	"Network": true, "Error": true, "Timeout": true, "Temporary": true,
-	"Unwrap": true, "ParseIP": true, "ParseCIDR": true, "ParseMAC": true,
-	"JoinHostPort": true, "SplitHostPort": true, "IPv4": true,
-	"CIDRMask": true, "CanonicalHeaderKey": true, "StatusText": true,
-}
-
-// osIOFuncs are the file-touching package-level os functions.
-var osIOFuncs = map[string]bool{
-	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
-	"ReadFile": true, "WriteFile": true, "ReadDir": true, "MkdirTemp": true,
-	"Remove": true, "RemoveAll": true, "Mkdir": true, "MkdirAll": true,
-	"Rename": true, "Stat": true, "Lstat": true, "Truncate": true,
-}
-
-// osFileMethods are the blocking *os.File methods.
-var osFileMethods = map[string]bool{
-	"Read": true, "Write": true, "WriteString": true, "ReadAt": true,
-	"WriteAt": true, "Sync": true, "Close": true,
+	if sum := w.sp.Summary(f); sum != nil && sum.MayBlock {
+		w.reportf(call.Pos(), held, "call to %s may block (%s)", f.Name(), sum.BlockReason)
+	}
 }
 
 func (w *walker) reportf(pos token.Pos, held map[string]bool, format string, args ...any) {

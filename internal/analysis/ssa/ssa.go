@@ -1,0 +1,593 @@
+// Package ssa is the suite's interprocedural dataflow layer: a pruned
+// def-use SSA form built over one type-checked package, plus per-function
+// summaries computed to a fixed point across the package's call graph.
+//
+// Values are definition sites — every assignment's right-hand side, every
+// allocation, every call result is a distinct value — and a variable's
+// uses join over all of its reaching definitions, which is exactly the
+// information a φ node at every join point would carry. The layer is
+// deliberately flow-insensitive: it answers MAY questions (may this
+// expression alias a parameter? may arena memory reach this store? may
+// this function block?), and for a may-analysis joining over all defs is
+// sound. What it buys over the AST-level walks the first-generation
+// analyzers used:
+//
+//   - aliases through locals: `tmp := p; msg.F = tmp` resolves tmp to p
+//   - aliases through calls, one level deep and transitively within the
+//     package: a helper that returns its own parameter, stores it into
+//     receiver state, or hands it to a goroutine is summarised, and the
+//     caller's analyzer sees through the call
+//   - arena provenance: values carved by an //evs:arena allocator carry
+//     the allocator and its owner path, so escape rules can distinguish
+//     "stored back into the arena's owner" from "leaked elsewhere"
+//   - blocking behaviour: MayBlock summarises channel operations, waits
+//     and I/O transitively, extending lockheld beyond one function body
+//
+// The representation never materialises instructions: the AST is the
+// instruction stream, the types.Info maps are the use-def edges, and
+// Roots is the transitive-closure query over them. That keeps the layer
+// a few hundred lines, dependency-free, and cheap enough to rebuild per
+// analyzer pass — the same economy the rest of internal/analysis makes.
+package ssa
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// ArenaDirective tags an arena/pool allocator function: its results are
+// carved from storage whose lifetime the allocator's owner controls
+// (reset, trim, reuse), which the arenaesc analyzer polices.
+const ArenaDirective = "evs:arena"
+
+// RootKind classifies where a value's backing memory comes from.
+type RootKind uint8
+
+const (
+	// Fresh memory is allocated inside the function being analyzed
+	// (literals, make/new, zero values) and owned by it.
+	Fresh RootKind = iota
+	// Param memory belongs to a parameter or the receiver: the caller
+	// (or the state machine) owns it and may go on mutating it.
+	Param
+	// Global memory is rooted at a package-level variable.
+	Global
+	// Arena memory was carved by an //evs:arena allocator; Fn is the
+	// allocator and Owner its receiver path at the carve site.
+	Arena
+	// External memory is the result of a call the layer cannot see into
+	// (cross-package, dynamic): fresh as far as the caller can tell —
+	// the callee's contract, not this function's aliasing.
+	External
+)
+
+// A Root is one possible origin of an expression's backing memory.
+type Root struct {
+	Kind RootKind
+	// Obj is the parameter/receiver or package-level variable (Param,
+	// Global).
+	Obj types.Object
+	// Call is the allocation or call site (Arena, External).
+	Call *ast.CallExpr
+	// Fn is the allocator or callee (Arena, External; nil for dynamic
+	// calls).
+	Fn *types.Func
+	// Owner is the lexical path of the arena allocator's receiver at
+	// the carve site ("s", "n.ring"); "" when the allocator is a plain
+	// function or the receiver is not a stable path.
+	Owner string
+	// OwnerObj is the object at the root of the allocator's receiver
+	// path (the s in s.ring.carve()): storing carved memory back into
+	// structures rooted at the same object stays inside the arena's
+	// lifetime domain.
+	OwnerObj types.Object
+}
+
+// Package is the dataflow view of one analysis pass: every function
+// declaration indexed by its object, with interprocedural summaries.
+type Package struct {
+	Pass *analysis.Pass
+
+	funcs     map[*types.Func]*Func
+	order     []*Func // deterministic iteration order
+	summaries map[*types.Func]*Summary
+
+	// IsArena reports whether a callee outside this package is a known
+	// arena allocator (the registry hook arenaesc installs); same-package
+	// allocators are recognised by their //evs:arena directive.
+	IsArena func(*types.Func) bool
+}
+
+// Func is one function declaration with its local def-use index.
+type Func struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	pkg  *Package
+
+	// params holds the receiver (if any) first, then the declared
+	// parameters, in order.
+	params []types.Object
+	index  map[types.Object]int
+
+	// defs maps each local object to every expression assigned to it —
+	// the variable's definition sites. Function-literal bodies are
+	// indexed with their enclosing declaration, so captured locals
+	// resolve naturally.
+	defs map[types.Object][]ast.Expr
+}
+
+// Build indexes the pass's functions and computes summaries to a fixed
+// point. isArena may be nil.
+func Build(pass *analysis.Pass, isArena func(*types.Func) bool) *Package {
+	p := &Package{
+		Pass:      pass,
+		funcs:     make(map[*types.Func]*Func),
+		summaries: make(map[*types.Func]*Summary),
+		IsArena:   isArena,
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fn := &Func{Obj: obj, Decl: fd, pkg: p}
+			fn.collectParams()
+			fn.collectDefs()
+			p.funcs[obj] = fn
+			p.order = append(p.order, fn)
+		}
+	}
+	sort.Slice(p.order, func(i, j int) bool {
+		return p.order[i].Decl.Pos() < p.order[j].Decl.Pos()
+	})
+	p.computeSummaries()
+	return p
+}
+
+// Funcs returns every indexed function in source order.
+func (p *Package) Funcs() []*Func { return p.order }
+
+// FuncOf returns the indexed function for obj, or nil (cross-package,
+// interface method, no body).
+func (p *Package) FuncOf(obj *types.Func) *Func { return p.funcs[obj] }
+
+// Summary returns obj's interprocedural summary, or nil for functions
+// the layer cannot see into.
+func (p *Package) Summary(obj *types.Func) *Summary { return p.summaries[obj] }
+
+func (f *Func) collectParams() {
+	f.index = make(map[types.Object]int)
+	add := func(fl *ast.Field) {
+		for _, name := range fl.Names {
+			if obj := f.pkg.Pass.TypesInfo.Defs[name]; obj != nil {
+				f.index[obj] = len(f.params)
+				f.params = append(f.params, obj)
+			}
+		}
+	}
+	if f.Decl.Recv != nil {
+		for _, fl := range f.Decl.Recv.List {
+			add(fl)
+		}
+	}
+	for _, fl := range f.Decl.Type.Params.List {
+		add(fl)
+	}
+}
+
+// Pkg returns the dataflow package the function belongs to.
+func (f *Func) Pkg() *Package { return f.pkg }
+
+// Recv returns the receiver object, or nil.
+func (f *Func) Recv() types.Object {
+	if f.Decl.Recv == nil || len(f.params) == 0 {
+		return nil
+	}
+	return f.params[0]
+}
+
+// Params returns the receiver-first parameter objects.
+func (f *Func) Params() []types.Object { return f.params }
+
+// ParamIndex returns obj's receiver-first position, or -1.
+func (f *Func) ParamIndex(obj types.Object) int {
+	if i, ok := f.index[obj]; ok {
+		return i
+	}
+	return -1
+}
+
+// collectDefs records every definition site of every local object in the
+// function body, function literals included.
+func (f *Func) collectDefs() {
+	f.defs = make(map[types.Object][]ast.Expr)
+	info := f.pkg.Pass.TypesInfo
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		if id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		f.defs[obj] = append(f.defs[obj], rhs)
+	}
+	// Field stores (c.Payload = x) are deliberately NOT recorded as defs
+	// of the base: a struct local is typically both container and scratch
+	// (decode targets, TokenResult builders), and folding every stored
+	// value's roots into the whole struct makes each such struct alias
+	// everything it ever held — drowning real findings. The cost is a
+	// known MAY-analysis gap: a value carved into a struct-value field
+	// and escaping via the whole struct is not tracked (see
+	// IsValueStructLocal).
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) == len(v.Rhs) {
+				for i, lhs := range v.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						record(id, v.Rhs[i])
+					}
+				}
+			} else if len(v.Rhs) == 1 {
+				// x, y := f() — every target is defined by the call;
+				// Roots collapses a call's results, which over-
+				// approximates per-position flow soundly.
+				for _, lhs := range v.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						record(id, v.Rhs[0])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range v.Names {
+				if i < len(v.Values) {
+					record(id, v.Values[i])
+				} else if len(v.Values) == 1 {
+					record(id, v.Values[0])
+				}
+			}
+		case *ast.RangeStmt:
+			// Keys and values of a range derive from the ranged
+			// container's memory (true for slices and maps; a harmless
+			// over-approximation for channels and ints).
+			if id, ok := v.Key.(*ast.Ident); ok && v.Key != nil {
+				record(id, v.X)
+			}
+			if id, ok := v.Value.(*ast.Ident); ok && v.Value != nil {
+				record(id, v.X)
+			}
+		case *ast.TypeSwitchStmt:
+			// switch y := x.(type): each clause's implicit object is
+			// defined by x.
+			if as, ok := v.Assign.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if ta, ok := ast.Unparen(as.Rhs[0]).(*ast.TypeAssertExpr); ok {
+					for _, c := range v.Body.List {
+						if obj := info.Implicits[c]; obj != nil {
+							f.defs[obj] = append(f.defs[obj], ta.X)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// Roots resolves an expression to its possible memory origins, chasing
+// local definitions transitively and same-package calls through their
+// summaries.
+func (f *Func) Roots(e ast.Expr) []Root {
+	rs := &rootCollector{seen: make(map[rootKey]bool)}
+	f.roots(e, rs, make(map[types.Object]bool))
+	return rs.list
+}
+
+type rootKey struct {
+	kind RootKind
+	obj  types.Object
+	call *ast.CallExpr
+}
+
+type rootCollector struct {
+	seen map[rootKey]bool
+	list []Root
+}
+
+func (rs *rootCollector) add(r Root) {
+	k := rootKey{r.Kind, r.Obj, r.Call}
+	if rs.seen[k] {
+		return
+	}
+	rs.seen[k] = true
+	rs.list = append(rs.list, r)
+}
+
+func (f *Func) roots(e ast.Expr, rs *rootCollector, visiting map[types.Object]bool) {
+	info := f.pkg.Pass.TypesInfo
+	// A value that cannot alias backing storage (a byte read out of a
+	// buffer, a sequence number, a name string) carries no memory with
+	// it, whatever it was loaded from: without this cut, Kind(b[0]) in a
+	// composite literal would taint the whole struct with b's roots.
+	if t := info.TypeOf(e); t != nil && !SharesMemory(t) {
+		rs.add(Root{Kind: Fresh})
+		return
+	}
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[v]
+		if obj == nil {
+			obj = info.Defs[v]
+		}
+		switch obj := obj.(type) {
+		case *types.Var:
+			if f.ParamIndex(obj) >= 0 {
+				rs.add(Root{Kind: Param, Obj: obj})
+				return
+			}
+			if obj.Parent() == f.pkg.Pass.Pkg.Scope() {
+				rs.add(Root{Kind: Global, Obj: obj})
+				return
+			}
+			if visiting[obj] {
+				return // def cycle (x = append(x, ...)); other defs cover it
+			}
+			visiting[obj] = true
+			defs := f.defs[obj]
+			if len(defs) == 0 {
+				rs.add(Root{Kind: Fresh}) // zero value, or a literal's own parameter
+				return
+			}
+			for _, d := range defs {
+				f.roots(d, rs, visiting)
+			}
+		default:
+			rs.add(Root{Kind: Fresh}) // const, nil, func value, type
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[v]; sel != nil {
+			if sel.Kind() == types.FieldVal {
+				f.roots(v.X, rs, visiting) // field memory belongs to its struct
+			} else {
+				rs.add(Root{Kind: Fresh}) // method value
+			}
+			return
+		}
+		// Qualified identifier: pkg.Var / pkg.Func / pkg.Const.
+		if obj, ok := info.Uses[v.Sel].(*types.Var); ok {
+			rs.add(Root{Kind: Global, Obj: obj})
+			return
+		}
+		rs.add(Root{Kind: Fresh})
+	case *ast.IndexExpr:
+		f.roots(v.X, rs, visiting)
+	case *ast.SliceExpr:
+		f.roots(v.X, rs, visiting)
+	case *ast.StarExpr:
+		f.roots(v.X, rs, visiting)
+	case *ast.TypeAssertExpr:
+		f.roots(v.X, rs, visiting)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			f.roots(v.X, rs, visiting)
+			return
+		}
+		rs.add(Root{Kind: Fresh}) // <-ch, -x, ...
+	case *ast.CompositeLit:
+		// The literal itself is fresh, but its elements' memory rides
+		// inside it: {F: p} carries p's backing array.
+		rs.add(Root{Kind: Fresh})
+		for _, elt := range v.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				f.roots(kv.Value, rs, visiting)
+			} else {
+				f.roots(elt, rs, visiting)
+			}
+		}
+	case *ast.CallExpr:
+		f.callRoots(v, rs, visiting)
+	default:
+		rs.add(Root{Kind: Fresh}) // literals, func lits, binary exprs
+	}
+}
+
+// callRoots resolves the memory a call's results may alias.
+func (f *Func) callRoots(call *ast.CallExpr, rs *rootCollector, visiting map[types.Object]bool) {
+	info := f.pkg.Pass.TypesInfo
+	// Type conversion: []byte(s), Dense(v) — same memory, new type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			f.roots(call.Args[0], rs, visiting)
+		}
+		return
+	}
+	// Builtins: append may return its first argument's backing array;
+	// everything else yields fresh (or scalar) results.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && len(call.Args) > 0 {
+				f.roots(call.Args[0], rs, visiting)
+			}
+			rs.add(Root{Kind: Fresh})
+			return
+		}
+	}
+	callee := f.pkg.Pass.CalleeFunc(call)
+	if callee == nil {
+		rs.add(Root{Kind: External, Call: call})
+		return
+	}
+	if f.pkg.isArenaFunc(callee) {
+		owner, obj := f.pkg.recvInfo(call)
+		rs.add(Root{Kind: Arena, Call: call, Fn: callee, Owner: owner, OwnerObj: obj})
+		return
+	}
+	sum := f.pkg.summaries[callee]
+	if sum == nil {
+		rs.add(Root{Kind: External, Call: call, Fn: callee})
+		return
+	}
+	rs.add(Root{Kind: Fresh})
+	if sum.ReturnsArena {
+		owner, obj := f.pkg.recvInfo(call)
+		rs.add(Root{Kind: Arena, Call: call, Fn: callee, Owner: owner, OwnerObj: obj})
+	}
+	args := f.pkg.BindArgs(callee, call)
+	for i, fl := range sum.Flows {
+		if !fl.ToResult || i >= len(args) {
+			continue
+		}
+		for _, a := range args[i] {
+			f.roots(a, rs, visiting)
+		}
+	}
+}
+
+// isArenaFunc reports whether callee is an //evs:arena allocator: by
+// directive for same-package functions, by registry for the rest.
+func (p *Package) isArenaFunc(callee *types.Func) bool {
+	if fn := p.funcs[callee]; fn != nil {
+		return analysis.HasDirective(fn.Decl.Doc, ArenaDirective)
+	}
+	return p.IsArena != nil && p.IsArena(callee)
+}
+
+// IsArenaAllocator reports whether obj is recognised as an arena
+// allocator (directive or registry) — the arenaesc entry point.
+func (p *Package) IsArenaAllocator(obj *types.Func) bool { return p.isArenaFunc(obj) }
+
+// BindArgs maps receiver-first parameter positions to the argument
+// expressions bound to them at a call site (the variadic tail binds every
+// trailing argument to the last parameter).
+func (p *Package) BindArgs(callee *types.Func, call *ast.CallExpr) [][]ast.Expr {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out [][]ast.Expr
+	if sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			out = append(out, []ast.Expr{sel.X})
+		} else {
+			out = append(out, nil)
+		}
+	}
+	n := sig.Params().Len()
+	for i := 0; i < n; i++ {
+		if sig.Variadic() && i == n-1 {
+			if i < len(call.Args) {
+				out = append(out, call.Args[i:])
+			} else {
+				out = append(out, nil)
+			}
+			break
+		}
+		if i < len(call.Args) {
+			out = append(out, []ast.Expr{call.Args[i]})
+		} else {
+			out = append(out, nil)
+		}
+	}
+	return out
+}
+
+// recvInfo returns the lexical path of a method call's receiver ("s",
+// "n.ring") and the object at its root, or "" and nil for plain
+// functions and unstable receivers.
+func (p *Package) recvInfo(call *ast.CallExpr) (string, types.Object) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	var obj types.Object
+	if id := analysis.RootIdent(sel.X); id != nil {
+		obj = p.Pass.TypesInfo.ObjectOf(id)
+	}
+	return PathOf(sel.X), obj
+}
+
+// PathOf renders an expression as a stable lexical path — a chain of
+// selectors over an identifier ("g", "t.hub.mu") — or "" when the
+// expression involves calls, indexing or literals. Paths are how the
+// analyzers compare "the same storage" across sites, the way lockheld
+// keys critical sections.
+func PathOf(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		base := PathOf(v.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + v.Sel.Name
+	case *ast.StarExpr:
+		return PathOf(v.X)
+	}
+	return ""
+}
+
+// SamePathOwner reports whether a store to path `dst` stays within the
+// storage rooted at `owner`: equal paths, or one extending the other at
+// a selector boundary ("s" owns "s.log"; "n.ring" does not own
+// "n.cache").
+func SamePathOwner(owner, dst string) bool {
+	if owner == "" || dst == "" {
+		return false
+	}
+	if owner == dst {
+		return true
+	}
+	if len(dst) > len(owner) && dst[:len(owner)] == owner && dst[len(owner)] == '.' {
+		return true
+	}
+	if len(owner) > len(dst) && owner[:len(dst)] == dst && owner[len(dst)] == '.' {
+		return true
+	}
+	return false
+}
+
+// ExprString renders an expression for diagnostics.
+func ExprString(e ast.Expr) string {
+	var b bytes.Buffer
+	_ = printer.Fprint(&b, token.NewFileSet(), e)
+	return b.String()
+}
+
+// IsValueStructLocal reports whether e is a plain identifier naming a
+// function-local variable — including a by-value parameter — of struct
+// type. A store through such a base (c.Payload = x after c := d) writes
+// the local's own copy, not whatever memory the local's initializer
+// aliased: the struct was copied at its definition. Such stores are not
+// folded back into the local's defs either (see collectDefs), so a
+// value that escapes only via the whole struct is a known gap.
+func IsValueStructLocal(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || obj.IsField() || obj.Parent() == pass.Pkg.Scope() {
+		return false
+	}
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, isStruct := t.Underlying().(*types.Struct)
+	return isStruct
+}

@@ -1,0 +1,220 @@
+package ssa_test
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ssa"
+)
+
+// load builds the dataflow view of the test fixture. The Pass is
+// constructed by hand: Build only reads the exported fields, and the
+// ssa layer itself never reports.
+func load(t *testing.T) *ssa.Package {
+	t.Helper()
+	pkg, err := analysis.LoadDir("testdata/fixture", "repro/internal/analysis/ssa/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  &analysis.Analyzer{Name: "ssatest"},
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	return ssa.Build(pass, nil)
+}
+
+func fn(t *testing.T, p *ssa.Package, name string) *ssa.Func {
+	t.Helper()
+	for _, f := range p.Funcs() {
+		if f.Obj.Name() == name {
+			return f
+		}
+	}
+	t.Fatalf("function %s not found in fixture", name)
+	return nil
+}
+
+// retExpr returns the first result expression of f's first return.
+func retExpr(t *testing.T, f *ssa.Func) ast.Expr {
+	t.Helper()
+	var e ast.Expr
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok && e == nil && len(r.Results) > 0 {
+			e = r.Results[0]
+		}
+		return e == nil
+	})
+	if e == nil {
+		t.Fatalf("%s has no return expression", f.Obj.Name())
+	}
+	return e
+}
+
+func hasRoot(roots []ssa.Root, kind ssa.RootKind, objName string) bool {
+	for _, r := range roots {
+		if r.Kind != kind {
+			continue
+		}
+		if objName == "" || (r.Obj != nil && r.Obj.Name() == objName) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRootsThroughLocalsAndCalls(t *testing.T) {
+	p := load(t)
+	f := fn(t, p, "throughLocal")
+	roots := f.Roots(retExpr(t, f))
+	if !hasRoot(roots, ssa.Param, "b") {
+		t.Errorf("throughLocal's result should root at parameter b through tmp := identity(b); got %v", roots)
+	}
+}
+
+func TestRootsFieldLoad(t *testing.T) {
+	p := load(t)
+	f := fn(t, p, "fieldLoad")
+	roots := f.Roots(retExpr(t, f))
+	if !hasRoot(roots, ssa.Param, "n") {
+		t.Errorf("fieldLoad's result should root at receiver n; got %v", roots)
+	}
+}
+
+func TestRootsArena(t *testing.T) {
+	p := load(t)
+	f := fn(t, p, "wrapCarve")
+	roots := f.Roots(retExpr(t, f))
+	found := false
+	for _, r := range roots {
+		if r.Kind == ssa.Arena {
+			found = true
+			if r.Owner != "n" {
+				t.Errorf("arena root owner = %q, want n", r.Owner)
+			}
+			if r.Fn == nil || r.Fn.Name() != "carve" {
+				t.Errorf("arena root Fn = %v, want carve", r.Fn)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("wrapCarve's result should carry an Arena root; got %v", roots)
+	}
+	if carve := fn(t, p, "carve"); !p.IsArenaAllocator(carve.Obj) {
+		t.Error("carve carries //evs:arena but IsArenaAllocator is false")
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	p := load(t)
+	sum := func(name string) *ssa.Summary {
+		s := p.Summary(fn(t, p, name).Obj)
+		if s == nil {
+			t.Fatalf("no summary for %s", name)
+		}
+		return s
+	}
+
+	if !sum("identity").Flows[0].ToResult {
+		t.Error("identity: parameter b should flow to the result")
+	}
+	if !sum("parkGlobal").Flows[0].ToGlobal {
+		t.Error("parkGlobal: parameter b should flow to package state")
+	}
+	if !sum("spawn").Flows[0].ToGoroutine {
+		t.Error("spawn: parameter b should be goroutine-captured")
+	}
+	// ship(ch, b): no receiver, so b is Flows[1].
+	if !sum("ship").Flows[1].ToChan {
+		t.Error("ship: parameter b should flow to a channel send")
+	}
+	// retain is a method: Flows[0] is the receiver, Flows[1] is b, and
+	// bit 0 of StoredInto marks memory reachable from the receiver.
+	if sum("retain").Flows[1].StoredInto&1 == 0 {
+		t.Error("retain: parameter b should be recorded as stored into the receiver")
+	}
+	if !sum("wrapCarve").ReturnsArena {
+		t.Error("wrapCarve should summarize as ReturnsArena")
+	}
+
+	for _, name := range []string{"blockSend", "callsBlocking"} {
+		s := sum(name)
+		if !s.MayBlock {
+			t.Errorf("%s should summarize as MayBlock", name)
+		} else if s.BlockReason == "" {
+			t.Errorf("%s blocks but has no BlockReason", name)
+		}
+	}
+	if sum("identity").MayBlock {
+		t.Error("identity should not summarize as MayBlock")
+	}
+}
+
+func TestSharesMemory(t *testing.T) {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	for _, tc := range []struct {
+		t    types.Type
+		want bool
+	}{
+		{types.Typ[types.Int], false},
+		{types.Typ[types.Bool], false},
+		{types.Typ[types.String], false},
+		{byteSlice, true},
+		{types.NewMap(types.Typ[types.String], byteSlice), true},
+		{types.NewPointer(types.Typ[types.Int]), true},
+	} {
+		if got := ssa.SharesMemory(tc.t); got != tc.want {
+			t.Errorf("SharesMemory(%s) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestIsValueStructLocal(t *testing.T) {
+	p := load(t)
+	f := fn(t, p, "valueLocal")
+	// Collect the base expressions of the two field stores: p.a = src
+	// (struct-typed local value) and q.b = src (pointer).
+	var bases []ast.Expr
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && as.Tok.String() == "=" {
+			if sel, ok := as.Lhs[0].(*ast.SelectorExpr); ok {
+				bases = append(bases, sel.X)
+			}
+		}
+		return true
+	})
+	if len(bases) != 2 {
+		t.Fatalf("expected 2 field stores in valueLocal, found %d", len(bases))
+	}
+	if !ssa.IsValueStructLocal(p.Pass, bases[0]) {
+		t.Error("p (struct-typed local value) should be a value-struct local")
+	}
+	if ssa.IsValueStructLocal(p.Pass, bases[1]) {
+		t.Error("q (*pair) should not be a value-struct local")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		owner, dst string
+		want       bool
+	}{
+		{"s", "s", true},
+		{"s", "s.log", true},
+		{"s", "sx", false},
+		{"n.ring", "n.ring.buf", true},
+		{"n.ring", "n.rings", false},
+		// Extension is symmetric: storing into the structure the owner
+		// path is rooted at also stays inside the lifetime domain.
+		{"s.log", "s", true},
+		{"s.log", "sx", false},
+	} {
+		if got := ssa.SamePathOwner(tc.owner, tc.dst); got != tc.want {
+			t.Errorf("SamePathOwner(%q, %q) = %v, want %v", tc.owner, tc.dst, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,484 @@
+package ssa
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// A Summary abstracts one function for its same-package callers: where
+// each parameter's memory may flow, whether the results carry arena
+// memory, and whether calling it may block. Summaries are computed to a
+// fixed point, so flows compose transitively through helper chains
+// within the package.
+type Summary struct {
+	// Flows is indexed receiver-first, matching Func.Params.
+	Flows []ParamFlow
+	// ReturnsArena reports that some result may alias //evs:arena
+	// memory.
+	ReturnsArena bool
+	// MayBlock reports that calling the function may block the caller:
+	// channel operations, waits, sleeps, or I/O — directly or through a
+	// same-package callee.
+	MayBlock bool
+	// BlockReason is the first blocking construct found ("channel send
+	// blocks", "net.Dial performs I/O", "drain may block: ...").
+	BlockReason string
+}
+
+// ParamFlow records where one parameter's memory may escape to.
+type ParamFlow struct {
+	// ToResult: the parameter may alias a result value.
+	ToResult bool
+	// ToGlobal: the parameter may be stored into package-level state.
+	ToGlobal bool
+	// ToGoroutine: the parameter may be captured by a spawned goroutine.
+	ToGoroutine bool
+	// ToChan: the parameter may be sent on a channel.
+	ToChan bool
+	// StoredInto is a bitset of receiver-first parameter indices whose
+	// memory may receive this parameter (p stored into recv state sets
+	// bit 0 on methods).
+	StoredInto uint64
+}
+
+func (s *Summary) equal(o *Summary) bool {
+	if o == nil || s.ReturnsArena != o.ReturnsArena || s.MayBlock != o.MayBlock {
+		return false
+	}
+	if len(s.Flows) != len(o.Flows) {
+		return false
+	}
+	for i := range s.Flows {
+		if s.Flows[i] != o.Flows[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// computeSummaries iterates summarize over every function until no
+// summary changes. All facts are monotone (booleans and bitsets only
+// turn on), so the loop terminates; the round cap is a safety net.
+func (p *Package) computeSummaries() {
+	for _, f := range p.order {
+		p.summaries[f.Obj] = &Summary{Flows: make([]ParamFlow, len(f.params))}
+	}
+	for round := 0; round < 16; round++ {
+		changed := false
+		for _, f := range p.order {
+			s := p.summarize(f)
+			if !s.equal(p.summaries[f.Obj]) {
+				p.summaries[f.Obj] = s
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func (p *Package) summarize(f *Func) *Summary {
+	s := &Summary{Flows: make([]ParamFlow, len(f.params))}
+
+	// Stores, sends and goroutine captures — function literals included:
+	// a literal may run, so its effects are the function's effects for a
+	// may-analysis.
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			p.summarizeAssign(f, v, s)
+		case *ast.SendStmt:
+			for _, r := range f.Roots(v.Value) {
+				if j := paramIdx(f, r); j >= 0 {
+					s.Flows[j].ToChan = true
+				}
+			}
+		case *ast.GoStmt:
+			for _, e := range p.GoCaptured(f, v) {
+				for _, r := range f.Roots(e) {
+					if j := paramIdx(f, r); j >= 0 {
+						s.Flows[j].ToGoroutine = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			p.propagateCall(f, v, s)
+		}
+		return true
+	})
+
+	// Returns — outer function only; a literal's return feeds the
+	// literal's caller, not ours.
+	walkSkippingFuncLits(f.Decl.Body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		exprs := ret.Results
+		if len(exprs) == 0 {
+			exprs = namedResults(f)
+		}
+		for _, e := range exprs {
+			for _, r := range f.Roots(e) {
+				switch r.Kind {
+				case Param:
+					if j := f.ParamIndex(r.Obj); j >= 0 {
+						s.Flows[j].ToResult = true
+					}
+				case Arena:
+					s.ReturnsArena = true
+				}
+			}
+		}
+	})
+
+	s.MayBlock, s.BlockReason = p.mayBlock(f)
+	return s
+}
+
+func paramIdx(f *Func, r Root) int {
+	if r.Kind != Param {
+		return -1
+	}
+	return f.ParamIndex(r.Obj)
+}
+
+// namedResults returns the identifier list of a function's named results
+// (the values a naked return yields).
+func namedResults(f *Func) []ast.Expr {
+	if f.Decl.Type.Results == nil {
+		return nil
+	}
+	var out []ast.Expr
+	for _, fl := range f.Decl.Type.Results.List {
+		for _, name := range fl.Names {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// summarizeAssign records parameter escapes through stores: assignments
+// whose target is global state or memory rooted at another parameter.
+// Plain local (re)definitions are def-use edges, not stores.
+func (p *Package) summarizeAssign(f *Func, as *ast.AssignStmt, s *Summary) {
+	for i, lhs := range as.Lhs {
+		rhs := pairedRhs(as, i)
+		if rhs == nil {
+			continue
+		}
+		if t := p.Pass.TypeOf(rhs); t == nil || !SharesMemory(t) {
+			continue
+		}
+		containers := p.storeContainers(f, lhs)
+		if len(containers) == 0 {
+			continue
+		}
+		for _, r := range f.Roots(rhs) {
+			j := paramIdx(f, r)
+			if j < 0 {
+				continue
+			}
+			for _, c := range containers {
+				switch c.Kind {
+				case Global:
+					s.Flows[j].ToGlobal = true
+				case Param:
+					if k := f.ParamIndex(c.Obj); k >= 0 && k < 64 {
+						s.Flows[j].StoredInto |= 1 << uint(k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// pairedRhs returns the right-hand side feeding as.Lhs[i], handling both
+// the pairwise and the single-call (x, y := f()) forms; nil for forms
+// that cannot carry memory (x++, x += y over numerics).
+func pairedRhs(as *ast.AssignStmt, i int) ast.Expr {
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return nil
+	}
+	if len(as.Lhs) == len(as.Rhs) {
+		return as.Rhs[i]
+	}
+	if len(as.Rhs) == 1 {
+		return as.Rhs[0]
+	}
+	return nil
+}
+
+// storeContainers resolves an assignment target to the roots of the
+// memory being written: x.f = v writes x's memory, m[k] = v writes m's,
+// *p = v writes where p points, G = v writes a global. A plain local
+// target returns nil — that is a definition, not a store.
+func (p *Package) storeContainers(f *Func, lhs ast.Expr) []Root {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj, ok := p.Pass.TypesInfo.ObjectOf(v).(*types.Var); ok &&
+			obj.Parent() == p.Pass.Pkg.Scope() {
+			return []Root{{Kind: Global, Obj: obj}}
+		}
+		if obj := p.Pass.TypesInfo.ObjectOf(v); obj != nil {
+			if j := f.ParamIndex(obj); j >= 0 {
+				// Rebinding a parameter variable itself is local; the
+				// caller's memory is untouched.
+				return nil
+			}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		return f.Roots(v.X)
+	case *ast.IndexExpr:
+		return f.Roots(v.X)
+	case *ast.StarExpr:
+		return f.Roots(v.X)
+	}
+	return nil
+}
+
+// SharesMemory reports whether values of t can alias backing storage:
+// anything but booleans, numerics and strings (immutable) — structs
+// count, since a struct value carries its slice/map/pointer fields.
+func SharesMemory(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsBoolean|types.IsNumeric|types.IsString) == 0
+	}
+	return true
+}
+
+// GoCaptured returns every expression whose value a go statement hands
+// to the spawned goroutine: call arguments, the method receiver, and —
+// for function literals — each free variable of the enclosing function
+// referenced in the body.
+func (p *Package) GoCaptured(f *Func, g *ast.GoStmt) []ast.Expr {
+	out := append([]ast.Expr{}, g.Call.Args...)
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.SelectorExpr:
+		out = append(out, fun.X)
+	case *ast.FuncLit:
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := p.Pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if f.ParamIndex(obj) >= 0 || f.defs[obj] != nil {
+				out = append(out, id)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// propagateCall folds a same-package callee's summary into the caller's:
+// if the callee leaks its i-th parameter somewhere, whatever we pass in
+// position i leaks the same way.
+func (p *Package) propagateCall(f *Func, call *ast.CallExpr, s *Summary) {
+	callee := p.Pass.CalleeFunc(call)
+	if callee == nil {
+		return
+	}
+	sum := p.summaries[callee]
+	if sum == nil {
+		return
+	}
+	args := p.BindArgs(callee, call)
+	for i, fl := range sum.Flows {
+		if i >= len(args) {
+			break
+		}
+		if !fl.ToGlobal && !fl.ToGoroutine && !fl.ToChan && fl.StoredInto == 0 {
+			continue
+		}
+		for _, a := range args[i] {
+			for _, r := range f.Roots(a) {
+				j := paramIdx(f, r)
+				if j < 0 {
+					continue
+				}
+				if fl.ToGlobal {
+					s.Flows[j].ToGlobal = true
+				}
+				if fl.ToGoroutine {
+					s.Flows[j].ToGoroutine = true
+				}
+				if fl.ToChan {
+					s.Flows[j].ToChan = true
+				}
+				for k := 0; k < len(args) && k < 64; k++ {
+					if fl.StoredInto&(1<<uint(k)) == 0 {
+						continue
+					}
+					for _, c := range args[k] {
+						for _, cr := range f.Roots(c) {
+							switch cr.Kind {
+							case Global:
+								s.Flows[j].ToGlobal = true
+							case Param:
+								if kj := f.ParamIndex(cr.Obj); kj >= 0 && kj < 64 {
+									s.Flows[j].StoredInto |= 1 << uint(kj)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// mayBlock scans a function body for blocking constructs, consulting
+// same-package summaries for transitive blocking. Function literals, go
+// statements and deferred calls are skipped — they run elsewhere or
+// after the region of interest, mirroring lockheld's lexical model. A
+// select with a default case is the sanctioned non-blocking idiom; its
+// clause bodies are still scanned.
+func (p *Package) mayBlock(f *Func) (bool, string) {
+	var reason string
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range v.Body.List {
+				if c.(*ast.CommClause).Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				reason = "select without default blocks"
+				return false
+			}
+			for _, c := range v.Body.List {
+				for _, st := range c.(*ast.CommClause).Body {
+					ast.Inspect(st, inspect)
+				}
+			}
+			return false
+		case *ast.SendStmt:
+			reason = "channel send blocks"
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				reason = "channel receive blocks"
+			}
+		case *ast.RangeStmt:
+			if t := p.Pass.TypeOf(v.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					reason = "range over channel blocks"
+				}
+			}
+		case *ast.CallExpr:
+			if r := BlockReason(p.Pass, v); r != "" {
+				reason = r
+				return false
+			}
+			if callee := p.Pass.CalleeFunc(v); callee != nil && callee != f.Obj {
+				if sum := p.summaries[callee]; sum != nil && sum.MayBlock {
+					reason = fmt.Sprintf("%s may block: %s", callee.Name(), sum.BlockReason)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(f.Decl.Body, inspect)
+	return reason != "", reason
+}
+
+// BlockReason classifies a call to a function outside the package as
+// blocking: sleeps, waits, and network/file I/O. The returned text
+// matches the historical lockheld diagnostics ("time.Sleep blocks",
+// "net.Dial performs I/O"); "" means not known to block.
+func BlockReason(pass *analysis.Pass, call *ast.CallExpr) string {
+	f := pass.CalleeFunc(call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	pkg, name := f.Pkg().Path(), f.Name()
+	sig := f.Type().(*types.Signature)
+	switch {
+	case pkg == "time" && name == "Sleep":
+		return "time.Sleep blocks"
+	case pkg == "sync" && name == "Wait" && sig.Recv() != nil:
+		return fmt.Sprintf("sync %s.Wait blocks",
+			analysis.NamedOf(sig.Recv().Type()).Obj().Name())
+	case (pkg == "net" || pkg == "net/http") && !netPure[name]:
+		return fmt.Sprintf("%s.%s performs I/O", lastSeg(pkg), name)
+	case pkg == "os" && sig.Recv() == nil && osIOFuncs[name]:
+		return fmt.Sprintf("os.%s performs I/O", name)
+	case pkg == "os" && sig.Recv() != nil && osFileMethods[name]:
+		if n := analysis.NamedOf(sig.Recv().Type()); n != nil && n.Obj().Name() == "File" {
+			return fmt.Sprintf("os.File.%s performs I/O", name)
+		}
+	}
+	return ""
+}
+
+// netPure are net/net-http names that neither block nor touch the
+// network: accessors (Addr, String), address arithmetic and parsing.
+// Everything else in those packages is presumed to perform I/O.
+var netPure = map[string]bool{
+	"Addr": true, "LocalAddr": true, "RemoteAddr": true, "String": true,
+	"Network": true, "Error": true, "Timeout": true, "Temporary": true,
+	"Unwrap": true, "ParseIP": true, "ParseCIDR": true, "ParseMAC": true,
+	"JoinHostPort": true, "SplitHostPort": true, "IPv4": true,
+	"CIDRMask": true, "CanonicalHeaderKey": true, "StatusText": true,
+	// http mux assembly: constructors and route registration mutate
+	// in-process tables, no sockets involved.
+	"NewServeMux": true, "Handle": true, "HandleFunc": true,
+	"NotFoundHandler": true, "StripPrefix": true, "NewRequest": true,
+}
+
+// osIOFuncs are the file-touching package-level os functions.
+var osIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "ReadDir": true, "MkdirTemp": true,
+	"Remove": true, "RemoveAll": true, "Mkdir": true, "MkdirAll": true,
+	"Rename": true, "Stat": true, "Lstat": true, "Truncate": true,
+}
+
+// osFileMethods are the blocking *os.File methods.
+var osFileMethods = map[string]bool{
+	"Read": true, "Write": true, "WriteString": true, "ReadAt": true,
+	"WriteAt": true, "Sync": true, "Close": true,
+}
+
+func lastSeg(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// walkSkippingFuncLits runs fn over every node of body except those
+// inside function literals.
+func walkSkippingFuncLits(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

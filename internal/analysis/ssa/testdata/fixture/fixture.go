@@ -1,0 +1,71 @@
+// Package fixture gives the ssa layer's unit tests concrete shapes:
+// parameter flows through locals and same-package calls, field loads,
+// arena carving, blocking callees and struct-value locals.
+package fixture
+
+type node struct {
+	buf   []byte
+	links [][]byte
+}
+
+var global []byte
+
+// identity returns its parameter unchanged.
+func identity(b []byte) []byte { return b }
+
+// throughLocal flows a parameter through a local binding and a
+// same-package call before returning it.
+func throughLocal(b []byte) []byte {
+	tmp := identity(b)
+	return tmp
+}
+
+// fieldLoad returns memory loaded out of the receiver.
+func (n *node) fieldLoad() []byte { return n.buf }
+
+// parkGlobal stores its parameter into package-level state.
+func parkGlobal(b []byte) { global = b }
+
+// spawn captures its parameter in a goroutine.
+func spawn(b []byte) {
+	go func() { _ = b[0] }()
+}
+
+// ship sends its parameter on a channel.
+func ship(ch chan []byte, b []byte) { ch <- b }
+
+// retain stores its parameter into receiver state.
+func (n *node) retain(b []byte) { n.links[0] = b }
+
+// carve cuts sz bytes out of the receiver's buffer arena.
+//
+//evs:arena
+func (n *node) carve(sz int) []byte {
+	out := n.buf[:sz:sz]
+	n.buf = n.buf[sz:]
+	return out
+}
+
+// wrapCarve returns carved memory from an untagged function, so its
+// summary must report ReturnsArena.
+func (n *node) wrapCarve(sz int) []byte { return n.carve(sz) }
+
+// blockSend may block the caller on an unbuffered channel.
+func blockSend(ch chan int) { ch <- 1 }
+
+// callsBlocking blocks only through a same-package callee.
+func callsBlocking(ch chan int) { blockSend(ch) }
+
+type pair struct {
+	a, b []byte
+}
+
+// valueLocal stores through a struct-typed local value (p) and through
+// a pointer (q) — only the former is a local-copy write.
+func valueLocal(src []byte) int {
+	var p pair
+	p.a = src
+	q := &pair{}
+	q.b = src
+	return len(p.a) + len(q.b)
+}

@@ -191,3 +191,29 @@ type muxState struct {
 func (s *muxState) grow(name string) {
 	s.names = append(s.names, name)
 }
+
+// passThrough returns its parameter unchanged: the SSA summary marks
+// the result as aliasing it, so construction sites see through the
+// call.
+func passThrough(s []wire.SeqRange) []wire.SeqRange { return s }
+
+// aliasThroughCall hands caller-owned memory into a token through one
+// level of call indirection.
+func aliasThroughCall(r *ring, missing []wire.SeqRange) wire.Token {
+	return wire.Token{
+		Ring: r.cfg.ID,
+		Rtr:  passThrough(missing), // want `wire.Token field Rtr aliases caller-owned \(parameter missing\) memory`
+	}
+}
+
+// liveRtr forwards the ring's own mutable request list uncopied.
+func (r *ring) liveRtr() []wire.SeqRange { return r.rtr }
+
+// aliasStateThroughCall puts state-owned memory on the wire through a
+// helper that merely forwards it.
+func (r *ring) aliasStateThroughCall() wire.Token {
+	return wire.Token{
+		Ring: r.cfg.ID,
+		Rtr:  r.liveRtr(), // want `wire.Token field Rtr aliases state-owned \(receiver r\) memory`
+	}
+}

@@ -21,6 +21,13 @@
 //     message's arrays are shared with every other receiver of the same
 //     broadcast; retaining one without copying couples the processes.
 //
+// Aliases are resolved by the internal/analysis/ssa dataflow layer, so
+// both shapes are caught through local variables and through
+// same-package helpers: a message field filled from `clip(p)` where clip
+// returns its parameter is flagged the same as one filled from p
+// directly, and a handler that launders a message slice through a local
+// before retaining it no longer slips past.
+//
 // A site where the aliasing is deliberate and audited (the batch is
 // broadcast and never touched again, the log entry is immutable by
 // construction) carries //lint:allow wireown <reason> — the reason is
@@ -32,6 +39,7 @@ import (
 	"go/types"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/ssa"
 )
 
 // wirePaths are the packages whose message types carry the copy-ownership
@@ -60,54 +68,27 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			checkFunc(pass, fd)
-		}
+	p := ssa.Build(pass, nil)
+	for _, f := range p.Funcs() {
+		checkFunc(p, f)
 	}
 	return nil
 }
 
-// owned classifies the identifiers whose storage outlives the call in a
-// way the function does not control: parameters (caller-owned) and the
-// receiver (state-owned).
+// owned classifies the parameters whose type is a wire message (value or
+// pointer), mapped to that message type's name — the handler-retention
+// rule's sources.
 type owned struct {
-	params map[types.Object]bool // includes the receiver
-	recv   types.Object          // nil for plain functions
-	// wireParams maps parameters whose type is a wire message (value or
-	// pointer) to that message type's name — the handler-retention rule's
-	// sources.
+	recv       types.Object
 	wireParams map[types.Object]string
 }
 
-func collectOwned(pass *analysis.Pass, fd *ast.FuncDecl) *owned {
-	o := &owned{params: map[types.Object]bool{}, wireParams: map[types.Object]string{}}
-	addField := func(fl *ast.Field, recv bool) {
-		for _, name := range fl.Names {
-			obj := pass.TypesInfo.Defs[name]
-			if obj == nil {
-				continue
-			}
-			o.params[obj] = true
-			if recv {
-				o.recv = obj
-			}
-			if n := wireNamed(obj.Type()); n != "" {
-				o.wireParams[obj] = n
-			}
+func collectOwned(f *ssa.Func) *owned {
+	o := &owned{recv: f.Recv(), wireParams: map[types.Object]string{}}
+	for _, obj := range f.Params() {
+		if n := wireNamed(obj.Type()); n != "" {
+			o.wireParams[obj] = n
 		}
-	}
-	if fd.Recv != nil {
-		for _, fl := range fd.Recv.List {
-			addField(fl, true)
-		}
-	}
-	for _, fl := range fd.Type.Params.List {
-		addField(fl, false)
 	}
 	return o
 }
@@ -127,14 +108,14 @@ func wireNamed(t types.Type) string {
 	return n.Obj().Pkg().Name() + "." + n.Obj().Name()
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	own := collectOwned(pass, fd)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+func checkFunc(p *ssa.Package, f *ssa.Func) {
+	own := collectOwned(f)
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.CompositeLit:
-			checkConstruction(pass, own, v)
+			checkConstruction(p, f, v)
 		case *ast.AssignStmt:
-			checkAssign(pass, own, v)
+			checkAssign(p, f, own, v)
 		}
 		return true
 	})
@@ -142,8 +123,8 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 
 // checkConstruction flags slice/map fields of a wire composite literal
 // filled from parameter- or receiver-rooted memory.
-func checkConstruction(pass *analysis.Pass, own *owned, cl *ast.CompositeLit) {
-	name := wireNamed(pass.TypeOf(cl))
+func checkConstruction(p *ssa.Package, f *ssa.Func, cl *ast.CompositeLit) {
+	name := wireNamed(p.Pass.TypeOf(cl))
 	if name == "" {
 		return
 	}
@@ -156,11 +137,11 @@ func checkConstruction(pass *analysis.Pass, own *owned, cl *ast.CompositeLit) {
 		if !ok {
 			continue
 		}
-		field, ok := pass.ObjectOf(key).(*types.Var)
+		field, ok := p.Pass.ObjectOf(key).(*types.Var)
 		if !ok || !analysis.IsSliceOrMap(field.Type()) {
 			continue
 		}
-		reportAliased(pass, own, kv.Value, name, field.Name())
+		reportAliased(p, f, kv.Value, name, field.Name())
 	}
 }
 
@@ -168,7 +149,7 @@ func checkConstruction(pass *analysis.Pass, own *owned, cl *ast.CompositeLit) {
 // field of an existing wire message value (construction by mutation),
 // and storing a wire parameter's slice/map field into receiver state or
 // a package variable (retention).
-func checkAssign(pass *analysis.Pass, own *owned, as *ast.AssignStmt) {
+func checkAssign(p *ssa.Package, f *ssa.Func, own *owned, as *ast.AssignStmt) {
 	for i, lhs := range as.Lhs {
 		if i >= len(as.Rhs) {
 			break // x, y := f() — call results are fresh
@@ -177,71 +158,93 @@ func checkAssign(pass *analysis.Pass, own *owned, as *ast.AssignStmt) {
 
 		// Construction by mutation: msg.Field = <owned memory>.
 		if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
-			if name := wireNamed(pass.TypeOf(sel.X)); name != "" {
-				if t := pass.TypeOf(lhs); t != nil && analysis.IsSliceOrMap(t) {
-					reportAliased(pass, own, rhs, name, sel.Sel.Name)
+			if name := wireNamed(p.Pass.TypeOf(sel.X)); name != "" {
+				if t := p.Pass.TypeOf(lhs); t != nil && analysis.IsSliceOrMap(t) {
+					reportAliased(p, f, rhs, name, sel.Sel.Name)
 				}
 			}
 		}
 
-		// Retention: state = msg.Field where msg is a wire parameter.
-		t := pass.TypeOf(rhs)
+		// Retention: state = <memory rooted at a wire parameter's field>.
+		t := p.Pass.TypeOf(rhs)
 		if t == nil || !analysis.IsSliceOrMap(t) {
 			continue
 		}
-		src := analysis.RootIdent(rhs)
-		if src == nil {
+		if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+			if _, whole := own.wireParams[p.Pass.ObjectOf(id)]; whole {
+				// The whole message (not a field of it) being copied around
+				// is the normal value-semantics flow.
+				continue
+			}
+		}
+		if !retains(p, f, own, lhs) {
 			continue
 		}
-		msgName, isWireParam := own.wireParams[pass.ObjectOf(src)]
-		if !isWireParam || ast.Unparen(rhs) == ast.Unparen(ast.Expr(src)) {
-			// The whole message (not a field of it) being copied around
-			// is the normal value-semantics flow.
-			continue
-		}
-		if retains(pass, own, lhs) {
-			pass.Reportf(as.Pos(),
+		for _, r := range f.Roots(rhs) {
+			if r.Kind != ssa.Param {
+				continue
+			}
+			msgName, isWireParam := own.wireParams[r.Obj]
+			if !isWireParam {
+				continue
+			}
+			p.Pass.Reportf(as.Pos(),
 				"handler retains slice/map from %s parameter %s; the backing array is shared with every receiver of the broadcast — copy it",
-				msgName, src.Name)
+				msgName, r.Obj.Name())
+			break
 		}
 	}
 }
 
-// reportAliased reports value if it is rooted at a parameter or at
-// receiver state.
-func reportAliased(pass *analysis.Pass, own *owned, value ast.Expr, msg, field string) {
-	root := analysis.RootIdent(value)
-	if root == nil {
-		return // call result, literal, make/append: freshly owned
-	}
-	obj := pass.ObjectOf(root)
-	if obj == nil || !own.params[obj] {
+// reportAliased reports value if its memory may be rooted at a parameter
+// or at receiver state — resolved through locals and same-package calls
+// by the dataflow layer. Fresh values (literals, make/append products,
+// external call results) are silent.
+func reportAliased(p *ssa.Package, f *ssa.Func, value ast.Expr, msg, field string) {
+	for _, r := range f.Roots(value) {
+		if r.Kind != ssa.Param {
+			continue
+		}
+		who := "caller-owned (parameter " + r.Obj.Name() + ")"
+		if r.Obj == f.Recv() {
+			who = "state-owned (receiver " + r.Obj.Name() + ")"
+		}
+		p.Pass.Reportf(value.Pos(),
+			"%s field %s aliases %s memory; the message escapes to the medium uncopied — copy the slice/map or annotate the audited handoff",
+			msg, field, who)
 		return
 	}
-	who := "caller-owned (parameter " + root.Name + ")"
-	if obj == own.recv {
-		who = "state-owned (receiver " + root.Name + ")"
-	}
-	pass.Reportf(value.Pos(),
-		"%s field %s aliases %s memory; the message escapes to the medium uncopied — copy the slice/map or annotate the audited handoff",
-		msg, field, who)
 }
 
 // retains reports whether the assignment target outlives the call:
-// anything rooted at the receiver or at a package-level variable.
-func retains(pass *analysis.Pass, own *owned, lhs ast.Expr) bool {
-	root := analysis.RootIdent(lhs)
-	if root == nil {
-		return false
+// a package-level variable, or memory rooted at the receiver or at
+// package state (resolved through aliases — a map loaded from receiver
+// state into a local still retains).
+func retains(p *ssa.Package, f *ssa.Func, own *owned, lhs ast.Expr) bool {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj, ok := p.Pass.ObjectOf(v).(*types.Var)
+		return ok && obj.Parent() == p.Pass.Pkg.Scope()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		var base ast.Expr
+		switch b := v.(type) {
+		case *ast.SelectorExpr:
+			base = b.X
+		case *ast.IndexExpr:
+			base = b.X
+		case *ast.StarExpr:
+			base = b.X
+		}
+		for _, r := range f.Roots(base) {
+			switch r.Kind {
+			case ssa.Global:
+				return true
+			case ssa.Param:
+				if r.Obj == own.recv {
+					return true
+				}
+			}
+		}
 	}
-	obj := pass.ObjectOf(root)
-	if obj == nil {
-		return false
-	}
-	if obj == own.recv {
-		return true
-	}
-	// Package-level variable: its scope is the package scope.
-	v, ok := obj.(*types.Var)
-	return ok && v.Parent() == pass.Pkg.Scope()
+	return false
 }

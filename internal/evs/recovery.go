@@ -187,7 +187,6 @@ func (r *Recovery) SeenSeqs() map[model.ProcessID]uint64 {
 	}
 	merge(r.frozen.SeenSeqs)
 	for _, e := range r.exchanges {
-		//lint:allow determinism per-entry max-merge; the result does not depend on iteration order
 		merge(e.SeenSeqs)
 	}
 	return out

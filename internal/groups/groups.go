@@ -290,12 +290,18 @@ func (m *Mux) ClientOpsPayload(ops []ClientOp) ([]byte, int, error) {
 // GroupID (arena-carved, allocation-free); otherwise it falls back to
 // a by-name envelope — interning locally would diverge from the total
 // order, so resolution waits for delivery, where every process resolves
-// identically.
+// identically. The returned envelope is carved from the Mux arena,
+// valid until the arena chunk is reused; transports consume it
+// synchronously or copy.
+//
+//evs:arena
 func (m *Mux) Send(group string, data []byte) ([]byte, error) {
 	return m.sendAs(0, group, data)
 }
 
 // ClientSend is Send on behalf of a local client endpoint.
+//
+//evs:arena
 func (m *Mux) ClientSend(client ClientID, group string, data []byte) ([]byte, error) {
 	if client == 0 {
 		return nil, ErrClientZero
@@ -303,6 +309,7 @@ func (m *Mux) ClientSend(client ClientID, group string, data []byte) ([]byte, er
 	return m.sendAs(client, group, data)
 }
 
+//evs:arena
 func (m *Mux) sendAs(client ClientID, group string, data []byte) ([]byte, error) {
 	if gid, ok := m.syms.lookup(group); ok {
 		return m.SendTo(client, gid, data), nil
@@ -318,6 +325,7 @@ const arenaChunk = 16 << 10
 // the Mux arena: the send-side hot path (a bogus GroupID is filtered
 // at every receiver, so no validation is needed here).
 //
+//evs:arena
 //evs:noalloc
 func (m *Mux) SendTo(client ClientID, gid GroupID, data []byte) []byte {
 	need := len(data) + 12 // kind + 2 maximal varints + slack

@@ -274,7 +274,7 @@ func (n *Node) broadcastData(ds []wire.Data) {
 		if k == 1 && len(ds) == 1 {
 			n.env.Broadcast(ds[0]) //lint:allow noalloc the medium API takes wire.Message; one boxed packet header per visit is the audited cost
 		} else {
-			msgs := make([]wire.Data, k) //lint:allow noalloc one fresh slice per packet (≤MaxBatch messages): the medium retains the batch past the visit, so the scratch buffer must not be handed off
+			msgs := make([]wire.Data, k) // fresh per packet: the medium retains the batch past the visit
 			copy(msgs, ds[:k])
 			n.env.Broadcast(wire.DataBatch{Ring: n.ringCfg.ID, Msgs: msgs}) //lint:allow noalloc the medium API takes wire.Message; one boxed packet header per visit is the audited cost
 		}
@@ -616,8 +616,8 @@ func (n *Node) finishRecovery(res evs.Result) {
 	// exchanged SeenSeqs heal a transiently wrapped sender counter that
 	// local evidence alone could not (defense in depth — on conforming
 	// runs local evidence already dominates).
+	// Per-entry max-merge: the result does not depend on iteration order.
 	for p, v := range n.rec.SeenSeqs() {
-		//lint:allow determinism per-entry max-merge; the result does not depend on iteration order
 		if n.seenSeqs == nil {
 			n.seenSeqs = make(map[model.ProcessID]uint64)
 		}

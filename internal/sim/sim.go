@@ -57,7 +57,7 @@ func (t Timer) Cancel() {
 	if t.s == nil || int(t.idx) >= len(t.s.events) {
 		return
 	}
-	e := &t.s.events[t.idx]
+	e := t.s.at(t.idx)
 	if e.gen != t.gen || e.canceled {
 		return
 	}
@@ -77,6 +77,16 @@ type event struct {
 	fn       Callback
 	op       Op
 	next     int32 // free-list link
+}
+
+// at returns a pooled entry's slot. The pointer is valid only until the
+// slot is released back to the free list (release bumps the generation
+// and the next alloc reuses it) — never retain it across a Step.
+//
+//evs:arena
+//evs:noalloc
+func (s *Scheduler) at(idx int32) *event {
+	return &s.events[idx]
 }
 
 // Scheduler is a virtual-time event queue. The zero value is ready to use
@@ -139,7 +149,7 @@ func (s *Scheduler) schedule(t time.Duration, fn Callback, op Op) Timer {
 		t = s.now
 	}
 	idx := s.alloc()
-	e := &s.events[idx]
+	e := s.at(idx)
 	e.at = t
 	e.seq = s.seq
 	e.canceled = false
@@ -172,7 +182,7 @@ func (s *Scheduler) alloc() int32 {
 //
 //evs:noalloc
 func (s *Scheduler) release(idx int32) {
-	e := &s.events[idx]
+	e := s.at(idx)
 	e.gen++
 	e.fn = nil
 	e.op = Op{}
@@ -187,7 +197,7 @@ func (s *Scheduler) release(idx int32) {
 func (s *Scheduler) Step() bool {
 	for len(s.heap) > 0 {
 		idx := s.popMin()
-		e := &s.events[idx]
+		e := s.at(idx)
 		if e.canceled {
 			s.release(idx)
 			continue
@@ -246,7 +256,7 @@ func (s *Scheduler) RunUntilIdle(horizon time.Duration) bool {
 func (s *Scheduler) peekAt() (time.Duration, bool) {
 	for len(s.heap) > 0 {
 		idx := s.heap[0]
-		e := &s.events[idx]
+		e := s.at(idx)
 		if e.canceled {
 			s.popMin()
 			s.release(idx)
@@ -262,7 +272,7 @@ func (s *Scheduler) peekAt() (time.Duration, bool) {
 //
 //evs:noalloc
 func (s *Scheduler) less(a, b int32) bool {
-	ea, eb := &s.events[a], &s.events[b]
+	ea, eb := s.at(a), s.at(b)
 	if ea.at != eb.at {
 		return ea.at < eb.at
 	}

@@ -306,7 +306,6 @@ func (s *Stream) certify(opts Options, final bool) {
 func (s *Stream) prune() {
 	closed := make(map[model.ConfigID]bool)
 	for c, f := range s.families {
-		//lint:allow determinism per-family predicate; the resulting set does not depend on iteration order
 		if s.closed(c, f) {
 			closed[c] = true
 		}
@@ -334,11 +333,9 @@ func (s *Stream) prune() {
 	s.gidx = kgidx
 
 	for c := range closed {
-		//lint:allow determinism map deletion; order is irrelevant
 		f := s.families[c]
 		if f != nil {
 			for m := range f.msgs {
-				//lint:allow determinism map deletion; order is irrelevant
 				delete(s.msgRefs, m)
 			}
 		}

@@ -155,7 +155,11 @@ const (
 	entryArenaChunk = 128
 )
 
-// newEntry carves one log-entry struct from the entry arena.
+// newEntry carves one log-entry struct from the entry arena. Carved
+// entries live as long as their s.log slot: dropLogPrefix releases the
+// slot, and the chunk is reused only once every entry in it is gone.
+//
+//evs:arena
 func (s *Store) newEntry() *wire.Data {
 	if len(s.entryArena) == 0 {
 		s.entryArena = make([]wire.Data, entryArenaChunk)
@@ -163,6 +167,46 @@ func (s *Store) newEntry() *wire.Data {
 	e := &s.entryArena[0]
 	s.entryArena = s.entryArena[1:]
 	return e
+}
+
+// carvePayload deep-copies payload bytes into the payload arena and
+// returns the carved region, full to capacity so appends cannot bleed
+// into the next tenant.
+//
+//evs:arena
+//evs:noalloc
+func (s *Store) carvePayload(src []byte) []byte {
+	n := len(src)
+	if len(s.payArena) < n {
+		grow := arenaChunk
+		if grow < n {
+			grow = n
+		}
+		s.payArena = make([]byte, grow)
+	}
+	out := s.payArena[:n:n]
+	s.payArena = s.payArena[n:]
+	copy(out, src)
+	return out
+}
+
+// carveClock deep-copies vector-clock counters into the clock arena.
+//
+//evs:arena
+//evs:noalloc
+func (s *Store) carveClock(src vclock.Dense) vclock.Dense {
+	n := len(src)
+	if len(s.vcArena) < n {
+		grow := arenaChunk
+		if grow < n {
+			grow = n
+		}
+		s.vcArena = make(vclock.Dense, grow)
+	}
+	out := s.vcArena[:n:n]
+	s.vcArena = s.vcArena[n:]
+	copy(out, src)
+	return out
 }
 
 // logSnapshot deep-copies the internal log into the Record.Log snapshot
@@ -314,31 +358,10 @@ func (s *Store) putOne(d wire.Data) {
 	}
 	c := d
 	if d.Payload != nil {
-		n := len(d.Payload)
-		if len(s.payArena) < n {
-			grow := arenaChunk
-			if grow < n {
-				grow = n
-			}
-			s.payArena = make([]byte, grow)
-		}
-		c.Payload = s.payArena[:n:n] //lint:allow wireown the copy INTO the store: the arena-backed entry stays behind the disk boundary (Load/logSnapshot deep-copy it back out), it is never broadcast
-		s.payArena = s.payArena[n:]
-		copy(c.Payload, d.Payload)
+		c.Payload = s.carvePayload(d.Payload)
 	}
 	if d.VC.U != nil {
-		n := len(d.VC.D)
-		if len(s.vcArena) < n {
-			grow := arenaChunk
-			if grow < n {
-				grow = n
-			}
-			s.vcArena = make(vclock.Dense, grow)
-		}
-		cd := s.vcArena[:n:n]
-		s.vcArena = s.vcArena[n:]
-		copy(cd, d.VC.D)
-		c.VC = vclock.Stamp{U: d.VC.U, D: cd}
+		c.VC = vclock.Stamp{U: d.VC.U, D: s.carveClock(d.VC.D)}
 	}
 	e := s.newEntry()
 	*e = c

@@ -394,6 +394,8 @@ func (r *Ring) store(d wire.Data) bool {
 
 // stamp ticks the working clock for a send and snapshots it from the
 // arena: O(P) bytes copied, one allocation per stampArenaChunk sends.
+//
+//evs:arena
 func (r *Ring) stamp() vclock.Stamp {
 	if r.selfIdx >= 0 {
 		r.vc[r.selfIdx]++
@@ -432,6 +434,7 @@ func (r *Ring) mergeClock(s vclock.Stamp) {
 // messages that become deliverable, in total order. The returned slice is
 // per-ring scratch, valid until the next call into the Ring.
 //
+//evs:arena
 //evs:noalloc
 func (r *Ring) OnData(d wire.Data) []wire.Data {
 	if d.Ring != r.cfg.ID || d.Seq == 0 {
@@ -450,6 +453,7 @@ func (r *Ring) OnData(d wire.Data) []wire.Data {
 // message. Both returned slices are per-ring scratch, valid until the next
 // call into the Ring.
 //
+//evs:arena
 //evs:noalloc
 func (r *Ring) OnDataBatch(ds []wire.Data) (deliveries, fresh []wire.Data) {
 	fresh = r.freshScratch[:0]
@@ -516,6 +520,7 @@ func (r *Ring) growBudget() {
 // sequences pending messages, updates the aru and the safe watermark,
 // collects deliverable messages, and produces the token to forward.
 //
+//evs:arena
 //evs:noalloc
 func (r *Ring) OnToken(t wire.Token) TokenResult {
 	if t.Ring != r.cfg.ID || t.TokenID <= r.lastTokenID {
@@ -568,7 +573,7 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 			Ring:    r.cfg.ID,
 			Seq:     t.Seq,
 			Service: p.Service,
-			Payload: p.Payload,
+			Payload: p.Payload, //lint:allow wireown Submit transfers payload ownership to the ring; the pending slot is dropped as the message is sequenced
 			VC:      r.stamp(),
 		}
 		r.store(d)
@@ -647,6 +652,7 @@ func (r *Ring) OnToken(t wire.Token) TokenResult {
 // total order. The returned slice is per-ring scratch, valid until the next
 // call into the Ring.
 //
+//evs:arena
 //evs:noalloc
 func (r *Ring) collectDeliverable() []wire.Data {
 	out := r.deliverScratch[:0]

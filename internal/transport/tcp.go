@@ -49,7 +49,10 @@ type TCP struct {
 	mu     sync.Mutex // guards senders, conns, sendBuf, closed
 	senders map[model.ProcessID]*tcpSender
 	addrs   map[model.ProcessID]string
-	conns   map[net.Conn]struct{} // accepted inbound connections
+	// conns is every live connection, inbound readers and outbound
+	// sender dials alike. Close severs them all, which is what unblocks
+	// a reader parked in Read or a drain goroutine parked in Write.
+	conns map[net.Conn]struct{}
 	sendBuf []byte
 	closed bool
 	wg     sync.WaitGroup
@@ -192,6 +195,7 @@ func (t *TCP) drain(to model.ProcessID, s *tcpSender) {
 	var conn net.Conn
 	defer func() {
 		if conn != nil {
+			t.untrack(conn)
 			conn.Close()
 		}
 	}()
@@ -206,9 +210,16 @@ func (t *TCP) drain(to model.ProcessID, s *tcpSender) {
 					t.met.Inc(obs.CWireDrops)
 					continue
 				}
+				if !t.track(c) {
+					// Close raced the dial; the connection was never
+					// registered, so sever it here and exit.
+					c.Close()
+					return
+				}
 				conn = c
 			}
 			if _, err := conn.Write(frame); err != nil {
+				t.untrack(conn)
 				conn.Close()
 				conn = nil
 				t.met.Inc(obs.CWireDrops)
@@ -217,6 +228,26 @@ func (t *TCP) drain(to model.ProcessID, s *tcpSender) {
 			countOut(t.met, len(frame))
 		}
 	}
+}
+
+// track registers a live outbound connection so Close can sever it; it
+// reports false when the transport is already closed, in which case the
+// caller owns the connection and must close it itself.
+func (t *TCP) track(conn net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+// untrack forgets a connection the owner is about to close.
+func (t *TCP) untrack(conn net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, conn)
+	t.mu.Unlock()
 }
 
 // accept admits inbound connections; each gets its own reader goroutine.
@@ -307,10 +338,18 @@ func (t *TCP) Close() error {
 	for _, s := range t.senders {
 		close(s.done)
 	}
+	// Snapshot under the lock, sever outside it: conn.Close is I/O, and
+	// for outbound senders it is the only thing that unblocks a drain
+	// goroutine parked in conn.Write on a peer that stopped reading.
+	open := make([]net.Conn, 0, len(t.conns))
 	for conn := range t.conns {
-		conn.Close()
+		//lint:allow determinism teardown order is irrelevant; every snapshot entry is closed
+		open = append(open, conn)
 	}
 	t.mu.Unlock()
+	for _, conn := range open {
+		conn.Close()
+	}
 	err := t.ln.Close()
 	t.wg.Wait()
 	return err

@@ -514,6 +514,7 @@ func (d *Decoder) takeMembers(b []byte) ([]model.ProcessID, []byte, error) {
 // regions are never reused, so the vector is immutable-by-construction
 // once filled.
 //
+//evs:arena
 //evs:noalloc
 func (d *Decoder) carve(n int) vclock.Dense {
 	if n > len(d.dense) {
@@ -534,6 +535,8 @@ func (d *Decoder) carve(n int) vclock.Dense {
 // vclock.NewUniverse unchanged — which is also what lets the universe be
 // interned by its raw encoded bytes: region equality implies universe
 // equality.
+//
+//evs:arena
 func (d *Decoder) takeStamp(b []byte) (vclock.Stamp, []byte, error) {
 	n, rest, ok := takeUvarint(b)
 	if !ok {
@@ -594,6 +597,7 @@ func (d *Decoder) takeStamp(b []byte) (vclock.Stamp, []byte, error) {
 // takeDataBody decodes a Data message body into out, returning the rest
 // of the buffer. The payload aliases b.
 //
+//evs:arena
 //evs:noalloc
 func (d *Decoder) takeDataBody(b []byte, out *Data) ([]byte, error) {
 	var err error
@@ -650,6 +654,7 @@ func (d *Decoder) takeDataBody(b []byte, out *Data) ([]byte, error) {
 // the receive-side hot path. The payload and counter vector alias the
 // input buffer and the decoder's arena respectively.
 //
+//evs:arena
 //evs:noalloc
 func (d *Decoder) DecodeData(b []byte, out *Data) error {
 	if len(b) == 0 {
@@ -669,7 +674,10 @@ func (d *Decoder) DecodeData(b []byte, out *Data) error {
 }
 
 // Decode parses any wire message. Input must be consumed exactly;
-// payloads of data messages alias b.
+// payloads of data messages alias b, counter vectors alias the
+// decoder's arena — both valid until the decoder's next message.
+//
+//evs:arena
 func (d *Decoder) Decode(b []byte) (Message, error) {
 	if len(b) == 0 {
 		return nil, ErrTruncated
@@ -762,9 +770,11 @@ func (d *Decoder) Decode(b []byte) (Message, error) {
 		if v.Sender, rest, err = d.takeProc(rest); err != nil {
 			return nil, err
 		}
+		//lint:allow wireown decoded membership views the decoder's intern tables until the next Decode; callers copy before retaining
 		if v.Alive, rest, err = d.takeMembers(rest); err != nil {
 			return nil, err
 		}
+		//lint:allow wireown decoded membership views the decoder's intern tables until the next Decode; callers copy before retaining
 		if v.Failed, rest, err = d.takeMembers(rest); err != nil {
 			return nil, err
 		}
@@ -780,6 +790,7 @@ func (d *Decoder) Decode(b []byte) (Message, error) {
 		if v.NewRing, rest, err = d.takeConfigID(rest); err != nil {
 			return nil, err
 		}
+		//lint:allow wireown decoded membership views the decoder's intern tables until the next Decode; callers copy before retaining
 		if v.Members, rest, err = d.takeMembers(rest); err != nil {
 			return nil, err
 		}
@@ -804,6 +815,7 @@ func (d *Decoder) Decode(b []byte) (Message, error) {
 		if v.NewRing, rest, err = d.takeConfigID(rest); err != nil {
 			return nil, err
 		}
+		//lint:allow wireown decoded membership views the decoder's intern tables until the next Decode; callers copy before retaining
 		if v.Members, rest, err = d.takeMembers(rest); err != nil {
 			return nil, err
 		}
@@ -822,6 +834,7 @@ func (d *Decoder) Decode(b []byte) (Message, error) {
 		if v.OldRing, rest, err = d.takeConfigID(rest); err != nil {
 			return nil, err
 		}
+		//lint:allow wireown decoded membership views the decoder's intern tables until the next Decode; callers copy before retaining
 		if v.OldMembers, rest, err = d.takeMembers(rest); err != nil {
 			return nil, err
 		}
@@ -854,6 +867,7 @@ func (d *Decoder) Decode(b []byte) (Message, error) {
 		if v.DeliveredUpTo, rest, ok = takeUvarint(rest); !ok {
 			return nil, ErrTruncated
 		}
+		//lint:allow wireown decoded membership views the decoder's intern tables until the next Decode; callers copy before retaining
 		if v.Obligations, rest, err = d.takeMembers(rest); err != nil {
 			return nil, err
 		}
@@ -902,6 +916,7 @@ func (d *Decoder) Decode(b []byte) (Message, error) {
 // Decode parses a message with a throwaway decoder (tests, one-shot
 // tools; transports hold a Decoder to amortise).
 func Decode(b []byte) (Message, error) {
+	//lint:allow arenaesc the throwaway decoder is never reused, so its arena has no reset point for the result to outlive
 	return NewDecoder().Decode(b)
 }
 

@@ -302,7 +302,6 @@ func (h *liveHub) peersOf(of ProcessID) []ProcessID {
 	out := make([]ProcessID, 0, len(h.component))
 	for id, c := range h.component {
 		if c == comp {
-			//lint:allow determinism the id set is sorted immediately below
 			out = append(out, id)
 		}
 	}
